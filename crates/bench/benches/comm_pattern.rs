@@ -1,0 +1,57 @@
+//! Communication-pattern bench (the measured layer behind Table 3): the
+//! full iteration vs the communication-only variant (flux computation
+//! stripped), exactly the paper's protocol for isolating data-movement
+//! cost.
+
+use bench::{pressure_for_iteration, standard_problem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+
+fn bench_comm_vs_full(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm_pattern");
+    g.sample_size(10);
+    let n = 8usize;
+    for (label, compute) in [("full", true), ("comm_only", false)] {
+        let (mesh, fluid, trans) = standard_problem(n, n, 8, 3);
+        let mut sim = DataflowFluxSimulator::new(
+            &mesh,
+            &fluid,
+            &trans,
+            DataflowOptions {
+                compute_enabled: compute,
+                ..DataflowOptions::default()
+            },
+        );
+        let p = pressure_for_iteration(&mesh, 0);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| sim.apply(&p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_fabric_sizes_comm(c: &mut Criterion) {
+    // communication volume grows with the fabric area; per-PE comm is flat
+    let mut g = c.benchmark_group("comm_pattern/fabric_area");
+    g.sample_size(10);
+    for n in [4usize, 8] {
+        let (mesh, fluid, trans) = standard_problem(n, n, 8, 3);
+        let mut sim = DataflowFluxSimulator::new(
+            &mesh,
+            &fluid,
+            &trans,
+            DataflowOptions {
+                compute_enabled: false,
+                ..DataflowOptions::default()
+            },
+        );
+        let p = pressure_for_iteration(&mesh, 0);
+        g.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
+            b.iter(|| sim.apply(&p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_comm_vs_full, bench_fabric_sizes_comm);
+criterion_main!(benches);

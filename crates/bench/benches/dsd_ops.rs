@@ -1,0 +1,119 @@
+//! DSD vector-op microbenches (the measured layer behind Table 4 and the
+//! §5.3.3 vectorization claim): per-element cost of each instruction kind
+//! and of the full 13-op face kernel, across column heights.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpfa_dataflow::{compute_face_flux, FaceBuffers, FaceInputs};
+use wse_sim::dsd::{fadds, fmacs, fmuls, fmuls_gate, fnegs, fsubs, Dsd, Operand};
+use wse_sim::memory::PeMemory;
+use wse_sim::stats::OpCounters;
+
+fn rig(len: usize, arrays: usize) -> (PeMemory, Vec<Dsd>) {
+    let mut mem = PeMemory::with_capacity_bytes(((arrays * len * 4) + 64).next_multiple_of(4));
+    let dsds: Vec<Dsd> = (0..arrays)
+        .map(|_| Dsd::contiguous(mem.alloc(len).unwrap().offset, len))
+        .collect();
+    for d in &dsds {
+        for i in 0..len {
+            mem.write_f32(d.at(i), (i % 97) as f32 + 1.0);
+        }
+    }
+    (mem, dsds)
+}
+
+fn bench_single_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsd_ops");
+    let len = 246; // the paper's Nz
+    let (mut mem, d) = rig(len, 3);
+    let mut ctr = OpCounters::default();
+    g.throughput(Throughput::Elements(len as u64));
+    g.bench_function("fmuls", |b| {
+        b.iter(|| {
+            fmuls(
+                &mut mem,
+                &mut ctr,
+                d[0],
+                Operand::Mem(d[1]),
+                Operand::Mem(d[2]),
+            )
+        })
+    });
+    g.bench_function("fsubs", |b| {
+        b.iter(|| {
+            fsubs(
+                &mut mem,
+                &mut ctr,
+                d[0],
+                Operand::Mem(d[1]),
+                Operand::Mem(d[2]),
+            )
+        })
+    });
+    g.bench_function("fadds", |b| {
+        b.iter(|| {
+            fadds(
+                &mut mem,
+                &mut ctr,
+                d[0],
+                Operand::Mem(d[1]),
+                Operand::Mem(d[2]),
+            )
+        })
+    });
+    g.bench_function("fmacs", |b| {
+        b.iter(|| {
+            fmacs(
+                &mut mem,
+                &mut ctr,
+                d[0],
+                Operand::Mem(d[1]),
+                Operand::Mem(d[2]),
+            )
+        })
+    });
+    g.bench_function("fnegs", |b| {
+        b.iter(|| fnegs(&mut mem, &mut ctr, d[0], Operand::Mem(d[1])))
+    });
+    g.bench_function("fmuls_gate", |b| {
+        b.iter(|| {
+            fmuls_gate(
+                &mut mem,
+                &mut ctr,
+                d[0],
+                Operand::Mem(d[1]),
+                Operand::Mem(d[2]),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_face_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("face_kernel");
+    for nz in [64usize, 246, 512] {
+        let (mut mem, d) = rig(nz, 9);
+        let mut ctr = OpCounters::default();
+        let inputs = FaceInputs {
+            p_k: d[0],
+            rho_k: d[1],
+            p_l: d[2],
+            rho_l: d[3],
+            trans: d[4],
+            g_dz: -9.81 * 4.0,
+            inv_mu: 1.0e3,
+        };
+        let buffers = FaceBuffers {
+            t0: d[6],
+            t1: d[7],
+            t2: d[8],
+        };
+        g.throughput(Throughput::Elements(nz as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(nz), &nz, |b, _| {
+            b.iter(|| compute_face_flux(&mut mem, &mut ctr, d[5], inputs, buffers));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_ops, bench_face_kernel);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion microbenches of the flux implementations (the measured layer
+//! behind Table 1): serial reference, face-wise reference, RAJA-like,
+//! CUDA-like, and the functional fabric simulation.
+
+use bench::{pressure_for_iteration, standard_problem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fv_core::residual::{assemble_flux_residual, assemble_flux_residual_facewise};
+use gpu_ref::problem::{GpuFluxProblem, GpuModel};
+use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+
+fn bench_serial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial_reference");
+    for n in [8usize, 16, 32] {
+        let (mesh, fluid, trans) = standard_problem(n, n, n, 1);
+        let p = pressure_for_iteration(&mesh, 0);
+        let mut r = vec![0.0_f32; mesh.num_cells()];
+        g.throughput(Throughput::Elements(mesh.num_cells() as u64));
+        g.bench_with_input(BenchmarkId::new("cellwise", n), &n, |b, _| {
+            b.iter(|| assemble_flux_residual(&mesh, &fluid, &trans, &p, &mut r));
+        });
+        g.bench_with_input(BenchmarkId::new("facewise", n), &n, |b, _| {
+            b.iter(|| assemble_flux_residual_facewise(&mesh, &fluid, &trans, &p, &mut r));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_reference");
+    for n in [16usize, 32, 48] {
+        let (mesh, fluid, trans) = standard_problem(n, n, n, 1);
+        let p = pressure_for_iteration(&mesh, 0);
+        let mut prob = GpuFluxProblem::new(&mesh, &fluid, &trans);
+        prob.apply(GpuModel::Raja, &p); // pressure now resident on device
+        g.throughput(Throughput::Elements(mesh.num_cells() as u64));
+        g.bench_with_input(BenchmarkId::new("raja_like", n), &n, |b, _| {
+            b.iter(|| prob.launch(GpuModel::Raja));
+        });
+        g.bench_with_input(BenchmarkId::new("cuda_like", n), &n, |b, _| {
+            b.iter(|| prob.launch(GpuModel::Cuda));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dataflow_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow_simulation");
+    g.sample_size(10);
+    for n in [6usize, 10] {
+        let (mesh, fluid, trans) = standard_problem(n, n, 6, 1);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let p = pressure_for_iteration(&mesh, 0);
+        g.throughput(Throughput::Elements(mesh.num_cells() as u64));
+        g.bench_with_input(BenchmarkId::new("one_application", n), &n, |b, _| {
+            b.iter(|| sim.apply(&p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serial, bench_gpu_models, bench_dataflow_sim);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Weak-scaling bench (the measured layer behind Table 2): grow the fabric
+//! while keeping the column height constant and measure one application of
+//! Algorithm 1 on the functional simulator, plus the GPU-like kernels on
+//! the same growing meshes.
+
+use bench::{pressure_for_iteration, standard_problem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_ref::problem::{GpuFluxProblem, GpuModel};
+use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+
+const NZ: usize = 6;
+
+fn bench_dataflow_weak_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weak_scaling/dataflow");
+    g.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let (mesh, fluid, trans) = standard_problem(n, n, NZ, 2);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let p = pressure_for_iteration(&mesh, 0);
+        g.throughput(Throughput::Elements(mesh.num_cells() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
+            b.iter(|| sim.apply(&p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_weak_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weak_scaling/gpu_like");
+    for n in [16usize, 32, 64] {
+        let (mesh, fluid, trans) = standard_problem(n, n, NZ, 2);
+        let mut prob = GpuFluxProblem::new(&mesh, &fluid, &trans);
+        prob.apply(GpuModel::Raja, &pressure_for_iteration(&mesh, 0));
+        g.throughput(Throughput::Elements(mesh.num_cells() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
+            b.iter(|| prob.launch(GpuModel::Raja));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataflow_weak_scaling, bench_gpu_weak_scaling);
+criterion_main!(benches);

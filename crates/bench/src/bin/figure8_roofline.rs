@@ -1,0 +1,102 @@
+//! **Figure 8** — roofline models for the CS-2 (top panel: memory + fabric
+//! ceilings) and the A100 (bottom panel), with the FV flux kernel placed on
+//! both.
+//!
+//! Prints plot-ready log-log series (arithmetic intensity, attainable
+//! FLOP/s) for every ceiling, plus the kernel dots: the CS-2 kernel's two
+//! dots use arithmetic intensities *measured* by the simulator's counters;
+//! the achieved FLOP rates come from the machine models.
+
+use bench::{measure_dataflow, PAPER_ITERATIONS, PAPER_MESH};
+use perf_model::{A100Model, Cs2Model, Roofline, RooflinePoint};
+
+fn main() {
+    println!("== Figure 8: rooflines (log-log series + kernel dots) ==\n");
+
+    // Measured kernel characterization.
+    let meas = measure_dataflow(9, 9, 12, 1, true);
+    let c = &meas.interior_pe_per_iteration;
+    let ai_mem = c.memory_intensity();
+    let ai_fab = c.fabric_intensity();
+
+    // ---- CS-2 panel ------------------------------------------------------
+    let cs2 = Cs2Model::default();
+    let roof_cs2 = Roofline::new("CS-2", cs2.peak_flops())
+        .with_bandwidth("memory", cs2.memory_bandwidth())
+        .with_bandwidth("fabric", cs2.fabric_bandwidth());
+
+    let per_iter = c.cycles() as f64 * 246.0 / 12.0;
+    let t_cs2 = cs2.time_seconds(per_iter / cs2.simd_width, PAPER_ITERATIONS);
+    let (px, py, pz) = PAPER_MESH;
+    let total_flops = 140.0 * (px * py * pz) as f64 * PAPER_ITERATIONS as f64;
+    let achieved = total_flops / t_cs2;
+
+    println!("# CS-2 panel (peak {:.1} TFLOP/s)", cs2.peak_flops() / 1e12);
+    for label in ["memory", "fabric"] {
+        println!("## ceiling: {label}");
+        for (ai, f) in roof_cs2.series(label, 0.01, 100.0, 13) {
+            println!("{ai:10.4}  {:14.4e}", f);
+        }
+    }
+    let mem_point = RooflinePoint {
+        label: "FV flux (memory)".into(),
+        intensity: ai_mem,
+        achieved_flops: achieved,
+        ceiling: "memory".into(),
+    };
+    let fab_point = RooflinePoint {
+        label: "FV flux (fabric)".into(),
+        intensity: ai_fab,
+        achieved_flops: achieved,
+        ceiling: "fabric".into(),
+    };
+    println!("## kernel dots");
+    for p in [&mem_point, &fab_point] {
+        println!(
+            "{:22} AI {:8.4} FLOP/B   achieved {:9.2} TFLOP/s   {}-bound   ({:.0}% of roof)",
+            p.label,
+            p.intensity,
+            p.achieved_flops / 1e12,
+            if roof_cs2.is_bandwidth_bound(&p.ceiling, p.intensity) {
+                "bandwidth"
+            } else {
+                "compute"
+            },
+            100.0 * roof_cs2.efficiency(p),
+        );
+    }
+    println!(
+        "paper: AI 0.0862 (memory, bandwidth-bound) / 2.1875 (fabric, compute-bound), \
+         311.85 TFLOP/s achieved\n"
+    );
+
+    // ---- A100 panel -------------------------------------------------------
+    let a100 = A100Model::default();
+    let roof_a100 =
+        Roofline::new("A100", a100.peak_flops).with_bandwidth("HBM", a100.mem_bandwidth);
+    println!("# A100 panel (peak {:.1} TFLOP/s)", a100.peak_flops / 1e12);
+    println!("## ceiling: HBM");
+    for (ai, f) in roof_a100.series("HBM", 0.1, 100.0, 13) {
+        println!("{ai:10.4}  {:14.4e}", f);
+    }
+    let gpu_point = RooflinePoint {
+        label: "FV flux (RAJA)".into(),
+        intensity: a100.profiled_intensity,
+        achieved_flops: a100.roofline_ceiling() * a100.bandwidth_efficiency,
+        ceiling: "HBM".into(),
+    };
+    println!("## kernel dot");
+    println!(
+        "{:22} AI {:8.4} FLOP/B   achieved {:9.2} GFLOP/s   {}-bound   ({:.0}% of roof)",
+        gpu_point.label,
+        gpu_point.intensity,
+        gpu_point.achieved_flops / 1e9,
+        if roof_a100.is_bandwidth_bound("HBM", gpu_point.intensity) {
+            "memory"
+        } else {
+            "compute"
+        },
+        100.0 * roof_a100.efficiency(&gpu_point),
+    );
+    println!("paper: AI 2.11 FLOP/B, 6012 GFLOP/s, memory-bound at 76% of the roof");
+}

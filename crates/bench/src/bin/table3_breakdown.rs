@@ -1,0 +1,82 @@
+//! **Table 3** — time distribution on the CS-2 between data movement and
+//! computation.
+//!
+//! The paper measures this by running a modified binary with all flux
+//! computation removed (communication only): 0.0199 s of 0.0823 s =
+//! 24.18 % data movement. We reproduce the protocol exactly: the driver's
+//! `compute_enabled = false` mode is the stripped binary; the split is
+//! computed from the measured critical-path PE cycles of both runs.
+
+use bench::{measure_dataflow, PAPER_ITERATIONS};
+use perf_model::Cs2Model;
+
+fn main() {
+    println!("== Table 3: time distribution on the fabric (largest mesh) ==\n");
+
+    let (nx, ny, nz) = (9, 9, 12);
+    let full = measure_dataflow(nx, ny, nz, 2, true);
+    let comm_only = measure_dataflow(nx, ny, nz, 2, false);
+
+    // Communication-only run: its interior-PE cycles are the data-movement
+    // time; the full run's cycles are the total.
+    let comm = comm_only.interior_pe_per_iteration.comm_cycles;
+    let total = full.interior_pe_per_iteration.cycles();
+
+    println!(
+        "Measured per-PE cycles per application (nz = {nz}): total {total}, \
+         comm-only {comm}\n"
+    );
+
+    // Scale to the paper mesh and convert to seconds.
+    let cs2 = Cs2Model::default();
+    let scale = 246.0 / nz as f64;
+    let to_s =
+        |cycles: u64| cs2.time_seconds(cycles as f64 * scale / cs2.simd_width, PAPER_ITERATIONS);
+    let t_comm = to_s(comm);
+    let t_total = to_s(total);
+    let t_compute = t_total - t_comm;
+
+    let w = [16, 12, 14, 12, 14];
+    bench::print_row(
+        &[
+            "".into(),
+            "time [s]".into(),
+            "percent [%]".into(),
+            "paper [s]".into(),
+            "paper [%]".into(),
+        ],
+        &w,
+    );
+    bench::print_sep(&w);
+    bench::print_row(
+        &[
+            "Data movement".into(),
+            bench::fmt_s(t_comm),
+            format!("{:.2}", 100.0 * t_comm / t_total),
+            "0.0199".into(),
+            "24.18".into(),
+        ],
+        &w,
+    );
+    bench::print_row(
+        &[
+            "Computation".into(),
+            bench::fmt_s(t_compute),
+            format!("{:.2}", 100.0 * t_compute / t_total),
+            "0.0624".into(),
+            "75.82".into(),
+        ],
+        &w,
+    );
+    bench::print_row(
+        &[
+            "Total".into(),
+            bench::fmt_s(t_total),
+            "100.00".into(),
+            "0.0823".into(),
+            "100.00".into(),
+        ],
+        &w,
+    );
+    println!("\n(shape check: data movement is the minority share, computation dominates)");
+}

@@ -1,0 +1,77 @@
+//! **Table 4** — instruction and memory-access counts for one mesh cell on
+//! the fabric, *measured* by the simulator's DSD instruction counters.
+//!
+//! Paper: 60 FMUL, 40 FSUB, 10 FNEG, 10 FADD, 10 FMA, 16 FMOV per cell;
+//! 406 loads+stores; 16 fabric loads; 140 FLOPs/cell; arithmetic intensity
+//! 0.0862 FLOP/B (memory) and 2.1875 FLOP/B (fabric).
+
+use bench::measure_dataflow;
+
+fn main() {
+    println!("== Table 4: per-cell instruction and memory access counts ==\n");
+    let nz = 16;
+    let m = measure_dataflow(7, 7, nz, 1, true);
+    let c = &m.interior_pe_per_iteration;
+    let nz = nz as u64;
+
+    let per_cell = |v: u64| v / nz;
+    let rows: [(&str, u64, u64, &str, &str); 6] = [
+        ("FMUL", per_cell(c.fmul), 60, "2 loads, 1 store", "0"),
+        ("FSUB", per_cell(c.fsub), 40, "2 loads, 1 store", "0"),
+        ("FNEG", per_cell(c.fneg), 10, "1 load, 1 store", "0"),
+        ("FADD", per_cell(c.fadd), 10, "2 loads, 1 store", "0"),
+        ("FMA", per_cell(c.fma), 10, "3 loads, 1 store", "0"),
+        ("FMOV", per_cell(c.fmov_in), 16, "1 store", "1 load"),
+    ];
+
+    let w = [10, 10, 10, 20, 14];
+    bench::print_row(
+        &[
+            "op".into(),
+            "measured".into(),
+            "paper".into(),
+            "mem traffic".into(),
+            "fabric".into(),
+        ],
+        &w,
+    );
+    bench::print_sep(&w);
+    let mut all_match = true;
+    for (op, got, paper, mem, fab) in rows {
+        all_match &= got == paper;
+        bench::print_row(
+            &[
+                op.into(),
+                got.to_string(),
+                paper.to_string(),
+                mem.into(),
+                fab.into(),
+            ],
+            &w,
+        );
+    }
+
+    println!();
+    let flops = c.flops() / nz;
+    let mem_access = (c.mem_loads + c.mem_stores) / nz;
+    let fabric_loads = c.fabric_loads / nz;
+    println!("FLOPs per cell:            {flops}  (paper: 140)");
+    println!("loads+stores per cell:     {mem_access}  (paper: 406)");
+    println!("fabric loads per cell:     {fabric_loads}  (paper: 16)");
+    println!(
+        "arithmetic intensity mem:  {:.4} FLOP/B  (paper: 0.0862)",
+        c.memory_intensity()
+    );
+    println!(
+        "arithmetic intensity fab:  {:.4} FLOP/B  (paper: 2.1875)",
+        c.fabric_intensity()
+    );
+    println!(
+        "\nall instruction counts match the paper: {}",
+        if all_match && flops == 140 && mem_access == 406 && fabric_loads == 16 {
+            "YES"
+        } else {
+            "NO"
+        }
+    );
+}

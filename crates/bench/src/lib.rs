@@ -1,0 +1,184 @@
+//! Shared workload generators and reporting helpers for the benchmark
+//! harness.
+//!
+//! Every table/figure of the paper's evaluation has a generator binary in
+//! `src/bin/` (see `DESIGN.md` for the experiment index) and the criterion
+//! microbenches in `benches/` measure the real Rust kernels at laboratory
+//! scale.
+
+use fv_core::eos::Fluid;
+use fv_core::fields::PermeabilityField;
+use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+use fv_core::state::FlowState;
+use fv_core::trans::{StencilKind, Transmissibilities};
+use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use wse_sim::stats::OpCounters;
+
+/// The paper's production mesh (750 × 994 × 246 = 183 393 000 cells).
+pub const PAPER_MESH: (usize, usize, usize) = (750, 994, 246);
+
+/// Applications of Algorithm 1 in the paper's timing runs.
+pub const PAPER_ITERATIONS: usize = 1000;
+
+/// The standard synthetic workload: heterogeneous log-normal permeability
+/// on a uniform Cartesian mesh with a water-like fluid — the stand-in for
+/// the paper's proprietary geomodel (see DESIGN.md, substitution table).
+pub fn standard_problem(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    seed: u64,
+) -> (CartesianMesh3, Fluid, Transmissibilities) {
+    let mesh = CartesianMesh3::new(Extents::new(nx, ny, nz), Spacing::new(10.0, 10.0, 4.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, seed);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    (mesh, fluid, trans)
+}
+
+/// A fresh pressure vector for iteration `i` (the paper applies Algorithm 1
+/// "with a different pressure vector at every call").
+pub fn pressure_for_iteration(mesh: &CartesianMesh3, i: usize) -> Vec<f32> {
+    FlowState::<f32>::varied(mesh, 1.0e7, 1.2e7, i as u64)
+        .pressure()
+        .to_vec()
+}
+
+/// Result of a measured dataflow run at laboratory scale.
+pub struct DataflowMeasurement {
+    /// Per-iteration counters of the critical-path (interior) PE.
+    pub interior_pe_per_iteration: OpCounters,
+    /// Aggregate counters over the whole fabric and run.
+    pub fabric_total: OpCounters,
+    /// Iterations measured.
+    pub iterations: usize,
+    /// Cells in the mesh.
+    pub num_cells: usize,
+    /// Column height.
+    pub nz: usize,
+}
+
+/// Runs the dataflow simulator for `iterations` applications on an
+/// `nx × ny × nz` standard problem and extracts the measured counters.
+///
+/// `compute` = false gives the paper's Table-3 communication-only variant.
+pub fn measure_dataflow(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iterations: usize,
+    compute: bool,
+) -> DataflowMeasurement {
+    assert!(nx >= 3 && ny >= 3, "need an interior PE to measure");
+    let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
+    let mut sim = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            compute_enabled: compute,
+            ..DataflowOptions::default()
+        },
+    );
+    sim.apply_many(iterations, |i| pressure_for_iteration(&mesh, i))
+        .expect("dataflow run failed");
+    let interior = *sim.pe_counters(nx / 2, ny / 2);
+    let mut per_iter = OpCounters::default();
+    // scale down to one iteration (counts are exactly linear in iterations)
+    let scale = |v: u64| v / iterations as u64;
+    per_iter.fmul = scale(interior.fmul);
+    per_iter.fsub = scale(interior.fsub);
+    per_iter.fadd = scale(interior.fadd);
+    per_iter.fma = scale(interior.fma);
+    per_iter.fneg = scale(interior.fneg);
+    per_iter.fmov_in = scale(interior.fmov_in);
+    per_iter.fmov_out = scale(interior.fmov_out);
+    per_iter.mem_loads = scale(interior.mem_loads);
+    per_iter.mem_stores = scale(interior.mem_stores);
+    per_iter.fabric_loads = scale(interior.fabric_loads);
+    per_iter.fabric_stores = scale(interior.fabric_stores);
+    per_iter.eos_evals = scale(interior.eos_evals);
+    per_iter.compute_cycles = scale(interior.compute_cycles);
+    per_iter.comm_cycles = scale(interior.comm_cycles);
+    DataflowMeasurement {
+        interior_pe_per_iteration: per_iter,
+        fabric_total: sim.stats().total,
+        iterations,
+        num_cells: mesh.num_cells(),
+        nz,
+    }
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a separator line.
+pub fn print_sep(widths: &[usize]) {
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats seconds with 4 decimal places (the paper's table precision).
+pub fn fmt_s(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_problem_is_reproducible() {
+        let (m1, _, t1) = standard_problem(4, 4, 3, 7);
+        let (m2, _, t2) = standard_problem(4, 4, 3, 7);
+        assert_eq!(m1.num_cells(), m2.num_cells());
+        assert_eq!(t1.as_slice(), t2.as_slice());
+    }
+
+    #[test]
+    fn pressure_vectors_differ_per_iteration() {
+        let (mesh, _, _) = standard_problem(4, 4, 3, 7);
+        assert_ne!(
+            pressure_for_iteration(&mesh, 0),
+            pressure_for_iteration(&mesh, 1)
+        );
+    }
+
+    #[test]
+    fn measured_interior_pe_matches_table_4() {
+        let m = measure_dataflow(5, 5, 4, 2, true);
+        let c = &m.interior_pe_per_iteration;
+        let nz = m.nz as u64;
+        assert_eq!(c.fmul, 60 * nz);
+        assert_eq!(c.fsub, 40 * nz);
+        assert_eq!(c.fneg, 10 * nz);
+        assert_eq!(c.fadd, 10 * nz);
+        assert_eq!(c.fma, 10 * nz);
+        assert_eq!(c.fmov_in, 16 * nz);
+        assert_eq!(c.flops(), 140 * nz);
+        assert_eq!(c.mem_loads + c.mem_stores, 406 * nz);
+    }
+
+    #[test]
+    fn measured_counts_match_analytic_cycle_model() {
+        // the perf-model analytic counts must agree with simulation
+        let m = measure_dataflow(5, 5, 6, 1, true);
+        let analytic = perf_model::TpfaCycleModel::new(6);
+        let c = &m.interior_pe_per_iteration;
+        assert_eq!(c.compute_cycles, analytic.compute_cycles());
+        assert_eq!(c.comm_cycles, analytic.comm_cycles());
+    }
+
+    #[test]
+    fn comm_only_variant_has_zero_flops() {
+        let m = measure_dataflow(4, 4, 3, 1, false);
+        assert_eq!(m.fabric_total.flops(), 0);
+        assert!(m.fabric_total.fabric_loads > 0);
+    }
+}

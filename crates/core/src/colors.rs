@@ -1,0 +1,449 @@
+//! Color assignments and per-PE router configurations for the TPFA
+//! communication pattern (paper §5.2, Figs. 5–6).
+//!
+//! 17 of the 24 routable colors are used:
+//!
+//! | colors | purpose |
+//! |---|---|
+//! | 0–3 | cardinal exchange (E, W, S, N data movement), switchable |
+//! | 4–15 | diagonal exchange, four families × three phases, static |
+//! | 16 | host launch / local task activation (no route) |
+//!
+//! ## Cardinal colors (Fig. 6)
+//!
+//! Color `CARD_E` carries data **moving east** (so it delivers each PE its
+//! *west* neighbor's column). Position 0 = Sending (`rx {Ramp} → tx
+//! {East}`), position 1 = Receiving (`rx {West} → tx {Ramp}`). First-sender
+//! parity is chosen so that the trailing-edge PE (which nobody can trigger)
+//! is always a first-sender.
+//!
+//! ## Diagonal colors (Fig. 5)
+//!
+//! Family `D1` moves data east then south (delivering the receiver its
+//! north-west neighbor's column): the source router sends `Ramp → East`,
+//! the intermediary turns it `West → South`, the receiver takes `North →
+//! Ramp`. Along that path the key `x + y` increases by one per hop, so a
+//! 3-phase coloring by `(x + y) mod 3` gives every PE exactly one role per
+//! color and all streams run concurrently without interference — the
+//! "rotating and coordinating synchronization mechanism" of §5.2.2,
+//! realized with static routes. Families:
+//!
+//! | family | legs | delivers | key | key step |
+//! |---|---|---|---|---|
+//! | D1 | E, S | NorthWest data | x + y | +1 |
+//! | D2 | S, W | NorthEast data | x − y | −1 |
+//! | D3 | W, N | SouthEast data | x + y | −1 |
+//! | D4 | N, E | SouthWest data | x − y | +1 |
+
+use fv_core::mesh::Neighbor;
+use wse_sim::geometry::{Direction, FabricDims, PeCoord};
+use wse_sim::route::{ColorConfig, DirMask, RouterPosition};
+use wse_sim::wavelet::Color;
+
+/// Cardinal color: data moving east (delivers the West face's data).
+pub const CARD_E: Color = Color::new(0);
+/// Cardinal color: data moving west (delivers the East face's data).
+pub const CARD_W: Color = Color::new(1);
+/// Cardinal color: data moving south (delivers the North face's data).
+pub const CARD_S: Color = Color::new(2);
+/// Cardinal color: data moving north (delivers the South face's data).
+pub const CARD_N: Color = Color::new(3);
+
+/// Host-launch / local activation color (never routed).
+pub const START: Color = Color::new(16);
+
+/// The four cardinal colors in [E, W, S, N] order.
+pub const CARDINAL_COLORS: [Color; 4] = [CARD_E, CARD_W, CARD_S, CARD_N];
+
+/// A diagonal family: two legs and a 3-phase key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagonalFamily {
+    /// First-leg output direction (at the source).
+    pub leg1: Direction,
+    /// Second-leg output direction (at the intermediary).
+    pub leg2: Direction,
+    /// Which face's data this family delivers to the receiver.
+    pub delivers: Neighbor,
+    /// Base color id (three consecutive colors: phases 0, 1, 2).
+    pub base_color: u8,
+    /// Key uses `x + y` (true) or `x − y` (false).
+    pub key_sum: bool,
+    /// Key increment per hop along the path (+1 or −1).
+    pub key_step: i64,
+}
+
+/// The four diagonal families (paper Fig. 5's four concurrent corner
+/// streams).
+pub const DIAGONAL_FAMILIES: [DiagonalFamily; 4] = [
+    DiagonalFamily {
+        leg1: Direction::East,
+        leg2: Direction::South,
+        delivers: Neighbor::NorthWest,
+        base_color: 4,
+        key_sum: true,
+        key_step: 1,
+    },
+    DiagonalFamily {
+        leg1: Direction::South,
+        leg2: Direction::West,
+        delivers: Neighbor::NorthEast,
+        base_color: 7,
+        key_sum: false,
+        key_step: -1,
+    },
+    DiagonalFamily {
+        leg1: Direction::West,
+        leg2: Direction::North,
+        delivers: Neighbor::SouthEast,
+        base_color: 10,
+        key_sum: true,
+        key_step: -1,
+    },
+    DiagonalFamily {
+        leg1: Direction::North,
+        leg2: Direction::East,
+        delivers: Neighbor::SouthWest,
+        base_color: 13,
+        key_sum: false,
+        key_step: 1,
+    },
+];
+
+impl DiagonalFamily {
+    /// The 3-phase key of a PE for this family.
+    pub fn key(&self, c: PeCoord) -> i64 {
+        if self.key_sum {
+            c.col as i64 + c.row as i64
+        } else {
+            c.col as i64 - c.row as i64
+        }
+    }
+
+    /// The color a PE *sources* (sends its own column on) for this family.
+    pub fn source_color(&self, c: PeCoord) -> Color {
+        let phase = (self.key(c)).rem_euclid(3) as u8;
+        Color::new(self.base_color + phase)
+    }
+
+    /// The color on which a PE *receives* this family's stream (the data of
+    /// its `delivers` neighbor): the stream sourced two hops upstream.
+    pub fn receive_color(&self, c: PeCoord) -> Color {
+        let phase = (self.key(c) - 2 * self.key_step).rem_euclid(3) as u8;
+        Color::new(self.base_color + phase)
+    }
+
+    /// The color this PE forwards as an intermediary.
+    pub fn intermediary_color(&self, c: PeCoord) -> Color {
+        let phase = (self.key(c) - self.key_step).rem_euclid(3) as u8;
+        Color::new(self.base_color + phase)
+    }
+
+    /// The three router configurations of this family's colors at PE `c`:
+    /// `(color, config)` triples for source, intermediary and receiver
+    /// roles.
+    pub fn router_configs(&self, c: PeCoord) -> [(Color, ColorConfig); 3] {
+        let source = (
+            self.source_color(c),
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Direction::Ramp),
+                DirMask::single(self.leg1),
+            )),
+        );
+        let inter = (
+            self.intermediary_color(c),
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(self.leg1.arrival_side()),
+                DirMask::single(self.leg2),
+            )),
+        );
+        let recv = (
+            self.receive_color(c),
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(self.leg2.arrival_side()),
+                DirMask::single(Direction::Ramp),
+            )),
+        );
+        [source, inter, recv]
+    }
+
+    /// True if PE `c` will actually receive this family's stream (the
+    /// diagonal source exists on the fabric).
+    pub fn has_sender(&self, dims: FabricDims, c: PeCoord) -> bool {
+        let (dx, dy, _) = self.delivers.offset();
+        let col = c.col as i64 + dx;
+        let row = c.row as i64 + dy;
+        col >= 0 && row >= 0 && col < dims.cols as i64 && row < dims.rows as i64
+    }
+}
+
+/// Cardinal-exchange description for one color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CardinalChannel {
+    /// The color.
+    pub color: Color,
+    /// Data movement direction (send side).
+    pub send_dir: Direction,
+    /// Which face's data arrives on this color.
+    pub delivers: Neighbor,
+}
+
+/// The four cardinal channels.
+pub const CARDINAL_CHANNELS: [CardinalChannel; 4] = [
+    CardinalChannel {
+        color: CARD_E,
+        send_dir: Direction::East,
+        delivers: Neighbor::West,
+    },
+    CardinalChannel {
+        color: CARD_W,
+        send_dir: Direction::West,
+        delivers: Neighbor::East,
+    },
+    CardinalChannel {
+        color: CARD_S,
+        send_dir: Direction::South,
+        delivers: Neighbor::North,
+    },
+    CardinalChannel {
+        color: CARD_N,
+        send_dir: Direction::North,
+        delivers: Neighbor::South,
+    },
+];
+
+impl CardinalChannel {
+    /// Coordinate along the movement axis.
+    fn axis_pos(&self, c: PeCoord) -> usize {
+        match self.send_dir {
+            Direction::East | Direction::West => c.col,
+            _ => c.row,
+        }
+    }
+
+    /// Axis extent on the fabric.
+    fn axis_len(&self, dims: FabricDims) -> usize {
+        match self.send_dir {
+            Direction::East | Direction::West => dims.cols,
+            _ => dims.rows,
+        }
+    }
+
+    /// True if PE `c` sends in step 1 (the *Sending* initial position).
+    ///
+    /// The trailing-edge PE (the one with no upstream neighbor to hand it
+    /// the channel) must always be a first-sender: for eastward movement
+    /// that is column 0 (even parity); for westward movement it is column
+    /// `cols − 1`, whose parity depends on the fabric width.
+    pub fn is_first_sender(&self, dims: FabricDims, c: PeCoord) -> bool {
+        let pos = self.axis_pos(c);
+        let trailing: usize = match self.send_dir {
+            Direction::East | Direction::South => 0,
+            _ => self.axis_len(dims) - 1,
+        };
+        pos % 2 == trailing % 2
+    }
+
+    /// True if PE `c` will receive a column on this channel (it has a
+    /// neighbor on the `delivers` side).
+    pub fn has_sender(&self, dims: FabricDims, c: PeCoord) -> bool {
+        let (dx, dy, _) = self.delivers.offset();
+        let col = c.col as i64 + dx;
+        let row = c.row as i64 + dy;
+        col >= 0 && row >= 0 && col < dims.cols as i64 && row < dims.rows as i64
+    }
+
+    /// The router configuration at PE `c` (Fig. 6's two switch positions;
+    /// first-senders start in Sending).
+    ///
+    /// The trailing-edge PE (no upstream neighbor on this channel) never
+    /// receives on it, so its route is a *fixed* Sending position: control
+    /// wavelets leave its switch state untouched, which is what makes the
+    /// per-iteration toggle count even on every router and returns the whole
+    /// fabric to its initial configuration after the two steps. (On the real
+    /// CS-2 the reserved boundary-PE layer plays this role.)
+    pub fn router_config(&self, dims: FabricDims, c: PeCoord) -> ColorConfig {
+        let sending = RouterPosition::new(
+            DirMask::single(Direction::Ramp),
+            DirMask::single(self.send_dir),
+        );
+        let receiving = RouterPosition::new(
+            DirMask::single(self.send_dir.arrival_side()),
+            DirMask::single(Direction::Ramp),
+        );
+        if !self.has_sender(dims, c) {
+            return ColorConfig::fixed(sending);
+        }
+        let initial = if self.is_first_sender(dims, c) { 0 } else { 1 };
+        ColorConfig::switchable(sending, receiving, initial)
+    }
+}
+
+/// The in-plane neighbor whose column arrives on `color`, at PE `c`
+/// (inverse of the channel/family tables) — `None` for non-data colors.
+pub fn delivered_neighbor(dims: FabricDims, c: PeCoord, color: Color) -> Option<Neighbor> {
+    let _ = dims;
+    for ch in CARDINAL_CHANNELS {
+        if ch.color == color {
+            return Some(ch.delivers);
+        }
+    }
+    for fam in DIAGONAL_FAMILIES {
+        if fam.receive_color(c) == color {
+            return Some(fam.delivers);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_ids_are_disjoint_and_in_range() {
+        let mut used = std::collections::HashSet::new();
+        for ch in CARDINAL_CHANNELS {
+            assert!(used.insert(ch.color.id()));
+        }
+        for fam in DIAGONAL_FAMILIES {
+            for p in 0..3 {
+                assert!(used.insert(fam.base_color + p));
+            }
+        }
+        assert!(used.insert(START.id()));
+        assert_eq!(used.len(), 17);
+        assert!(used.iter().all(|&id| (id as usize) < wse_sim::MAX_COLORS));
+    }
+
+    #[test]
+    fn diagonal_roles_are_distinct_per_pe() {
+        // Each PE must source, forward and receive on three different
+        // colors of every family.
+        let dims = FabricDims::new(7, 5);
+        for c in dims.iter() {
+            for fam in DIAGONAL_FAMILIES {
+                let s = fam.source_color(c);
+                let i = fam.intermediary_color(c);
+                let r = fam.receive_color(c);
+                assert_ne!(s, i, "{c:?}");
+                assert_ne!(s, r, "{c:?}");
+                assert_ne!(i, r, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_path_roles_chain_correctly() {
+        // Follow family D1 (E then S) from source (2,1): the intermediary
+        // (3,1) must forward the source's color; the receiver (3,2) must
+        // receive it.
+        let fam = DIAGONAL_FAMILIES[0];
+        let src = PeCoord::new(2, 1);
+        let inter = PeCoord::new(3, 1);
+        let recv = PeCoord::new(3, 2);
+        let color = fam.source_color(src);
+        assert_eq!(fam.intermediary_color(inter), color);
+        assert_eq!(fam.receive_color(recv), color);
+        // and the receiver sees the data as its NorthWest neighbor's
+        assert_eq!(fam.delivers, Neighbor::NorthWest);
+    }
+
+    #[test]
+    fn all_four_families_chain() {
+        // source at (5,5); check each family's receiver coordinate.
+        let src = PeCoord::new(5, 5);
+        let expect = [
+            (PeCoord::new(6, 6), Neighbor::NorthWest), // D1: E,S
+            (PeCoord::new(4, 6), Neighbor::NorthEast), // D2: S,W
+            (PeCoord::new(4, 4), Neighbor::SouthEast), // D3: W,N
+            (PeCoord::new(6, 4), Neighbor::SouthWest), // D4: N,E
+        ];
+        for (fam, (rcv, nb)) in DIAGONAL_FAMILIES.iter().zip(expect) {
+            let color = fam.source_color(src);
+            assert_eq!(fam.receive_color(rcv), color, "{fam:?}");
+            assert_eq!(fam.delivers, nb);
+            // intermediary is one leg1-hop from the source
+            let dims = FabricDims::new(12, 12);
+            let inter = dims.neighbor(src, fam.leg1).unwrap();
+            assert_eq!(fam.intermediary_color(inter), color);
+        }
+    }
+
+    #[test]
+    fn first_sender_parity_includes_trailing_edge() {
+        for dims in [FabricDims::new(4, 5), FabricDims::new(5, 4)] {
+            for ch in CARDINAL_CHANNELS {
+                // the trailing-edge PE must be a first-sender
+                let trailing = match ch.send_dir {
+                    Direction::East => PeCoord::new(0, 1),
+                    Direction::West => PeCoord::new(dims.cols - 1, 1),
+                    Direction::South => PeCoord::new(1, 0),
+                    Direction::North => PeCoord::new(1, dims.rows - 1),
+                    Direction::Ramp => unreachable!(),
+                };
+                assert!(
+                    ch.is_first_sender(dims, trailing),
+                    "{:?} trailing {trailing:?} dims {dims:?}",
+                    ch.send_dir
+                );
+                // senders alternate along the axis
+                let a = ch.is_first_sender(dims, PeCoord::new(1, 1));
+                let b = ch.is_first_sender(
+                    dims,
+                    match ch.send_dir {
+                        Direction::East | Direction::West => PeCoord::new(2, 1),
+                        _ => PeCoord::new(1, 2),
+                    },
+                );
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn has_sender_matches_fabric_boundary() {
+        let dims = FabricDims::new(3, 3);
+        let corner = PeCoord::new(0, 0);
+        let center = PeCoord::new(1, 1);
+        // CARD_E delivers West data: corner (0,0) has no west neighbor.
+        assert!(!CARDINAL_CHANNELS[0].has_sender(dims, corner));
+        assert!(CARDINAL_CHANNELS[0].has_sender(dims, center));
+        // D1 delivers NorthWest data
+        assert!(!DIAGONAL_FAMILIES[0].has_sender(dims, corner));
+        assert!(DIAGONAL_FAMILIES[0].has_sender(dims, center));
+    }
+
+    #[test]
+    fn delivered_neighbor_inverts_the_tables() {
+        let dims = FabricDims::new(6, 6);
+        let c = PeCoord::new(3, 2);
+        assert_eq!(delivered_neighbor(dims, c, CARD_E), Some(Neighbor::West));
+        assert_eq!(delivered_neighbor(dims, c, CARD_N), Some(Neighbor::South));
+        for fam in DIAGONAL_FAMILIES {
+            assert_eq!(
+                delivered_neighbor(dims, c, fam.receive_color(c)),
+                Some(fam.delivers)
+            );
+        }
+        assert_eq!(delivered_neighbor(dims, c, START), None);
+    }
+
+    #[test]
+    fn router_configs_have_expected_shape() {
+        let dims = FabricDims::new(4, 4);
+        let c = PeCoord::new(1, 1);
+        let cfg = CARDINAL_CHANNELS[0].router_config(dims, c);
+        // (1,1) col 1 is odd → not first sender for CARD_E → starts receiving
+        assert_eq!(cfg.current_index(), 1);
+        let cfg0 = CARDINAL_CHANNELS[0].router_config(dims, PeCoord::new(2, 1));
+        assert_eq!(cfg0.current_index(), 0);
+        // diagonal source config: ramp in, leg1 out
+        let [src, inter, recv] = DIAGONAL_FAMILIES[0].router_configs(c);
+        assert!(src.1.active().rx.contains(Direction::Ramp));
+        assert!(src.1.active().tx.contains(Direction::East));
+        assert!(inter.1.active().rx.contains(Direction::West));
+        assert!(inter.1.active().tx.contains(Direction::South));
+        assert!(recv.1.active().rx.contains(Direction::North));
+        assert!(recv.1.active().tx.contains(Direction::Ramp));
+    }
+}

@@ -1,0 +1,416 @@
+//! Host-side driver: loads an `fv-core` problem onto the fabric, applies
+//! Algorithm 1, and extracts residuals.
+//!
+//! Mirrors the paper's experimental setup: the host only schedules work and
+//! moves data in and out ("the [host] is only used to schedule the workload,
+//! and no computations take place on the [host] machine during the
+//! experiments", §7.1). Algorithm 1 is applied repeatedly — 1000 times in
+//! the paper — "with a different pressure vector at every call".
+
+use crate::colors::START;
+use crate::layout::ColumnLayout;
+use crate::program::{FluidParams, TpfaPeProgram};
+use fv_core::eos::Fluid;
+use fv_core::mesh::{CartesianMesh3, ALL_NEIGHBORS};
+use fv_core::trans::Transmissibilities;
+use wse_sim::fabric::{Fabric, FabricConfig, FabricError, RunReport};
+use wse_sim::geometry::{FabricDims, PeCoord};
+use wse_sim::stats::FabricStats;
+
+/// Driver options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataflowOptions {
+    /// `false` strips all flux computation (the paper's Table 3
+    /// communication-cost experiment).
+    pub compute_enabled: bool,
+    /// `false` disables the diagonal exchange (the §5.2.2 ablation; pair
+    /// with a [`fv_core::trans::StencilKind::Cardinal`] transmissibility
+    /// set, otherwise diagonal fluxes are silently missing).
+    pub diagonals_enabled: bool,
+    /// Per-PE memory in bytes (default WSE-2: 48 kB).
+    pub pe_memory_bytes: usize,
+    /// Event budget per `run` (safety).
+    pub max_events: u64,
+}
+
+impl Default for DataflowOptions {
+    fn default() -> Self {
+        Self {
+            compute_enabled: true,
+            diagonals_enabled: true,
+            pe_memory_bytes: wse_sim::memory::WSE2_PE_MEMORY_BYTES,
+            max_events: 1_000_000_000,
+        }
+    }
+}
+
+/// The host-side simulator: fabric + problem layout.
+pub struct DataflowFluxSimulator {
+    fabric: Fabric,
+    layout: ColumnLayout,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    applications: usize,
+    last_run: Option<RunReport>,
+}
+
+impl DataflowFluxSimulator {
+    /// Builds the fabric for `mesh` (PE grid = `Nx × Ny`, Z in PE memory),
+    /// loads the program, and uploads the transmissibility columns.
+    pub fn new(
+        mesh: &CartesianMesh3,
+        fluid: &Fluid,
+        trans: &Transmissibilities,
+        opts: DataflowOptions,
+    ) -> Self {
+        let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
+        let dims = FabricDims::new(nx, ny);
+        let params = FluidParams::from_fluid(fluid, mesh.spacing().dz);
+        let config = FabricConfig {
+            pe_memory_bytes: opts.pe_memory_bytes,
+            max_events: opts.max_events,
+            ..FabricConfig::default()
+        };
+        let mut fabric = Fabric::new(dims, config, |_| {
+            let mut p = TpfaPeProgram::new(nz, params, opts.compute_enabled);
+            if !opts.diagonals_enabled {
+                p = p.without_diagonals();
+            }
+            Box::new(p)
+        });
+        fabric.load();
+
+        // Upload the ten transmissibility columns of every PE (static data,
+        // uploaded once like the paper's mesh load).
+        let layout = ColumnLayout::new(nz);
+        let mut column = vec![0.0_f32; nz];
+        for y in 0..ny {
+            for x in 0..nx {
+                let pe = PeCoord::new(x, y);
+                for nb in ALL_NEIGHBORS {
+                    for (z, slot) in column.iter_mut().enumerate() {
+                        *slot = trans.t(mesh.linear(x, y, z), nb) as f32;
+                    }
+                    fabric
+                        .memory_mut(pe)
+                        .host_write_f32(layout.trans[nb.face_index()], &column);
+                }
+            }
+        }
+        Self {
+            fabric,
+            layout,
+            nx,
+            ny,
+            nz,
+            applications: 0,
+            last_run: None,
+        }
+    }
+
+    /// Applies Algorithm 1 once to `pressure` (mesh linear order, f32) and
+    /// returns the flux residual in mesh linear order.
+    pub fn apply(&mut self, pressure: &[f32]) -> Result<Vec<f32>, FabricError> {
+        assert_eq!(pressure.len(), self.nx * self.ny * self.nz);
+        let nz = self.nz;
+        // Host-load pressures (with ghost duplication) and zero residuals.
+        let mut col = vec![0.0_f32; nz + 2];
+        let zeros = vec![0.0_f32; nz];
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                for z in 0..nz {
+                    col[z + 1] = pressure[(z * self.ny + y) * self.nx + x];
+                }
+                col[0] = col[1];
+                col[nz + 1] = col[nz];
+                let pe = PeCoord::new(x, y);
+                let mem = self.fabric.memory_mut(pe);
+                mem.host_write_f32(self.layout.p_own, &col);
+                mem.host_write_f32(self.layout.residual, &zeros);
+            }
+        }
+        // Launch and run to quiescence.
+        self.fabric.activate_all(START, 0);
+        let report = self.fabric.run()?;
+        self.last_run = Some(report);
+        self.applications += 1;
+        // Collect residual columns.
+        let mut residual = vec![0.0_f32; self.nx * self.ny * nz];
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let pe = PeCoord::new(x, y);
+                let col = self.fabric.memory(pe).host_read_f32(self.layout.residual);
+                for (z, v) in col.into_iter().enumerate() {
+                    residual[(z * self.ny + y) * self.nx + x] = v;
+                }
+            }
+        }
+        Ok(residual)
+    }
+
+    /// Applies Algorithm 1 `n` times with a fresh pressure vector per call
+    /// (the paper's driver), returning the final residual.
+    pub fn apply_many(
+        &mut self,
+        n: usize,
+        mut pressure_for: impl FnMut(usize) -> Vec<f32>,
+    ) -> Result<Vec<f32>, FabricError> {
+        let mut last = Vec::new();
+        for i in 0..n {
+            last = self.apply(&pressure_for(i))?;
+        }
+        Ok(last)
+    }
+
+    /// Applications of Algorithm 1 so far.
+    pub fn applications(&self) -> usize {
+        self.applications
+    }
+
+    /// Aggregated fabric statistics (instruction counters, traffic).
+    pub fn stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+
+    /// The report of the most recent run.
+    pub fn last_run(&self) -> Option<RunReport> {
+        self.last_run
+    }
+
+    /// Zeroes all counters (e.g. between warm-up and measurement).
+    pub fn reset_counters(&mut self) {
+        self.fabric.reset_counters();
+    }
+
+    /// Per-PE counters (diagnostics / Table 4 extraction).
+    pub fn pe_counters(&self, x: usize, y: usize) -> &wse_sim::stats::OpCounters {
+        self.fabric.counters(PeCoord::new(x, y))
+    }
+
+    /// Number of mesh cells.
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Z extent.
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_core::fields::PermeabilityField;
+    use fv_core::mesh::{Extents, Spacing};
+    use fv_core::residual::assemble_flux_residual;
+    use fv_core::state::FlowState;
+    use fv_core::trans::StencilKind;
+    use fv_core::validate::rel_max_diff_vs_reference;
+
+    fn problem(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        kind: StencilKind,
+    ) -> (CartesianMesh3, Fluid, Transmissibilities) {
+        let mesh = CartesianMesh3::new(Extents::new(nx, ny, nz), Spacing::new(10.0, 10.0, 4.0));
+        let fluid = Fluid::water_like();
+        let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 99);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, kind);
+        (mesh, fluid, trans)
+    }
+
+    fn serial_reference(
+        mesh: &CartesianMesh3,
+        fluid: &Fluid,
+        trans: &Transmissibilities,
+        p: &[f32],
+    ) -> Vec<f64> {
+        let p64: Vec<f64> = p.iter().map(|&v| v as f64).collect();
+        let mut r = vec![0.0_f64; mesh.num_cells()];
+        assemble_flux_residual(mesh, fluid, trans, &p64, &mut r);
+        r
+    }
+
+    #[test]
+    fn dataflow_matches_serial_reference_ten_point() {
+        let (mesh, fluid, trans) = problem(5, 4, 3, StencilKind::TenPoint);
+        let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 7);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let r = sim.apply(state.pressure()).unwrap();
+        let reference = serial_reference(&mesh, &fluid, &trans, state.pressure());
+        let diff = rel_max_diff_vs_reference(&reference, &r);
+        assert!(diff < 2e-4, "dataflow vs serial rel max diff {diff}");
+    }
+
+    #[test]
+    fn dataflow_matches_serial_reference_with_gravity_column() {
+        // Tall column: exercises the Z faces and gravity heads hard.
+        let (mesh, fluid, trans) = problem(3, 3, 8, StencilKind::TenPoint);
+        let state = FlowState::<f32>::hydrostatic(&mesh, &fluid, 2.0e7);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let r = sim.apply(state.pressure()).unwrap();
+        let reference = serial_reference(&mesh, &fluid, &trans, state.pressure());
+        // hydrostatic: residuals are tiny; compare against the pulse scale
+        let pulse = FlowState::<f32>::gaussian_pulse(&mesh, 2.0e7, 1.0e6, 2.0);
+        let ref_pulse = serial_reference(&mesh, &fluid, &trans, pulse.pressure());
+        let scale = ref_pulse.iter().map(|v| v.abs()).fold(0.0_f64, f64::max);
+        for i in 0..r.len() {
+            assert!(
+                (r[i] as f64 - reference[i]).abs() < 1e-3 * scale,
+                "cell {i}: {} vs {}",
+                r[i],
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_matches_serial_cardinal_stencil() {
+        let (mesh, fluid, trans) = problem(4, 5, 2, StencilKind::Cardinal);
+        let state = FlowState::<f32>::gaussian_pulse(&mesh, 1.0e7, 2.0e6, 1.5);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let r = sim.apply(state.pressure()).unwrap();
+        let reference = serial_reference(&mesh, &fluid, &trans, state.pressure());
+        let diff = rel_max_diff_vs_reference(&reference, &r);
+        assert!(diff < 2e-4, "rel max diff {diff}");
+    }
+
+    #[test]
+    fn interior_pe_counts_match_table_4_per_cell() {
+        let (mesh, fluid, trans) = problem(5, 5, 4, StencilKind::TenPoint);
+        let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 1);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        sim.apply(state.pressure()).unwrap();
+        let nz = 4u64;
+        let c = sim.pe_counters(2, 2); // interior PE
+        assert_eq!(c.fmul, 60 * nz, "60 FMUL per cell");
+        assert_eq!(c.fsub, 40 * nz, "40 FSUB per cell");
+        assert_eq!(c.fneg, 10 * nz, "10 FNEG per cell");
+        assert_eq!(c.fadd, 10 * nz, "10 FADD per cell");
+        assert_eq!(c.fma, 10 * nz, "10 FMA per cell");
+        assert_eq!(c.fmov_in, 16 * nz, "16 FMOV (fabric loads) per cell");
+        assert_eq!(c.fabric_loads, 16 * nz);
+        assert_eq!(c.flops(), 140 * nz, "140 FLOPs per cell");
+        assert_eq!(
+            c.mem_loads + c.mem_stores,
+            406 * nz,
+            "406 loads+stores per cell"
+        );
+    }
+
+    #[test]
+    fn comm_only_mode_moves_data_but_computes_nothing() {
+        let (mesh, fluid, trans) = problem(4, 4, 3, StencilKind::TenPoint);
+        let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 2);
+        let mut sim = DataflowFluxSimulator::new(
+            &mesh,
+            &fluid,
+            &trans,
+            DataflowOptions {
+                compute_enabled: false,
+                ..DataflowOptions::default()
+            },
+        );
+        let r = sim.apply(state.pressure()).unwrap();
+        assert!(r.iter().all(|&v| v == 0.0), "no fluxes in comm-only mode");
+        let stats = sim.stats();
+        assert_eq!(stats.total.flops(), 0);
+        assert!(stats.total.fabric_loads > 0, "data still moved");
+        assert!(stats.total.comm_cycles > 0);
+        assert_eq!(stats.total.compute_cycles, stats.total.eos_evals * 4);
+    }
+
+    #[test]
+    fn repeated_applications_accumulate_counters_linearly() {
+        let (mesh, fluid, trans) = problem(3, 3, 2, StencilKind::TenPoint);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 0);
+        sim.apply(p.pressure()).unwrap();
+        let one = sim.stats().total;
+        sim.apply(p.pressure()).unwrap();
+        let two = sim.stats().total;
+        assert_eq!(two.flops(), 2 * one.flops());
+        assert_eq!(two.fabric_loads, 2 * one.fabric_loads);
+        assert_eq!(sim.applications(), 2);
+    }
+
+    #[test]
+    fn apply_many_cycles_pressure_vectors() {
+        let (mesh, fluid, trans) = problem(3, 3, 2, StencilKind::TenPoint);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let final_r = sim
+            .apply_many(3, |i| {
+                FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, i as u64)
+                    .pressure()
+                    .to_vec()
+            })
+            .unwrap();
+        assert_eq!(sim.applications(), 3);
+        // final residual corresponds to the last pressure vector
+        let last = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 2);
+        let reference = serial_reference(&mesh, &fluid, &trans, last.pressure());
+        let diff = rel_max_diff_vs_reference(&reference, &final_r);
+        assert!(diff < 2e-4);
+    }
+
+    #[test]
+    fn deterministic_residuals_across_rebuilds() {
+        let (mesh, fluid, trans) = problem(4, 3, 3, StencilKind::TenPoint);
+        let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.15e7, 5);
+        let run = || {
+            let mut sim =
+                DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+            sim.apply(p.pressure()).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "bit-exact determinism");
+    }
+
+    #[test]
+    fn cardinal_only_ablation_matches_serial_on_cardinal_stencil() {
+        // §5.2.2: the diagonal exchange "is not mandatory for evaluating
+        // the mathematical scheme" — with diagonal transmissibilities zero,
+        // the cardinal-only fabric must still match the serial reference.
+        let (mesh, fluid, trans) = problem(5, 4, 3, StencilKind::Cardinal);
+        let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 4);
+        let mut sim = DataflowFluxSimulator::new(
+            &mesh,
+            &fluid,
+            &trans,
+            DataflowOptions {
+                diagonals_enabled: false,
+                ..DataflowOptions::default()
+            },
+        );
+        let r = sim.apply(state.pressure()).unwrap();
+        let reference = serial_reference(&mesh, &fluid, &trans, state.pressure());
+        let diff = rel_max_diff_vs_reference(&reference, &r);
+        assert!(diff < 2e-4, "cardinal-only rel max diff {diff}");
+        // and it moves half the data of the full pattern on interior PEs
+        let c = sim.pe_counters(2, 2);
+        assert_eq!(c.fabric_loads, 4 * 2 * 3, "4 cardinal streams x 2 x nz");
+    }
+
+    #[test]
+    fn single_pe_column_has_no_fabric_traffic() {
+        // 1×1 fabric: only the Z faces exist; everything is local.
+        let (mesh, fluid, trans) = problem(1, 1, 6, StencilKind::TenPoint);
+        let p = FlowState::<f32>::hydrostatic(&mesh, &fluid, 3.0e7);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let r = sim.apply(p.pressure()).unwrap();
+        let stats = sim.stats();
+        assert_eq!(
+            stats.total.fabric_loads, 0,
+            "Z faces never touch the fabric"
+        );
+        let reference = serial_reference(&mesh, &fluid, &trans, p.pressure());
+        let pulse_scale = reference.iter().map(|v| v.abs()).fold(1e-20, f64::max);
+        for i in 0..r.len() {
+            assert!((r[i] as f64 - reference[i]).abs() <= 1e-3 * pulse_scale.max(1e-10));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Minimal floating-point abstraction so every kernel can be instantiated at
+//! `f32` (the precision the wafer-scale implementation uses — wavelets are
+//! 32-bit) and at `f64` (the accuracy reference).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type usable in all finite-volume kernels.
+///
+/// Implemented for `f32` and `f64`. The trait is deliberately tiny: just the
+/// arithmetic the TPFA kernel needs (including `exp` for the equation of
+/// state, Eq. 5) plus conversions for mixed-precision validation.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + PartialOrd
+    + PartialEq
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// One half.
+    const HALF: Self;
+    /// Two.
+    const TWO: Self;
+
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Maximum of two values.
+    fn max(self, other: Self) -> Self;
+    /// Minimum of two values.
+    fn min(self, other: Self) -> Self;
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64`.
+    fn to_f64(self) -> f64;
+    /// Conversion from a cell count / index.
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+impl Real for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const HALF: Self = 0.5;
+    const TWO: Self = 2.0;
+
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f32::exp(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+}
+
+impl Real for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const HALF: Self = 0.5;
+    const TWO: Self = 2.0;
+
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<R: Real>() {
+        assert_eq!(R::ZERO + R::ONE, R::ONE);
+        assert_eq!(R::HALF + R::HALF, R::ONE);
+        assert_eq!(R::TWO * R::HALF, R::ONE);
+        assert!((R::ONE.exp().to_f64() - std::f64::consts::E).abs() < 1e-6);
+        assert_eq!((-R::ONE).abs(), R::ONE);
+        assert_eq!((R::TWO * R::TWO).sqrt(), R::TWO);
+        assert_eq!(R::ONE.max(R::TWO), R::TWO);
+        assert_eq!(R::ONE.min(R::TWO), R::ONE);
+        assert_eq!(R::from_usize(3).to_f64(), 3.0);
+        // mul_add(a, b) = self*a + b
+        assert_eq!(R::TWO.mul_add(R::TWO, R::ONE).to_f64(), 5.0);
+    }
+
+    #[test]
+    fn f32_satisfies_contract() {
+        exercise::<f32>();
+    }
+
+    #[test]
+    fn f64_satisfies_contract() {
+        exercise::<f64>();
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        let v = 1.5_f64;
+        assert_eq!(f32::from_f64(v).to_f64(), 1.5);
+        assert_eq!(f64::from_f64(v), 1.5);
+    }
+}

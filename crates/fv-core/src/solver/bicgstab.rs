@@ -1,0 +1,240 @@
+//! BiCGSTAB for the nonsymmetric frozen-upwind Jacobian systems arising in
+//! the Newton loop.
+
+use crate::linalg::{copy, dot, norm2, zero};
+use crate::operator::LinearOperator;
+use crate::real::Real;
+use crate::solver::{SolveReport, StopReason};
+
+/// Van der Vorst's BiCGSTAB with reusable work buffers.
+pub struct BiCgStab<R> {
+    max_iterations: usize,
+    rel_tolerance: R,
+    r: Vec<R>,
+    r0: Vec<R>,
+    p: Vec<R>,
+    v: Vec<R>,
+    s: Vec<R>,
+    t: Vec<R>,
+}
+
+impl<R: Real> BiCgStab<R> {
+    /// Creates a solver for systems of dimension `n`.
+    pub fn new(n: usize, max_iterations: usize, rel_tolerance: R) -> Self {
+        assert!(max_iterations > 0);
+        assert!(rel_tolerance > R::ZERO);
+        Self {
+            max_iterations,
+            rel_tolerance,
+            r: vec![R::ZERO; n],
+            r0: vec![R::ZERO; n],
+            p: vec![R::ZERO; n],
+            v: vec![R::ZERO; n],
+            s: vec![R::ZERO; n],
+            t: vec![R::ZERO; n],
+        }
+    }
+
+    /// Solves `A x = b` in place, starting from the initial guess in `x`.
+    pub fn solve<A: LinearOperator<R>>(&mut self, a: &A, b: &[R], x: &mut [R]) -> SolveReport<R> {
+        let n = self.r.len();
+        assert_eq!(a.dim(), n);
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+
+        a.apply(x, &mut self.r);
+        for i in 0..n {
+            self.r[i] = b[i] - self.r[i];
+        }
+        let b_norm = norm2(b);
+        let target = if b_norm == R::ZERO {
+            self.rel_tolerance
+        } else {
+            self.rel_tolerance * b_norm
+        };
+        let mut res = norm2(&self.r);
+        if res <= target {
+            return SolveReport {
+                reason: StopReason::Converged,
+                iterations: 0,
+                residual_norm: res,
+            };
+        }
+        copy(&self.r, &mut self.r0);
+        zero(&mut self.p);
+        zero(&mut self.v);
+        let mut rho = R::ONE;
+        let mut alpha = R::ONE;
+        let mut omega = R::ONE;
+
+        for it in 1..=self.max_iterations {
+            let rho_new = dot(&self.r0, &self.r);
+            if rho_new.abs() == R::ZERO {
+                return SolveReport {
+                    reason: StopReason::Breakdown,
+                    iterations: it,
+                    residual_norm: res,
+                };
+            }
+            let beta = (rho_new / rho) * (alpha / omega);
+            rho = rho_new;
+            // p = r + beta (p − omega v)
+            for i in 0..n {
+                self.p[i] = self.r[i] + beta * (self.p[i] - omega * self.v[i]);
+            }
+            a.apply(&self.p, &mut self.v);
+            let r0v = dot(&self.r0, &self.v);
+            if r0v.abs() == R::ZERO {
+                return SolveReport {
+                    reason: StopReason::Breakdown,
+                    iterations: it,
+                    residual_norm: res,
+                };
+            }
+            alpha = rho / r0v;
+            // s = r − alpha v
+            for i in 0..n {
+                self.s[i] = self.r[i] - alpha * self.v[i];
+            }
+            let s_norm = norm2(&self.s);
+            if s_norm <= target {
+                for i in 0..n {
+                    x[i] += alpha * self.p[i];
+                }
+                return SolveReport {
+                    reason: StopReason::Converged,
+                    iterations: it,
+                    residual_norm: s_norm,
+                };
+            }
+            a.apply(&self.s, &mut self.t);
+            let tt = dot(&self.t, &self.t);
+            if tt == R::ZERO {
+                return SolveReport {
+                    reason: StopReason::Breakdown,
+                    iterations: it,
+                    residual_norm: s_norm,
+                };
+            }
+            omega = dot(&self.t, &self.s) / tt;
+            for i in 0..n {
+                x[i] += alpha * self.p[i] + omega * self.s[i];
+                self.r[i] = self.s[i] - omega * self.t[i];
+            }
+            res = norm2(&self.r);
+            if res <= target {
+                return SolveReport {
+                    reason: StopReason::Converged,
+                    iterations: it,
+                    residual_norm: res,
+                };
+            }
+            if omega.abs() == R::ZERO {
+                return SolveReport {
+                    reason: StopReason::Breakdown,
+                    iterations: it,
+                    residual_norm: res,
+                };
+            }
+        }
+        SolveReport {
+            reason: StopReason::MaxIterations,
+            iterations: self.max_iterations,
+            residual_norm: res,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dense {
+        a: Vec<Vec<f64>>,
+    }
+    impl LinearOperator<f64> for Dense {
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            for (i, row) in self.a.iter().enumerate() {
+                y[i] = row.iter().zip(x).map(|(&aij, &xj)| aij * xj).sum();
+            }
+        }
+        fn dim(&self) -> usize {
+            self.a.len()
+        }
+    }
+
+    /// Nonsymmetric diagonally dominant operator — the kind upwinding makes.
+    fn upwindish(n: usize) -> Dense {
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            a[i][i] = 3.0;
+            if i > 0 {
+                a[i][i - 1] = -1.5; // strong upwind side
+            }
+            if i + 1 < n {
+                a[i][i + 1] = -0.5; // weak downwind side
+            }
+        }
+        Dense { a }
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let n = 50;
+        let op = upwindish(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.3).cos()).collect();
+        let mut b = vec![0.0; n];
+        op.apply(&x_true, &mut b);
+        let mut solver = BiCgStab::new(n, 300, 1e-12);
+        let mut x = vec![0.0; n];
+        let rep = solver.solve(&op, &b, &mut x);
+        assert!(rep.converged(), "{rep:?}");
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-7, "i={i}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let n = 8;
+        let op = upwindish(n);
+        let mut solver = BiCgStab::new(n, 10, 1e-10);
+        let mut x = vec![0.0; n];
+        let rep = solver.solve(&op, &vec![0.0; n], &mut x);
+        assert!(rep.converged());
+        assert_eq!(rep.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let n = 64;
+        let op = upwindish(n);
+        let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let mut solver = BiCgStab::new(n, 1, 1e-15);
+        let mut x = vec![0.0; n];
+        let rep = solver.solve(&op, &b, &mut x);
+        assert!(matches!(
+            rep.reason,
+            StopReason::MaxIterations | StopReason::Converged
+        ));
+        assert!(rep.iterations <= 1);
+    }
+
+    #[test]
+    fn identity_system_converges_fast() {
+        let n = 12;
+        let mut a = vec![vec![0.0; n]; n];
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let op = Dense { a };
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut solver = BiCgStab::new(n, 10, 1e-12);
+        let mut x = vec![0.0; n];
+        let rep = solver.solve(&op, &b, &mut x);
+        assert!(rep.converged());
+        for i in 0..n {
+            assert!((x[i] - b[i]).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Preconditioned conjugate gradients on a matrix-free SPD operator.
+
+use crate::linalg::{axpy, copy, dot, norm2, xpby, zero};
+use crate::operator::LinearOperator;
+use crate::real::Real;
+use crate::solver::{SolveReport, StopReason};
+
+/// Conjugate-gradient solver with optional Jacobi preconditioning.
+///
+/// All work buffers are owned by the solver and reused across solves, so a
+/// time-stepping loop performs no per-solve allocation.
+pub struct ConjugateGradient<R> {
+    max_iterations: usize,
+    rel_tolerance: R,
+    /// Inverse diagonal for Jacobi preconditioning (empty = identity).
+    inv_diag: Vec<R>,
+    r: Vec<R>,
+    z: Vec<R>,
+    p: Vec<R>,
+    ap: Vec<R>,
+}
+
+impl<R: Real> ConjugateGradient<R> {
+    /// Creates a solver for systems of dimension `n`.
+    pub fn new(n: usize, max_iterations: usize, rel_tolerance: R) -> Self {
+        assert!(max_iterations > 0);
+        assert!(rel_tolerance > R::ZERO);
+        Self {
+            max_iterations,
+            rel_tolerance,
+            inv_diag: Vec::new(),
+            r: vec![R::ZERO; n],
+            z: vec![R::ZERO; n],
+            p: vec![R::ZERO; n],
+            ap: vec![R::ZERO; n],
+        }
+    }
+
+    /// Enables Jacobi (diagonal) preconditioning with the operator diagonal.
+    pub fn with_jacobi(mut self, diagonal: &[R]) -> Self {
+        assert_eq!(diagonal.len(), self.r.len());
+        self.inv_diag = diagonal
+            .iter()
+            .map(|&d| {
+                assert!(d > R::ZERO, "Jacobi needs a positive diagonal");
+                R::ONE / d
+            })
+            .collect();
+        self
+    }
+
+    /// Solves `A x = b`, starting from the provided `x` (initial guess) and
+    /// overwriting it with the solution.
+    pub fn solve<A: LinearOperator<R>>(&mut self, a: &A, b: &[R], x: &mut [R]) -> SolveReport<R> {
+        let n = self.r.len();
+        assert_eq!(a.dim(), n);
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+
+        // r = b − A x
+        a.apply(x, &mut self.r);
+        for i in 0..n {
+            self.r[i] = b[i] - self.r[i];
+        }
+        let b_norm = norm2(b);
+        let target = if b_norm == R::ZERO {
+            self.rel_tolerance
+        } else {
+            self.rel_tolerance * b_norm
+        };
+        if norm2(&self.r) <= target {
+            return SolveReport {
+                reason: StopReason::Converged,
+                iterations: 0,
+                residual_norm: norm2(&self.r),
+            };
+        }
+
+        self.precondition();
+        copy(&self.z, &mut self.p);
+        let mut rz = dot(&self.r, &self.z);
+
+        for it in 1..=self.max_iterations {
+            a.apply(&self.p, &mut self.ap);
+            let p_ap = dot(&self.p, &self.ap);
+            if p_ap <= R::ZERO {
+                return SolveReport {
+                    reason: StopReason::Breakdown,
+                    iterations: it,
+                    residual_norm: norm2(&self.r),
+                };
+            }
+            let alpha = rz / p_ap;
+            axpy(alpha, &self.p, x);
+            axpy(-alpha, &self.ap, &mut self.r);
+            let res = norm2(&self.r);
+            if res <= target {
+                return SolveReport {
+                    reason: StopReason::Converged,
+                    iterations: it,
+                    residual_norm: res,
+                };
+            }
+            self.precondition();
+            let rz_new = dot(&self.r, &self.z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            xpby(&self.z, beta, &mut self.p);
+        }
+        SolveReport {
+            reason: StopReason::MaxIterations,
+            iterations: self.max_iterations,
+            residual_norm: norm2(&self.r),
+        }
+    }
+
+    /// `z ← M⁻¹ r` (Jacobi or identity).
+    fn precondition(&mut self) {
+        if self.inv_diag.is_empty() {
+            copy(&self.r, &mut self.z);
+        } else {
+            for i in 0..self.r.len() {
+                self.z[i] = self.r[i] * self.inv_diag[i];
+            }
+        }
+        let _ = &mut self.ap; // buffers all live in self
+    }
+}
+
+/// Convenience: zero the initial guess then solve.
+pub fn solve_from_zero<R: Real, A: LinearOperator<R>>(
+    cg: &mut ConjugateGradient<R>,
+    a: &A,
+    b: &[R],
+    x: &mut [R],
+) -> SolveReport<R> {
+    zero(x);
+    cg.solve(a, b, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense SPD test operator.
+    struct Dense {
+        a: Vec<Vec<f64>>,
+    }
+    impl LinearOperator<f64> for Dense {
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            for (i, row) in self.a.iter().enumerate() {
+                y[i] = row.iter().zip(x).map(|(&aij, &xj)| aij * xj).sum();
+            }
+        }
+        fn dim(&self) -> usize {
+            self.a.len()
+        }
+    }
+
+    fn spd_tridiag(n: usize) -> Dense {
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            a[i][i] = 2.5;
+            if i > 0 {
+                a[i][i - 1] = -1.0;
+            }
+            if i + 1 < n {
+                a[i][i + 1] = -1.0;
+            }
+        }
+        Dense { a }
+    }
+
+    #[test]
+    fn solves_tridiagonal_system() {
+        let n = 40;
+        let op = spd_tridiag(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut b = vec![0.0; n];
+        op.apply(&x_true, &mut b);
+        let mut cg = ConjugateGradient::new(n, 200, 1e-12);
+        let mut x = vec![0.0; n];
+        let rep = cg.solve(&op, &b, &mut x);
+        assert!(rep.converged(), "{rep:?}");
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioning_reduces_iterations() {
+        // badly scaled diagonal
+        let n = 50;
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            a[i][i] = if i % 2 == 0 { 100.0 } else { 1.0 };
+            if i > 0 {
+                a[i][i - 1] = -0.3;
+                a[i - 1][i] = -0.3;
+            }
+        }
+        let op = Dense { a: a.clone() };
+        let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let mut plain = ConjugateGradient::new(n, 500, 1e-10);
+        let mut x1 = vec![0.0; n];
+        let r1 = plain.solve(&op, &b, &mut x1);
+        let diag: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
+        let mut pre = ConjugateGradient::new(n, 500, 1e-10).with_jacobi(&diag);
+        let mut x2 = vec![0.0; n];
+        let r2 = pre.solve(&op, &b, &mut x2);
+        assert!(r1.converged() && r2.converged());
+        assert!(
+            r2.iterations <= r1.iterations,
+            "jacobi {} > plain {}",
+            r2.iterations,
+            r1.iterations
+        );
+        for i in 0..n {
+            assert!((x1[i] - x2[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_immediately() {
+        let n = 10;
+        let op = spd_tridiag(n);
+        let b = vec![0.0; n];
+        let mut cg = ConjugateGradient::new(n, 10, 1e-10);
+        let mut x = vec![0.0; n];
+        let rep = solve_from_zero(&mut cg, &op, &b, &mut x);
+        assert!(rep.converged());
+        assert_eq!(rep.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let n = 60;
+        let op = spd_tridiag(n);
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut cg = ConjugateGradient::new(n, 2, 1e-14);
+        let mut x = vec![0.0; n];
+        let rep = cg.solve(&op, &b, &mut x);
+        assert_eq!(rep.reason, StopReason::MaxIterations);
+        assert_eq!(rep.iterations, 2);
+    }
+
+    #[test]
+    fn warm_start_converges_in_zero_iterations() {
+        let n = 20;
+        let op = spd_tridiag(n);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut b = vec![0.0; n];
+        op.apply(&x_true, &mut b);
+        let mut cg = ConjugateGradient::new(n, 100, 1e-10);
+        let mut x = x_true.clone();
+        let rep = cg.solve(&op, &b, &mut x);
+        assert!(rep.converged());
+        assert_eq!(rep.iterations, 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Newton–Krylov solver for the implicit residual of Eq. (2).
+//!
+//! Each Newton step linearizes the residual with the frozen-upwind Jacobian
+//! ([`crate::operator::JacobianOperator`]) and solves the correction system
+//! matrix-free with BiCGSTAB — one full backward-Euler time step of the
+//! compressible single-phase model.
+
+use crate::eos::Fluid;
+use crate::linalg::norm_inf;
+use crate::mesh::CartesianMesh3;
+use crate::operator::JacobianOperator;
+use crate::real::Real;
+use crate::residual::{assemble_implicit_residual, AccumulationParams};
+use crate::solver::bicgstab::BiCgStab;
+use crate::solver::{SolveReport, StopReason};
+use crate::source::SourceTerm;
+use crate::trans::Transmissibilities;
+
+/// Configuration for the Newton loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonConfig<R> {
+    /// Maximum Newton iterations per time step.
+    pub max_iterations: usize,
+    /// Converged when `‖r‖_∞` falls below this absolute tolerance [kg/s].
+    pub abs_tolerance: R,
+    /// Inner linear-solver iteration cap.
+    pub linear_max_iterations: usize,
+    /// Inner linear-solver relative tolerance.
+    pub linear_rel_tolerance: R,
+}
+
+impl<R: Real> Default for NewtonConfig<R> {
+    fn default() -> Self {
+        Self {
+            max_iterations: 12,
+            abs_tolerance: R::from_f64(1e-9),
+            linear_max_iterations: 400,
+            linear_rel_tolerance: R::from_f64(1e-8),
+        }
+    }
+}
+
+/// Result of one implicit time step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonReport<R> {
+    /// Newton iterations used.
+    pub iterations: usize,
+    /// Final `‖r‖_∞`.
+    pub residual_norm: R,
+    /// Whether Newton converged.
+    pub converged: bool,
+    /// Report of the last inner linear solve.
+    pub last_linear: Option<SolveReport<R>>,
+}
+
+/// Newton–Krylov driver owning its work buffers.
+pub struct NewtonSolver<R> {
+    config: NewtonConfig<R>,
+    residual: Vec<R>,
+    rhs: Vec<R>,
+    delta: Vec<R>,
+    linear: BiCgStab<R>,
+}
+
+impl<R: Real> NewtonSolver<R> {
+    /// Creates a solver for meshes with `n` cells.
+    pub fn new(n: usize, config: NewtonConfig<R>) -> Self {
+        Self {
+            config,
+            residual: vec![R::ZERO; n],
+            rhs: vec![R::ZERO; n],
+            delta: vec![R::ZERO; n],
+            linear: BiCgStab::new(n, config.linear_max_iterations, config.linear_rel_tolerance),
+        }
+    }
+
+    /// Advances `pressure` by one backward-Euler step of size `acc.dt`,
+    /// given the previous-step pressure `p_old` and source terms.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step(
+        &mut self,
+        mesh: &CartesianMesh3,
+        fluid: &Fluid,
+        trans: &Transmissibilities,
+        acc: AccumulationParams<R>,
+        p_old: &[R],
+        sources: &[SourceTerm],
+        pressure: &mut [R],
+    ) -> NewtonReport<R> {
+        let n = mesh.num_cells();
+        assert_eq!(pressure.len(), n);
+        assert_eq!(p_old.len(), n);
+
+        let vol = R::from_f64(mesh.cell_volume());
+        let mut last_linear = None;
+
+        for it in 0..self.config.max_iterations {
+            assemble_implicit_residual(
+                mesh,
+                fluid,
+                trans,
+                acc,
+                pressure,
+                p_old,
+                sources,
+                &mut self.residual,
+            );
+            let res = norm_inf(&self.residual);
+            if res <= self.config.abs_tolerance {
+                return NewtonReport {
+                    iterations: it,
+                    residual_norm: res,
+                    converged: true,
+                    last_linear,
+                };
+            }
+            // Accumulation diagonal: V · d(φρ)/dp / Δt
+            let diag: Vec<R> = (0..n)
+                .map(|i| {
+                    let p = pressure[i];
+                    let phi = fluid.porosity(acc.phi_ref, acc.rock_compressibility, p);
+                    let dphi = acc.phi_ref * acc.rock_compressibility;
+                    let rho = fluid.density(p);
+                    let drho = fluid.d_density_dp(p);
+                    vol * (dphi * rho + phi * drho) / acc.dt
+                })
+                .collect();
+            let jac = JacobianOperator::new(mesh, fluid, trans, pressure).with_diagonal(diag);
+            // Solve J δ = −r
+            for i in 0..n {
+                self.rhs[i] = -self.residual[i];
+            }
+            crate::linalg::zero(&mut self.delta);
+            let lin = self.linear.solve(&jac, &self.rhs, &mut self.delta);
+            last_linear = Some(lin);
+            if lin.reason == StopReason::Breakdown {
+                return NewtonReport {
+                    iterations: it + 1,
+                    residual_norm: res,
+                    converged: false,
+                    last_linear,
+                };
+            }
+            for i in 0..n {
+                pressure[i] += self.delta[i];
+            }
+        }
+        assemble_implicit_residual(
+            mesh,
+            fluid,
+            trans,
+            acc,
+            pressure,
+            p_old,
+            sources,
+            &mut self.residual,
+        );
+        let res = norm_inf(&self.residual);
+        NewtonReport {
+            iterations: self.config.max_iterations,
+            residual_norm: res,
+            converged: res <= self.config.abs_tolerance,
+            last_linear,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::PermeabilityField;
+    use crate::mesh::{CellIdx, Extents, Spacing};
+    use crate::state::FlowState;
+    use crate::trans::StencilKind;
+
+    fn setup() -> (CartesianMesh3, Fluid, Transmissibilities) {
+        let mesh = CartesianMesh3::new(Extents::new(6, 6, 3), Spacing::uniform(10.0));
+        let fluid = Fluid::water_like().without_gravity();
+        let perm = PermeabilityField::uniform(&mesh, 1e-13);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        (mesh, fluid, trans)
+    }
+
+    fn acc() -> AccumulationParams<f64> {
+        AccumulationParams {
+            phi_ref: 0.2,
+            rock_compressibility: 1e-9,
+            dt: 3600.0,
+        }
+    }
+
+    #[test]
+    fn equilibrium_needs_zero_iterations() {
+        let (mesh, fluid, trans) = setup();
+        let p0 = FlowState::<f64>::uniform(&mesh, 20.0e6);
+        let mut p = p0.pressure().to_vec();
+        let mut newton = NewtonSolver::new(mesh.num_cells(), NewtonConfig::default());
+        let rep = newton.step(&mesh, &fluid, &trans, acc(), p0.pressure(), &[], &mut p);
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+    }
+
+    #[test]
+    fn pulse_relaxes_toward_uniform_pressure() {
+        let (mesh, fluid, trans) = setup();
+        let p0 = FlowState::<f64>::gaussian_pulse(&mesh, 20.0e6, 0.5e6, 1.5);
+        let mut p = p0.pressure().to_vec();
+        let mut newton = NewtonSolver::new(
+            mesh.num_cells(),
+            NewtonConfig {
+                abs_tolerance: 1e-10,
+                ..NewtonConfig::default()
+            },
+        );
+        let spread = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        let before = spread(&p);
+        let mut p_old = p.clone();
+        for _ in 0..5 {
+            let rep = newton.step(&mesh, &fluid, &trans, acc(), &p_old, &[], &mut p);
+            assert!(rep.converged, "{rep:?}");
+            p_old.copy_from_slice(&p);
+        }
+        let after = spread(&p);
+        assert!(
+            after < 0.8 * before,
+            "diffusion must smooth the pulse: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn injection_raises_pressure() {
+        let (mesh, fluid, trans) = setup();
+        let p0 = FlowState::<f64>::uniform(&mesh, 20.0e6);
+        let src = [SourceTerm::injector(&mesh, CellIdx::new(3, 3, 1), 0.5)];
+        let mut p = p0.pressure().to_vec();
+        let mut newton = NewtonSolver::new(mesh.num_cells(), NewtonConfig::default());
+        let rep = newton.step(&mesh, &fluid, &trans, acc(), p0.pressure(), &src, &mut p);
+        assert!(rep.converged, "{rep:?}");
+        let well = mesh.linear(3, 3, 1);
+        assert!(p[well] > 20.0e6, "well cell pressure must rise");
+        let mean: f64 = p.iter().sum::<f64>() / p.len() as f64;
+        assert!(mean > 20.0e6, "mass added must raise mean pressure");
+        // peak at the well
+        let max = p.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(p[well], max);
+    }
+
+    #[test]
+    fn mass_balance_of_one_step() {
+        // Total stored-mass change over a step equals injected mass.
+        let (mesh, fluid, trans) = setup();
+        let p0 = FlowState::<f64>::uniform(&mesh, 20.0e6);
+        let rate = 0.25; // kg/s
+        let src = [SourceTerm::injector(&mesh, CellIdx::new(2, 2, 1), rate)];
+        let a = acc();
+        let mut p = p0.pressure().to_vec();
+        let mut newton = NewtonSolver::new(
+            mesh.num_cells(),
+            NewtonConfig {
+                abs_tolerance: 1e-12,
+                ..NewtonConfig::default()
+            },
+        );
+        let rep = newton.step(&mesh, &fluid, &trans, a, p0.pressure(), &src, &mut p);
+        assert!(rep.converged);
+        let vol = mesh.cell_volume();
+        let mass = |pv: &[f64]| -> f64 {
+            pv.iter()
+                .map(|&pi| {
+                    vol * fluid.porosity(a.phi_ref, a.rock_compressibility, pi) * fluid.density(pi)
+                })
+                .sum()
+        };
+        let dm = mass(&p) - mass(p0.pressure());
+        let injected = rate * a.dt;
+        assert!(
+            (dm - injected).abs() / injected < 1e-6,
+            "Δm={dm}, injected={injected}"
+        );
+    }
+}

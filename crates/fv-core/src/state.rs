@@ -1,0 +1,169 @@
+//! Flow state: the pressure field and initial-condition constructors.
+//!
+//! The paper applies Algorithm 1 "1,000 times with a different pressure
+//! vector at every call"; the constructors here generate the kinds of
+//! pressure fields the driver cycles through.
+
+use crate::eos::Fluid;
+use crate::fields::CellField;
+use crate::mesh::CartesianMesh3;
+use crate::real::Real;
+
+/// The primary unknown of the single-phase model: cell pressures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowState<R> {
+    pressure: CellField<R>,
+}
+
+impl<R: Real> FlowState<R> {
+    /// Uniform pressure everywhere.
+    pub fn uniform(mesh: &CartesianMesh3, p: f64) -> Self {
+        Self {
+            pressure: CellField::constant(mesh, R::from_f64(p)),
+        }
+    }
+
+    /// Hydrostatic equilibrium: `p(z) = p_bottom − ρ_ref g (z − z_bottom)`,
+    /// with `z` the cell-center *elevation* (layer 0 is the deepest).
+    ///
+    /// With an incompressible fluid this is the exact no-flow steady state;
+    /// with slight compressibility it is very close, which makes it a good
+    /// near-equilibrium initial condition.
+    pub fn hydrostatic(mesh: &CartesianMesh3, fluid: &Fluid, p_bottom: f64) -> Self {
+        let z_bottom = mesh.elevation(0);
+        let pressure = CellField::from_fn(mesh, |c| {
+            let z = mesh.elevation(c.z);
+            R::from_f64(p_bottom - fluid.rho_ref * fluid.gravity * (z - z_bottom))
+        });
+        Self { pressure }
+    }
+
+    /// A Gaussian pressure pulse centered in the domain on top of a base
+    /// pressure — mimics the near-well overpressure of an injection.
+    pub fn gaussian_pulse(
+        mesh: &CartesianMesh3,
+        p_base: f64,
+        amplitude: f64,
+        radius_cells: f64,
+    ) -> Self {
+        assert!(radius_cells > 0.0);
+        let (cx, cy, cz) = (
+            mesh.nx() as f64 / 2.0,
+            mesh.ny() as f64 / 2.0,
+            mesh.nz() as f64 / 2.0,
+        );
+        let pressure = CellField::from_fn(mesh, |c| {
+            let dx = c.x as f64 + 0.5 - cx;
+            let dy = c.y as f64 + 0.5 - cy;
+            let dz = c.z as f64 + 0.5 - cz;
+            let r2 = (dx * dx + dy * dy + dz * dz) / (radius_cells * radius_cells);
+            R::from_f64(p_base + amplitude * (-r2).exp())
+        });
+        Self { pressure }
+    }
+
+    /// A deterministic pseudo-random pressure field in `[p_min, p_max]`,
+    /// seeded per iteration — the paper's driver feeds "a different pressure
+    /// vector at every call", which this reproduces without RNG state.
+    pub fn varied(mesh: &CartesianMesh3, p_min: f64, p_max: f64, iteration: u64) -> Self {
+        assert!(p_max >= p_min);
+        let pressure = CellField::from_fn(mesh, |c| {
+            // SplitMix64-style hash of (cell, iteration) — cheap, portable,
+            // identical on every implementation.
+            let mut h = (c.x as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((c.y as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add((c.z as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+                .wrapping_add(iteration.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            h ^= h >> 30;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            R::from_f64(p_min + (p_max - p_min) * unit)
+        });
+        Self { pressure }
+    }
+
+    /// Wraps an existing pressure field.
+    pub fn from_pressure(pressure: CellField<R>) -> Self {
+        Self { pressure }
+    }
+
+    /// The pressure field.
+    #[inline]
+    pub fn pressure(&self) -> &[R] {
+        self.pressure.as_slice()
+    }
+
+    /// Mutable pressure field.
+    #[inline]
+    pub fn pressure_mut(&mut self) -> &mut [R] {
+        self.pressure.as_mut_slice()
+    }
+
+    /// The pressure as a [`CellField`].
+    #[inline]
+    pub fn pressure_field(&self) -> &CellField<R> {
+        &self.pressure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{Extents, Spacing};
+
+    fn mesh() -> CartesianMesh3 {
+        CartesianMesh3::new(Extents::new(6, 5, 4), Spacing::uniform(2.0))
+    }
+
+    #[test]
+    fn uniform_state() {
+        let s = FlowState::<f64>::uniform(&mesh(), 5.0e6);
+        assert!(s.pressure().iter().all(|&p| p == 5.0e6));
+    }
+
+    #[test]
+    fn hydrostatic_decreases_with_elevation() {
+        let m = mesh();
+        let f = Fluid::water_like();
+        let s = FlowState::<f64>::hydrostatic(&m, &f, 10.0e6);
+        let bottom = s.pressure()[m.linear(0, 0, 0)];
+        let top = s.pressure()[m.linear(0, 0, m.nz() - 1)];
+        assert_eq!(bottom, 10.0e6);
+        let expect = 10.0e6 - f.rho_ref * f.gravity * (m.elevation(m.nz() - 1) - m.elevation(0));
+        assert!((top - expect).abs() < 1e-6);
+        assert!(top < bottom);
+    }
+
+    #[test]
+    fn gaussian_pulse_peaks_at_center() {
+        let m = mesh();
+        let s = FlowState::<f64>::gaussian_pulse(&m, 1.0e6, 2.0e6, 2.0);
+        let center = s.pressure()[m.linear(3, 2, 2)];
+        let corner = s.pressure()[m.linear(0, 0, 0)];
+        assert!(center > corner);
+        assert!(center <= 3.0e6 + 1.0);
+        assert!(corner >= 1.0e6);
+    }
+
+    #[test]
+    fn varied_is_deterministic_and_iteration_dependent() {
+        let m = mesh();
+        let a = FlowState::<f64>::varied(&m, 1.0e6, 2.0e6, 7);
+        let b = FlowState::<f64>::varied(&m, 1.0e6, 2.0e6, 7);
+        let c = FlowState::<f64>::varied(&m, 1.0e6, 2.0e6, 8);
+        assert_eq!(a.pressure(), b.pressure());
+        assert_ne!(a.pressure(), c.pressure());
+        assert!(a.pressure().iter().all(|&p| (1.0e6..=2.0e6).contains(&p)));
+    }
+
+    #[test]
+    fn pressure_mut_is_writable() {
+        let m = mesh();
+        let mut s = FlowState::<f32>::uniform(&m, 1.0e6);
+        s.pressure_mut()[0] = 9.9e6;
+        assert_eq!(s.pressure()[0], 9.9e6);
+        assert_eq!(s.pressure_field().len(), m.num_cells());
+    }
+}

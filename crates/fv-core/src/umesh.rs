@@ -1,0 +1,349 @@
+//! General (unstructured) mesh support — the paper's §9 future work:
+//! "Future work includes supporting arbitrary mesh topologies ... to enable
+//! porting of a broader range of FV applications."
+//!
+//! A TPFA discretization only needs, per interior face, the two cell ids
+//! and a transmissibility, plus per-cell volumes and elevations — so an
+//! unstructured mesh here is exactly that face list. [`assemble_flux_residual_unstructured`]
+//! sweeps it face-wise; the structured [`crate::mesh::CartesianMesh3`]
+//! converts losslessly via [`UnstructuredMesh::from_cartesian`], which the
+//! tests use to prove exact equivalence with the structured assembly.
+
+use crate::eos::Fluid;
+use crate::flux::face_flux;
+use crate::mesh::{CartesianMesh3, ALL_NEIGHBORS};
+use crate::real::Real;
+use crate::trans::Transmissibilities;
+use serde::{Deserialize, Serialize};
+
+/// One interior connection between two cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Face {
+    /// "K" cell index.
+    pub left: usize,
+    /// "L" cell index.
+    pub right: usize,
+    /// Transmissibility `Υ_KL` (≥ 0).
+    pub trans: f64,
+}
+
+/// An arbitrary-topology TPFA mesh: cells with volumes and elevations,
+/// connected by an explicit face list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnstructuredMesh {
+    volumes: Vec<f64>,
+    elevations: Vec<f64>,
+    faces: Vec<Face>,
+    /// CSR adjacency: for each cell, the faces it participates in.
+    adj_offsets: Vec<usize>,
+    adj_faces: Vec<usize>,
+}
+
+impl UnstructuredMesh {
+    /// Builds a mesh from cell volumes, cell elevations and a face list.
+    pub fn new(volumes: Vec<f64>, elevations: Vec<f64>, faces: Vec<Face>) -> Self {
+        let n = volumes.len();
+        assert!(n > 0, "mesh needs at least one cell");
+        assert_eq!(elevations.len(), n, "one elevation per cell");
+        assert!(volumes.iter().all(|&v| v > 0.0), "volumes must be positive");
+        for (i, f) in faces.iter().enumerate() {
+            assert!(f.left < n && f.right < n, "face {i} indexes out of range");
+            assert_ne!(f.left, f.right, "face {i} connects a cell to itself");
+            assert!(f.trans >= 0.0, "face {i} has negative transmissibility");
+        }
+        // CSR adjacency
+        let mut counts = vec![0usize; n + 1];
+        for f in &faces {
+            counts[f.left + 1] += 1;
+            counts[f.right + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let adj_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut adj_faces = vec![0usize; faces.len() * 2];
+        for (fi, f) in faces.iter().enumerate() {
+            adj_faces[cursor[f.left]] = fi;
+            cursor[f.left] += 1;
+            adj_faces[cursor[f.right]] = fi;
+            cursor[f.right] += 1;
+        }
+        Self {
+            volumes,
+            elevations,
+            faces,
+            adj_offsets,
+            adj_faces,
+        }
+    }
+
+    /// Converts a Cartesian mesh + transmissibility set into the general
+    /// representation (each connection once, `left < right` orientation by
+    /// the structured sweep order).
+    pub fn from_cartesian(mesh: &CartesianMesh3, trans: &Transmissibilities) -> Self {
+        let mut faces = Vec::with_capacity(mesh.num_interior_faces(true));
+        for (i, c) in mesh.cells() {
+            for nb in ALL_NEIGHBORS {
+                if let Some(l) = mesh.neighbor(c, nb) {
+                    let j = mesh.linear_idx(l);
+                    if j > i {
+                        faces.push(Face {
+                            left: i,
+                            right: j,
+                            trans: trans.t(i, nb),
+                        });
+                    }
+                }
+            }
+        }
+        let volumes = vec![mesh.cell_volume(); mesh.num_cells()];
+        let elevations: Vec<f64> = (0..mesh.num_cells())
+            .map(|i| mesh.elevation(mesh.structured(i).z))
+            .collect();
+        Self::new(volumes, elevations, faces)
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.volumes.len()
+    }
+
+    /// Number of interior faces.
+    pub fn num_faces(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// The face list.
+    pub fn faces(&self) -> &[Face] {
+        &self.faces
+    }
+
+    /// Cell volume.
+    pub fn volume(&self, cell: usize) -> f64 {
+        self.volumes[cell]
+    }
+
+    /// Cell elevation (for the gravity head).
+    pub fn elevation(&self, cell: usize) -> f64 {
+        self.elevations[cell]
+    }
+
+    /// Face indices incident to `cell` (CSR adjacency).
+    pub fn cell_faces(&self, cell: usize) -> &[usize] {
+        &self.adj_faces[self.adj_offsets[cell]..self.adj_offsets[cell + 1]]
+    }
+
+    /// Degree (number of connections) of a cell.
+    pub fn degree(&self, cell: usize) -> usize {
+        self.cell_faces(cell).len()
+    }
+}
+
+/// Face-wise flux-residual assembly on an arbitrary mesh (Algorithm 1's
+/// unstructured variant the paper's §3 mentions: "Algorithm 1 can be
+/// applied to unstructured meshes").
+pub fn assemble_flux_residual_unstructured<R: Real>(
+    mesh: &UnstructuredMesh,
+    fluid: &Fluid,
+    pressure: &[R],
+    residual: &mut [R],
+) {
+    assert_eq!(pressure.len(), mesh.num_cells());
+    assert_eq!(residual.len(), mesh.num_cells());
+    let inv_mu = R::ONE / R::from_f64(fluid.viscosity);
+    let g = fluid.gravity;
+    residual.iter_mut().for_each(|r| *r = R::ZERO);
+    for f in mesh.faces() {
+        let (k, l) = (f.left, f.right);
+        let p_k = pressure[k];
+        let p_l = pressure[l];
+        let rho_k = fluid.density(p_k);
+        let rho_l = fluid.density(p_l);
+        let g_dz = R::from_f64(g * (mesh.elevation(k) - mesh.elevation(l)));
+        let flux = face_flux(R::from_f64(f.trans), p_k, p_l, rho_k, rho_l, g_dz, inv_mu).flux;
+        residual[k] += flux;
+        residual[l] -= flux;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::PermeabilityField;
+    use crate::mesh::{Extents, Spacing};
+    use crate::state::FlowState;
+    use crate::trans::StencilKind;
+
+    fn cartesian_problem() -> (CartesianMesh3, Fluid, Transmissibilities) {
+        let mesh = CartesianMesh3::new(Extents::new(5, 4, 3), Spacing::new(3.0, 5.0, 2.0));
+        let fluid = Fluid::water_like();
+        let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 31);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        (mesh, fluid, trans)
+    }
+
+    #[test]
+    fn conversion_counts_each_connection_once() {
+        let (mesh, _, trans) = cartesian_problem();
+        let u = UnstructuredMesh::from_cartesian(&mesh, &trans);
+        assert_eq!(u.num_cells(), mesh.num_cells());
+        assert_eq!(u.num_faces(), mesh.num_interior_faces(true));
+        // interior cell has 10 connections
+        let interior = mesh.linear(2, 2, 1);
+        assert_eq!(u.degree(interior), 10);
+        // corner has 4
+        assert_eq!(u.degree(mesh.linear(0, 0, 0)), 4);
+    }
+
+    #[test]
+    fn unstructured_assembly_matches_structured_exactly() {
+        let (mesh, fluid, trans) = cartesian_problem();
+        let u = UnstructuredMesh::from_cartesian(&mesh, &trans);
+        let p = FlowState::<f64>::varied(&mesh, 1.0e7, 1.3e7, 5);
+        let mut structured = vec![0.0_f64; mesh.num_cells()];
+        crate::residual::assemble_flux_residual_facewise(
+            &mesh,
+            &fluid,
+            &trans,
+            p.pressure(),
+            &mut structured,
+        );
+        let mut general = vec![0.0_f64; mesh.num_cells()];
+        assemble_flux_residual_unstructured(&u, &fluid, p.pressure(), &mut general);
+        let scale = structured.iter().map(|v| v.abs()).fold(1e-300, f64::max);
+        for i in 0..structured.len() {
+            assert!(
+                (structured[i] - general[i]).abs() <= 1e-10 * scale,
+                "cell {i}: {} vs {}",
+                structured[i],
+                general[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gravity_heads_come_from_elevations() {
+        let (mesh, fluid, trans) = cartesian_problem();
+        let u = UnstructuredMesh::from_cartesian(&mesh, &trans);
+        // hydrostatic state must be near-equilibrium on the general mesh too
+        let p = FlowState::<f64>::hydrostatic(&mesh, &fluid, 2.0e7);
+        let mut r = vec![0.0_f64; u.num_cells()];
+        assemble_flux_residual_unstructured(&u, &fluid, p.pressure(), &mut r);
+        let pulse = FlowState::<f64>::gaussian_pulse(&mesh, 2.0e7, 1.0e6, 2.0);
+        let mut rp = vec![0.0_f64; u.num_cells()];
+        assemble_flux_residual_unstructured(&u, &fluid, pulse.pressure(), &mut rp);
+        let n = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(n(&r) < 1e-3 * n(&rp));
+    }
+
+    #[test]
+    fn hand_built_triangle_mesh() {
+        // three cells in a ring — a topology no Cartesian mesh has
+        let u = UnstructuredMesh::new(
+            vec![1.0, 2.0, 1.5],
+            vec![0.0, 0.0, 1.0],
+            vec![
+                Face {
+                    left: 0,
+                    right: 1,
+                    trans: 1e-12,
+                },
+                Face {
+                    left: 1,
+                    right: 2,
+                    trans: 2e-12,
+                },
+                Face {
+                    left: 2,
+                    right: 0,
+                    trans: 3e-12,
+                },
+            ],
+        );
+        assert_eq!(u.degree(0), 2);
+        assert_eq!(u.degree(1), 2);
+        assert_eq!(u.degree(2), 2);
+        let fluid = Fluid::water_like().without_gravity();
+        let p = vec![1.0e7_f64, 1.2e7, 0.9e7];
+        let mut r = vec![0.0_f64; 3];
+        assemble_flux_residual_unstructured(&u, &fluid, &p, &mut r);
+        // conservation on the ring
+        let total: f64 = r.iter().sum();
+        assert!(total.abs() < 1e-12 * r.iter().map(|v| v.abs()).sum::<f64>());
+        // highest-pressure cell loses mass
+        assert!(r[1] > 0.0);
+    }
+
+    #[test]
+    fn conservation_on_general_meshes() {
+        let (mesh, fluid, trans) = cartesian_problem();
+        let u = UnstructuredMesh::from_cartesian(&mesh, &trans);
+        let p = FlowState::<f64>::varied(&mesh, 1.0e7, 1.5e7, 9);
+        let mut r = vec![0.0_f64; u.num_cells()];
+        assemble_flux_residual_unstructured(&u, &fluid, p.pressure(), &mut r);
+        let total: f64 = r.iter().sum();
+        let scale: f64 = r.iter().map(|v| v.abs()).sum();
+        assert!(total.abs() < 1e-12 * scale);
+    }
+
+    #[test]
+    fn cell_faces_csr_is_consistent() {
+        let (mesh, _, trans) = cartesian_problem();
+        let u = UnstructuredMesh::from_cartesian(&mesh, &trans);
+        // every face appears exactly twice in the CSR lists
+        let mut seen = vec![0usize; u.num_faces()];
+        for c in 0..u.num_cells() {
+            for &fi in u.cell_faces(c) {
+                let f = u.faces()[fi];
+                assert!(f.left == c || f.right == c);
+                seen[fi] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let _ = UnstructuredMesh::new(
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+            vec![Face {
+                left: 0,
+                right: 0,
+                trans: 1.0,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_face_rejected() {
+        let _ = UnstructuredMesh::new(
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+            vec![Face {
+                left: 0,
+                right: 5,
+                trans: 1.0,
+            }],
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let u = UnstructuredMesh::new(
+            vec![2.0, 3.0],
+            vec![0.5, 1.5],
+            vec![Face {
+                left: 0,
+                right: 1,
+                trans: 1e-12,
+            }],
+        );
+        assert_eq!(u.volume(1), 3.0);
+        assert_eq!(u.elevation(0), 0.5);
+        assert_eq!(u.num_faces(), 1);
+    }
+}

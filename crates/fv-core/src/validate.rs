@@ -1,0 +1,145 @@
+//! Cross-implementation validation helpers.
+//!
+//! The paper states "we compare and validate the numerical results produced
+//! by the CS-2 to those produced by the reference implementations" (§7.1);
+//! these helpers are the workspace's machinery for that comparison.
+
+use crate::real::Real;
+
+/// Maximum absolute element-wise difference.
+pub fn max_abs_diff<R: Real>(a: &[R], b: &[R]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative L2 difference `‖a − b‖₂ / max(‖a‖₂, ε)`.
+pub fn rel_l2_diff<R: Real>(a: &[R], b: &[R]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut num = 0.0_f64;
+    let mut den = 0.0_f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let xf = x.to_f64();
+        let yf = y.to_f64();
+        num += (xf - yf) * (xf - yf);
+        den += xf * xf;
+    }
+    num.sqrt() / den.sqrt().max(1e-300)
+}
+
+/// Mixed-precision comparison: `b` (e.g. `f32` fabric output) against the
+/// `f64` reference `a`, normalized by the reference's max magnitude.
+pub fn rel_max_diff_vs_reference<R: Real>(reference: &[f64], result: &[R]) -> f64 {
+    assert_eq!(reference.len(), result.len(), "length mismatch");
+    let scale = reference
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-300);
+    reference
+        .iter()
+        .zip(result)
+        .map(|(&r, &x)| (r - x.to_f64()).abs())
+        .fold(0.0, f64::max)
+        / scale
+}
+
+/// Outcome of a validation, with a human-readable summary for the harness
+/// binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Validation {
+    /// Which comparison this is (e.g. "dataflow vs serial").
+    pub label: String,
+    /// Relative max-norm difference.
+    pub rel_max: f64,
+    /// Tolerance used.
+    pub tolerance: f64,
+}
+
+impl Validation {
+    /// Compares `result` against `reference`, recording the outcome.
+    pub fn compare<R: Real>(
+        label: impl Into<String>,
+        reference: &[f64],
+        result: &[R],
+        tolerance: f64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            rel_max: rel_max_diff_vs_reference(reference, result),
+            tolerance,
+        }
+    }
+
+    /// True if within tolerance.
+    pub fn passed(&self) -> bool {
+        self.rel_max <= self.tolerance
+    }
+}
+
+impl std::fmt::Display for Validation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: rel max diff {:.3e} (tol {:.1e}) — {}",
+            self.label,
+            self.rel_max,
+            self.tolerance,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_zero_diff() {
+        let a = [1.0_f64, -2.0, 3.0];
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+        assert_eq!(rel_l2_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_worst_element() {
+        let a = [1.0_f64, 2.0, 3.0];
+        let b = [1.0_f64, 2.5, 3.1];
+        assert!((max_abs_diff(&a, &b) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rel_l2_is_scale_invariant() {
+        let a = [1.0_f64, 2.0];
+        let b = [1.1_f64, 2.2];
+        let a10: Vec<f64> = a.iter().map(|v| v * 10.0).collect();
+        let b10: Vec<f64> = b.iter().map(|v| v * 10.0).collect();
+        assert!((rel_l2_diff(&a, &b) - rel_l2_diff(&a10, &b10)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mixed_precision_comparison() {
+        let reference = [1.0e6_f64, -2.0e6, 0.5e6];
+        let result: Vec<f32> = reference.iter().map(|&v| v as f32).collect();
+        assert!(rel_max_diff_vs_reference(&reference, &result) < 1e-7);
+    }
+
+    #[test]
+    fn validation_display_and_pass() {
+        let v = Validation::compare("x vs y", &[1.0, 2.0], &[1.0_f32, 2.0], 1e-6);
+        assert!(v.passed());
+        let s = format!("{v}");
+        assert!(s.contains("PASS"));
+        let w = Validation::compare("x vs y", &[1.0, 2.0], &[1.5_f32, 2.0], 1e-6);
+        assert!(!w.passed());
+        assert!(format!("{w}").contains("FAIL"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = max_abs_diff(&[1.0_f64], &[1.0, 2.0]);
+    }
+}

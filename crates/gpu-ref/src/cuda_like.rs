@@ -1,0 +1,140 @@
+//! CUDA-like manual kernel launch (paper §6, second reference kernel).
+//!
+//! "The hand-crafted CUDA version has the same memory layout, uses the same
+//! tile sizes, and performs the same FV flux computation. However, it
+//! launches its kernels with manually calculated block dimension and
+//! calculates the index mapping to the cell carefully. It also needs to
+//! handle boundary checking to ensure the cell is still within the data
+//! grid."
+
+use crate::device::UnsafeCellSlice;
+use crate::flux_kernel::{flux_residual_at, DeviceView};
+use rayon::prelude::*;
+
+/// CUDA's `dim3` (lowercase by convention).
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct dim3 {
+    /// X extent.
+    pub x: usize,
+    /// Y extent.
+    pub y: usize,
+    /// Z extent.
+    pub z: usize,
+}
+
+impl dim3 {
+    /// Constructor.
+    pub const fn new(x: usize, y: usize, z: usize) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Total size.
+    pub const fn volume(&self) -> usize {
+        self.x * self.y * self.z
+    }
+}
+
+/// The manually-computed launch configuration for an `(nx, ny, nz)` mesh
+/// with the paper's `16 × 8 × 8` blocks: `grid = ceil(extent / block)`.
+pub fn launch_dims(nx: usize, ny: usize, nz: usize) -> (dim3, dim3) {
+    let block = dim3::new(16, 8, 8);
+    let grid = dim3::new(
+        nx.div_ceil(block.x),
+        ny.div_ceil(block.y),
+        nz.div_ceil(block.z),
+    );
+    (grid, block)
+}
+
+/// Launches the flux kernel CUDA-style: every `(blockIdx, threadIdx)` pair
+/// computes its global cell index and bails out if outside the grid (the
+/// boundary check the hand-written version needs).
+pub fn launch_flux_kernel_cuda(view: &DeviceView<'_>, out: &mut [f32]) {
+    let (grid, block) = launch_dims(view.nx, view.ny, view.nz);
+    assert_eq!(out.len(), view.nx * view.ny * view.nz);
+    assert!(block.volume() <= 1024, "A100 limit: 1024 threads per block");
+    let shared = UnsafeCellSlice::new(out);
+
+    (0..grid.volume()).into_par_iter().for_each(|b| {
+        // blockIdx decomposition
+        let block_idx = dim3::new(b % grid.x, (b / grid.x) % grid.y, b / (grid.x * grid.y));
+        // the 1024 threads of the block, x fastest (warp-contiguous)
+        for t in 0..block.volume() {
+            let thread_idx = dim3::new(
+                t % block.x,
+                (t / block.x) % block.y,
+                t / (block.x * block.y),
+            );
+            // global index arithmetic
+            let x = block_idx.x * block.x + thread_idx.x;
+            let y = block_idx.y * block.y + thread_idx.y;
+            let z = block_idx.z * block.z + thread_idx.z;
+            // boundary check: the grid overshoots non-multiple extents
+            if x >= view.nx || y >= view.ny || z >= view.nz {
+                continue;
+            }
+            let v = flux_residual_at(view, x, y, z);
+            // SAFETY: the global cell index is unique per (block, thread).
+            unsafe { shared.write((z * view.ny + y) * view.nx + x, v) };
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flux_kernel::FluidF32;
+    use fv_core::eos::Fluid;
+    use fv_core::fields::PermeabilityField;
+    use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+    use fv_core::residual::assemble_flux_residual;
+    use fv_core::state::FlowState;
+    use fv_core::trans::{StencilKind, Transmissibilities};
+
+    #[test]
+    fn launch_dims_cover_and_respect_limits() {
+        let (grid, block) = launch_dims(750, 994, 246);
+        assert_eq!(block.volume(), 1024);
+        assert!(grid.x * block.x >= 750);
+        assert!(grid.y * block.y >= 994);
+        assert!(grid.z * block.z >= 246);
+        assert_eq!(grid, dim3::new(47, 125, 31));
+        // exact-multiple case has no overshoot
+        let (g2, _) = launch_dims(32, 16, 16);
+        assert_eq!(g2, dim3::new(2, 2, 2));
+    }
+
+    #[test]
+    fn cuda_launch_matches_serial_bitwise() {
+        let mesh = CartesianMesh3::new(Extents::new(20, 11, 9), Spacing::new(4.0, 4.0, 2.0));
+        let fluid = Fluid::co2_like();
+        let perm = PermeabilityField::log_normal(&mesh, 5e-14, 0.5, 17);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        let state = FlowState::<f32>::gaussian_pulse(&mesh, 1.5e7, 2.0e6, 3.0);
+
+        let mut serial = vec![0.0_f32; mesh.num_cells()];
+        assemble_flux_residual(&mesh, &fluid, &trans, state.pressure(), &mut serial);
+
+        let trans32: Vec<f32> = trans.to_vec_cast();
+        let view = DeviceView {
+            nx: mesh.nx(),
+            ny: mesh.ny(),
+            nz: mesh.nz(),
+            pressure: state.pressure(),
+            trans: &trans32,
+            fluid: FluidF32::from_fluid(&fluid, mesh.spacing().dz),
+        };
+        let mut out = vec![0.0_f32; mesh.num_cells()];
+        launch_flux_kernel_cuda(&view, &mut out);
+        for i in 0..out.len() {
+            assert_eq!(out[i].to_bits(), serial[i].to_bits(), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn dim3_volume() {
+        assert_eq!(dim3::new(16, 8, 8).volume(), 1024);
+        assert_eq!(dim3::new(1, 1, 1).volume(), 1);
+    }
+}

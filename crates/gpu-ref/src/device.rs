@@ -1,0 +1,181 @@
+//! A device-memory model with explicit host↔device transfers.
+//!
+//! "To begin, we allocate spaces on both host memory and device memory. We
+//! then load our data mesh ... into host memory ... Next, we copy all data
+//! from host memory to device memory. Since we evaluate our GPU kernel on
+//! the latest hardware with large enough device memory to load all data at
+//! once, we avoid data domain decomposition and save time from frequent
+//! data transfer." (paper §6)
+//!
+//! The buffer tracks transfer bytes so tests (and the benches) can assert
+//! the single-upload pattern, and it provides the shared-address-space
+//! view kernels read/write — plus the `UnsafeCellSlice` used to let many
+//! "GPU threads" write disjoint cells of one result buffer concurrently.
+
+use std::cell::UnsafeCell;
+
+/// Device-resident buffer with transfer accounting.
+#[derive(Debug, Default)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    /// Bytes copied host → device so far.
+    pub h2d_bytes: u64,
+    /// Bytes copied device → host so far.
+    pub d2h_bytes: u64,
+}
+
+impl<T: Copy + Default> DeviceBuffer<T> {
+    /// Allocates `len` elements on the device (zero/default-initialized).
+    pub fn alloc(len: usize) -> Self {
+        Self {
+            data: vec![T::default(); len],
+            h2d_bytes: 0,
+            d2h_bytes: 0,
+        }
+    }
+
+    /// Allocates and uploads in one step (`cudaMemcpy` H2D).
+    pub fn from_host(host: &[T]) -> Self {
+        let mut b = Self::alloc(host.len());
+        b.copy_from_host(host);
+        b
+    }
+
+    /// `cudaMemcpy` host → device.
+    pub fn copy_from_host(&mut self, host: &[T]) {
+        assert_eq!(host.len(), self.data.len(), "transfer size mismatch");
+        self.data.copy_from_slice(host);
+        self.h2d_bytes += std::mem::size_of_val(host) as u64;
+    }
+
+    /// `cudaMemcpy` device → host.
+    pub fn copy_to_host(&mut self, host: &mut [T]) {
+        assert_eq!(host.len(), self.data.len(), "transfer size mismatch");
+        host.copy_from_slice(&self.data);
+        self.d2h_bytes += std::mem::size_of_val(host) as u64;
+    }
+
+    /// Device-side read view (what a kernel dereferences).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Device-side write view.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A write-shared slice for concurrent "GPU threads".
+///
+/// GPU kernels write `r[global_thread_id]` from thousands of threads; the
+/// race-freedom argument is that thread ids are unique. This wrapper
+/// encodes the same contract: callers may write concurrently **only** to
+/// disjoint indices. Both launchers in this crate index by cell id, which
+/// is unique per thread, satisfying the contract.
+pub struct UnsafeCellSlice<'a, T> {
+    slice: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: synchronization is the caller's contract (disjoint indices), the
+// same contract CUDA gives a kernel writing out[tid].
+unsafe impl<T: Send> Send for UnsafeCellSlice<'_, T> {}
+unsafe impl<T: Send> Sync for UnsafeCellSlice<'_, T> {}
+
+impl<'a, T> UnsafeCellSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: [T] and [UnsafeCell<T>] have identical layout.
+        let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
+        Self {
+            slice: unsafe { &*ptr },
+        }
+    }
+
+    /// Writes `value` at `i`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may read or write index `i` concurrently.
+    #[inline(always)]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.slice.len());
+        unsafe { *self.slice[i].get() = value };
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_accounting() {
+        let host: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let mut dev = DeviceBuffer::from_host(&host);
+        assert_eq!(dev.h2d_bytes, 400);
+        assert_eq!(dev.len(), 100);
+        assert!(!dev.is_empty());
+        let mut back = vec![0.0_f32; 100];
+        dev.copy_to_host(&mut back);
+        assert_eq!(dev.d2h_bytes, 400);
+        assert_eq!(back, host);
+    }
+
+    #[test]
+    fn single_upload_pattern() {
+        // the paper uploads once and launches many kernels
+        let host = vec![1.0_f32; 64];
+        let mut dev = DeviceBuffer::from_host(&host);
+        for _ in 0..10 {
+            let s = dev.as_slice();
+            assert_eq!(s[0], 1.0);
+        }
+        dev.as_mut_slice()[0] = 2.0;
+        assert_eq!(dev.h2d_bytes, 256, "no additional H2D traffic");
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_is_rejected() {
+        let mut dev = DeviceBuffer::<f32>::alloc(4);
+        dev.copy_from_host(&[0.0; 5]);
+    }
+
+    #[test]
+    fn unsafe_slice_disjoint_parallel_writes() {
+        use rayon::prelude::*;
+        let mut data = vec![0usize; 1000];
+        {
+            let shared = UnsafeCellSlice::new(&mut data);
+            (0..1000usize).into_par_iter().for_each(|i| {
+                // SAFETY: each index written exactly once
+                unsafe { shared.write(i, i * 2) };
+            });
+            assert_eq!(shared.len(), 1000);
+            assert!(!shared.is_empty());
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The device function: one thread computes one cell's flux residual.
+//!
+//! "Each GPU block-thread is scheduled to concurrently invoke a device
+//! function that performs the FV flux computation for its respective
+//! mapping cell. First, each thread concurrently fetches the cell data for
+//! itself and all cell data from its ten neighboring cells. Next, for each
+//! neighbor, it performs a flux computation using the transmissibility, the
+//! local cell values, and its neighbors values, and produces a local flux
+//! value. Then, it assembles all the local fluxes and updates the current
+//! cell value." (paper §6)
+//!
+//! The neighbor sweep uses the same canonical face order as the serial
+//! reference and the same `face_flux` function, so the result is
+//! **bit-identical** to `fv_core::residual::assemble_flux_residual::<f32>`.
+
+use fv_core::eos::Fluid;
+use fv_core::flux::face_flux;
+use fv_core::mesh::{ALL_NEIGHBORS, NEIGHBOR_COUNT};
+
+/// Fluid constants in the f32 working precision of the kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidF32 {
+    /// Reference density.
+    pub rho_ref: f32,
+    /// Compressibility.
+    pub c_f: f32,
+    /// Reference pressure.
+    pub p_ref: f32,
+    /// Reciprocal viscosity.
+    pub inv_mu: f32,
+    /// `g (z_K − z_L)` toward the upper neighbor (= −g·dz).
+    pub g_dz_up: f32,
+    /// `g (z_K − z_L)` toward the lower neighbor (= +g·dz).
+    pub g_dz_down: f32,
+}
+
+impl FluidF32 {
+    /// Converts an `fv-core` fluid given the vertical spacing.
+    pub fn from_fluid(fluid: &Fluid, dz: f64) -> Self {
+        Self {
+            rho_ref: fluid.rho_ref as f32,
+            c_f: fluid.compressibility as f32,
+            p_ref: fluid.p_ref as f32,
+            // computed in f32 exactly like the serial reference
+            // (`R::ONE / R::from_f64(viscosity)`) so results stay bit-equal
+            inv_mu: 1.0_f32 / (fluid.viscosity as f32),
+            g_dz_up: (-fluid.gravity * dz) as f32,
+            g_dz_down: (fluid.gravity * dz) as f32,
+        }
+    }
+
+    /// Eq. 5 density at f32.
+    #[inline(always)]
+    pub fn density(&self, p: f32) -> f32 {
+        self.rho_ref * (self.c_f * (p - self.p_ref)).exp()
+    }
+}
+
+/// Read-only view of the problem a device thread needs.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceView<'a> {
+    /// Cells along X (innermost in memory).
+    pub nx: usize,
+    /// Cells along Y.
+    pub ny: usize,
+    /// Cells along Z (outermost).
+    pub nz: usize,
+    /// Pressure, mesh linear order.
+    pub pressure: &'a [f32],
+    /// Transmissibilities, `cell·10 + face` in canonical face order.
+    pub trans: &'a [f32],
+    /// Fluid constants.
+    pub fluid: FluidF32,
+}
+
+impl<'a> DeviceView<'a> {
+    /// Linear index of `(x, y, z)`.
+    #[inline(always)]
+    pub fn linear(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.ny + y) * self.nx + x
+    }
+}
+
+/// The per-cell device function: computes the cell's flux residual.
+///
+/// `(x, y, z)` must be inside the mesh (callers perform the boundary check,
+/// as in the paper's CUDA version).
+#[inline(always)]
+pub fn flux_residual_at(view: &DeviceView<'_>, x: usize, y: usize, z: usize) -> f32 {
+    let idx = view.linear(x, y, z);
+    let p_k = view.pressure[idx];
+    let rho_k = view.fluid.density(p_k);
+    let mut acc = 0.0_f32;
+    for nb in ALL_NEIGHBORS {
+        let (dx, dy, dz) = nb.offset();
+        let xx = x as i64 + dx;
+        let yy = y as i64 + dy;
+        let zz = z as i64 + dz;
+        if xx < 0
+            || yy < 0
+            || zz < 0
+            || xx >= view.nx as i64
+            || yy >= view.ny as i64
+            || zz >= view.nz as i64
+        {
+            continue;
+        }
+        let j = view.linear(xx as usize, yy as usize, zz as usize);
+        let t = view.trans[idx * NEIGHBOR_COUNT + nb.face_index()];
+        let p_l = view.pressure[j];
+        let rho_l = view.fluid.density(p_l);
+        let g_dz = match nb {
+            fv_core::mesh::Neighbor::Up => view.fluid.g_dz_up,
+            fv_core::mesh::Neighbor::Down => view.fluid.g_dz_down,
+            _ => 0.0,
+        };
+        acc += face_flux(t, p_k, p_l, rho_k, rho_l, g_dz, view.fluid.inv_mu).flux;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_core::fields::PermeabilityField;
+    use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+    use fv_core::residual::assemble_flux_residual;
+    use fv_core::state::FlowState;
+    use fv_core::trans::{StencilKind, Transmissibilities};
+
+    #[test]
+    fn single_cell_matches_serial_reference_bitwise() {
+        let mesh = CartesianMesh3::new(Extents::new(4, 3, 3), Spacing::new(5.0, 5.0, 2.0));
+        let fluid = Fluid::water_like();
+        let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 3);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 11);
+
+        let mut serial = vec![0.0_f32; mesh.num_cells()];
+        assemble_flux_residual(&mesh, &fluid, &trans, state.pressure(), &mut serial);
+
+        let trans32: Vec<f32> = trans.to_vec_cast();
+        let view = DeviceView {
+            nx: mesh.nx(),
+            ny: mesh.ny(),
+            nz: mesh.nz(),
+            pressure: state.pressure(),
+            trans: &trans32,
+            fluid: FluidF32::from_fluid(&fluid, mesh.spacing().dz),
+        };
+        for (i, c) in mesh.cells() {
+            let got = flux_residual_at(&view, c.x, c.y, c.z);
+            assert_eq!(
+                got.to_bits(),
+                serial[i].to_bits(),
+                "cell {i}: {} vs {}",
+                got,
+                serial[i]
+            );
+        }
+    }
+
+    #[test]
+    fn density_matches_fv_core_eos() {
+        let fluid = Fluid::co2_like();
+        let f = FluidF32::from_fluid(&fluid, 1.0);
+        for i in 0..20 {
+            let p = 1.2e7_f32 + i as f32 * 1.0e5;
+            let expect: f32 = fluid.density(p);
+            assert_eq!(f.density(p).to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn gravity_heads_mirror() {
+        let f = FluidF32::from_fluid(&Fluid::water_like(), 3.0);
+        assert_eq!(f.g_dz_up, -f.g_dz_down);
+        assert!(f.g_dz_down > 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! The host-facing GPU problem: upload once, launch many (paper §6–§7).
+
+use crate::cuda_like::launch_flux_kernel_cuda;
+use crate::device::DeviceBuffer;
+use crate::flux_kernel::{flux_residual_at, DeviceView, FluidF32};
+use crate::raja_like::{forall_3d, KernelPolicy, DEFAULT_POLICY};
+use fv_core::eos::Fluid;
+use fv_core::mesh::CartesianMesh3;
+use fv_core::trans::Transmissibilities;
+
+/// Which reference implementation to launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuModel {
+    /// The RAJA-like nested-policy launcher.
+    Raja,
+    /// The hand-written CUDA-like launcher.
+    Cuda,
+}
+
+/// A TPFA flux problem resident in device memory.
+pub struct GpuFluxProblem {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    trans: DeviceBuffer<f32>,
+    pressure: DeviceBuffer<f32>,
+    residual: DeviceBuffer<f32>,
+    fluid: FluidF32,
+    policy: KernelPolicy,
+    launches: usize,
+}
+
+impl GpuFluxProblem {
+    /// Uploads the static mesh data (transmissibilities) to the device.
+    pub fn new(mesh: &CartesianMesh3, fluid: &Fluid, trans: &Transmissibilities) -> Self {
+        let trans32: Vec<f32> = trans.to_vec_cast();
+        Self {
+            nx: mesh.nx(),
+            ny: mesh.ny(),
+            nz: mesh.nz(),
+            trans: DeviceBuffer::from_host(&trans32),
+            pressure: DeviceBuffer::alloc(mesh.num_cells()),
+            residual: DeviceBuffer::alloc(mesh.num_cells()),
+            fluid: FluidF32::from_fluid(&fluid.clone(), mesh.spacing().dz),
+            policy: DEFAULT_POLICY,
+            launches: 0,
+        }
+    }
+
+    /// Overrides the RAJA kernel policy (tile-size ablations).
+    pub fn with_policy(mut self, policy: KernelPolicy) -> Self {
+        policy.validate();
+        self.policy = policy;
+        self
+    }
+
+    /// Uploads a pressure vector (H2D) and launches one application of
+    /// Algorithm 1, leaving the residual in device memory.
+    pub fn apply(&mut self, model: GpuModel, pressure: &[f32]) {
+        self.pressure.copy_from_host(pressure);
+        self.launch(model);
+    }
+
+    /// Launches on the pressure already resident in device memory (the
+    /// repeated-application loop of the paper's evaluation keeps everything
+    /// on-device).
+    pub fn launch(&mut self, model: GpuModel) {
+        self.launches += 1;
+        // Split borrows: the view reads `pressure`/`trans`, the launchers
+        // write `residual` — distinct fields.
+        let Self {
+            nx,
+            ny,
+            nz,
+            trans,
+            pressure,
+            residual,
+            fluid,
+            policy,
+            ..
+        } = self;
+        let view = DeviceView {
+            nx: *nx,
+            ny: *ny,
+            nz: *nz,
+            pressure: pressure.as_slice(),
+            trans: trans.as_slice(),
+            fluid: *fluid,
+        };
+        match model {
+            GpuModel::Raja => forall_3d(
+                *policy,
+                view.nx,
+                view.ny,
+                view.nz,
+                residual.as_mut_slice(),
+                |x, y, z| flux_residual_at(&view, x, y, z),
+            ),
+            GpuModel::Cuda => {
+                launch_flux_kernel_cuda(&view, residual.as_mut_slice());
+            }
+        }
+    }
+
+    /// Copies the residual back to the host (D2H).
+    pub fn read_residual(&mut self) -> Vec<f32> {
+        let mut out = vec![0.0_f32; self.nx * self.ny * self.nz];
+        self.residual.copy_to_host(&mut out);
+        out
+    }
+
+    /// Convenience: upload, launch, download.
+    pub fn apply_and_read(&mut self, model: GpuModel, pressure: &[f32]) -> Vec<f32> {
+        self.apply(model, pressure);
+        self.read_residual()
+    }
+
+    /// Kernel launches so far.
+    pub fn launches(&self) -> usize {
+        self.launches
+    }
+
+    /// H2D traffic in bytes (upload pattern checks).
+    pub fn h2d_bytes(&self) -> u64 {
+        self.trans.h2d_bytes + self.pressure.h2d_bytes
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_core::fields::PermeabilityField;
+    use fv_core::mesh::{Extents, Spacing};
+    use fv_core::residual::assemble_flux_residual;
+    use fv_core::state::FlowState;
+    use fv_core::trans::StencilKind;
+
+    fn setup() -> (CartesianMesh3, Fluid, Transmissibilities) {
+        let mesh = CartesianMesh3::new(Extents::new(18, 10, 6), Spacing::new(8.0, 8.0, 3.0));
+        let fluid = Fluid::water_like();
+        let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.3, 7);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        (mesh, fluid, trans)
+    }
+
+    #[test]
+    fn raja_and_cuda_agree_bitwise() {
+        let (mesh, fluid, trans) = setup();
+        let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.3e7, 4);
+        let mut prob = GpuFluxProblem::new(&mesh, &fluid, &trans);
+        let raja = prob.apply_and_read(GpuModel::Raja, p.pressure());
+        let cuda = prob.apply_and_read(GpuModel::Cuda, p.pressure());
+        assert_eq!(raja.len(), cuda.len());
+        for i in 0..raja.len() {
+            assert_eq!(raja[i].to_bits(), cuda[i].to_bits(), "cell {i}");
+        }
+        assert_eq!(prob.launches(), 2);
+    }
+
+    #[test]
+    fn gpu_matches_serial_reference_bitwise() {
+        let (mesh, fluid, trans) = setup();
+        let p = FlowState::<f32>::gaussian_pulse(&mesh, 1.0e7, 3.0e6, 4.0);
+        let mut serial = vec![0.0_f32; mesh.num_cells()];
+        assemble_flux_residual(&mesh, &fluid, &trans, p.pressure(), &mut serial);
+        let mut prob = GpuFluxProblem::new(&mesh, &fluid, &trans);
+        let gpu = prob.apply_and_read(GpuModel::Raja, p.pressure());
+        for i in 0..gpu.len() {
+            assert_eq!(gpu[i].to_bits(), serial[i].to_bits(), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn repeated_launches_do_not_reupload_static_data() {
+        let (mesh, fluid, trans) = setup();
+        let p = FlowState::<f32>::uniform(&mesh, 1.0e7);
+        let mut prob = GpuFluxProblem::new(&mesh, &fluid, &trans);
+        let after_setup = prob.h2d_bytes();
+        prob.apply(GpuModel::Cuda, p.pressure());
+        let per_apply = prob.h2d_bytes() - after_setup;
+        // only the pressure vector moves per application
+        assert_eq!(per_apply, (mesh.num_cells() * 4) as u64);
+        for _ in 0..5 {
+            prob.launch(GpuModel::Cuda);
+        }
+        assert_eq!(prob.h2d_bytes() - after_setup, per_apply);
+        assert_eq!(prob.launches(), 6);
+    }
+
+    #[test]
+    fn custom_policy_still_correct() {
+        let (mesh, fluid, trans) = setup();
+        let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 9);
+        let mut a = GpuFluxProblem::new(&mesh, &fluid, &trans);
+        let base = a.apply_and_read(GpuModel::Raja, p.pressure());
+        let mut b = GpuFluxProblem::new(&mesh, &fluid, &trans).with_policy(KernelPolicy {
+            tile_x: 8,
+            tile_y: 4,
+            tile_z: 4,
+            block_threads: 1024,
+        });
+        let other = b.apply_and_read(GpuModel::Raja, p.pressure());
+        assert_eq!(base, other);
+    }
+}

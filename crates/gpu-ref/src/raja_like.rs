@@ -1,0 +1,178 @@
+//! RAJA-like nested kernel-policy execution (paper §6, Fig. 7).
+//!
+//! The paper launches the flux kernel with a RAJA kernel policy: 3D
+//! threadblocks of 1024 threads tiled `16 × 8 × 8` (x innermost), with
+//! `cuda_thread_{x,y,z}_loop` policies on the three dimensions. This module
+//! reproduces the *structure*: the loop space is tiled by the policy, tiles
+//! are scheduled on a work-stealing pool (the stand-in for the SM
+//! scheduler), and within a tile the three thread loops run in x-innermost
+//! order.
+
+use crate::device::UnsafeCellSlice;
+use rayon::prelude::*;
+
+/// A RAJA-style kernel policy: tile sizes and block capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelPolicy {
+    /// Tile extent along X (innermost).
+    pub tile_x: usize,
+    /// Tile extent along Y.
+    pub tile_y: usize,
+    /// Tile extent along Z.
+    pub tile_z: usize,
+    /// Threads per block (the A100 limit the paper respects is 1024).
+    pub block_threads: usize,
+}
+
+/// The paper's policy: tile `16 × 8 × 8`, 1024-thread blocks.
+pub const DEFAULT_POLICY: KernelPolicy = KernelPolicy {
+    tile_x: 16,
+    tile_y: 8,
+    tile_z: 8,
+    block_threads: 1024,
+};
+
+impl KernelPolicy {
+    /// Checks the block actually fits the hardware thread limit.
+    pub fn validate(&self) {
+        assert!(self.tile_x >= 1 && self.tile_y >= 1 && self.tile_z >= 1);
+        assert!(
+            self.tile_x * self.tile_y * self.tile_z <= self.block_threads,
+            "tile exceeds the {}-thread block limit",
+            self.block_threads
+        );
+    }
+
+    /// Number of tiles covering an `n`-cell extent with tile size `t`.
+    fn tiles(n: usize, t: usize) -> usize {
+        n.div_ceil(t)
+    }
+
+    /// Total number of tiles covering `(nx, ny, nz)`.
+    pub fn num_tiles(&self, nx: usize, ny: usize, nz: usize) -> usize {
+        Self::tiles(nx, self.tile_x) * Self::tiles(ny, self.tile_y) * Self::tiles(nz, self.tile_z)
+    }
+}
+
+/// Executes `kernel(x, y, z) -> f32` over the full `(nx, ny, nz)` loop
+/// space under `policy`, writing each cell's result into `out` (mesh linear
+/// order, x innermost) — the RAJA `kernel<EXEC_POL>(make_tuple(...), lambda)`
+/// call of the paper's Fig. 7.
+pub fn forall_3d<F>(
+    policy: KernelPolicy,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    out: &mut [f32],
+    kernel: F,
+) where
+    F: Fn(usize, usize, usize) -> f32 + Sync,
+{
+    policy.validate();
+    assert_eq!(out.len(), nx * ny * nz);
+    let tx = KernelPolicy::tiles(nx, policy.tile_x);
+    let ty = KernelPolicy::tiles(ny, policy.tile_y);
+    let tz = KernelPolicy::tiles(nz, policy.tile_z);
+    let shared = UnsafeCellSlice::new(out);
+
+    // Tiles are the scheduled work units (blocks); each covers a disjoint
+    // 3D cell range, so concurrent writes never alias.
+    (0..tx * ty * tz).into_par_iter().for_each(|tile| {
+        let bx = tile % tx;
+        let by = (tile / tx) % ty;
+        let bz = tile / (tx * ty);
+        let x0 = bx * policy.tile_x;
+        let y0 = by * policy.tile_y;
+        let z0 = bz * policy.tile_z;
+        // cuda_thread_z_loop → cuda_thread_y_loop → cuda_thread_x_loop
+        for z in z0..(z0 + policy.tile_z).min(nz) {
+            for y in y0..(y0 + policy.tile_y).min(ny) {
+                for x in x0..(x0 + policy.tile_x).min(nx) {
+                    let v = kernel(x, y, z);
+                    // SAFETY: (x,y,z) belongs to exactly one tile.
+                    unsafe { shared.write((z * ny + y) * nx + x, v) };
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_the_papers() {
+        assert_eq!(DEFAULT_POLICY.tile_x, 16);
+        assert_eq!(DEFAULT_POLICY.tile_y, 8);
+        assert_eq!(DEFAULT_POLICY.tile_z, 8);
+        assert_eq!(DEFAULT_POLICY.block_threads, 1024);
+        DEFAULT_POLICY.validate(); // 16·8·8 = 1024 exactly fills a block
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_tile_rejected() {
+        KernelPolicy {
+            tile_x: 32,
+            tile_y: 8,
+            tile_z: 8,
+            block_threads: 1024,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn covers_every_cell_exactly_once() {
+        let (nx, ny, nz) = (19, 11, 9); // deliberately not tile multiples
+        let mut out = vec![-1.0_f32; nx * ny * nz];
+        forall_3d(DEFAULT_POLICY, nx, ny, nz, &mut out, |x, y, z| {
+            (x + 100 * y + 10_000 * z) as f32
+        });
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    assert_eq!(
+                        out[(z * ny + y) * nx + x],
+                        (x + 100 * y + 10_000 * z) as f32
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_mesh_single_tile() {
+        let mut out = vec![0.0_f32; 8];
+        forall_3d(DEFAULT_POLICY, 2, 2, 2, &mut out, |x, y, z| {
+            (x + y + z) as f32
+        });
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[7], 3.0);
+        assert_eq!(DEFAULT_POLICY.num_tiles(2, 2, 2), 1);
+    }
+
+    #[test]
+    fn tile_count_matches_ceil_division() {
+        assert_eq!(DEFAULT_POLICY.num_tiles(750, 994, 246), 47 * 125 * 31);
+        assert_eq!(DEFAULT_POLICY.num_tiles(16, 8, 8), 1);
+        assert_eq!(DEFAULT_POLICY.num_tiles(17, 8, 8), 2);
+    }
+
+    #[test]
+    fn custom_policy_produces_same_result() {
+        let (nx, ny, nz) = (10, 10, 5);
+        let mut a = vec![0.0_f32; nx * ny * nz];
+        let mut b = vec![0.0_f32; nx * ny * nz];
+        let f = |x: usize, y: usize, z: usize| (x * y + z) as f32;
+        forall_3d(DEFAULT_POLICY, nx, ny, nz, &mut a, f);
+        let other = KernelPolicy {
+            tile_x: 4,
+            tile_y: 4,
+            tile_z: 2,
+            block_threads: 1024,
+        };
+        forall_3d(other, nx, ny, nz, &mut b, f);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,182 @@
+//! Roofline model construction (paper §7.3, Figure 8).
+//!
+//! "The Roofline model provides a visual representation of a code's
+//! performance with relative to a machine's peak performance." Figure 8
+//! has two panels: the CS-2 (with *two* bandwidth ceilings — PE memory and
+//! fabric) and the A100 (HBM ceiling). This module produces the ceilings
+//! and the kernel dots; the `bench` crate prints them as plot-ready series.
+
+use serde::{Deserialize, Serialize};
+
+/// One bandwidth ceiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthCeiling {
+    /// Label ("memory", "fabric", "HBM").
+    pub label: String,
+    /// Bandwidth [B/s].
+    pub bytes_per_s: f64,
+}
+
+/// A machine roofline: one compute ceiling, one or more bandwidth slopes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Machine name for the figure.
+    pub machine: String,
+    /// Peak compute [FLOP/s].
+    pub peak_flops: f64,
+    /// Bandwidth ceilings.
+    pub bandwidths: Vec<BandwidthCeiling>,
+}
+
+/// A kernel placed on a roofline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Label ("FV flux (memory)", …).
+    pub label: String,
+    /// Arithmetic intensity [FLOP/B] with respect to one ceiling.
+    pub intensity: f64,
+    /// Achieved performance [FLOP/s].
+    pub achieved_flops: f64,
+    /// Which ceiling the intensity refers to.
+    pub ceiling: String,
+}
+
+impl Roofline {
+    /// Builds a roofline.
+    pub fn new(machine: impl Into<String>, peak_flops: f64) -> Self {
+        assert!(peak_flops > 0.0);
+        Self {
+            machine: machine.into(),
+            peak_flops,
+            bandwidths: Vec::new(),
+        }
+    }
+
+    /// Adds a bandwidth ceiling.
+    pub fn with_bandwidth(mut self, label: impl Into<String>, bytes_per_s: f64) -> Self {
+        assert!(bytes_per_s > 0.0);
+        self.bandwidths.push(BandwidthCeiling {
+            label: label.into(),
+            bytes_per_s,
+        });
+        self
+    }
+
+    /// Attainable FLOP/s at arithmetic intensity `ai` under the ceiling
+    /// named `label` (plus the compute roof).
+    pub fn attainable(&self, label: &str, ai: f64) -> f64 {
+        let bw = self
+            .bandwidths
+            .iter()
+            .find(|b| b.label == label)
+            .unwrap_or_else(|| panic!("no ceiling named {label}"))
+            .bytes_per_s;
+        (ai * bw).min(self.peak_flops)
+    }
+
+    /// The ridge intensity of a ceiling: where the slope meets the roof.
+    pub fn ridge(&self, label: &str) -> f64 {
+        let bw = self
+            .bandwidths
+            .iter()
+            .find(|b| b.label == label)
+            .unwrap_or_else(|| panic!("no ceiling named {label}"))
+            .bytes_per_s;
+        self.peak_flops / bw
+    }
+
+    /// True if a kernel at `ai` under `label` is bandwidth-bound.
+    pub fn is_bandwidth_bound(&self, label: &str, ai: f64) -> bool {
+        ai < self.ridge(label)
+    }
+
+    /// Fraction of the attainable roof a kernel achieves.
+    pub fn efficiency(&self, point: &RooflinePoint) -> f64 {
+        point.achieved_flops / self.attainable(&point.ceiling, point.intensity)
+    }
+
+    /// Log-spaced `(ai, attainable)` series for plotting one ceiling, from
+    /// `ai_min` to `ai_max` with `n` samples.
+    pub fn series(&self, label: &str, ai_min: f64, ai_max: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(ai_min > 0.0 && ai_max > ai_min && n >= 2);
+        let l0 = ai_min.ln();
+        let l1 = ai_max.ln();
+        (0..n)
+            .map(|i| {
+                let ai = (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp();
+                (ai, self.attainable(label, ai))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs2() -> Roofline {
+        // defaults from Cs2Model: 745500 PEs × 850 MHz, 2 lanes × FMA peak,
+        // 24 B/cycle memory port, 4 B/cycle fabric port
+        let pes = 745_500.0 * 850.0e6;
+        Roofline::new("CS-2", pes * 4.0)
+            .with_bandwidth("memory", pes * 24.0)
+            .with_bandwidth("fabric", pes * 4.0)
+    }
+
+    #[test]
+    fn cs2_flux_kernel_is_memory_bound_and_fabric_compute_bound() {
+        // Paper §7.3: "Our dataflow implementation is bandwidth-bound for
+        // memory access and compute-bound for fabric access."
+        let r = cs2();
+        assert!(r.is_bandwidth_bound("memory", 0.0862));
+        assert!(!r.is_bandwidth_bound("fabric", 2.1875));
+    }
+
+    #[test]
+    fn attainable_clamps_to_peak() {
+        let r = cs2();
+        assert_eq!(r.attainable("fabric", 1000.0), r.peak_flops);
+        let low = r.attainable("memory", 0.01);
+        assert!(low < r.peak_flops);
+        assert!((low - 0.01 * 745_500.0 * 850.0e6 * 24.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ridge_separates_regimes() {
+        let r = cs2();
+        let ridge = r.ridge("memory");
+        assert!(r.is_bandwidth_bound("memory", ridge * 0.99));
+        assert!(!r.is_bandwidth_bound("memory", ridge * 1.01));
+    }
+
+    #[test]
+    fn efficiency_of_a_point() {
+        let r = Roofline::new("toy", 100.0).with_bandwidth("mem", 10.0);
+        let p = RooflinePoint {
+            label: "k".into(),
+            intensity: 2.0,
+            achieved_flops: 15.0,
+            ceiling: "mem".into(),
+        };
+        assert!((r.efficiency(&p) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_is_monotonic_and_log_spaced() {
+        let r = cs2();
+        let s = r.series("memory", 0.01, 100.0, 20);
+        assert_eq!(s.len(), 20);
+        assert!((s[0].0 - 0.01).abs() < 1e-12);
+        assert!((s[19].0 - 100.0).abs() < 1e-9);
+        for w in s.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_ceiling_panics() {
+        let _ = cs2().attainable("l2", 1.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Fabric geometry: PE coordinates, link directions, fabric dimensions.
+
+use serde::{Deserialize, Serialize};
+
+/// One of a router's five full-duplex links (paper §4: "The router manages
+/// five full duplex links").
+///
+/// North/East/South/West connect to neighboring routers; `Ramp` connects a
+/// router to its own PE. Fabric "north" is decreasing row index, matching
+/// the paper's convention that a PE's northbound neighbor holds cell
+/// `(x, y − 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Direction {
+    /// Toward row − 1.
+    North = 0,
+    /// Toward col + 1.
+    East = 1,
+    /// Toward row + 1.
+    South = 2,
+    /// Toward col − 1.
+    West = 3,
+    /// The PE ↔ router link.
+    Ramp = 4,
+}
+
+/// The four fabric directions (everything but the ramp).
+pub const CARDINALS: [Direction; 4] = [
+    Direction::North,
+    Direction::East,
+    Direction::South,
+    Direction::West,
+];
+
+impl Direction {
+    /// The direction a wavelet sent this way *arrives from* at the neighbor:
+    /// a wavelet sent East is received on the neighbor's West link.
+    #[inline]
+    pub fn arrival_side(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+            Direction::Ramp => Direction::Ramp,
+        }
+    }
+
+    /// Column/row offset of the neighboring router along this link.
+    #[inline]
+    pub fn offset(self) -> (i64, i64) {
+        match self {
+            Direction::North => (0, -1),
+            Direction::East => (1, 0),
+            Direction::South => (0, 1),
+            Direction::West => (-1, 0),
+            Direction::Ramp => (0, 0),
+        }
+    }
+
+    /// Small index in `0..5` for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Position of a PE on the fabric: `(col, row)` = the paper's `(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeCoord {
+    /// Column (the paper's `x`).
+    pub col: usize,
+    /// Row (the paper's `y`).
+    pub row: usize,
+}
+
+impl PeCoord {
+    /// Creates a coordinate.
+    pub fn new(col: usize, row: usize) -> Self {
+        Self { col, row }
+    }
+}
+
+/// Fabric dimensions in PEs.
+///
+/// The full WSE-2 exposes a usable region of 750 × 994 PEs to the SDK
+/// (paper §7.1); simulations typically use much smaller fabrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FabricDims {
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+/// The usable fabric size of a CS-2 as reported in the paper's §7.1.
+pub const CS2_MAX_FABRIC: FabricDims = FabricDims {
+    cols: 750,
+    rows: 994,
+};
+
+impl FabricDims {
+    /// Creates fabric dimensions; both axes must be ≥ 1.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols >= 1 && rows >= 1, "fabric must be at least 1×1");
+        Self { cols, rows }
+    }
+
+    /// Total PE count.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Linear index of a coordinate (column innermost).
+    #[inline]
+    pub fn linear(&self, c: PeCoord) -> usize {
+        debug_assert!(c.col < self.cols && c.row < self.rows);
+        c.row * self.cols + c.col
+    }
+
+    /// Inverse of [`FabricDims::linear`].
+    #[inline]
+    pub fn coord(&self, idx: usize) -> PeCoord {
+        debug_assert!(idx < self.num_pes());
+        PeCoord {
+            col: idx % self.cols,
+            row: idx / self.cols,
+        }
+    }
+
+    /// The neighboring coordinate along `dir`, or `None` at the fabric edge.
+    #[inline]
+    pub fn neighbor(&self, c: PeCoord, dir: Direction) -> Option<PeCoord> {
+        let (dc, dr) = dir.offset();
+        if dir == Direction::Ramp {
+            return Some(c);
+        }
+        let col = c.col as i64 + dc;
+        let row = c.row as i64 + dr;
+        if col < 0 || row < 0 || col >= self.cols as i64 || row >= self.rows as i64 {
+            None
+        } else {
+            Some(PeCoord::new(col as usize, row as usize))
+        }
+    }
+
+    /// Iterates over all coordinates, row-major (column innermost).
+    pub fn iter(&self) -> impl Iterator<Item = PeCoord> + '_ {
+        (0..self.num_pes()).map(move |i| self.coord(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_side_is_opposite() {
+        assert_eq!(Direction::East.arrival_side(), Direction::West);
+        assert_eq!(Direction::North.arrival_side(), Direction::South);
+        assert_eq!(Direction::Ramp.arrival_side(), Direction::Ramp);
+        for d in CARDINALS {
+            assert_eq!(d.arrival_side().arrival_side(), d);
+        }
+    }
+
+    #[test]
+    fn offsets_match_paper_convention() {
+        // northbound neighbor holds (x, y−1)
+        assert_eq!(Direction::North.offset(), (0, -1));
+        assert_eq!(Direction::East.offset(), (1, 0));
+    }
+
+    #[test]
+    fn linear_roundtrip() {
+        let d = FabricDims::new(5, 3);
+        for i in 0..d.num_pes() {
+            assert_eq!(d.linear(d.coord(i)), i);
+        }
+        assert_eq!(d.num_pes(), 15);
+    }
+
+    #[test]
+    fn neighbors_clip_at_edges() {
+        let d = FabricDims::new(3, 3);
+        let corner = PeCoord::new(0, 0);
+        assert_eq!(d.neighbor(corner, Direction::North), None);
+        assert_eq!(d.neighbor(corner, Direction::West), None);
+        assert_eq!(
+            d.neighbor(corner, Direction::East),
+            Some(PeCoord::new(1, 0))
+        );
+        assert_eq!(
+            d.neighbor(corner, Direction::South),
+            Some(PeCoord::new(0, 1))
+        );
+        assert_eq!(d.neighbor(corner, Direction::Ramp), Some(corner));
+    }
+
+    #[test]
+    fn iter_covers_fabric_once() {
+        let d = FabricDims::new(4, 2);
+        let v: Vec<_> = d.iter().collect();
+        assert_eq!(v.len(), 8);
+        assert_eq!(v[0], PeCoord::new(0, 0));
+        assert_eq!(v[1], PeCoord::new(1, 0)); // column innermost
+        assert_eq!(v[7], PeCoord::new(3, 1));
+    }
+
+    #[test]
+    fn cs2_fabric_matches_paper() {
+        assert_eq!(CS2_MAX_FABRIC.num_pes(), 745_500);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_fabric_rejected() {
+        let _ = FabricDims::new(0, 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! PE-private local memory.
+//!
+//! Each PE owns a small scratchpad ("single-level memory"): 48 kB on WSE-2.
+//! "The cells in the same vertical column share the private memory of a PE,
+//! therefore reducing the memory consumption on each PE is crucial to fit
+//! the largest possible problem" (paper §5.3). The allocator here is a bump
+//! allocator over 32-bit words with the hardware capacity enforced, so the
+//! buffer-reuse optimization of §5.3.1 is a real, testable constraint.
+
+use serde::{Deserialize, Serialize};
+
+/// WSE-2 per-PE memory: 48 kB.
+pub const WSE2_PE_MEMORY_BYTES: usize = 48 * 1024;
+
+/// A contiguous allocation in PE memory, in 32-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRange {
+    /// First word.
+    pub offset: usize,
+    /// Length in words.
+    pub len: usize,
+}
+
+impl MemRange {
+    /// The `i`-th word's absolute address.
+    #[inline]
+    pub fn at(&self, i: usize) -> usize {
+        debug_assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.offset + i
+    }
+
+    /// Splits off the first `n` words.
+    pub fn split_at(&self, n: usize) -> (MemRange, MemRange) {
+        assert!(n <= self.len);
+        (
+            MemRange {
+                offset: self.offset,
+                len: n,
+            },
+            MemRange {
+                offset: self.offset + n,
+                len: self.len - n,
+            },
+        )
+    }
+}
+
+/// A PE's private memory: a word-addressed scratchpad with a bump allocator
+/// and a capacity limit.
+#[derive(Debug, Clone)]
+pub struct PeMemory {
+    words: Vec<u32>,
+    next_free: usize,
+    capacity_words: usize,
+}
+
+/// Allocation failure: the program exceeds the PE's scratchpad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Words requested.
+    pub requested: usize,
+    /// Words still available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PE memory exhausted: requested {} words, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+impl PeMemory {
+    /// Memory with the WSE-2 capacity (48 kB = 12288 words).
+    pub fn wse2() -> Self {
+        Self::with_capacity_bytes(WSE2_PE_MEMORY_BYTES)
+    }
+
+    /// Memory with an explicit byte capacity (must be a multiple of 4).
+    pub fn with_capacity_bytes(bytes: usize) -> Self {
+        assert!(bytes.is_multiple_of(4), "capacity must be word-aligned");
+        let capacity_words = bytes / 4;
+        Self {
+            words: vec![0; capacity_words],
+            next_free: 0,
+            capacity_words,
+        }
+    }
+
+    /// Allocates `len` words, zero-initialized.
+    pub fn alloc(&mut self, len: usize) -> Result<MemRange, OutOfMemory> {
+        if self.next_free + len > self.capacity_words {
+            return Err(OutOfMemory {
+                requested: len,
+                available: self.capacity_words - self.next_free,
+            });
+        }
+        let r = MemRange {
+            offset: self.next_free,
+            len,
+        };
+        self.next_free += len;
+        Ok(r)
+    }
+
+    /// Words currently allocated (the high-water mark — bump allocators
+    /// never free).
+    #[inline]
+    pub fn allocated_words(&self) -> usize {
+        self.next_free
+    }
+
+    /// Bytes currently allocated.
+    #[inline]
+    pub fn allocated_bytes(&self) -> usize {
+        self.next_free * 4
+    }
+
+    /// Total capacity in words.
+    #[inline]
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_words
+    }
+
+    /// Raw word read (host access / DSD engine — no traffic accounting
+    /// here; the DSD layer counts).
+    #[inline]
+    pub fn read_u32(&self, addr: usize) -> u32 {
+        self.words[addr]
+    }
+
+    /// Raw word write.
+    #[inline]
+    pub fn write_u32(&mut self, addr: usize, value: u32) {
+        self.words[addr] = value;
+    }
+
+    /// `f32` view of a word.
+    #[inline]
+    pub fn read_f32(&self, addr: usize) -> f32 {
+        f32::from_bits(self.words[addr])
+    }
+
+    /// `f32` store.
+    #[inline]
+    pub fn write_f32(&mut self, addr: usize, value: f32) {
+        self.words[addr] = value.to_bits();
+    }
+
+    /// Host-side bulk copy into PE memory (the SDK's `memcpy` in-direction).
+    pub fn host_write_f32(&mut self, range: MemRange, data: &[f32]) {
+        assert!(data.len() <= range.len, "host write exceeds range");
+        for (i, &v) in data.iter().enumerate() {
+            self.write_f32(range.at(i), v);
+        }
+    }
+
+    /// Host-side bulk copy out of PE memory (the SDK's `memcpy`
+    /// out-direction).
+    pub fn host_read_f32(&self, range: MemRange) -> Vec<f32> {
+        (0..range.len).map(|i| self.read_f32(range.at(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wse2_capacity_is_48kb() {
+        let m = PeMemory::wse2();
+        assert_eq!(m.capacity_words(), 12_288);
+        assert_eq!(m.allocated_words(), 0);
+    }
+
+    #[test]
+    fn alloc_bumps_and_is_word_exact() {
+        let mut m = PeMemory::with_capacity_bytes(64);
+        let a = m.alloc(4).unwrap();
+        let b = m.alloc(8).unwrap();
+        assert_eq!(a.offset, 0);
+        assert_eq!(b.offset, 4);
+        assert_eq!(m.allocated_words(), 12);
+        assert_eq!(m.allocated_bytes(), 48);
+        let c = m.alloc(4).unwrap();
+        assert_eq!(c.offset, 12);
+        // now full
+        let err = m.alloc(1).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert!(format!("{err}").contains("exhausted"));
+    }
+
+    #[test]
+    fn overallocation_reports_availability() {
+        let mut m = PeMemory::with_capacity_bytes(40); // 10 words
+        let _ = m.alloc(6).unwrap();
+        let err = m.alloc(5).unwrap_err();
+        assert_eq!(err.requested, 5);
+        assert_eq!(err.available, 4);
+    }
+
+    #[test]
+    fn f32_storage_is_bit_exact() {
+        let mut m = PeMemory::with_capacity_bytes(16);
+        let r = m.alloc(4).unwrap();
+        m.write_f32(r.at(0), -1.5);
+        m.write_f32(r.at(1), f32::from_bits(0x7FC0_0001));
+        assert_eq!(m.read_f32(r.at(0)), -1.5);
+        assert_eq!(m.read_f32(r.at(1)).to_bits(), 0x7FC0_0001);
+        m.write_u32(r.at(2), 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(r.at(2)), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn host_memcpy_roundtrip() {
+        let mut m = PeMemory::with_capacity_bytes(64);
+        let r = m.alloc(8).unwrap();
+        let data: Vec<f32> = (0..8).map(|i| i as f32 * 0.25).collect();
+        m.host_write_f32(r, &data);
+        assert_eq!(m.host_read_f32(r), data);
+    }
+
+    #[test]
+    fn range_split() {
+        let r = MemRange { offset: 10, len: 6 };
+        let (a, b) = r.split_at(2);
+        assert_eq!((a.offset, a.len), (10, 2));
+        assert_eq!((b.offset, b.len), (12, 4));
+        assert_eq!(b.at(1), 13);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_capacity_rejected() {
+        let _ = PeMemory::with_capacity_bytes(42);
+    }
+}

@@ -1,0 +1,167 @@
+//! The PE programming model: color-activated tasks over private memory.
+//!
+//! A [`PeProgram`] is the per-PE half of an SPMD fabric program, mirroring
+//! the CSL model the paper's implementation is written in: handlers run when
+//! a wavelet of some color reaches the PE's ramp, operate on the PE's
+//! private memory through DSD vector ops, and send wavelets back into the
+//! fabric through the router.
+
+use crate::dsd::{self, Dsd, Operand};
+use crate::geometry::{FabricDims, PeCoord};
+use crate::memory::{MemRange, OutOfMemory, PeMemory};
+use crate::route::{ColorConfig, Router};
+use crate::stats::OpCounters;
+use crate::wavelet::{Color, Wavelet};
+
+/// Everything a handler may touch: the PE's own memory, counters, router,
+/// and an outbox of wavelets to inject after the handler returns.
+pub struct PeContext<'a> {
+    /// This PE's fabric coordinate.
+    pub coord: PeCoord,
+    /// Fabric dimensions (for boundary awareness).
+    pub dims: FabricDims,
+    /// The PE's private memory.
+    pub memory: &'a mut PeMemory,
+    /// The PE's instruction counters.
+    pub counters: &'a mut OpCounters,
+    router: &'a mut Router,
+    outbox: &'a mut Vec<Wavelet>,
+    activations: &'a mut Vec<(Color, u32)>,
+}
+
+impl<'a> PeContext<'a> {
+    pub(crate) fn new(
+        coord: PeCoord,
+        dims: FabricDims,
+        memory: &'a mut PeMemory,
+        counters: &'a mut OpCounters,
+        router: &'a mut Router,
+        outbox: &'a mut Vec<Wavelet>,
+        activations: &'a mut Vec<(Color, u32)>,
+    ) -> Self {
+        Self {
+            coord,
+            dims,
+            memory,
+            counters,
+            router,
+            outbox,
+            activations,
+        }
+    }
+
+    /// Installs a router configuration for `color` (program-load time).
+    pub fn configure_color(&mut self, color: Color, config: ColorConfig) {
+        self.router.configure(color, config);
+    }
+
+    /// The active switch position of `color` on this PE's router.
+    pub fn switch_position(&self, color: Color) -> Option<usize> {
+        self.router.position_index(color)
+    }
+
+    /// Allocates PE memory (panics on exhaustion with a clear message — a
+    /// program that overflows its scratchpad is a bug, like on hardware).
+    pub fn alloc(&mut self, len: usize) -> MemRange {
+        match self.memory.alloc(len) {
+            Ok(r) => r,
+            Err(OutOfMemory {
+                requested,
+                available,
+            }) => panic!(
+                "PE ({}, {}): out of local memory (requested {requested} words, \
+                 {available} available of {})",
+                self.coord.col,
+                self.coord.row,
+                self.memory.capacity_words()
+            ),
+        }
+    }
+
+    /// Sends one data wavelet into the fabric through this PE's router.
+    pub fn send_f32(&mut self, color: Color, value: f32) {
+        self.outbox.push(Wavelet::data_f32(color, value));
+    }
+
+    /// Sends a whole memory vector as consecutive wavelets (an FMOV-out
+    /// per element, with fabric-traffic accounting).
+    pub fn send_vector(&mut self, color: Color, src: Dsd) {
+        let values = dsd::fmov_send(self.memory, self.counters, src);
+        for v in values {
+            self.outbox.push(Wavelet::data_f32(color, v));
+        }
+    }
+
+    /// Sends a control wavelet (toggles switch positions along its route).
+    pub fn send_control(&mut self, color: Color, payload: u32) {
+        self.outbox.push(Wavelet::control(color, payload));
+    }
+
+    /// Activates a local task: the handler for `color` runs on this PE
+    /// without touching the fabric (CSL's local task activation).
+    pub fn activate(&mut self, color: Color, payload: u32) {
+        self.activations.push((color, payload));
+    }
+
+    /// Stores a received wavelet payload (FMOV-in accounting).
+    pub fn recv_store(&mut self, addr: usize, value: f32) {
+        dsd::fmov_recv(self.memory, self.counters, addr, value);
+    }
+
+    // --- vector-op sugar, delegating to the DSD engine ------------------
+
+    /// `dst = a * b`.
+    pub fn fmuls(&mut self, dst: Dsd, a: Operand, b: Operand) {
+        dsd::fmuls(self.memory, self.counters, dst, a, b);
+    }
+
+    /// `dst = a * H(gate > 0)` — predicated multiply (upwind selection).
+    pub fn fmuls_gate(&mut self, dst: Dsd, a: Operand, gate: Operand) {
+        dsd::fmuls_gate(self.memory, self.counters, dst, a, gate);
+    }
+
+    /// `dst = a - b`.
+    pub fn fsubs(&mut self, dst: Dsd, a: Operand, b: Operand) {
+        dsd::fsubs(self.memory, self.counters, dst, a, b);
+    }
+
+    /// `dst = a + b`.
+    pub fn fadds(&mut self, dst: Dsd, a: Operand, b: Operand) {
+        dsd::fadds(self.memory, self.counters, dst, a, b);
+    }
+
+    /// `dst += a * b`.
+    pub fn fmacs(&mut self, dst: Dsd, a: Operand, b: Operand) {
+        dsd::fmacs(self.memory, self.counters, dst, a, b);
+    }
+
+    /// `dst = -a`.
+    pub fn fnegs(&mut self, dst: Dsd, a: Operand) {
+        dsd::fnegs(self.memory, self.counters, dst, a);
+    }
+
+    /// Vector EOS density evaluation (Eq. 5) — outside Table-4 accounting.
+    pub fn eos_density(&mut self, dst: Dsd, p: Dsd, rho_ref: f32, c_f: f32, p_ref: f32) {
+        dsd::eos_density(self.memory, self.counters, dst, p, rho_ref, c_f, p_ref);
+    }
+}
+
+/// The per-PE half of an SPMD fabric program.
+///
+/// One instance exists per PE (constructed by the program factory passed to
+/// [`crate::fabric::Fabric::new`]). Handlers must be deterministic; all
+/// cross-PE communication goes through wavelets.
+pub trait PeProgram: Send {
+    /// Runs once at load time: allocate memory, configure router colors.
+    fn init(&mut self, ctx: &mut PeContext);
+
+    /// A data wavelet of some color reached this PE's ramp (either from the
+    /// fabric or via local activation).
+    fn on_data(&mut self, ctx: &mut PeContext, wavelet: Wavelet);
+
+    /// A control wavelet reached this PE's ramp (after toggling the routers
+    /// on its path, including this PE's).
+    fn on_control(&mut self, ctx: &mut PeContext, wavelet: Wavelet) {
+        let _ = (ctx, wavelet);
+    }
+}

@@ -1,0 +1,392 @@
+//! Per-color router configuration with runtime-switchable positions.
+//!
+//! A WSE router routes a wavelet by its color: each color has a
+//! configuration — a set of accepted input links (`rx`) and a set of output
+//! links (`tx`). A wavelet arriving on an `rx` link is forwarded to **all**
+//! `tx` links (local broadcast). Up to two *switch positions* can be defined
+//! per color; a control wavelet flips the active position after being
+//! forwarded, which is how the paper's Fig. 6 alternates a PE between
+//! *Sending* (config 0: `ramp → fabric`) and *Receiving* (config 1:
+//! `fabric → ramp`).
+
+use crate::geometry::Direction;
+use crate::wavelet::{Color, MAX_COLORS};
+use serde::{Deserialize, Serialize};
+
+/// A set of router links, packed as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DirMask(u8);
+
+impl DirMask {
+    /// The empty set.
+    pub const EMPTY: DirMask = DirMask(0);
+
+    /// A set from a list of directions.
+    pub const fn of(dirs: &[Direction]) -> Self {
+        let mut bits = 0u8;
+        let mut i = 0;
+        while i < dirs.len() {
+            bits |= 1 << (dirs[i] as u8);
+            i += 1;
+        }
+        DirMask(bits)
+    }
+
+    /// Single-direction set.
+    pub const fn single(dir: Direction) -> Self {
+        DirMask(1 << (dir as u8))
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, dir: Direction) -> bool {
+        self.0 & (1 << (dir as u8)) != 0
+    }
+
+    /// Union.
+    #[inline]
+    pub fn with(self, dir: Direction) -> Self {
+        DirMask(self.0 | (1 << (dir as u8)))
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over member directions in N, E, S, W, Ramp order.
+    pub fn iter(self) -> impl Iterator<Item = Direction> {
+        use Direction::*;
+        [North, East, South, West, Ramp]
+            .into_iter()
+            .filter(move |d| self.contains(*d))
+    }
+}
+
+/// One switch position of a color's route: which links it accepts wavelets
+/// from and which links it forwards them to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterPosition {
+    /// Accepted input links.
+    pub rx: DirMask,
+    /// Output links (wavelets are forwarded to **all** of them).
+    pub tx: DirMask,
+}
+
+impl RouterPosition {
+    /// Builds a position.
+    pub const fn new(rx: DirMask, tx: DirMask) -> Self {
+        Self { rx, tx }
+    }
+}
+
+/// A color's routing configuration: one or two switch positions plus the
+/// currently active one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColorConfig {
+    positions: [RouterPosition; 2],
+    num_positions: u8,
+    current: u8,
+}
+
+impl ColorConfig {
+    /// A single-position (static) route.
+    pub const fn fixed(pos: RouterPosition) -> Self {
+        Self {
+            positions: [pos, pos],
+            num_positions: 1,
+            current: 0,
+        }
+    }
+
+    /// A two-position switchable route, starting in `initial` (0 or 1).
+    pub fn switchable(pos0: RouterPosition, pos1: RouterPosition, initial: usize) -> Self {
+        assert!(initial < 2);
+        Self {
+            positions: [pos0, pos1],
+            num_positions: 2,
+            current: initial as u8,
+        }
+    }
+
+    /// The active position.
+    #[inline]
+    pub fn active(&self) -> RouterPosition {
+        self.positions[self.current as usize]
+    }
+
+    /// The active position's index (0 or 1).
+    #[inline]
+    pub fn current_index(&self) -> usize {
+        self.current as usize
+    }
+
+    /// Toggles between positions (no-op for a fixed route).
+    #[inline]
+    pub fn toggle(&mut self) {
+        if self.num_positions == 2 {
+            self.current ^= 1;
+        }
+    }
+}
+
+/// What a router does with one incoming wavelet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Links the wavelet is forwarded to (may include `Ramp`).
+    pub outputs: Vec<Direction>,
+    /// Whether a switch toggle occurred (control wavelet).
+    pub toggled: bool,
+}
+
+/// A per-PE router: 24 color configurations plus traffic counters.
+#[derive(Debug, Clone)]
+pub struct Router {
+    configs: [Option<ColorConfig>; MAX_COLORS],
+    /// Wavelets forwarded per fabric link (excludes ramp deliveries).
+    pub fabric_hops: u64,
+    /// Wavelets delivered up the ramp to the PE.
+    pub ramp_deliveries: u64,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Router {
+    /// A router with no colors configured.
+    pub fn new() -> Self {
+        Self {
+            configs: [None; MAX_COLORS],
+            fabric_hops: 0,
+            ramp_deliveries: 0,
+        }
+    }
+
+    /// Installs a color configuration (program-load time on real hardware).
+    pub fn configure(&mut self, color: Color, config: ColorConfig) {
+        self.configs[color.index()] = Some(config);
+    }
+
+    /// The configuration of a color, if installed.
+    pub fn config(&self, color: Color) -> Option<&ColorConfig> {
+        self.configs[color.index()].as_ref()
+    }
+
+    /// The active switch-position index of a color (testing/diagnostics).
+    pub fn position_index(&self, color: Color) -> Option<usize> {
+        self.configs[color.index()].map(|c| c.current_index())
+    }
+
+    /// Routes one wavelet arriving on `input`. Returns the output links.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error if the color is unconfigured or the
+    /// active position does not accept the input link — both are program
+    /// bugs that real hardware would surface as a hang.
+    pub fn route(
+        &mut self,
+        color: Color,
+        input: Direction,
+        is_control: bool,
+    ) -> Result<RouteOutcome, RouteError> {
+        let cfg = self.configs[color.index()]
+            .as_mut()
+            .ok_or(RouteError::UnconfiguredColor(color))?;
+        let pos = cfg.active();
+        if !pos.rx.contains(input) {
+            return Err(RouteError::InputNotAccepted {
+                color,
+                input,
+                position: cfg.current_index(),
+            });
+        }
+        let outputs: Vec<Direction> = pos.tx.iter().collect();
+        for d in &outputs {
+            if *d == Direction::Ramp {
+                self.ramp_deliveries += 1;
+            } else {
+                self.fabric_hops += 1;
+            }
+        }
+        let toggled = if is_control {
+            cfg.toggle();
+            true
+        } else {
+            false
+        };
+        Ok(RouteOutcome { outputs, toggled })
+    }
+}
+
+/// Routing failure: a misconfigured program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No configuration installed for this color on this router.
+    UnconfiguredColor(Color),
+    /// The active switch position does not accept this input link.
+    InputNotAccepted {
+        /// The wavelet's color.
+        color: Color,
+        /// The link it arrived on.
+        input: Direction,
+        /// The active switch position index.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::UnconfiguredColor(c) => {
+                write!(f, "color {} has no route on this router", c.id())
+            }
+            RouteError::InputNotAccepted {
+                color,
+                input,
+                position,
+            } => write!(
+                f,
+                "color {} (position {position}) does not accept input {input:?}",
+                color.id()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Direction::*;
+
+    #[test]
+    fn dirmask_basics() {
+        let m = DirMask::of(&[North, Ramp]);
+        assert!(m.contains(North));
+        assert!(m.contains(Ramp));
+        assert!(!m.contains(East));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert!(DirMask::EMPTY.is_empty());
+        let n = m.with(East);
+        assert_eq!(n.len(), 3);
+        let members: Vec<_> = n.iter().collect();
+        assert_eq!(members, vec![North, East, Ramp]);
+    }
+
+    #[test]
+    fn fixed_route_forwards_to_all_outputs() {
+        let mut r = Router::new();
+        let c = Color::new(2);
+        r.configure(
+            c,
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Ramp),
+                DirMask::of(&[East, West]),
+            )),
+        );
+        let out = r.route(c, Ramp, false).unwrap();
+        assert_eq!(out.outputs, vec![East, West]);
+        assert!(!out.toggled);
+        assert_eq!(r.fabric_hops, 2);
+        assert_eq!(r.ramp_deliveries, 0);
+    }
+
+    #[test]
+    fn unconfigured_color_errors() {
+        let mut r = Router::new();
+        let err = r.route(Color::new(5), Ramp, false).unwrap_err();
+        assert_eq!(err, RouteError::UnconfiguredColor(Color::new(5)));
+        assert!(format!("{err}").contains("no route"));
+    }
+
+    #[test]
+    fn wrong_input_errors() {
+        let mut r = Router::new();
+        let c = Color::new(1);
+        r.configure(
+            c,
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Ramp),
+                DirMask::single(East),
+            )),
+        );
+        let err = r.route(c, West, false).unwrap_err();
+        assert!(matches!(err, RouteError::InputNotAccepted { .. }));
+        assert!(format!("{err}").contains("does not accept"));
+    }
+
+    #[test]
+    fn control_wavelet_toggles_switch_position() {
+        // Paper Fig. 6: config 0 = Sending (ramp → east), config 1 =
+        // Receiving (west → ramp). A control wavelet flips them.
+        let mut r = Router::new();
+        let c = Color::new(0);
+        let sending = RouterPosition::new(DirMask::single(Ramp), DirMask::single(East));
+        let receiving = RouterPosition::new(DirMask::single(West), DirMask::single(Ramp));
+        r.configure(c, ColorConfig::switchable(sending, receiving, 0));
+        assert_eq!(r.position_index(c), Some(0));
+
+        // data flows ramp → east while in position 0
+        let out = r.route(c, Ramp, false).unwrap();
+        assert_eq!(out.outputs, vec![East]);
+
+        // control wavelet is forwarded AND toggles
+        let out = r.route(c, Ramp, true).unwrap();
+        assert!(out.toggled);
+        assert_eq!(out.outputs, vec![East]);
+        assert_eq!(r.position_index(c), Some(1));
+
+        // now the router receives from the west instead
+        let out = r.route(c, West, false).unwrap();
+        assert_eq!(out.outputs, vec![Ramp]);
+        assert_eq!(r.ramp_deliveries, 1);
+
+        // ramp sends are rejected in receive position
+        assert!(r.route(c, Ramp, false).is_err());
+
+        // a second control returns to the initial position (involution)
+        let _ = r.route(c, West, true).unwrap();
+        assert_eq!(r.position_index(c), Some(0));
+    }
+
+    #[test]
+    fn toggle_is_noop_for_fixed_routes() {
+        let mut cfg = ColorConfig::fixed(RouterPosition::new(
+            DirMask::single(Ramp),
+            DirMask::single(North),
+        ));
+        let before = cfg.active();
+        cfg.toggle();
+        assert_eq!(cfg.active(), before);
+    }
+
+    #[test]
+    fn broadcast_to_four_directions_counts_hops() {
+        // The cardinal-exchange send: one wavelet fans to N, E, S, W.
+        let mut r = Router::new();
+        let c = Color::new(9);
+        r.configure(
+            c,
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Ramp),
+                DirMask::of(&[North, East, South, West]),
+            )),
+        );
+        let out = r.route(c, Ramp, false).unwrap();
+        assert_eq!(out.outputs.len(), 4);
+        assert_eq!(r.fabric_hops, 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Wavelets: the fabric's 32-bit packets, tagged with a routing color.
+//!
+//! "Each of these links transfers data in 32-bit packets. Each packet is
+//! associated with a color, or tag, used for routing and indicating the type
+//! of a message." (paper §4)
+
+use serde::{Deserialize, Serialize};
+
+/// Number of routable colors a router supports (the WSE exposes 24
+/// user-routable colors).
+pub const MAX_COLORS: usize = 24;
+
+/// A routing color / message tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Color(u8);
+
+impl Color {
+    /// Creates a color; must be below [`MAX_COLORS`].
+    pub const fn new(id: u8) -> Self {
+        assert!((id as usize) < MAX_COLORS, "color id out of range");
+        Self(id)
+    }
+
+    /// The raw color id.
+    #[inline]
+    pub const fn id(self) -> u8 {
+        self.0
+    }
+
+    /// Index in `0..MAX_COLORS` for table lookups.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a wavelet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaveletKind {
+    /// Ordinary 32-bit data.
+    Data,
+    /// A control wavelet: routed like data, but every router it traverses
+    /// toggles the switch position of the wavelet's color after forwarding
+    /// it — the runtime router-reconfiguration mechanism of the paper's
+    /// Fig. 6 ("At each step, a router command is sent through the broadcast
+    /// pattern, changing the configurations from one to the alternative
+    /// router configuration").
+    Control,
+}
+
+/// A 32-bit packet with its color tag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wavelet {
+    /// Routing color.
+    pub color: Color,
+    /// Raw 32-bit payload.
+    pub payload: u32,
+    /// Data or control.
+    pub kind: WaveletKind,
+}
+
+impl Wavelet {
+    /// A data wavelet carrying raw bits.
+    pub fn data(color: Color, payload: u32) -> Self {
+        Self {
+            color,
+            payload,
+            kind: WaveletKind::Data,
+        }
+    }
+
+    /// A data wavelet carrying an `f32` (the working precision of the
+    /// paper's kernel — single-precision 32-bit floats).
+    pub fn data_f32(color: Color, value: f32) -> Self {
+        Self::data(color, value.to_bits())
+    }
+
+    /// A control wavelet (payload is available to the receiving task).
+    pub fn control(color: Color, payload: u32) -> Self {
+        Self {
+            color,
+            payload,
+            kind: WaveletKind::Control,
+        }
+    }
+
+    /// The payload reinterpreted as `f32`.
+    #[inline]
+    pub fn as_f32(&self) -> f32 {
+        f32::from_bits(self.payload)
+    }
+
+    /// True for control wavelets.
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        self.kind == WaveletKind::Control
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_id_roundtrip() {
+        let c = Color::new(7);
+        assert_eq!(c.id(), 7);
+        assert_eq!(c.index(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_color_rejected() {
+        let _ = Color::new(MAX_COLORS as u8);
+    }
+
+    #[test]
+    fn f32_payload_is_bit_exact() {
+        let c = Color::new(0);
+        for v in [0.0_f32, -1.5, f32::MIN_POSITIVE, 3.0e38, -0.0] {
+            let w = Wavelet::data_f32(c, v);
+            assert_eq!(w.as_f32().to_bits(), v.to_bits());
+            assert!(!w.is_control());
+        }
+    }
+
+    #[test]
+    fn control_wavelets_are_flagged() {
+        let w = Wavelet::control(Color::new(3), 42);
+        assert!(w.is_control());
+        assert_eq!(w.payload, 42);
+    }
+
+    #[test]
+    fn nan_payload_survives_transit() {
+        let v = f32::from_bits(0x7FC0_1234); // a quiet NaN with payload bits
+        let w = Wavelet::data_f32(Color::new(1), v);
+        assert_eq!(w.as_f32().to_bits(), 0x7FC0_1234);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the DSD vector engine: every vector op must
+//! agree element-wise with its scalar f32 semantics, and the counters must
+//! be exact linear functions of the vector length.
+
+use proptest::prelude::*;
+use wse_sim::dsd::{self, Dsd, Operand};
+use wse_sim::memory::PeMemory;
+use wse_sim::stats::OpCounters;
+
+fn setup(values_a: &[f32], values_b: &[f32]) -> (PeMemory, Dsd, Dsd, Dsd) {
+    let n = values_a.len();
+    let mut mem = PeMemory::with_capacity_bytes(((3 * n * 4) + 64).next_multiple_of(4));
+    let a = Dsd::contiguous(mem.alloc(n).unwrap().offset, n);
+    let b = Dsd::contiguous(mem.alloc(n).unwrap().offset, n);
+    let d = Dsd::contiguous(mem.alloc(n).unwrap().offset, n);
+    for i in 0..n {
+        mem.write_f32(a.at(i), values_a[i]);
+        mem.write_f32(b.at(i), values_b[i]);
+    }
+    (mem, a, b, d)
+}
+
+fn finite_vec() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1usize..64).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-1.0e6_f32..1.0e6, n),
+            proptest::collection::vec(-1.0e6_f32..1.0e6, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn fmuls_matches_scalar_semantics((va, vb) in finite_vec()) {
+        let (mut mem, a, b, d) = setup(&va, &vb);
+        let mut ctr = OpCounters::default();
+        dsd::fmuls(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        for i in 0..va.len() {
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (va[i] * vb[i]).to_bits());
+        }
+        prop_assert_eq!(ctr.fmul, va.len() as u64);
+        prop_assert_eq!(ctr.mem_loads, 2 * va.len() as u64);
+        prop_assert_eq!(ctr.mem_stores, va.len() as u64);
+    }
+
+    #[test]
+    fn fsubs_fadds_match_scalar_semantics((va, vb) in finite_vec()) {
+        let (mut mem, a, b, d) = setup(&va, &vb);
+        let mut ctr = OpCounters::default();
+        dsd::fsubs(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        for i in 0..va.len() {
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (va[i] - vb[i]).to_bits());
+        }
+        dsd::fadds(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        for i in 0..va.len() {
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (va[i] + vb[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn fmacs_is_fused_multiply_add((va, vb) in finite_vec()) {
+        let (mut mem, a, b, d) = setup(&va, &vb);
+        // preload the accumulator
+        for i in 0..va.len() {
+            mem.write_f32(d.at(i), 10.0);
+        }
+        let mut ctr = OpCounters::default();
+        dsd::fmacs(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        for i in 0..va.len() {
+            let expect = va[i].mul_add(vb[i], 10.0);
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), expect.to_bits());
+        }
+        prop_assert_eq!(ctr.flops(), 2 * va.len() as u64);
+    }
+
+    #[test]
+    fn fnegs_is_sign_flip((va, vb) in finite_vec()) {
+        let (mut mem, a, _b, d) = setup(&va, &vb);
+        let mut ctr = OpCounters::default();
+        dsd::fnegs(&mut mem, &mut ctr, d, Operand::Mem(a));
+        for i in 0..va.len() {
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (-va[i]).to_bits());
+        }
+        prop_assert_eq!(ctr.mem_loads, va.len() as u64);
+    }
+
+    #[test]
+    fn gate_multiply_is_heaviside((va, vb) in finite_vec()) {
+        let (mut mem, a, b, d) = setup(&va, &vb);
+        let mut ctr = OpCounters::default();
+        dsd::fmuls_gate(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        for i in 0..va.len() {
+            let expect = if vb[i] > 0.0 { va[i] } else { 0.0 };
+            prop_assert_eq!(mem.read_f32(d.at(i)), expect);
+        }
+        // counted as FMUL, per the Table-4 convention
+        prop_assert_eq!(ctr.fmul, va.len() as u64);
+    }
+
+    #[test]
+    fn fmov_roundtrip_is_bit_exact((va, vb) in finite_vec()) {
+        let (mut mem, a, _b, d) = setup(&va, &vb);
+        let mut ctr = OpCounters::default();
+        let sent = dsd::fmov_send(&mem, &mut ctr, a);
+        for (i, v) in sent.iter().enumerate() {
+            dsd::fmov_recv(&mut mem, &mut ctr, d.at(i), *v);
+        }
+        for i in 0..va.len() {
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), va[i].to_bits());
+        }
+        prop_assert_eq!(ctr.fabric_loads, va.len() as u64);
+        prop_assert_eq!(ctr.fabric_stores, va.len() as u64);
+        prop_assert_eq!(ctr.comm_cycles, 2 * va.len() as u64);
+    }
+
+    #[test]
+    fn scalar_operands_broadcast(s in -1.0e6_f32..1.0e6, (va, vb) in finite_vec()) {
+        let (mut mem, a, _b, d) = setup(&va, &vb);
+        let mut ctr = OpCounters::default();
+        dsd::fmuls(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Scalar(s));
+        for i in 0..va.len() {
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (va[i] * s).to_bits());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Matrix-free pressure solve — the paper's §8 outlook realized: "The FV
+//! flux computation is naturally extendable to a matrix-free operator ...
+//! for use in an iterative Krylov method which would solve equation (2)."
+//!
+//! Solves a steady pressure equation with fixed injector/producer source
+//! terms using conjugate gradients on the frozen-mobility (Picard) operator
+//! — no matrix is ever assembled; every CG iteration is one flux-stencil
+//! sweep.
+//!
+//! ```text
+//! cargo run --release --example pressure_solve
+//! ```
+
+use mdfv::fv::linalg::norm2;
+use mdfv::fv::operator::{FrozenMobilityOperator, LinearOperator};
+use mdfv::fv::prelude::*;
+use mdfv::fv::solver::cg::ConjugateGradient;
+
+fn main() {
+    // Quarter-five-spot: injector in one corner, producer in the other.
+    let mesh = CartesianMesh3::new(Extents::new(32, 32, 4), Spacing::new(10.0, 10.0, 5.0));
+    let fluid = Fluid::water_like().without_gravity();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.5, 1234);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let n = mesh.num_cells();
+
+    // Picard operator frozen at the initial pressure, with a tiny
+    // compressibility shift to pin the constant null-space mode.
+    let p0 = FlowState::<f64>::uniform(&mesh, 15.0e6);
+    let op = FrozenMobilityOperator::new(&mesh, &fluid, &trans, p0.pressure())
+        .with_diagonal(vec![1e-10; n]);
+
+    // RHS: +q in the injector column, −q in the producer column.
+    let mut rhs = vec![0.0_f64; n];
+    for z in 0..mesh.nz() {
+        rhs[mesh.linear(2, 2, z)] = 1.0;
+        rhs[mesh.linear(29, 29, z)] = -1.0;
+    }
+
+    println!("matrix-free pressure solve: {n} unknowns, quarter-five-spot RHS");
+    println!("operator = frozen-mobility TPFA stencil (one sweep per CG iteration)\n");
+
+    // Plain CG vs Jacobi-preconditioned CG.
+    for (label, jacobi) in [("CG", false), ("CG + Jacobi", true)] {
+        let mut solver = ConjugateGradient::new(n, 2000, 1e-10);
+        if jacobi {
+            let diag = op.diagonal();
+            solver = solver.with_jacobi(&diag);
+        }
+        let mut dp = vec![0.0_f64; n];
+        let report = solver.solve(&op, &rhs, &mut dp);
+        assert!(report.converged(), "{label} failed: {report:?}");
+
+        // verify the solution satisfies the system
+        let mut check = vec![0.0_f64; n];
+        op.apply(&dp, &mut check);
+        for i in 0..n {
+            check[i] -= rhs[i];
+        }
+        println!(
+            "{label:12}: {:4} iterations, residual {:.2e}, ‖A·dp − rhs‖ = {:.2e}",
+            report.iterations,
+            report.residual_norm,
+            norm2(&check)
+        );
+
+        // physics sanity: pressure rises at the injector, falls at the
+        // producer, and the gradient drives flow between them
+        let inj = dp[mesh.linear(2, 2, 0)];
+        let prod = dp[mesh.linear(29, 29, 0)];
+        assert!(inj > 0.0 && prod < 0.0);
+        println!(
+            "              injector dP {:+.3e} Pa, producer dP {:+.3e} Pa",
+            inj, prod
+        );
+    }
+    println!("\nno matrix was assembled at any point — flux sweeps only (paper §8)");
+}

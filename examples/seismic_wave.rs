@@ -1,0 +1,85 @@
+//! Acoustic wave propagation on the dataflow fabric — the application the
+//! paper's §8 says the diagonal communication pattern unlocks ("solving the
+//! acoustic wave equation on tiled transversely isotropic media ... also
+//! require[s] fetching data from diagonal neighbors").
+//!
+//! A point source rings in the middle of the domain; the wavefront expands
+//! over the PE grid, each time step powered by one full in-plane exchange
+//! (cardinal switching + diagonal intermediaries). The fabric result is
+//! checked against the serial reference every few steps and the wavefront
+//! radius is printed as a crude seismogram.
+//!
+//! ```text
+//! cargo run --release --example seismic_wave
+//! ```
+
+use mdfv::dataflow::wave::{serial_wave_step, WaveParams, WaveSimulator};
+
+fn main() {
+    let (nx, ny, nz) = (21usize, 21, 4);
+    // 10 m cells, 1500 m/s medium, CFL-stable step, diagonal coupling on
+    let params = WaveParams::new(10.0, 10.0, 10.0, 1500.0, 2.0e-3, 0.5);
+    println!(
+        "acoustic wave on a {nx}x{ny} PE fabric, {nz}-deep columns, CFL = {:.3}",
+        params.cfl()
+    );
+
+    // initial condition: a sharp Gaussian at the center, zero velocity
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut u0 = vec![0.0_f32; nx * ny * nz];
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let r2 = (x as f64 - 10.0).powi(2) + (y as f64 - 10.0).powi(2);
+                u0[idx(x, y, z)] = (-r2 / 2.0).exp() as f32;
+            }
+        }
+    }
+
+    let mut sim = WaveSimulator::new(nx, ny, nz, params);
+    sim.set_initial(&u0, &u0);
+
+    // serial shadow for validation
+    let mut u = u0.clone();
+    let mut u_prev = u0;
+
+    println!("\nstep   center amp   wavefront radius [cells]   max |fab-serial|");
+    println!("----------------------------------------------------------------");
+    for step in 1..=24 {
+        sim.step().expect("fabric step");
+        let next = serial_wave_step(nx, ny, nz, &params, &u, &u_prev);
+        u_prev = std::mem::replace(&mut u, next);
+
+        if step % 4 == 0 {
+            let fab = sim.read_field();
+            let max_diff = fab
+                .iter()
+                .zip(&u)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f32, f32::max);
+            // wavefront radius: farthest cell (along +x from center) whose
+            // amplitude exceeds 5% of the current peak
+            let peak = fab.iter().map(|v| v.abs()).fold(0.0_f32, f32::max);
+            let mut radius = 0usize;
+            for r in 0..=10 {
+                if fab[idx(10 + r, 10, 1)].abs() > 0.05 * peak {
+                    radius = r;
+                }
+            }
+            println!(
+                "{step:4}   {:+.4e}   {radius:24}   {max_diff:.3e}",
+                fab[idx(10, 10, 1)]
+            );
+            assert!(max_diff < 1e-4, "fabric diverged from serial");
+        }
+    }
+
+    let stats = sim.stats();
+    println!(
+        "\n{} steps, {} wavelets exchanged, {} FLOPs on the fabric",
+        sim.steps(),
+        stats.total.fabric_loads,
+        stats.total.flops()
+    );
+    println!("fabric == serial reference at every checkpoint — diagonal stencil verified");
+}

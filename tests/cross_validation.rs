@@ -1,0 +1,156 @@
+//! Cross-implementation validation (paper §7.1: "We compare and validate
+//! the numerical results produced by the CS-2 to those produced by the
+//! reference implementations").
+//!
+//! Every implementation — serial cell-based, serial face-based, RAJA-like,
+//! CUDA-like, and the dataflow fabric — must agree on the same flux
+//! residual, across mesh shapes, stencils, fluids and pressure fields.
+
+use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+use mdfv::fv::prelude::*;
+use mdfv::fv::validate::rel_max_diff_vs_reference;
+use mdfv::gpu::problem::{GpuFluxProblem, GpuModel};
+
+fn reference_f64(
+    mesh: &CartesianMesh3,
+    fluid: &Fluid,
+    trans: &Transmissibilities,
+    p: &[f32],
+) -> Vec<f64> {
+    let p64: Vec<f64> = p.iter().map(|&v| v as f64).collect();
+    let mut r = vec![0.0_f64; mesh.num_cells()];
+    assemble_flux_residual(mesh, fluid, trans, &p64, &mut r);
+    r
+}
+
+fn check_all(mesh: &CartesianMesh3, fluid: &Fluid, trans: &Transmissibilities, p: &[f32]) {
+    let reference = reference_f64(mesh, fluid, trans, p);
+
+    let mut gpu = GpuFluxProblem::new(mesh, fluid, trans);
+    let raja = gpu.apply_and_read(GpuModel::Raja, p);
+    let cuda = gpu.apply_and_read(GpuModel::Cuda, p);
+    assert!(
+        rel_max_diff_vs_reference(&reference, &raja) < 1e-4,
+        "RAJA diverged"
+    );
+    // RAJA and CUDA launchers must agree exactly (same f32 ops, same order)
+    for i in 0..raja.len() {
+        assert_eq!(
+            raja[i].to_bits(),
+            cuda[i].to_bits(),
+            "raja vs cuda cell {i}"
+        );
+    }
+
+    let mut fabric = DataflowFluxSimulator::new(mesh, fluid, trans, DataflowOptions::default());
+    let dataflow = fabric.apply(p).expect("fabric run");
+    assert!(
+        rel_max_diff_vs_reference(&reference, &dataflow) < 1e-3,
+        "dataflow diverged: {}",
+        rel_max_diff_vs_reference(&reference, &dataflow)
+    );
+}
+
+#[test]
+fn agreement_on_cubic_mesh_ten_point() {
+    let mesh = CartesianMesh3::new(Extents::new(8, 8, 8), Spacing::uniform(5.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.5, 1);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.3e7, 0);
+    check_all(&mesh, &fluid, &trans, p.pressure());
+}
+
+#[test]
+fn agreement_on_flat_pancake_mesh() {
+    // nz = 1: only in-plane faces; stresses the exchange without Z faces
+    let mesh = CartesianMesh3::new(Extents::new(12, 9, 1), Spacing::new(3.0, 7.0, 2.0));
+    let fluid = Fluid::co2_like();
+    let perm = PermeabilityField::log_normal(&mesh, 5e-14, 0.4, 2);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let p = FlowState::<f32>::gaussian_pulse(&mesh, 1.5e7, 3.0e6, 2.5);
+    check_all(&mesh, &fluid, &trans, p.pressure());
+}
+
+#[test]
+fn agreement_on_tall_column_mesh() {
+    // deep Z: stresses the in-PE column faces and gravity
+    let mesh = CartesianMesh3::new(Extents::new(4, 4, 24), Spacing::new(10.0, 10.0, 2.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::layered(&mesh, &[1e-12, 2e-14, 5e-13]);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let p = FlowState::<f32>::hydrostatic(&mesh, &fluid, 30.0e6);
+    check_all(&mesh, &fluid, &trans, p.pressure());
+}
+
+#[test]
+fn agreement_with_cardinal_stencil() {
+    let mesh = CartesianMesh3::new(Extents::new(7, 6, 4), Spacing::uniform(4.0));
+    let fluid = Fluid::water_like().without_gravity();
+    let perm = PermeabilityField::uniform(&mesh, 1e-13);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::Cardinal);
+    let p = FlowState::<f32>::varied(&mesh, 9.0e6, 1.1e7, 5);
+    check_all(&mesh, &fluid, &trans, p.pressure());
+}
+
+#[test]
+fn agreement_across_iterated_pressure_vectors() {
+    // the paper's protocol: a different pressure vector at every call
+    let mesh = CartesianMesh3::new(Extents::new(6, 5, 3), Spacing::uniform(8.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.3, 3);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let mut fabric = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut gpu = GpuFluxProblem::new(&mesh, &fluid, &trans);
+    for i in 0..5 {
+        let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, i);
+        let reference = reference_f64(&mesh, &fluid, &trans, p.pressure());
+        let df = fabric.apply(p.pressure()).unwrap();
+        let gr = gpu.apply_and_read(GpuModel::Cuda, p.pressure());
+        assert!(
+            rel_max_diff_vs_reference(&reference, &df) < 1e-3,
+            "iter {i}"
+        );
+        assert!(
+            rel_max_diff_vs_reference(&reference, &gr) < 1e-4,
+            "iter {i}"
+        );
+    }
+}
+
+#[test]
+fn facewise_and_cellwise_references_agree_everywhere() {
+    let mesh = CartesianMesh3::new(Extents::new(9, 7, 5), Spacing::new(2.0, 3.0, 4.0));
+    let fluid = Fluid::co2_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.6, 8);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let p = FlowState::<f64>::varied(&mesh, 1.4e7, 1.6e7, 2);
+    let mut a = vec![0.0_f64; mesh.num_cells()];
+    let mut b = vec![0.0_f64; mesh.num_cells()];
+    assemble_flux_residual(&mesh, &fluid, &trans, p.pressure(), &mut a);
+    assemble_flux_residual_facewise(&mesh, &fluid, &trans, p.pressure(), &mut b);
+    let scale = a.iter().map(|v| v.abs()).fold(1e-300, f64::max);
+    for i in 0..a.len() {
+        assert!((a[i] - b[i]).abs() < 1e-10 * scale, "cell {i}");
+    }
+}
+
+#[test]
+fn single_row_and_single_column_fabrics() {
+    // degenerate fabrics exercise every trailing/leading-edge special case
+    for (nx, ny) in [(8, 1), (1, 8), (2, 2)] {
+        let mesh = CartesianMesh3::new(Extents::new(nx, ny, 3), Spacing::uniform(5.0));
+        let fluid = Fluid::water_like();
+        let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.3, 4);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 1);
+        let reference = reference_f64(&mesh, &fluid, &trans, p.pressure());
+        let mut fabric =
+            DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let df = fabric.apply(p.pressure()).unwrap();
+        assert!(
+            rel_max_diff_vs_reference(&reference, &df) < 1e-3,
+            "fabric {nx}x{ny}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests of the extension subsystems through the public `mdfv`
+//! API: the §8 acoustic wave on the fabric, the §9 unstructured meshes, and
+//! the GEOS-style two-phase IMPES flow.
+
+use mdfv::dataflow::wave::{serial_wave_step, WaveParams, WaveSimulator};
+use mdfv::fv::prelude::*;
+use mdfv::fv::twophase::{ImpesSimulator, TwoPhaseFluid, VolumetricSource};
+use mdfv::fv::umesh::{assemble_flux_residual_unstructured, UnstructuredMesh};
+
+#[test]
+fn wave_on_fabric_agrees_with_serial_through_public_api() {
+    let (nx, ny, nz) = (6, 6, 4);
+    let params = WaveParams::new(5.0, 5.0, 5.0, 1000.0, 1.5e-3, 0.25);
+    assert!(params.cfl() < 1.0);
+    let mut u0 = vec![0.0_f32; nx * ny * nz];
+    u0[(ny + 3) * nx + 3] = 1.0;
+    let mut sim = WaveSimulator::new(nx, ny, nz, params);
+    sim.set_initial(&u0, &u0);
+    let mut u = u0.clone();
+    let mut up = u0;
+    for _ in 0..8 {
+        sim.step().unwrap();
+        let next = serial_wave_step(nx, ny, nz, &params, &u, &up);
+        up = std::mem::replace(&mut u, next);
+    }
+    let fab = sim.read_field();
+    let scale = u.iter().map(|v| v.abs()).fold(1e-12_f32, f32::max);
+    for i in 0..u.len() {
+        assert!((fab[i] - u[i]).abs() <= 3e-5 * scale, "cell {i}");
+    }
+}
+
+#[test]
+fn wave_energy_radiates_but_stays_bounded_without_diagonals() {
+    // β = 0 disables the diagonal weights (but the exchange still runs) —
+    // a pure 7-point wave stencil, also stable
+    let params = WaveParams::new(5.0, 5.0, 5.0, 1000.0, 1.5e-3, 0.0);
+    let mut sim = WaveSimulator::new(8, 8, 2, params);
+    let mut u0 = vec![0.0_f32; 128];
+    u0[4 * 8 + 4] = 1.0;
+    sim.set_initial(&u0, &u0);
+    sim.step_n(30).unwrap();
+    let u = sim.read_field();
+    let max = u.iter().map(|v| v.abs()).fold(0.0_f32, f32::max);
+    assert!(max.is_finite() && max < 2.0);
+}
+
+#[test]
+fn unstructured_conversion_preserves_newton_compatible_residuals() {
+    // full pipeline: Cartesian problem → general mesh → unstructured
+    // assembly == structured assembly
+    let mesh = CartesianMesh3::new(Extents::new(6, 5, 4), Spacing::new(4.0, 4.0, 2.0));
+    let fluid = Fluid::co2_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.5, 77);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let general = UnstructuredMesh::from_cartesian(&mesh, &trans);
+    let p = FlowState::<f64>::gaussian_pulse(&mesh, 1.6e7, 2.0e6, 2.0);
+    let mut structured = vec![0.0_f64; mesh.num_cells()];
+    assemble_flux_residual_facewise(&mesh, &fluid, &trans, p.pressure(), &mut structured);
+    let mut unstructured = vec![0.0_f64; mesh.num_cells()];
+    assemble_flux_residual_unstructured(&general, &fluid, p.pressure(), &mut unstructured);
+    let scale = structured.iter().map(|v| v.abs()).fold(1e-300, f64::max);
+    for i in 0..structured.len() {
+        assert!((structured[i] - unstructured[i]).abs() <= 1e-10 * scale);
+    }
+}
+
+#[test]
+fn impes_waterflood_on_heterogeneous_3d_mesh() {
+    let mesh = CartesianMesh3::new(Extents::new(8, 8, 3), Spacing::uniform(5.0));
+    let fluid = TwoPhaseFluid::water_co2();
+    let perm = PermeabilityField::layered(&mesh, &[3e-13, 5e-14, 2e-13]);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let n = mesh.num_cells();
+    let sources = vec![
+        VolumetricSource {
+            cell: mesh.linear(0, 0, 0),
+            rate: 1.0e-4,
+            water_fraction: 1.0,
+        },
+        VolumetricSource {
+            cell: mesh.linear(7, 7, 2),
+            rate: -1.0e-4,
+            water_fraction: 0.0,
+        },
+    ];
+    let mut sim = ImpesSimulator::new(n, 0.25);
+    let mut p = vec![1.5e7_f64; n];
+    let mut s = vec![fluid.s_wc; n];
+    let dt = sim.suggest_dt(&mesh, &sources, 0.05);
+    for step in 0..150 {
+        let rep = sim.step(&mesh, &fluid, &trans, &sources, dt, &mut p, &mut s);
+        assert!(rep.pressure_solve.converged(), "step {step}");
+    }
+    // the injector-side high-perm layer floods fastest
+    assert!(s[mesh.linear(0, 0, 0)] > 0.9 * fluid.s_w_max());
+    assert!(s[mesh.linear(1, 0, 0)] > s[mesh.linear(7, 7, 0)]);
+    // bounds preserved everywhere
+    assert!(s
+        .iter()
+        .all(|&v| v >= fluid.s_wc - 1e-12 && v <= fluid.s_w_max() + 1e-12));
+}
+
+#[test]
+fn wave_and_tpfa_share_the_exchange_infrastructure() {
+    // both programs run on identically-configured fabrics: a smoke test
+    // that the factored exchange engine serves two different applications
+    use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+    let mesh = CartesianMesh3::new(Extents::new(5, 5, 3), Spacing::uniform(5.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::uniform(&mesh, 1e-13);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let mut tpfa = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 0);
+    tpfa.apply(p.pressure()).unwrap();
+
+    let params = WaveParams::new(5.0, 5.0, 5.0, 1000.0, 1.0e-3, 0.5);
+    let mut wave = WaveSimulator::new(5, 5, 3, params);
+    wave.set_initial(&vec![0.1_f32; 75], &vec![0.1_f32; 75]);
+    wave.step_n(3).unwrap();
+
+    // identical in-plane traffic per interior PE and iteration count ratio
+    // of 2 (TPFA ships two quantities, the wave one)
+    let t = tpfa.pe_counters(2, 2).fabric_loads;
+    let w = wave.stats().total; // aggregate; compare shape only
+    assert_eq!(t, 16 * 3);
+    assert!(w.fabric_loads > 0);
+}

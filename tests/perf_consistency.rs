@@ -1,0 +1,104 @@
+//! Consistency between the measured simulators and the analytic machine
+//! models — the contract that makes the full-scale tables trustworthy.
+
+use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+use mdfv::fv::prelude::*;
+use mdfv::perf::{A100Model, Cs2Model, TpfaCycleModel};
+
+fn measure_interior(nz: usize) -> mdfv::wse::stats::OpCounters {
+    let mesh = CartesianMesh3::new(Extents::new(5, 5, nz), Spacing::new(10.0, 10.0, 4.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::uniform(&mesh, 1e-13);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 0);
+    sim.apply(p.pressure()).unwrap();
+    *sim.pe_counters(2, 2)
+}
+
+#[test]
+fn analytic_cycle_model_matches_measurement_for_every_nz() {
+    for nz in [1usize, 2, 5, 13, 24] {
+        let measured = measure_interior(nz);
+        let model = TpfaCycleModel::new(nz);
+        assert_eq!(
+            measured.compute_cycles,
+            model.compute_cycles(),
+            "compute cycles at nz={nz}"
+        );
+        assert_eq!(
+            measured.comm_cycles,
+            model.comm_cycles(),
+            "comm cycles at nz={nz}"
+        );
+        assert_eq!(measured.flops(), 140 * nz as u64);
+    }
+}
+
+#[test]
+fn comm_fraction_is_nz_independent() {
+    // Table 3's split must not depend on the column height (both comm and
+    // compute are linear in nz).
+    let f1 = TpfaCycleModel::new(50).comm_fraction();
+    let f2 = TpfaCycleModel::new(246).comm_fraction();
+    assert!((f1 - f2).abs() < 0.01, "{f1} vs {f2}");
+}
+
+#[test]
+fn dataflow_beats_gpu_model_at_every_paper_mesh_size() {
+    // the paper's headline: two orders of magnitude at every scale
+    let a100 = A100Model::default();
+    let cycles = TpfaCycleModel::new(246);
+    for (nx, ny) in [(200, 200), (400, 400), (600, 600), (750, 950)] {
+        let cs2 = Cs2Model {
+            fabric_cols: nx,
+            fabric_rows: ny,
+            ..Cs2Model::default()
+        };
+        let t_cs2 = cs2.time_seconds(cycles.total_cycles() as f64 / cs2.simd_width, 1000);
+        let t_a100 = a100.time_seconds(nx * ny * 246, 1000);
+        let speedup = t_a100 / t_cs2;
+        assert!(
+            speedup > 30.0,
+            "{nx}x{ny}: speedup {speedup} should be large"
+        );
+    }
+}
+
+#[test]
+fn gpu_model_time_is_superlinear_in_nothing() {
+    // strictly proportional to cells — the Table 2 A100 column's shape
+    let a100 = A100Model::default();
+    let base = a100.time_seconds(1_000_000, 1000);
+    for k in [2usize, 5, 10] {
+        let t = a100.time_seconds(k * 1_000_000, 1000);
+        assert!((t / base - k as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn cs2_time_scales_linearly_in_nz_but_not_in_fabric_area() {
+    let cs2 = Cs2Model::default();
+    let t = |nz: usize| {
+        cs2.time_seconds(
+            TpfaCycleModel::new(nz).total_cycles() as f64 / cs2.simd_width,
+            1000,
+        )
+    };
+    // nz doubles → compute roughly doubles (modulo the wavefront constant)
+    let r = t(492) / t(246);
+    assert!(r > 1.8 && r < 2.2, "nz scaling ratio {r}");
+}
+
+#[test]
+fn roofline_placements_match_measured_intensities() {
+    use mdfv::perf::Roofline;
+    let measured = measure_interior(12);
+    let cs2 = Cs2Model::default();
+    let roof = Roofline::new("CS-2", cs2.peak_flops())
+        .with_bandwidth("memory", cs2.memory_bandwidth())
+        .with_bandwidth("fabric", cs2.fabric_bandwidth());
+    // the paper's §7.3 statement, from *measured* intensities:
+    assert!(roof.is_bandwidth_bound("memory", measured.memory_intensity()));
+    assert!(!roof.is_bandwidth_bound("fabric", measured.fabric_intensity()));
+}

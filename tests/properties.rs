@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) on the core invariants of the flux
+//! kernel, the mesh, the EOS and the fabric simulation.
+
+use mdfv::fv::flux::{face_flux, face_flux_from_pressure};
+use mdfv::fv::prelude::*;
+use proptest::prelude::*;
+
+fn pressure_range() -> impl Strategy<Value = f64> {
+    5.0e6..40.0e6
+}
+
+fn trans_range() -> impl Strategy<Value = f64> {
+    1.0e-14..1.0e-10
+}
+
+proptest! {
+    /// F_KL = −F_LK for every admissible input (mass leaving K enters L).
+    #[test]
+    fn flux_is_antisymmetric(
+        pk in pressure_range(),
+        pl in pressure_range(),
+        t in trans_range(),
+        dz in -10.0..10.0_f64,
+    ) {
+        let fluid = Fluid::water_like();
+        let g_dz = fluid.gravity * dz;
+        let fwd = face_flux_from_pressure(&fluid, t, pk, pl, g_dz);
+        let bwd = face_flux_from_pressure(&fluid, t, pl, pk, -g_dz);
+        let scale = fwd.flux.abs().max(1.0e-12);
+        prop_assert!((fwd.flux + bwd.flux).abs() <= 1e-12 * scale);
+    }
+
+    /// The upwind mobility always uses the upstream cell's density.
+    #[test]
+    fn upwind_uses_upstream_density(
+        pk in pressure_range(),
+        pl in pressure_range(),
+        rho_k in 200.0..1200.0_f64,
+        rho_l in 200.0..1200.0_f64,
+        t in trans_range(),
+    ) {
+        let inv_mu = 1.0e3;
+        let f = face_flux(t, pk, pl, rho_k, rho_l, 0.0, inv_mu);
+        if f.pot_diff > 0.0 {
+            // flow K→L: mobility from K
+            let expect = t * rho_k * inv_mu * f.pot_diff;
+            prop_assert!((f.flux - expect).abs() <= 1e-12 * expect.abs().max(1e-300));
+        } else {
+            let expect = t * rho_l * inv_mu * f.pot_diff;
+            prop_assert!((f.flux - expect).abs() <= 1e-12 * expect.abs().max(1e-300));
+        }
+    }
+
+    /// Flux is homogeneous of degree 1 in the transmissibility.
+    #[test]
+    fn flux_scales_with_transmissibility(
+        pk in pressure_range(),
+        pl in pressure_range(),
+        t in trans_range(),
+        factor in 0.1..10.0_f64,
+    ) {
+        let fluid = Fluid::co2_like();
+        let a = face_flux_from_pressure(&fluid, t, pk, pl, 0.0).flux;
+        let b = face_flux_from_pressure(&fluid, t * factor, pk, pl, 0.0).flux;
+        prop_assert!((b - a * factor).abs() <= 1e-10 * b.abs().max(1e-300));
+    }
+
+    /// Density (Eq. 5) is positive and strictly increasing in pressure.
+    #[test]
+    fn eos_is_monotonic_and_positive(p in pressure_range(), dp in 1.0..1.0e6_f64) {
+        let fluid = Fluid::water_like();
+        let a: f64 = fluid.density(p);
+        let b: f64 = fluid.density(p + dp);
+        prop_assert!(a > 0.0);
+        prop_assert!(b > a);
+    }
+
+    /// Interior fluxes cancel: the global residual sums to ~zero on any
+    /// no-flow-bounded problem.
+    #[test]
+    fn global_conservation(seed in 0u64..1000, iter in 0u64..50) {
+        let mesh = CartesianMesh3::new(Extents::new(5, 4, 3), Spacing::uniform(3.0));
+        let fluid = Fluid::water_like();
+        let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, seed);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        let p = FlowState::<f64>::varied(&mesh, 1.0e7, 1.4e7, iter);
+        let mut r = vec![0.0_f64; mesh.num_cells()];
+        assemble_flux_residual(&mesh, &fluid, &trans, p.pressure(), &mut r);
+        let total: f64 = r.iter().sum();
+        let scale: f64 = r.iter().map(|v| v.abs()).sum::<f64>().max(1e-300);
+        prop_assert!(total.abs() / scale < 1e-12);
+    }
+
+    /// Mesh linear/structured indexing is a bijection.
+    #[test]
+    fn mesh_indexing_roundtrip(nx in 1usize..12, ny in 1usize..12, nz in 1usize..12) {
+        let mesh = CartesianMesh3::new(Extents::new(nx, ny, nz), Spacing::uniform(1.0));
+        for idx in 0..mesh.num_cells() {
+            let c = mesh.structured(idx);
+            prop_assert_eq!(mesh.linear_idx(c), idx);
+        }
+    }
+
+    /// Neighbor relations are symmetric on every mesh shape.
+    #[test]
+    fn neighbor_symmetry(nx in 1usize..8, ny in 1usize..8, nz in 1usize..8) {
+        let mesh = CartesianMesh3::new(Extents::new(nx, ny, nz), Spacing::uniform(1.0));
+        for (_, c) in mesh.cells() {
+            for nb in mdfv::fv::mesh::ALL_NEIGHBORS {
+                if let Some(l) = mesh.neighbor(c, nb) {
+                    prop_assert_eq!(mesh.neighbor(l, nb.opposite()), Some(c));
+                }
+            }
+        }
+    }
+
+    /// Transmissibilities are symmetric (Υ_KL = Υ_LK) for any permeability
+    /// field.
+    #[test]
+    fn transmissibility_symmetry(seed in 0u64..500, sigma in 0.0..0.8_f64) {
+        let mesh = CartesianMesh3::new(Extents::new(4, 4, 3), Spacing::new(2.0, 3.0, 4.0));
+        let perm = PermeabilityField::log_normal(&mesh, 1e-13, sigma, seed);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        for (i, c) in mesh.cells() {
+            for nb in mdfv::fv::mesh::ALL_NEIGHBORS {
+                if let Some(l) = mesh.neighbor(c, nb) {
+                    let j = mesh.linear_idx(l);
+                    let fwd = trans.t(i, nb);
+                    let bwd = trans.t(j, nb.opposite());
+                    prop_assert!((fwd - bwd).abs() <= 1e-15 * fwd.abs().max(1e-300));
+                }
+            }
+        }
+    }
+
+    /// Harmonic mean is bounded by its inputs and by the arithmetic mean.
+    #[test]
+    fn harmonic_mean_bounds(a in 1.0e-16..1.0e-8_f64, b in 1.0e-16..1.0e-8_f64) {
+        let h = mdfv::fv::trans::harmonic(a, b);
+        prop_assert!(h <= a.min(b) + 1e-30);
+        prop_assert!(h <= 0.25 * (a + b) + 1e-30 || (a - b).abs() < 1e-12 * a);
+        prop_assert!(h > 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The dataflow fabric agrees with the serial reference on random
+    /// problems (expensive: few cases).
+    #[test]
+    fn dataflow_matches_serial_on_random_problems(
+        seed in 0u64..100,
+        iter in 0u64..20,
+        nx in 3usize..6,
+        ny in 3usize..6,
+        nz in 1usize..5,
+    ) {
+        use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+        use mdfv::fv::validate::rel_max_diff_vs_reference;
+        let mesh = CartesianMesh3::new(Extents::new(nx, ny, nz), Spacing::uniform(5.0));
+        let fluid = Fluid::water_like();
+        let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, seed);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, iter);
+        let p64: Vec<f64> = p.pressure().iter().map(|&v| v as f64).collect();
+        let mut reference = vec![0.0_f64; mesh.num_cells()];
+        assemble_flux_residual(&mesh, &fluid, &trans, &p64, &mut reference);
+        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let r = sim.apply(p.pressure()).unwrap();
+        prop_assert!(rel_max_diff_vs_reference(&reference, &r) < 1e-3);
+    }
+}
