@@ -7,6 +7,7 @@ use bench::{pressure_for_iteration, standard_problem};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_ref::problem::{GpuFluxProblem, GpuModel};
 use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use wse_sim::fabric::Execution;
 
 const NZ: usize = 6;
 
@@ -19,6 +20,49 @@ fn bench_dataflow_weak_scaling(c: &mut Criterion) {
         let p = pressure_for_iteration(&mesh, 0);
         g.throughput(Throughput::Elements(mesh.num_cells() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
+            b.iter(|| sim.apply(&p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Sequential vs sharded fabric engine on the same 64×64 fabric. Results
+/// are bit-identical; only the host wall-clock differs — this group is the
+/// speedup measurement for the parallel engine.
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/64x64");
+    g.sample_size(10);
+    let n = 64usize;
+    let (mesh, fluid, trans) = standard_problem(n, n, NZ, 2);
+    let p = pressure_for_iteration(&mesh, 0);
+    let threads = std::thread::available_parallelism().map_or(4, |c| c.get().min(4));
+    let engines = [
+        ("sequential".to_string(), Execution::Sequential),
+        (
+            format!("sharded-4x{threads}t"),
+            Execution::Sharded { shards: 4, threads },
+        ),
+        (
+            format!("sharded-16x{threads}t"),
+            Execution::Sharded { shards: 16, threads },
+        ),
+        (
+            format!("sharded-64x{threads}t"),
+            Execution::Sharded { shards: 64, threads },
+        ),
+    ];
+    for (label, execution) in engines {
+        let mut sim = DataflowFluxSimulator::new(
+            &mesh,
+            &fluid,
+            &trans,
+            DataflowOptions {
+                execution,
+                ..DataflowOptions::default()
+            },
+        );
+        g.throughput(Throughput::Elements(mesh.num_cells() as u64));
+        g.bench_with_input(BenchmarkId::new(label, n * n), &n, |b, _| {
             b.iter(|| sim.apply(&p).unwrap());
         });
     }
@@ -39,5 +83,10 @@ fn bench_gpu_weak_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dataflow_weak_scaling, bench_gpu_weak_scaling);
+criterion_group!(
+    benches,
+    bench_dataflow_weak_scaling,
+    bench_engine_comparison,
+    bench_gpu_weak_scaling
+);
 criterion_main!(benches);

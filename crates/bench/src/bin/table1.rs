@@ -10,7 +10,10 @@
 //! 2. *Modeled, paper scale*: the CS-2 and A100 machine models fed with
 //!    counters measured from the simulators, next to the paper's numbers.
 
-use bench::{measure_dataflow, pressure_for_iteration, standard_problem, PAPER_ITERATIONS};
+use bench::{
+    measure_dataflow, measure_dataflow_with, pressure_for_iteration, standard_problem,
+    PAPER_ITERATIONS,
+};
 use fv_core::residual::assemble_flux_residual;
 use gpu_ref::problem::{GpuFluxProblem, GpuModel};
 use perf_model::{A100Model, Cs2Model};
@@ -24,7 +27,11 @@ fn stats_of(samples: &[f64]) -> (f64, f64) {
 }
 
 fn main() {
-    println!("== Table 1: time measurement, 1000 applications of Algorithm 1 ==\n");
+    // `--shards N [--threads M]` runs the fabric simulation on the
+    // parallel sharded engine (bit-identical results, faster host clock).
+    let execution = bench::execution_from_args();
+    println!("== Table 1: time measurement, 1000 applications of Algorithm 1 ==");
+    println!("(fabric engine: {})\n", bench::execution_label(execution));
 
     // ---- layer 1: measured at laboratory scale --------------------------
     let (nx, ny, nz) = (24, 24, 12);
@@ -72,7 +79,7 @@ fn main() {
     let mut sim_t = Vec::new();
     for _ in 0..repeats.min(2) {
         let t0 = Instant::now();
-        let _ = measure_dataflow(nx, ny, nz, apps.min(3), true);
+        let _ = measure_dataflow_with(nx, ny, nz, apps.min(3), true, execution);
         sim_t.push(t0.elapsed().as_secs_f64());
     }
 

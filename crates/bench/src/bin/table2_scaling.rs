@@ -8,7 +8,7 @@
 //! scale is run first to demonstrate the property on the real simulator:
 //! the critical-path PE's cycle count stays constant as the fabric grows.
 
-use bench::{measure_dataflow, PAPER_ITERATIONS};
+use bench::{measure_dataflow_with, PAPER_ITERATIONS};
 use perf_model::{A100Model, Cs2Model};
 
 /// The paper's Table 2 rows: (Nx, Ny, Nz, paper CS-2 s, paper A100 s,
@@ -23,7 +23,11 @@ const PAPER_ROWS: [(usize, usize, usize, f64, f64, f64); 6] = [
 ];
 
 fn main() {
-    println!("== Table 2: weak scaling (Nz = 246, 1000 applications) ==\n");
+    // `--shards N [--threads M]` selects the parallel sharded fabric
+    // engine; counters (and thus every modeled number) are bit-identical.
+    let execution = bench::execution_from_args();
+    println!("== Table 2: weak scaling (Nz = 246, 1000 applications) ==");
+    println!("(fabric engine: {})\n", bench::execution_label(execution));
 
     // ---- functional demonstration on the simulator ----------------------
     println!("Functional weak scaling on the fabric simulator (nz = 8):");
@@ -39,7 +43,7 @@ fn main() {
     bench::print_sep(&w);
     let mut first_cycles = None;
     for n in [4usize, 8, 12, 16] {
-        let m = measure_dataflow(n, n, 8, 1, true);
+        let m = measure_dataflow_with(n, n, 8, 1, true, execution);
         let cyc = m.interior_pe_per_iteration.cycles();
         bench::print_row(
             &[
@@ -61,7 +65,7 @@ fn main() {
 
     // ---- paper-scale table ----------------------------------------------
     let a100 = A100Model::default();
-    let meas = measure_dataflow(9, 9, 12, 1, true);
+    let meas = measure_dataflow_with(9, 9, 12, 1, true, execution);
     let per_iter_nz12 = meas.interior_pe_per_iteration.cycles() as f64;
 
     let w = [6, 6, 6, 14, 12, 12, 12, 12, 12];

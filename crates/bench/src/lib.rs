@@ -12,6 +12,7 @@ use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
 use fv_core::state::FlowState;
 use fv_core::trans::{StencilKind, Transmissibilities};
 use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use wse_sim::fabric::Execution;
 use wse_sim::stats::OpCounters;
 
 /// The paper's production mesh (750 × 994 × 246 = 183 393 000 cells).
@@ -58,6 +59,43 @@ pub struct DataflowMeasurement {
     pub nz: usize,
 }
 
+/// Parses `--shards N [--threads M]` from a benchmark binary's argument
+/// list into a fabric [`Execution`]. No `--shards` (or `--shards 0`/`1`
+/// with no threads) keeps the sequential reference engine; `--threads`
+/// defaults to the shard count, capped at the available cores.
+pub fn execution_from_arg_slice(args: &[String]) -> Execution {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    match value_of("--shards") {
+        None | Some(0) => Execution::Sequential,
+        Some(shards) => {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let threads = value_of("--threads").unwrap_or_else(|| shards.min(cores));
+            Execution::Sharded { shards, threads }
+        }
+    }
+}
+
+/// [`execution_from_arg_slice`] over the process's own CLI arguments.
+pub fn execution_from_args() -> Execution {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    execution_from_arg_slice(&args)
+}
+
+/// Human-readable engine label for benchmark headers.
+pub fn execution_label(execution: Execution) -> String {
+    match execution {
+        Execution::Sequential => "sequential".into(),
+        Execution::Sharded { shards, threads } => {
+            format!("sharded ({shards} shards, {threads} threads)")
+        }
+    }
+}
+
 /// Runs the dataflow simulator for `iterations` applications on an
 /// `nx × ny × nz` standard problem and extracts the measured counters.
 ///
@@ -69,6 +107,19 @@ pub fn measure_dataflow(
     iterations: usize,
     compute: bool,
 ) -> DataflowMeasurement {
+    measure_dataflow_with(nx, ny, nz, iterations, compute, Execution::Sequential)
+}
+
+/// [`measure_dataflow`] with an explicit fabric engine. Counters are
+/// bit-identical across engines; only the host wall-clock changes.
+pub fn measure_dataflow_with(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iterations: usize,
+    compute: bool,
+    execution: Execution,
+) -> DataflowMeasurement {
     assert!(nx >= 3 && ny >= 3, "need an interior PE to measure");
     let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
     let mut sim = DataflowFluxSimulator::new(
@@ -77,6 +128,7 @@ pub fn measure_dataflow(
         &trans,
         DataflowOptions {
             compute_enabled: compute,
+            execution,
             ..DataflowOptions::default()
         },
     );
@@ -180,5 +232,50 @@ mod tests {
         let m = measure_dataflow(4, 4, 3, 1, false);
         assert_eq!(m.fabric_total.flops(), 0);
         assert!(m.fabric_total.fabric_loads > 0);
+    }
+
+    #[test]
+    fn execution_args_parse_shards_and_threads() {
+        let to_args = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        assert_eq!(
+            execution_from_arg_slice(&to_args("")),
+            Execution::Sequential
+        );
+        assert_eq!(
+            execution_from_arg_slice(&to_args("--shards 0")),
+            Execution::Sequential
+        );
+        assert_eq!(
+            execution_from_arg_slice(&to_args("--shards 4 --threads 2")),
+            Execution::Sharded {
+                shards: 4,
+                threads: 2
+            }
+        );
+        match execution_from_arg_slice(&to_args("--shards 4")) {
+            Execution::Sharded { shards: 4, threads } => assert!((1..=4).contains(&threads)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_measurement_matches_sequential_counters() {
+        let seq = measure_dataflow(5, 5, 4, 1, true);
+        let par = measure_dataflow_with(
+            5,
+            5,
+            4,
+            1,
+            true,
+            Execution::Sharded {
+                shards: 4,
+                threads: 2,
+            },
+        );
+        assert_eq!(
+            seq.interior_pe_per_iteration,
+            par.interior_pe_per_iteration
+        );
+        assert_eq!(seq.fabric_total, par.fabric_total);
     }
 }

@@ -13,7 +13,7 @@ use crate::program::{FluidParams, TpfaPeProgram};
 use fv_core::eos::Fluid;
 use fv_core::mesh::{CartesianMesh3, ALL_NEIGHBORS};
 use fv_core::trans::Transmissibilities;
-use wse_sim::fabric::{Fabric, FabricConfig, FabricError, RunReport};
+use wse_sim::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
 use wse_sim::geometry::{FabricDims, PeCoord};
 use wse_sim::stats::FabricStats;
 
@@ -31,6 +31,10 @@ pub struct DataflowOptions {
     pub pe_memory_bytes: usize,
     /// Event budget per `run` (safety).
     pub max_events: u64,
+    /// Fabric event-loop engine (default [`Execution::Sequential`]; use
+    /// [`Execution::Sharded`] for parallel simulation with bit-identical
+    /// results).
+    pub execution: Execution,
 }
 
 impl Default for DataflowOptions {
@@ -40,6 +44,7 @@ impl Default for DataflowOptions {
             diagonals_enabled: true,
             pe_memory_bytes: wse_sim::memory::WSE2_PE_MEMORY_BYTES,
             max_events: 1_000_000_000,
+            execution: Execution::Sequential,
         }
     }
 }
@@ -70,6 +75,7 @@ impl DataflowFluxSimulator {
         let config = FabricConfig {
             pe_memory_bytes: opts.pe_memory_bytes,
             max_events: opts.max_events,
+            execution: opts.execution,
             ..FabricConfig::default()
         };
         let mut fabric = Fabric::new(dims, config, |_| {
@@ -171,6 +177,12 @@ impl DataflowFluxSimulator {
     /// Aggregated fabric statistics (instruction counters, traffic).
     pub fn stats(&self) -> FabricStats {
         self.fabric.stats()
+    }
+
+    /// Per-shard statistics under the rectangular partition the sharded
+    /// engine would use for `shards` (see [`Fabric::shard_stats`]).
+    pub fn shard_stats(&self, shards: usize) -> Vec<FabricStats> {
+        self.fabric.shard_stats(shards)
     }
 
     /// The report of the most recent run.

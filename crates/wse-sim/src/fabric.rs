@@ -6,6 +6,34 @@
 //! busy-time forward, so communication and computation overlap exactly as
 //! the paper's implementation arranges (§5.3.2: "the fabric and routers work
 //! completely independently from the processing elements").
+//!
+//! # Two execution engines, one result
+//!
+//! [`Fabric::run`] dispatches on [`FabricConfig::execution`]:
+//!
+//! * [`Execution::Sequential`] — a single event queue popped in key order
+//!   (the reference engine).
+//! * [`Execution::Sharded`] — the PE grid is partitioned into rectangular
+//!   shards, each with a private event queue, advanced in BSP supersteps on
+//!   a scoped-thread worker pool. Each superstep processes one *time window*
+//!   of width `hop_latency` starting at the globally minimal pending event
+//!   time; wavelets crossing a shard boundary are buffered in the
+//!   destination shard's mailbox and injected at the next superstep barrier.
+//!
+//! Both engines order events by the same key `(time, seq, src)`, where
+//! `seq` is a counter private to the *creating* PE (or to the host) and
+//! `src` identifies that creator. The key is causally local: it depends
+//! only on the creating PE's own processing history, never on global
+//! interleaving, so both engines assign identical keys to identical events.
+//! Keys are unique (each creator numbers its events), giving a strict total
+//! order, so heap insertion order is irrelevant. Determinism of the sharded
+//! engine then follows from one lookahead property: a wavelet leaving a PE
+//! reaches a *different* PE no earlier than `hop_latency` cycles later, so
+//! all same-time events at a PE are locally created and every cross-shard
+//! event created inside window `[W, W + hop_latency)` lands at time
+//! `≥ W + hop_latency` — the next window — and exchanging at the barrier
+//! loses nothing. Results, per-PE [`OpCounters`], [`RunReport`] totals, and
+//! error reporting are bit-identical between the engines.
 
 use crate::geometry::{Direction, FabricDims, PeCoord};
 use crate::memory::PeMemory;
@@ -15,16 +43,41 @@ use crate::stats::{FabricStats, OpCounters};
 use crate::wavelet::{Color, Wavelet, WaveletKind};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which event-loop engine [`Fabric::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// The single-threaded reference engine.
+    #[default]
+    Sequential,
+    /// The BSP-parallel engine: rectangular shards with private event
+    /// queues, synchronized by a superstep barrier every `hop_latency`
+    /// cycles of simulated time. Bit-identical to [`Execution::Sequential`].
+    Sharded {
+        /// Number of rectangular shards to partition the PE grid into
+        /// (clamped to the PE count; an infeasible count is reduced until a
+        /// rectangular factorization fits the fabric).
+        shards: usize,
+        /// Worker threads to run the shards on (clamped to the shard
+        /// count; shards are dealt round-robin to workers).
+        threads: usize,
+    },
+}
 
 /// Fabric-wide configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FabricConfig {
     /// Per-PE memory capacity in bytes (default: WSE-2's 48 kB).
     pub pe_memory_bytes: usize,
-    /// Router-to-router latency in cycles (default 1).
+    /// Router-to-router latency in cycles (default 1). Must be ≥ 1 for
+    /// [`Execution::Sharded`] — it is the engine's lookahead.
     pub hop_latency: u64,
     /// Safety cap on processed events (default 10⁹).
     pub max_events: u64,
+    /// Event-loop engine (default [`Execution::Sequential`]).
+    pub execution: Execution,
 }
 
 impl Default for FabricConfig {
@@ -33,9 +86,13 @@ impl Default for FabricConfig {
             pe_memory_bytes: crate::memory::WSE2_PE_MEMORY_BYTES,
             hop_latency: 1,
             max_events: 1_000_000_000,
+            execution: Execution::Sequential,
         }
     }
 }
+
+/// `src` value for events injected by the host (sorts after all PEs).
+const HOST_SRC: usize = usize::MAX;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
@@ -45,18 +102,32 @@ enum EventKind {
     Deliver,
 }
 
+/// The deterministic event key: see the module docs. `seq` is private to
+/// `src`, so keys are unique and causally local.
+type EventKey = (u64, u64, usize);
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Event {
     time: u64,
+    /// Sequence number from the creating PE's (or the host's) own counter.
     seq: u64,
+    /// Linear index of the creating PE, or [`HOST_SRC`].
+    src: usize,
+    /// Destination PE (linear index).
     pe: usize,
     kind: EventKind,
     wavelet: Wavelet,
 }
 
+impl Event {
+    fn key(&self) -> EventKey {
+        (self.time, self.seq, self.src)
+    }
+}
+
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        self.key().cmp(&other.key())
     }
 }
 impl PartialOrd for Event {
@@ -80,6 +151,14 @@ struct PeSlot {
     /// link in this situation; we park the wavelet and re-inject it when a
     /// control wavelet toggles the color's position. FIFO per color.
     parked: Vec<(Direction, Wavelet)>,
+    /// This PE's private event sequence counter (the `seq` of events it
+    /// creates). Causally local: advances only when this PE processes an
+    /// event, identically in both engines.
+    seq: u64,
+    /// Wavelets this PE sent off the fabric edge.
+    edge_drops: u64,
+    /// Backpressure (park) events at this PE's router.
+    flow_stalls: u64,
 }
 
 /// Outcome of a [`Fabric::run`] call.
@@ -145,16 +224,480 @@ impl std::fmt::Display for FabricError {
 
 impl std::error::Error for FabricError {}
 
+/// Keeps the error with the smallest event key — "the first error", under
+/// the engine-independent key order, regardless of which engine (or which
+/// shard) encountered it.
+fn record_error(best: &mut Option<(EventKey, FabricError)>, key: EventKey, error: FabricError) {
+    match best {
+        Some((k, _)) if *k <= key => {}
+        _ => *best = Some((key, error)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-event processing, shared verbatim by both engines.
+//
+// Each function mutates exactly one PE's slot and hands created events to
+// `emit`; nothing else is touched, which is what makes shard-parallel
+// execution sound.
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn process_route(
+    slot: &mut PeSlot,
+    pe: usize,
+    coord: PeCoord,
+    dims: FabricDims,
+    hop_latency: u64,
+    ev: &Event,
+    input: Direction,
+    emit: &mut dyn FnMut(Event),
+    first_error: &mut Option<(EventKey, FabricError)>,
+) {
+    // Work list: the incoming wavelet, then — in arrival order — any
+    // previously stalled wavelets a toggle releases. Releases are
+    // processed *within this event* so that no later-queued wavelet of
+    // the same color can overtake them (link-order preservation).
+    let mut work: std::collections::VecDeque<(Direction, Wavelet)> =
+        std::collections::VecDeque::new();
+    work.push_back((input, ev.wavelet));
+    while let Some((inp, wavelet)) = work.pop_front() {
+        let outcome = match slot.router.route(wavelet.color, inp, wavelet.is_control()) {
+            Ok(o) => o,
+            // Flow control: the active switch position does not accept
+            // this link yet (the hardware would backpressure). Park the
+            // wavelet; a control toggling this color releases it.
+            Err(RouteError::InputNotAccepted { .. }) => {
+                slot.parked.push((inp, wavelet));
+                slot.flow_stalls += 1;
+                continue;
+            }
+            // A hard routing error: record it (the run continues so that
+            // both engines observe the same error set and can agree on the
+            // smallest-key one) and drop the wavelet.
+            Err(error) => {
+                record_error(first_error, ev.key(), FabricError::Route { pe: coord, error });
+                continue;
+            }
+        };
+        if outcome.toggled {
+            // the switch moved: stalled wavelets of this color may pass
+            let mut released = Vec::new();
+            slot.parked.retain(|(dir, w)| {
+                if w.color == wavelet.color {
+                    released.push((*dir, *w));
+                    false
+                } else {
+                    true
+                }
+            });
+            // keep their original relative order, ahead of nothing else
+            for r in released.into_iter().rev() {
+                work.push_front(r);
+            }
+        }
+        for dir in &outcome.outputs {
+            if *dir == Direction::Ramp {
+                slot.seq += 1;
+                emit(Event {
+                    time: ev.time,
+                    seq: slot.seq,
+                    src: pe,
+                    pe,
+                    kind: EventKind::Deliver,
+                    wavelet,
+                });
+            } else {
+                match dims.neighbor(coord, *dir) {
+                    Some(n) => {
+                        slot.seq += 1;
+                        emit(Event {
+                            time: ev.time + hop_latency,
+                            seq: slot.seq,
+                            src: pe,
+                            pe: dims.linear(n),
+                            kind: EventKind::Route(dir.arrival_side()),
+                            wavelet,
+                        });
+                    }
+                    None => slot.edge_drops += 1,
+                }
+            }
+        }
+    }
+}
+
+fn process_deliver(
+    slot: &mut PeSlot,
+    pe: usize,
+    coord: PeCoord,
+    dims: FabricDims,
+    ev: &Event,
+    emit: &mut dyn FnMut(Event),
+) {
+    let start = slot.busy_until.max(ev.time);
+    let cycles_before = slot.counters.cycles();
+    {
+        let mut ctx = PeContext::new(
+            coord,
+            dims,
+            &mut slot.memory,
+            &mut slot.counters,
+            &mut slot.router,
+            &mut slot.outbox,
+            &mut slot.activations,
+        );
+        match ev.wavelet.kind {
+            WaveletKind::Data => slot.program.on_data(&mut ctx, ev.wavelet),
+            WaveletKind::Control => slot.program.on_control(&mut ctx, ev.wavelet),
+        }
+    }
+    let cost = slot.counters.cycles() - cycles_before;
+    slot.busy_until = start + cost;
+    flush_pe_output(slot, pe, slot.busy_until, emit);
+}
+
+/// Injects a PE's pending sends (through its own router, ramp input) and
+/// local activations.
+fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut dyn FnMut(Event)) {
+    let outbox: Vec<Wavelet> = slot.outbox.drain(..).collect();
+    // Successive wavelets leave the ramp one cycle apart.
+    for (k, w) in outbox.into_iter().enumerate() {
+        slot.seq += 1;
+        emit(Event {
+            time: at + k as u64,
+            seq: slot.seq,
+            src: pe,
+            pe,
+            kind: EventKind::Route(Direction::Ramp),
+            wavelet: w,
+        });
+    }
+    let acts: Vec<(Color, u32)> = slot.activations.drain(..).collect();
+    for (color, payload) in acts {
+        slot.seq += 1;
+        emit(Event {
+            time: at,
+            seq: slot.seq,
+            src: pe,
+            pe,
+            kind: EventKind::Deliver,
+            wavelet: Wavelet::data(color, payload),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard partitioning
+// ---------------------------------------------------------------------------
+
+/// One rectangular shard: columns `[col0, col1)` × rows `[row0, row1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardRect {
+    col0: usize,
+    col1: usize,
+    row0: usize,
+    row1: usize,
+}
+
+impl ShardRect {
+    #[inline]
+    fn local_index(&self, c: PeCoord) -> usize {
+        (c.row - self.row0) * (self.col1 - self.col0) + (c.col - self.col0)
+    }
+
+    /// Linear PE indices of the rect, in local-index order.
+    fn iter_linear(self, dims: FabricDims) -> impl Iterator<Item = usize> {
+        (self.row0..self.row1)
+            .flat_map(move |r| (self.col0..self.col1).map(move |c| r * dims.cols + c))
+    }
+}
+
+/// A rectangular partition of the fabric into `nx × ny` shards with
+/// balanced (possibly uneven) extents.
+#[derive(Debug, Clone)]
+struct ShardPlan {
+    nx: usize,
+    ny: usize,
+    col_of: Vec<u32>,
+    row_of: Vec<u32>,
+    rects: Vec<ShardRect>,
+}
+
+impl ShardPlan {
+    /// Chooses a feasible `nx × ny = shards` factorization whose shard
+    /// aspect best matches the fabric's, reducing the shard count when no
+    /// factorization fits (`shards = 1` always does).
+    fn new(dims: FabricDims, requested: usize) -> Self {
+        let mut s = requested.clamp(1, dims.num_pes());
+        let (nx, ny) = loop {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for nx in 1..=s {
+                if !s.is_multiple_of(nx) {
+                    continue;
+                }
+                let ny = s / nx;
+                if nx > dims.cols || ny > dims.rows {
+                    continue;
+                }
+                let score = (dims.cols as f64 / nx as f64 - dims.rows as f64 / ny as f64).abs();
+                match best {
+                    Some((_, _, b)) if b <= score => {}
+                    _ => best = Some((nx, ny, score)),
+                }
+            }
+            if let Some((nx, ny, _)) = best {
+                break (nx, ny);
+            }
+            s -= 1;
+        };
+        let mut col_of = vec![0u32; dims.cols];
+        for k in 0..nx {
+            col_of[k * dims.cols / nx..(k + 1) * dims.cols / nx].fill(k as u32);
+        }
+        let mut row_of = vec![0u32; dims.rows];
+        for k in 0..ny {
+            row_of[k * dims.rows / ny..(k + 1) * dims.rows / ny].fill(k as u32);
+        }
+        let rects = (0..nx * ny)
+            .map(|i| {
+                let (sx, sy) = (i % nx, i / nx);
+                ShardRect {
+                    col0: sx * dims.cols / nx,
+                    col1: (sx + 1) * dims.cols / nx,
+                    row0: sy * dims.rows / ny,
+                    row1: (sy + 1) * dims.rows / ny,
+                }
+            })
+            .collect();
+        Self {
+            nx,
+            ny,
+            col_of,
+            row_of,
+            rects,
+        }
+    }
+
+    #[inline]
+    fn count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    #[inline]
+    fn shard_of(&self, c: PeCoord) -> usize {
+        self.row_of[c.row] as usize * self.nx + self.col_of[c.col] as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine machinery
+// ---------------------------------------------------------------------------
+
+/// Sense-reversing spin barrier (much cheaper than `std::sync::Barrier` for
+/// the superstep cadence, which can reach hundreds of thousands per run).
+struct SpinBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        Self {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn wait(&self) {
+        if self.total == 1 {
+            return;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins = spins.wrapping_add(1);
+                if spins < 4096 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// One shard's private state, owned by a worker thread during a run.
+struct Shard {
+    id: usize,
+    rect: ShardRect,
+    slots: Vec<PeSlot>,
+    heap: BinaryHeap<Reverse<Event>>,
+    events: u64,
+    max_time: u64,
+    error: Option<(EventKey, FabricError)>,
+}
+
+/// State shared by all shard workers.
+struct SharedCoord {
+    /// Cross-shard deliveries, drained by the owner at each superstep.
+    inboxes: Vec<Mutex<Vec<Event>>>,
+    barrier: SpinBarrier,
+    /// Rotating slots for the next window's start time (the global minimum
+    /// pending event time). Two slots so one can be reset while the other
+    /// is being accumulated, with only the two superstep barriers.
+    window_min: [AtomicU64; 2],
+    /// Global pop counter for the event budget (flushed in batches).
+    pops: AtomicU64,
+    over_budget: AtomicBool,
+}
+
+/// How many pops a shard accumulates locally before flushing to the global
+/// budget counter.
+const BUDGET_BATCH: u64 = 64;
+
+/// Processes one shard's events inside the window `[.., window_end)`.
+fn process_shard_window(
+    shard: &mut Shard,
+    window_end: u64,
+    dims: FabricDims,
+    config: &FabricConfig,
+    plan: &ShardPlan,
+    shared: &SharedCoord,
+) {
+    let Shard {
+        id,
+        rect,
+        slots,
+        heap,
+        events,
+        max_time,
+        error,
+    } = shard;
+    let mut batch = 0u64;
+    loop {
+        let ev = match heap.peek() {
+            Some(Reverse(e)) if e.time < window_end => heap.pop().unwrap().0,
+            _ => break,
+        };
+        *events += 1;
+        batch += 1;
+        if batch == BUDGET_BATCH {
+            let global = shared.pops.fetch_add(batch, Ordering::SeqCst) + batch;
+            batch = 0;
+            if global > config.max_events {
+                shared.over_budget.store(true, Ordering::SeqCst);
+                return;
+            }
+            if shared.over_budget.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        *max_time = (*max_time).max(ev.time);
+        let pe = ev.pe;
+        let coord = dims.coord(pe);
+        let slot = &mut slots[rect.local_index(coord)];
+        let mut emit = |e: Event| {
+            let dest = plan.shard_of(dims.coord(e.pe));
+            if dest == *id {
+                heap.push(Reverse(e));
+            } else {
+                shared.inboxes[dest].lock().unwrap().push(e);
+            }
+        };
+        match ev.kind {
+            EventKind::Route(input) => process_route(
+                slot,
+                pe,
+                coord,
+                dims,
+                config.hop_latency,
+                &ev,
+                input,
+                &mut emit,
+                error,
+            ),
+            EventKind::Deliver => process_deliver(slot, pe, coord, dims, &ev, &mut emit),
+        }
+    }
+    if batch > 0 {
+        let global = shared.pops.fetch_add(batch, Ordering::SeqCst) + batch;
+        if global > config.max_events {
+            shared.over_budget.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// One worker's superstep loop. Workers own whole shards; `leader` is
+/// responsible for resetting the idle `window_min` slot.
+fn shard_worker(
+    mut owned: Vec<Shard>,
+    leader: bool,
+    dims: FabricDims,
+    config: FabricConfig,
+    plan: &ShardPlan,
+    shared: &SharedCoord,
+) -> Vec<Shard> {
+    let mut step = 0usize;
+    loop {
+        // Barrier A: every send of the previous window is in its mailbox.
+        shared.barrier.wait();
+        // Snapshot the abort flag here, where nobody can be writing it: it
+        // is only set inside window processing, which is bracketed by the
+        // barriers. Reading it after barrier B instead would race with a
+        // fast worker already processing the next window — workers could
+        // then disagree on whether to break, deadlocking the barrier.
+        let abort = shared.over_budget.load(Ordering::SeqCst);
+        let mut local_min = u64::MAX;
+        for sh in owned.iter_mut() {
+            let mut inbox = shared.inboxes[sh.id].lock().unwrap();
+            for ev in inbox.drain(..) {
+                sh.heap.push(Reverse(ev));
+            }
+            drop(inbox);
+            if let Some(Reverse(e)) = sh.heap.peek() {
+                local_min = local_min.min(e.time);
+            }
+        }
+        // The idle slot was last read before barrier A, so resetting it
+        // here (for use next superstep) cannot race those reads.
+        if leader {
+            shared.window_min[(step + 1) % 2].store(u64::MAX, Ordering::SeqCst);
+        }
+        let min_slot = &shared.window_min[step % 2];
+        min_slot.fetch_min(local_min, Ordering::SeqCst);
+        // Barrier B: every worker's minimum is in.
+        shared.barrier.wait();
+        if abort {
+            break;
+        }
+        let window_start = min_slot.load(Ordering::SeqCst);
+        if window_start == u64::MAX {
+            break; // globally quiescent
+        }
+        let window_end = window_start.saturating_add(config.hop_latency);
+        for sh in owned.iter_mut() {
+            process_shard_window(sh, window_end, dims, &config, plan, shared);
+        }
+        step += 1;
+    }
+    owned
+}
+
 /// The simulated wafer: PEs, routers, and the event queue.
 pub struct Fabric {
     dims: FabricDims,
     config: FabricConfig,
     pes: Vec<PeSlot>,
     queue: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    host_seq: u64,
     time: u64,
-    edge_drops: u64,
-    parked_total: u64,
     initialized: bool,
 }
 
@@ -177,6 +720,9 @@ impl Fabric {
                 outbox: Vec::new(),
                 activations: Vec::new(),
                 parked: Vec::new(),
+                seq: 0,
+                edge_drops: 0,
+                flow_stalls: 0,
             })
             .collect();
         Self {
@@ -184,10 +730,8 @@ impl Fabric {
             config,
             pes,
             queue: BinaryHeap::new(),
-            seq: 0,
+            host_seq: 0,
             time: 0,
-            edge_drops: 0,
-            parked_total: 0,
             initialized: false,
         }
     }
@@ -222,17 +766,20 @@ impl Fabric {
             slot.program.init(&mut ctx);
         }
         // Anything sent from init is injected at t = 0.
-        for i in 0..self.pes.len() {
-            self.flush_pe_output(i, 0);
+        let Self { pes, queue, .. } = self;
+        for (i, slot) in pes.iter_mut().enumerate() {
+            flush_pe_output(slot, i, 0, &mut |e| queue.push(Reverse(e)));
         }
     }
 
     /// Delivers a wavelet directly to a PE's program at the current time —
     /// the host-side "launch" (like the SDK starting a kernel).
     pub fn activate(&mut self, coord: PeCoord, color: Color, payload: u32) {
+        self.host_seq += 1;
         let ev = Event {
             time: self.time,
-            seq: self.next_seq(),
+            seq: self.host_seq,
+            src: HOST_SRC,
             pe: self.dims.linear(coord),
             kind: EventKind::Deliver,
             wavelet: Wavelet::data(color, payload),
@@ -248,11 +795,28 @@ impl Fabric {
         }
     }
 
-    /// Processes events until the fabric is quiescent.
+    /// Processes events until the fabric is quiescent, with the engine
+    /// selected by [`FabricConfig::execution`].
+    ///
+    /// Error precedence (identical in both engines): the event budget, then
+    /// the routing error with the smallest event key, then a deadlock scan
+    /// in PE linear order. Routing errors do not abort processing — the
+    /// offending wavelet is dropped and the run continues to quiescence, so
+    /// both engines observe the same error set.
     pub fn run(&mut self) -> Result<RunReport, FabricError> {
         assert!(self.initialized, "call load() before run()");
+        match self.config.execution {
+            Execution::Sequential => self.run_sequential(),
+            Execution::Sharded { shards, threads } => self.run_sharded(shards, threads),
+        }
+    }
+
+    fn run_sequential(&mut self) -> Result<RunReport, FabricError> {
         let mut events = 0u64;
-        let drops_before = self.edge_drops;
+        let drops_before = self.total_edge_drops();
+        let mut first_error: Option<(EventKey, FabricError)> = None;
+        let dims = self.dims;
+        let hop_latency = self.config.hop_latency;
         while let Some(Reverse(ev)) = self.queue.pop() {
             events += 1;
             if events > self.config.max_events {
@@ -261,13 +825,148 @@ impl Fabric {
                 });
             }
             self.time = self.time.max(ev.time);
+            let pe = ev.pe;
+            let coord = dims.coord(pe);
+            let Self { pes, queue, .. } = self;
+            let slot = &mut pes[pe];
+            let mut emit = |e: Event| queue.push(Reverse(e));
             match ev.kind {
-                EventKind::Route(input) => self.process_route(ev, input)?,
-                EventKind::Deliver => self.process_deliver(ev),
+                EventKind::Route(input) => process_route(
+                    slot,
+                    pe,
+                    coord,
+                    dims,
+                    hop_latency,
+                    &ev,
+                    input,
+                    &mut emit,
+                    &mut first_error,
+                ),
+                EventKind::Deliver => process_deliver(slot, pe, coord, dims, &ev, &mut emit),
             }
         }
-        // The fabric is quiescent. Any wavelet still parked can never be
-        // delivered — a protocol deadlock in the program.
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+        self.scan_deadlock()?;
+        Ok(RunReport {
+            events,
+            final_time: self.time,
+            edge_drops: self.total_edge_drops() - drops_before,
+        })
+    }
+
+    fn run_sharded(&mut self, shards: usize, threads: usize) -> Result<RunReport, FabricError> {
+        assert!(
+            self.config.hop_latency >= 1,
+            "sharded execution requires hop_latency >= 1 (it is the BSP lookahead)"
+        );
+        let dims = self.dims;
+        let config = self.config;
+        let plan = ShardPlan::new(dims, shards);
+        let n = plan.count();
+        let workers = threads.clamp(1, n);
+        let drops_before = self.total_edge_drops();
+
+        // Move each PE's slot into its shard; restored before returning.
+        let mut slot_opts: Vec<Option<PeSlot>> = self.pes.drain(..).map(Some).collect();
+        let mut shard_states: Vec<Shard> = (0..n)
+            .map(|id| {
+                let rect = plan.rects[id];
+                let slots = rect
+                    .iter_linear(dims)
+                    .map(|i| slot_opts[i].take().unwrap())
+                    .collect();
+                Shard {
+                    id,
+                    rect,
+                    slots,
+                    heap: BinaryHeap::new(),
+                    events: 0,
+                    max_time: 0,
+                    error: None,
+                }
+            })
+            .collect();
+        for Reverse(ev) in self.queue.drain() {
+            shard_states[plan.shard_of(dims.coord(ev.pe))]
+                .heap
+                .push(Reverse(ev));
+        }
+
+        let shared = SharedCoord {
+            inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            barrier: SpinBarrier::new(workers),
+            window_min: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+            pops: AtomicU64::new(0),
+            over_budget: AtomicBool::new(false),
+        };
+        let mut per_worker: Vec<Vec<Shard>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, sh) in shard_states.into_iter().enumerate() {
+            per_worker[i % workers].push(sh);
+        }
+
+        let finished: Vec<Shard> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .enumerate()
+                .map(|(w, owned)| {
+                    let (shared, plan) = (&shared, &plan);
+                    scope.spawn(move || shard_worker(owned, w == 0, dims, config, plan, shared))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Restore PE slots (and, after an abort, unprocessed events).
+        let mut events = 0u64;
+        let mut min_error: Option<(EventKey, FabricError)> = None;
+        for mut sh in finished {
+            events += sh.events;
+            self.time = self.time.max(sh.max_time);
+            if let Some((k, e)) = sh.error.take() {
+                record_error(&mut min_error, k, e);
+            }
+            for ev in sh.heap.drain() {
+                self.queue.push(ev);
+            }
+            for (lin, slot) in sh.rect.iter_linear(dims).zip(sh.slots) {
+                slot_opts[lin] = Some(slot);
+            }
+        }
+        self.pes = slot_opts
+            .into_iter()
+            .map(|o| o.expect("every PE belongs to exactly one shard"))
+            .collect();
+        for inbox in shared.inboxes {
+            for ev in inbox.into_inner().unwrap() {
+                self.queue.push(Reverse(ev));
+            }
+        }
+
+        if shared.over_budget.load(Ordering::SeqCst) {
+            return Err(FabricError::EventBudgetExceeded {
+                max_events: config.max_events,
+            });
+        }
+        if let Some((_, error)) = min_error {
+            return Err(error);
+        }
+        self.scan_deadlock()?;
+        Ok(RunReport {
+            events,
+            final_time: self.time,
+            edge_drops: self.total_edge_drops() - drops_before,
+        })
+    }
+
+    /// The fabric is quiescent: any wavelet still parked can never be
+    /// delivered — a protocol deadlock in the program. Scans PEs in linear
+    /// order so both engines report the same PE.
+    fn scan_deadlock(&self) -> Result<(), FabricError> {
         for (i, slot) in self.pes.iter().enumerate() {
             if !slot.parked.is_empty() {
                 let details: Vec<String> = slot
@@ -282,144 +981,11 @@ impl Fabric {
                 });
             }
         }
-        Ok(RunReport {
-            events,
-            final_time: self.time,
-            edge_drops: self.edge_drops - drops_before,
-        })
-    }
-
-    fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
-    }
-
-    fn process_route(&mut self, ev: Event, input: Direction) -> Result<(), FabricError> {
-        let coord = self.dims.coord(ev.pe);
-        // Work list: the incoming wavelet, then — in arrival order — any
-        // previously stalled wavelets a toggle releases. Releases are
-        // processed *within this event* so that no later-queued wavelet of
-        // the same color can overtake them (link-order preservation).
-        let mut work: std::collections::VecDeque<(Direction, Wavelet)> =
-            std::collections::VecDeque::new();
-        work.push_back((input, ev.wavelet));
-        while let Some((inp, wavelet)) = work.pop_front() {
-            let outcome =
-                match self.pes[ev.pe]
-                    .router
-                    .route(wavelet.color, inp, wavelet.is_control())
-                {
-                    Ok(o) => o,
-                    // Flow control: the active switch position does not accept
-                    // this link yet (the hardware would backpressure). Park the
-                    // wavelet; a control toggling this color releases it.
-                    Err(crate::route::RouteError::InputNotAccepted { .. }) => {
-                        self.pes[ev.pe].parked.push((inp, wavelet));
-                        self.parked_total += 1;
-                        continue;
-                    }
-                    Err(error) => return Err(FabricError::Route { pe: coord, error }),
-                };
-            if outcome.toggled {
-                // the switch moved: stalled wavelets of this color may pass
-                let mut released = Vec::new();
-                self.pes[ev.pe].parked.retain(|(dir, w)| {
-                    if w.color == wavelet.color {
-                        released.push((*dir, *w));
-                        false
-                    } else {
-                        true
-                    }
-                });
-                // keep their original relative order, ahead of nothing else
-                for r in released.into_iter().rev() {
-                    work.push_front(r);
-                }
-            }
-            for dir in &outcome.outputs {
-                if *dir == Direction::Ramp {
-                    let ev2 = Event {
-                        time: ev.time,
-                        seq: self.next_seq(),
-                        pe: ev.pe,
-                        kind: EventKind::Deliver,
-                        wavelet,
-                    };
-                    self.queue.push(Reverse(ev2));
-                } else {
-                    match self.dims.neighbor(coord, *dir) {
-                        Some(n) => {
-                            let ev2 = Event {
-                                time: ev.time + self.config.hop_latency,
-                                seq: self.next_seq(),
-                                pe: self.dims.linear(n),
-                                kind: EventKind::Route(dir.arrival_side()),
-                                wavelet,
-                            };
-                            self.queue.push(Reverse(ev2));
-                        }
-                        None => self.edge_drops += 1,
-                    }
-                }
-            }
-        }
         Ok(())
     }
 
-    fn process_deliver(&mut self, ev: Event) {
-        let coord = self.dims.coord(ev.pe);
-        let dims = self.dims;
-        let start;
-        {
-            let slot = &mut self.pes[ev.pe];
-            start = slot.busy_until.max(ev.time);
-            let cycles_before = slot.counters.cycles();
-            let mut ctx = PeContext::new(
-                coord,
-                dims,
-                &mut slot.memory,
-                &mut slot.counters,
-                &mut slot.router,
-                &mut slot.outbox,
-                &mut slot.activations,
-            );
-            match ev.wavelet.kind {
-                WaveletKind::Data => slot.program.on_data(&mut ctx, ev.wavelet),
-                WaveletKind::Control => slot.program.on_control(&mut ctx, ev.wavelet),
-            }
-            let cost = slot.counters.cycles() - cycles_before;
-            slot.busy_until = start + cost;
-        }
-        let send_time = self.pes[ev.pe].busy_until;
-        self.flush_pe_output(ev.pe, send_time);
-    }
-
-    /// Injects a PE's pending sends (through its own router, ramp input) and
-    /// local activations.
-    fn flush_pe_output(&mut self, pe: usize, at: u64) {
-        let outbox: Vec<Wavelet> = self.pes[pe].outbox.drain(..).collect();
-        // Successive wavelets leave the ramp one cycle apart.
-        for (k, w) in outbox.into_iter().enumerate() {
-            let ev = Event {
-                time: at + k as u64,
-                seq: self.next_seq(),
-                pe,
-                kind: EventKind::Route(Direction::Ramp),
-                wavelet: w,
-            };
-            self.queue.push(Reverse(ev));
-        }
-        let acts: Vec<(Color, u32)> = self.pes[pe].activations.drain(..).collect();
-        for (color, payload) in acts {
-            let ev = Event {
-                time: at,
-                seq: self.next_seq(),
-                pe,
-                kind: EventKind::Deliver,
-                wavelet: Wavelet::data(color, payload),
-            };
-            self.queue.push(Reverse(ev));
-        }
+    fn total_edge_drops(&self) -> u64 {
+        self.pes.iter().map(|s| s.edge_drops).sum()
     }
 
     /// Host access to a PE's memory (SDK `memcpy`).
@@ -450,23 +1016,40 @@ impl Fabric {
         }
     }
 
+    fn pe_stats(&self, slot: &PeSlot) -> FabricStats {
+        FabricStats {
+            total: slot.counters,
+            max_pe_cycles: slot.counters.cycles(),
+            max_pe_compute_cycles: slot.counters.compute_cycles,
+            max_pe_comm_cycles: slot.counters.comm_cycles,
+            fabric_hops: slot.router.fabric_hops,
+            ramp_deliveries: slot.router.ramp_deliveries,
+            edge_drops: slot.edge_drops,
+            flow_stalls: slot.flow_stalls,
+            num_pes: 1,
+        }
+    }
+
     /// Aggregated fabric statistics.
     pub fn stats(&self) -> FabricStats {
-        let mut s = FabricStats {
-            num_pes: self.pes.len(),
-            edge_drops: self.edge_drops,
-            flow_stalls: self.parked_total,
-            ..FabricStats::default()
-        };
+        let mut s = FabricStats::default();
         for slot in &self.pes {
-            s.total.merge(&slot.counters);
-            s.max_pe_cycles = s.max_pe_cycles.max(slot.counters.cycles());
-            s.max_pe_compute_cycles = s.max_pe_compute_cycles.max(slot.counters.compute_cycles);
-            s.max_pe_comm_cycles = s.max_pe_comm_cycles.max(slot.counters.comm_cycles);
-            s.fabric_hops += slot.router.fabric_hops;
-            s.ramp_deliveries += slot.router.ramp_deliveries;
+            s.merge(&self.pe_stats(slot));
         }
         s
+    }
+
+    /// Per-shard statistics under the rectangular partition the sharded
+    /// engine would use for `shards` — one [`FabricStats`] per shard, in
+    /// shard-id order. `stats()` equals the merge of all entries.
+    pub fn shard_stats(&self, shards: usize) -> Vec<FabricStats> {
+        let plan = ShardPlan::new(self.dims, shards);
+        let mut out = vec![FabricStats::default(); plan.count()];
+        for (i, slot) in self.pes.iter().enumerate() {
+            let sh = plan.shard_of(self.dims.coord(i));
+            out[sh].merge(&self.pe_stats(slot));
+        }
+        out
     }
 }
 
@@ -544,8 +1127,12 @@ mod tests {
     }
 
     fn build_shifter_fabric(cols: usize) -> Fabric {
+        build_shifter_fabric_with(cols, FabricConfig::default())
+    }
+
+    fn build_shifter_fabric_with(cols: usize, config: FabricConfig) -> Fabric {
         let dims = FabricDims::new(cols, 1);
-        let mut f = Fabric::new(dims, FabricConfig::default(), |c| {
+        let mut f = Fabric::new(dims, config, |c| {
             Box::new(Shifter::new(c.col as f32 + 100.0))
         });
         f.load();
@@ -839,5 +1426,163 @@ mod tests {
         let c = f.counters(PeCoord::new(0, 0));
         assert_eq!(c.fmul, 64);
         assert_eq!(c.compute_cycles, 64);
+    }
+
+    // -- sharded engine ----------------------------------------------------
+
+    fn sharded(shards: usize, threads: usize) -> FabricConfig {
+        FabricConfig {
+            execution: Execution::Sharded { shards, threads },
+            ..FabricConfig::default()
+        }
+    }
+
+    #[test]
+    fn shard_plan_factorizations_match_fabric_aspect() {
+        let square = FabricDims::new(12, 12);
+        let p = ShardPlan::new(square, 4);
+        assert_eq!((p.nx, p.ny), (2, 2));
+        let p = ShardPlan::new(square, 9);
+        assert_eq!((p.nx, p.ny), (3, 3));
+        let wide = FabricDims::new(16, 4);
+        let p = ShardPlan::new(wide, 2);
+        assert_eq!((p.nx, p.ny), (2, 1), "wide fabrics split by columns");
+        // 7 shards cannot tile 4×4 (needs a 7 on one axis); falls back to 6
+        let p = ShardPlan::new(FabricDims::new(4, 4), 7);
+        assert_eq!(p.count(), 6);
+        // more shards than PEs is clamped
+        let p = ShardPlan::new(FabricDims::new(2, 2), 64);
+        assert_eq!(p.count(), 4);
+    }
+
+    #[test]
+    fn shard_plan_covers_every_pe_exactly_once() {
+        let dims = FabricDims::new(7, 5); // misaligned splits
+        let plan = ShardPlan::new(dims, 6);
+        let mut seen = vec![0u32; dims.num_pes()];
+        for (id, rect) in plan.rects.iter().enumerate() {
+            for lin in rect.iter_linear(dims) {
+                seen[lin] += 1;
+                assert_eq!(plan.shard_of(dims.coord(lin)), id);
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_shifter() {
+        let outcome = |config: FabricConfig| {
+            let mut f = build_shifter_fabric_with(8, config);
+            f.activate_all(START, 0);
+            let r = f.run().unwrap();
+            let mem: Vec<u32> = (0..8)
+                .map(|c| f.memory(PeCoord::new(c, 0)).read_u32(1))
+                .collect();
+            let counters: Vec<OpCounters> =
+                (0..8).map(|c| *f.counters(PeCoord::new(c, 0))).collect();
+            (r, mem, counters, f.time())
+        };
+        let seq = outcome(FabricConfig::default());
+        for (shards, threads) in [(1, 1), (2, 2), (4, 2), (4, 4), (8, 3)] {
+            let par = outcome(sharded(shards, threads));
+            assert_eq!(seq, par, "shards={shards} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_reports_identical_deadlock() {
+        let build = |config: FabricConfig| {
+            use crate::route::{ColorConfig, RouterPosition};
+            const C: Color = Color::new(5);
+            struct Stuck;
+            impl PeProgram for Stuck {
+                fn init(&mut self, ctx: &mut PeContext) {
+                    let sending = RouterPosition::new(DirMask::single(Ramp), DirMask::single(East));
+                    let receiving =
+                        RouterPosition::new(DirMask::single(West), DirMask::single(Ramp));
+                    ctx.configure_color(C, ColorConfig::switchable(sending, receiving, 0));
+                }
+                fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
+                    if w.color == DATA && ctx.coord.col == 0 {
+                        ctx.send_f32(C, 1.0);
+                    }
+                    let _ = w;
+                }
+            }
+            let mut f = Fabric::new(FabricDims::new(4, 1), config, |_| Box::new(Stuck));
+            f.load();
+            f.activate(PeCoord::new(0, 0), DATA, 0);
+            f.run().unwrap_err()
+        };
+        let seq_err = build(FabricConfig::default());
+        let par_err = build(sharded(4, 2));
+        assert_eq!(seq_err, par_err);
+    }
+
+    #[test]
+    fn sharded_event_budget_error_matches_sequential() {
+        struct Loopy;
+        impl PeProgram for Loopy {
+            fn init(&mut self, _ctx: &mut PeContext) {}
+            fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
+                ctx.activate(w.color, 0);
+            }
+        }
+        let run = |execution: Execution| {
+            let mut f = Fabric::new(
+                FabricDims::new(2, 2),
+                FabricConfig {
+                    max_events: 500,
+                    execution,
+                    ..FabricConfig::default()
+                },
+                |_| Box::new(Loopy),
+            );
+            f.load();
+            f.activate_all(DATA, 0);
+            f.run().unwrap_err()
+        };
+        let seq = run(Execution::Sequential);
+        let par = run(Execution::Sharded {
+            shards: 4,
+            threads: 4,
+        });
+        assert_eq!(seq, par);
+        assert!(matches!(seq, FabricError::EventBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn shard_stats_merge_to_global_stats() {
+        let mut f = build_shifter_fabric(6);
+        f.activate_all(START, 0);
+        f.run().unwrap();
+        let global = f.stats();
+        for shards in [1, 2, 3, 6] {
+            let per = f.shard_stats(shards);
+            let mut merged = FabricStats::default();
+            for s in &per {
+                merged.merge(s);
+            }
+            assert_eq!(merged, global, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_phases() {
+        let barrier = SpinBarrier::new(4);
+        let phase = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for p in 0..100u64 {
+                        assert!(phase.load(Ordering::SeqCst) >= p);
+                        barrier.wait();
+                        phase.fetch_max(p + 1, Ordering::SeqCst);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(phase.load(Ordering::SeqCst), 100);
     }
 }

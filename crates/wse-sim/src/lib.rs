@@ -46,7 +46,7 @@ pub mod wavelet;
 /// Commonly used types.
 pub mod prelude {
     pub use crate::dsd::{Dsd, OpKind};
-    pub use crate::fabric::{Fabric, FabricConfig, RunReport};
+    pub use crate::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
     pub use crate::geometry::{Direction, FabricDims, PeCoord};
     pub use crate::memory::{MemRange, PeMemory, WSE2_PE_MEMORY_BYTES};
     pub use crate::pe::{PeContext, PeProgram};

@@ -144,6 +144,23 @@ pub struct FabricStats {
     pub num_pes: usize,
 }
 
+impl FabricStats {
+    /// Accumulates another partial aggregate (e.g. one shard's PEs) into
+    /// `self`: sums are added, maxima are maxed. Merging per-shard partials
+    /// in any order yields the same result as aggregating all PEs directly.
+    pub fn merge(&mut self, other: &FabricStats) {
+        self.total.merge(&other.total);
+        self.max_pe_cycles = self.max_pe_cycles.max(other.max_pe_cycles);
+        self.max_pe_compute_cycles = self.max_pe_compute_cycles.max(other.max_pe_compute_cycles);
+        self.max_pe_comm_cycles = self.max_pe_comm_cycles.max(other.max_pe_comm_cycles);
+        self.fabric_hops += other.fabric_hops;
+        self.ramp_deliveries += other.ramp_deliveries;
+        self.edge_drops += other.edge_drops;
+        self.flow_stalls += other.flow_stalls;
+        self.num_pes += other.num_pes;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +213,46 @@ mod tests {
         assert_eq!(b.flops(), 2 * a.flops());
         let d = b.delta(&a);
         assert_eq!(d, a);
+    }
+
+    #[test]
+    fn fabric_stats_merge_sums_and_maxes() {
+        let a = FabricStats {
+            total: paper_table4_cell(),
+            max_pe_cycles: 10,
+            max_pe_compute_cycles: 7,
+            max_pe_comm_cycles: 3,
+            fabric_hops: 5,
+            ramp_deliveries: 2,
+            edge_drops: 1,
+            flow_stalls: 4,
+            num_pes: 3,
+        };
+        let b = FabricStats {
+            total: paper_table4_cell(),
+            max_pe_cycles: 8,
+            max_pe_compute_cycles: 9,
+            max_pe_comm_cycles: 1,
+            fabric_hops: 2,
+            ramp_deliveries: 6,
+            edge_drops: 0,
+            flow_stalls: 1,
+            num_pes: 2,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.total.flops(), 280);
+        assert_eq!(ab.max_pe_cycles, 10);
+        assert_eq!(ab.max_pe_compute_cycles, 9);
+        assert_eq!(ab.max_pe_comm_cycles, 3);
+        assert_eq!(ab.fabric_hops, 7);
+        assert_eq!(ab.ramp_deliveries, 8);
+        assert_eq!(ab.edge_drops, 1);
+        assert_eq!(ab.flow_stalls, 5);
+        assert_eq!(ab.num_pes, 5);
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Differential determinism harness: the sharded BSP engine must be
+//! **bit-identical** to the sequential reference engine — same residuals,
+//! same per-PE instruction counters, same [`RunReport`], same final fabric
+//! time, and the same error reports — for every shard count and thread
+//! count, including shard boundaries that do not align with the fabric
+//! extent.
+//!
+//! The workload is the repo's real TPFA flux program (`tpfa-dataflow`,
+//! a dev-dependency) on a 32×32 fabric, not a toy kernel: every mechanism
+//! of the simulator (switch toggling, diagonal forwarding, DSD vector ops,
+//! ramp staggering, host activation) is exercised.
+
+use fv_core::eos::Fluid;
+use fv_core::fields::PermeabilityField;
+use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+use fv_core::state::FlowState;
+use fv_core::trans::{StencilKind, Transmissibilities};
+use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use wse_sim::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
+use wse_sim::geometry::{Direction, FabricDims, PeCoord};
+use wse_sim::pe::{PeContext, PeProgram};
+use wse_sim::route::{ColorConfig, DirMask, RouterPosition};
+use wse_sim::stats::{FabricStats, OpCounters};
+use wse_sim::wavelet::{Color, Wavelet};
+
+/// Everything observable from one TPFA run; two runs are equivalent iff
+/// these compare equal (all comparisons are bit-exact — `f32` residuals are
+/// compared through their bit patterns).
+#[derive(Debug, PartialEq)]
+struct Observation {
+    residual_bits: Vec<u32>,
+    per_pe_counters: Vec<OpCounters>,
+    report: RunReport,
+    stats: FabricStats,
+}
+
+fn observe_tpfa(nx: usize, ny: usize, nz: usize, execution: Execution) -> Observation {
+    let mesh = CartesianMesh3::new(Extents::new(nx, ny, nz), Spacing::new(10.0, 10.0, 4.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 12345);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let mut sim = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            execution,
+            ..DataflowOptions::default()
+        },
+    );
+    let pressure = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 77);
+    let residual = sim.apply(pressure.pressure()).expect("TPFA run failed");
+    Observation {
+        residual_bits: residual.iter().map(|v| v.to_bits()).collect(),
+        per_pe_counters: (0..ny)
+            .flat_map(|y| (0..nx).map(move |x| (x, y)))
+            .map(|(x, y)| *sim.pe_counters(x, y))
+            .collect(),
+        report: sim.last_run().unwrap(),
+        stats: sim.stats(),
+    }
+}
+
+#[test]
+fn sharded_tpfa_is_bit_identical_across_shard_counts() {
+    let (nx, ny, nz) = (32, 32, 2);
+    let reference = observe_tpfa(nx, ny, nz, Execution::Sequential);
+    assert!(reference.report.events > 0);
+    // 1 shard (degenerate), 2 and 4 (aligned 32/2, 32/4), and 9 = 3×3 —
+    // 32 is not divisible by 3, so shard edges are misaligned (11/11/10).
+    for shards in [1usize, 2, 4, 9] {
+        for threads in [1usize, 2, 4] {
+            let sharded = observe_tpfa(nx, ny, nz, Execution::Sharded { shards, threads });
+            assert_eq!(
+                reference, sharded,
+                "sequential vs sharded({shards} shards, {threads} threads)"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_tpfa_is_bit_identical_on_non_square_fabric() {
+    // 21×13 with 6 = 3×2 shards: both axes split unevenly (7 and 6/7/6…).
+    let reference = observe_tpfa(21, 13, 3, Execution::Sequential);
+    let sharded = observe_tpfa(
+        21,
+        13,
+        3,
+        Execution::Sharded {
+            shards: 6,
+            threads: 3,
+        },
+    );
+    assert_eq!(reference, sharded);
+}
+
+#[test]
+fn sharded_tpfa_repeated_applications_stay_identical() {
+    // Cross-run state (fabric time, per-PE sequence counters, busy_until)
+    // must also evolve identically, otherwise the second apply diverges.
+    let run = |execution: Execution| {
+        let mesh = CartesianMesh3::new(Extents::new(16, 16, 2), Spacing::new(10.0, 10.0, 4.0));
+        let fluid = Fluid::water_like();
+        let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 5);
+        let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+        let mut sim = DataflowFluxSimulator::new(
+            &mesh,
+            &fluid,
+            &trans,
+            DataflowOptions {
+                execution,
+                ..DataflowOptions::default()
+            },
+        );
+        let mut all_bits = Vec::new();
+        for i in 0..3 {
+            let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, i);
+            let r = sim.apply(p.pressure()).unwrap();
+            all_bits.extend(r.iter().map(|v| v.to_bits()));
+            all_bits.push(sim.last_run().unwrap().final_time as u32);
+        }
+        all_bits
+    };
+    assert_eq!(
+        run(Execution::Sequential),
+        run(Execution::Sharded {
+            shards: 4,
+            threads: 2
+        })
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Error-report equivalence
+// ---------------------------------------------------------------------------
+
+const DATA: Color = Color::new(0);
+const STREAM: Color = Color::new(5);
+
+/// Column 0 PEs send east on a color every other PE keeps closed — the
+/// wavelets park at column 1 and the fabric deadlocks with one stalled
+/// wavelet per row.
+struct DeadlockProgram;
+
+impl PeProgram for DeadlockProgram {
+    fn init(&mut self, ctx: &mut PeContext) {
+        let sending = RouterPosition::new(
+            DirMask::single(Direction::Ramp),
+            DirMask::single(Direction::East),
+        );
+        let receiving = RouterPosition::new(
+            DirMask::single(Direction::West),
+            DirMask::single(Direction::Ramp),
+        );
+        // position never toggles: east neighbors reject the stream forever
+        ctx.configure_color(STREAM, ColorConfig::switchable(sending, receiving, 0));
+    }
+    fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
+        if w.color == DATA && ctx.coord.col == 0 {
+            ctx.send_f32(STREAM, ctx.coord.row as f32);
+        }
+    }
+}
+
+fn run_deadlock(execution: Execution) -> FabricError {
+    let dims = FabricDims::new(8, 6);
+    let config = FabricConfig {
+        execution,
+        ..FabricConfig::default()
+    };
+    let mut f = Fabric::new(dims, config, |_| Box::new(DeadlockProgram));
+    f.load();
+    f.activate_all(DATA, 0);
+    f.run().expect_err("must deadlock")
+}
+
+#[test]
+fn deadlock_reports_are_identical_across_engines() {
+    let reference = run_deadlock(Execution::Sequential);
+    match &reference {
+        FabricError::Deadlock { pe, stalled, .. } => {
+            // six rows stall, the scan reports the first in linear order
+            assert_eq!(*pe, PeCoord::new(1, 0));
+            assert_eq!(*stalled, 1);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+    for (shards, threads) in [(2, 2), (4, 4), (6, 3)] {
+        let sharded = run_deadlock(Execution::Sharded { shards, threads });
+        assert_eq!(
+            reference, sharded,
+            "deadlock report must match for {shards} shards"
+        );
+    }
+}
+
+/// Every PE on the anti-diagonal sends on an unconfigured color — several
+/// shards race to report; the engines must agree on the winning error.
+struct RouteErrorProgram;
+
+impl PeProgram for RouteErrorProgram {
+    fn init(&mut self, _ctx: &mut PeContext) {}
+    fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
+        if w.color == DATA && ctx.coord.col + ctx.coord.row == 7 {
+            ctx.send_f32(Color::new(19), 1.0);
+        }
+    }
+}
+
+#[test]
+fn route_error_reports_are_identical_across_engines() {
+    let run = |execution: Execution| {
+        let dims = FabricDims::new(8, 8);
+        let config = FabricConfig {
+            execution,
+            ..FabricConfig::default()
+        };
+        let mut f = Fabric::new(dims, config, |_| Box::new(RouteErrorProgram));
+        f.load();
+        f.activate_all(DATA, 0);
+        f.run().expect_err("must hit a route error")
+    };
+    let reference = run(Execution::Sequential);
+    assert!(matches!(reference, FabricError::Route { .. }));
+    for (shards, threads) in [(4, 2), (16, 4)] {
+        assert_eq!(reference, run(Execution::Sharded { shards, threads }));
+    }
+}
+
+#[test]
+fn budget_error_reports_are_identical_across_engines() {
+    struct Loopy;
+    impl PeProgram for Loopy {
+        fn init(&mut self, _ctx: &mut PeContext) {}
+        fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
+            ctx.activate(w.color, 0);
+        }
+    }
+    let run = |execution: Execution| {
+        let mut f = Fabric::new(
+            FabricDims::new(4, 4),
+            FabricConfig {
+                max_events: 1_000,
+                execution,
+                ..FabricConfig::default()
+            },
+            |_| Box::new(Loopy),
+        );
+        f.load();
+        f.activate_all(DATA, 0);
+        f.run().expect_err("must exceed the budget")
+    };
+    let reference = run(Execution::Sequential);
+    assert!(matches!(reference, FabricError::EventBudgetExceeded { .. }));
+    for (shards, threads) in [(2, 2), (4, 4), (8, 2)] {
+        assert_eq!(reference, run(Execution::Sharded { shards, threads }));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard statistics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn per_shard_stats_partition_the_global_stats() {
+    let mesh = CartesianMesh3::new(Extents::new(12, 10, 2), Spacing::new(10.0, 10.0, 4.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 3);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let mut sim = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            execution: Execution::Sharded {
+                shards: 4,
+                threads: 2,
+            },
+            ..DataflowOptions::default()
+        },
+    );
+    let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 0);
+    sim.apply(p.pressure()).unwrap();
+    let global = sim.stats();
+    for shards in [1usize, 4, 6] {
+        let per = sim.shard_stats(shards);
+        assert_eq!(per.len(), shards, "{shards} shards requested");
+        let mut merged = FabricStats::default();
+        for s in &per {
+            merged.merge(s);
+        }
+        assert_eq!(merged, global, "{shards}-shard partition must cover");
+        assert!(per.iter().all(|s| s.num_pes > 0));
+    }
+}

@@ -10,6 +10,7 @@ use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
 use mdfv::fv::prelude::*;
 use mdfv::fv::validate::Validation;
 use mdfv::gpu::problem::{GpuFluxProblem, GpuModel};
+use mdfv::wse::fabric::Execution;
 
 fn main() {
     // 1. A 16×12×8 Cartesian mesh with heterogeneous (log-normal)
@@ -52,7 +53,31 @@ fn main() {
         stats.total.fabric_loads,
     );
 
-    // 6. Cross-validation.
+    // 6. The same fabric program on the parallel sharded engine (BSP
+    //    supersteps over 4 rectangular shards): bit-identical results.
+    let mut sharded_sim = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            execution: Execution::Sharded {
+                shards: 4,
+                threads: 2,
+            },
+            ..DataflowOptions::default()
+        },
+    );
+    let sharded = sharded_sim.apply(state.pressure()).expect("sharded run");
+    assert!(
+        dataflow
+            .iter()
+            .zip(&sharded)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "sharded engine must be bit-identical to the sequential engine"
+    );
+    println!("sharded engine (4 shards, 2 threads): bit-identical residual");
+
+    // 7. Cross-validation.
     println!();
     for v in [
         Validation::compare("GPU/RAJA  vs serial", &reference, &raja, 1e-4),

