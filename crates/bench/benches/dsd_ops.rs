@@ -7,6 +7,7 @@ use tpfa_dataflow::{compute_face_flux, FaceBuffers, FaceInputs};
 use wse_sim::dsd::{fadds, fmacs, fmuls, fmuls_gate, fnegs, fsubs, Dsd, Operand};
 use wse_sim::memory::PeMemory;
 use wse_sim::stats::OpCounters;
+use wse_sim::trace::PeTracer;
 
 fn rig(len: usize, arrays: usize) -> (PeMemory, Vec<Dsd>) {
     let mut mem = PeMemory::with_capacity_bytes(((arrays * len * 4) + 64).next_multiple_of(4));
@@ -26,12 +27,14 @@ fn bench_single_ops(c: &mut Criterion) {
     let len = 246; // the paper's Nz
     let (mut mem, d) = rig(len, 3);
     let mut ctr = OpCounters::default();
+    let mut tr = PeTracer::null();
     g.throughput(Throughput::Elements(len as u64));
     g.bench_function("fmuls", |b| {
         b.iter(|| {
             fmuls(
                 &mut mem,
                 &mut ctr,
+                &mut tr,
                 d[0],
                 Operand::Mem(d[1]),
                 Operand::Mem(d[2]),
@@ -43,6 +46,7 @@ fn bench_single_ops(c: &mut Criterion) {
             fsubs(
                 &mut mem,
                 &mut ctr,
+                &mut tr,
                 d[0],
                 Operand::Mem(d[1]),
                 Operand::Mem(d[2]),
@@ -54,6 +58,7 @@ fn bench_single_ops(c: &mut Criterion) {
             fadds(
                 &mut mem,
                 &mut ctr,
+                &mut tr,
                 d[0],
                 Operand::Mem(d[1]),
                 Operand::Mem(d[2]),
@@ -65,6 +70,7 @@ fn bench_single_ops(c: &mut Criterion) {
             fmacs(
                 &mut mem,
                 &mut ctr,
+                &mut tr,
                 d[0],
                 Operand::Mem(d[1]),
                 Operand::Mem(d[2]),
@@ -72,13 +78,14 @@ fn bench_single_ops(c: &mut Criterion) {
         })
     });
     g.bench_function("fnegs", |b| {
-        b.iter(|| fnegs(&mut mem, &mut ctr, d[0], Operand::Mem(d[1])))
+        b.iter(|| fnegs(&mut mem, &mut ctr, &mut tr, d[0], Operand::Mem(d[1])))
     });
     g.bench_function("fmuls_gate", |b| {
         b.iter(|| {
             fmuls_gate(
                 &mut mem,
                 &mut ctr,
+                &mut tr,
                 d[0],
                 Operand::Mem(d[1]),
                 Operand::Mem(d[2]),
@@ -93,6 +100,7 @@ fn bench_face_kernel(c: &mut Criterion) {
     for nz in [64usize, 246, 512] {
         let (mut mem, d) = rig(nz, 9);
         let mut ctr = OpCounters::default();
+        let mut tr = PeTracer::null();
         let inputs = FaceInputs {
             p_k: d[0],
             rho_k: d[1],
@@ -109,7 +117,7 @@ fn bench_face_kernel(c: &mut Criterion) {
         };
         g.throughput(Throughput::Elements(nz as u64));
         g.bench_with_input(BenchmarkId::from_parameter(nz), &nz, |b, _| {
-            b.iter(|| compute_face_flux(&mut mem, &mut ctr, d[5], inputs, buffers));
+            b.iter(|| compute_face_flux(&mut mem, &mut ctr, &mut tr, d[5], inputs, buffers));
         });
     }
     g.finish();

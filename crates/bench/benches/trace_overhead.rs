@@ -1,0 +1,47 @@
+//! Overhead guard for the tracing subsystem: the `NullSink` path (tracing
+//! off, the default) must be indistinguishable from the pre-tracing
+//! simulator, and the `RingSink` path quantifies the cost of recording.
+//!
+//! Compare `trace_overhead/off` against `engine/64x64/sequential` (same
+//! fabric, same problem, same engine): any measurable gap is a regression
+//! in the zero-overhead-when-off claim. The `ring` variants show what
+//! enabling tracing costs.
+
+use bench::{pressure_for_iteration, standard_problem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use wse_sim::trace::TraceSpec;
+
+const NZ: usize = 6;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    let n = 64usize;
+    let (mesh, fluid, trans) = standard_problem(n, n, NZ, 2);
+    let p = pressure_for_iteration(&mesh, 0);
+    let variants = [
+        ("off", TraceSpec::OFF),
+        ("ring-256", TraceSpec::ring(256)),
+        ("ring-4096", TraceSpec::ring(4096)),
+    ];
+    for (label, trace) in variants {
+        let mut sim = DataflowFluxSimulator::new(
+            &mesh,
+            &fluid,
+            &trans,
+            DataflowOptions {
+                trace,
+                ..DataflowOptions::default()
+            },
+        );
+        g.throughput(Throughput::Elements(mesh.num_cells() as u64));
+        g.bench_with_input(BenchmarkId::new(label, n * n), &n, |b, _| {
+            b.iter(|| sim.apply(&p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -44,11 +44,17 @@ fn bench_engine_comparison(c: &mut Criterion) {
         ),
         (
             format!("sharded-16x{threads}t"),
-            Execution::Sharded { shards: 16, threads },
+            Execution::Sharded {
+                shards: 16,
+                threads,
+            },
         ),
         (
             format!("sharded-64x{threads}t"),
-            Execution::Sharded { shards: 64, threads },
+            Execution::Sharded {
+                shards: 64,
+                threads,
+            },
         ),
     ];
     for (label, execution) in engines {

@@ -151,4 +151,11 @@ fn main() {
         "\npaper speedup (RAJA vs CSL): 204x; modeled: {:.0}x",
         t_raja / t_cs2
     );
+
+    // `--trace out.json [--trace-cap N]`: rerun one traced application at
+    // laboratory scale on the selected engine and export Chrome JSON + a
+    // load summary.
+    if let Some(req) = bench::trace_request_from_args() {
+        bench::run_traced(nx, ny, nz, 1, execution, &req);
+    }
 }

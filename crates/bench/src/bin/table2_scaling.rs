@@ -112,4 +112,11 @@ fn main() {
     }
     println!("\n(shape checks: CS-2 time ~constant, A100 time ~linear in cells,");
     println!(" throughput grows ~linearly with the fabric area — as in the paper)");
+
+    // `--trace out.json [--trace-cap N]`: traced run of the largest
+    // functional fabric above; the per-shard summary lines diagnose load
+    // imbalance across the sharded engine's partition.
+    if let Some(req) = bench::trace_request_from_args() {
+        bench::run_traced(16, 16, 8, 1, execution, &req);
+    }
 }

@@ -14,6 +14,9 @@ use fv_core::trans::{StencilKind, Transmissibilities};
 use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
 use wse_sim::fabric::Execution;
 use wse_sim::stats::OpCounters;
+use wse_sim::trace::{chrome_trace_json, TraceSummary};
+
+pub use wse_sim::trace::{trace_request_from_arg_slice, trace_request_from_args, TraceRequest};
 
 /// The paper's production mesh (750 × 994 × 246 = 183 393 000 cells).
 pub const PAPER_MESH: (usize, usize, usize) = (750, 994, 246);
@@ -161,6 +164,63 @@ pub fn measure_dataflow_with(
     }
 }
 
+/// Exports a simulator's recorded trace as Chrome `trace_event` JSON to
+/// `req.path` and prints the compact summary (per-shard load timelines,
+/// per-color wavelet histogram, hottest PEs) plus the drop count.
+///
+/// Call after the measured run, on a simulator built with
+/// `trace: req.spec()` in its [`DataflowOptions`]. Panics if the simulator
+/// was not built with tracing enabled (a harness bug, not user input).
+pub fn export_trace(sim: &DataflowFluxSimulator, req: &TraceRequest) {
+    let trace = sim
+        .trace()
+        .expect("export_trace called on an untraced simulator");
+    std::fs::write(&req.path, chrome_trace_json(&trace))
+        .unwrap_or_else(|e| panic!("writing trace to {}: {e}", req.path));
+    println!();
+    print!("{}", TraceSummary::from_trace(&trace, 5));
+    println!(
+        "trace written to {} ({} events, {} dropped; open in Perfetto / chrome://tracing)",
+        req.path,
+        trace.events.len(),
+        trace.dropped
+    );
+    if trace.dropped > 0 {
+        println!(
+            "  note: rings overflowed (drop-oldest); rerun with a larger --trace-cap \
+             for a complete trace"
+        );
+    }
+}
+
+/// Runs `iterations` applications of Algorithm 1 on an `nx × ny × nz`
+/// standard problem with tracing on, then exports the trace via
+/// [`export_trace`]. The common tail of every benchmark binary's `--trace`
+/// handling.
+pub fn run_traced(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iterations: usize,
+    execution: Execution,
+    req: &TraceRequest,
+) {
+    let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
+    let mut sim = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            execution,
+            trace: req.spec(),
+            ..DataflowOptions::default()
+        },
+    );
+    sim.apply_many(iterations, |i| pressure_for_iteration(&mesh, i))
+        .expect("traced run failed");
+    export_trace(&sim, req);
+}
+
 /// Prints a fixed-width table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let mut line = String::new();
@@ -272,10 +332,7 @@ mod tests {
                 threads: 2,
             },
         );
-        assert_eq!(
-            seq.interior_pe_per_iteration,
-            par.interior_pe_per_iteration
-        );
+        assert_eq!(seq.interior_pe_per_iteration, par.interior_pe_per_iteration);
         assert_eq!(seq.fabric_total, par.fabric_total);
     }
 }

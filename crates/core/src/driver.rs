@@ -16,6 +16,7 @@ use fv_core::trans::Transmissibilities;
 use wse_sim::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
 use wse_sim::geometry::{FabricDims, PeCoord};
 use wse_sim::stats::FabricStats;
+use wse_sim::trace::{Trace, TraceSpec};
 
 /// Driver options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +36,8 @@ pub struct DataflowOptions {
     /// [`Execution::Sharded`] for parallel simulation with bit-identical
     /// results).
     pub execution: Execution,
+    /// Event tracing (default off; see [`wse_sim::trace`]).
+    pub trace: TraceSpec,
 }
 
 impl Default for DataflowOptions {
@@ -45,9 +48,15 @@ impl Default for DataflowOptions {
             pe_memory_bytes: wse_sim::memory::WSE2_PE_MEMORY_BYTES,
             max_events: 1_000_000_000,
             execution: Execution::Sequential,
+            trace: TraceSpec::OFF,
         }
     }
 }
+
+/// Host-phase code for pressure injection (start of [`DataflowFluxSimulator::apply`]).
+pub const HOST_PHASE_INJECT: u8 = 0;
+/// Host-phase code for residual collection (end of [`DataflowFluxSimulator::apply`]).
+pub const HOST_PHASE_COLLECT: u8 = 1;
 
 /// The host-side simulator: fabric + problem layout.
 pub struct DataflowFluxSimulator {
@@ -76,6 +85,7 @@ impl DataflowFluxSimulator {
             pe_memory_bytes: opts.pe_memory_bytes,
             max_events: opts.max_events,
             execution: opts.execution,
+            trace: opts.trace,
             ..FabricConfig::default()
         };
         let mut fabric = Fabric::new(dims, config, |_| {
@@ -137,8 +147,12 @@ impl DataflowFluxSimulator {
             }
         }
         // Launch and run to quiescence.
+        self.fabric
+            .trace_host(HOST_PHASE_INJECT, self.applications as u32);
         self.fabric.activate_all(START, 0);
         let report = self.fabric.run()?;
+        self.fabric
+            .trace_host(HOST_PHASE_COLLECT, self.applications as u32);
         self.last_run = Some(report);
         self.applications += 1;
         // Collect residual columns.
@@ -188,6 +202,23 @@ impl DataflowFluxSimulator {
     /// The report of the most recent run.
     pub fn last_run(&self) -> Option<RunReport> {
         self.last_run
+    }
+
+    /// Whether event tracing is enabled for this simulator.
+    pub fn trace_enabled(&self) -> bool {
+        self.fabric.trace_enabled()
+    }
+
+    /// Snapshot of the recorded trace (see [`Fabric::trace`]); `None` when
+    /// tracing is off.
+    pub fn trace(&self) -> Option<Trace> {
+        self.fabric.trace()
+    }
+
+    /// Trace snapshot attributed to the shards of a hypothetical `shards`
+    /// partition (see [`Fabric::trace_with_shards`]).
+    pub fn trace_with_shards(&self, shards: usize) -> Option<Trace> {
+        self.fabric.trace_with_shards(shards)
     }
 
     /// Zeroes all counters (e.g. between warm-up and measurement).

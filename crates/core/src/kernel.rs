@@ -30,6 +30,7 @@
 use wse_sim::dsd::{Dsd, Operand};
 use wse_sim::memory::PeMemory;
 use wse_sim::stats::OpCounters;
+use wse_sim::trace::PeTracer;
 
 /// The three reused temporary columns (§5.3.1), all of kernel length.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +67,7 @@ pub struct FaceInputs {
 pub fn compute_face_flux(
     mem: &mut PeMemory,
     ctr: &mut OpCounters,
+    trace: &mut PeTracer,
     r: Dsd,
     inp: FaceInputs,
     buf: FaceBuffers,
@@ -74,31 +76,68 @@ pub fn compute_face_flux(
     let (t0, t1, t2) = (buf.t0, buf.t1, buf.t2);
     debug_assert_eq!(r.len, inp.p_k.len);
 
-    fsubs(mem, ctr, t0, Operand::Mem(inp.p_k), Operand::Mem(inp.p_l)); // 1
+    fsubs(
+        mem,
+        ctr,
+        trace,
+        t0,
+        Operand::Mem(inp.p_k),
+        Operand::Mem(inp.p_l),
+    ); // 1
     fadds(
         mem,
         ctr,
+        trace,
         t1,
         Operand::Mem(inp.rho_k),
         Operand::Mem(inp.rho_l),
     ); // 2
-    fmuls(mem, ctr, t1, Operand::Mem(t1), Operand::Scalar(0.5)); // 3
-    fmacs(mem, ctr, t0, Operand::Mem(t1), Operand::Scalar(inp.g_dz)); // 4
+    fmuls(mem, ctr, trace, t1, Operand::Mem(t1), Operand::Scalar(0.5)); // 3
+    fmacs(
+        mem,
+        ctr,
+        trace,
+        t0,
+        Operand::Mem(t1),
+        Operand::Scalar(inp.g_dz),
+    ); // 4
     fsubs(
         mem,
         ctr,
+        trace,
         t2,
         Operand::Mem(inp.rho_k),
         Operand::Mem(inp.rho_l),
     ); // 5
-    fmuls_gate(mem, ctr, t2, Operand::Mem(t2), Operand::Mem(t0)); // 6
-    fnegs(mem, ctr, t2, Operand::Mem(t2)); // 7
-    fsubs(mem, ctr, t2, Operand::Mem(inp.rho_l), Operand::Mem(t2)); // 8
-    fmuls(mem, ctr, t2, Operand::Mem(t2), Operand::Scalar(inp.inv_mu)); // 9
-    fmuls(mem, ctr, t2, Operand::Mem(t2), Operand::Mem(t0)); // 10
-    fmuls(mem, ctr, t2, Operand::Mem(t2), Operand::Mem(inp.trans)); // 11
-    fmuls(mem, ctr, t2, Operand::Mem(t2), Operand::Scalar(-1.0)); // 12
-    fsubs(mem, ctr, r, Operand::Mem(r), Operand::Mem(t2)); // 13
+    fmuls_gate(mem, ctr, trace, t2, Operand::Mem(t2), Operand::Mem(t0)); // 6
+    fnegs(mem, ctr, trace, t2, Operand::Mem(t2)); // 7
+    fsubs(
+        mem,
+        ctr,
+        trace,
+        t2,
+        Operand::Mem(inp.rho_l),
+        Operand::Mem(t2),
+    ); // 8
+    fmuls(
+        mem,
+        ctr,
+        trace,
+        t2,
+        Operand::Mem(t2),
+        Operand::Scalar(inp.inv_mu),
+    ); // 9
+    fmuls(mem, ctr, trace, t2, Operand::Mem(t2), Operand::Mem(t0)); // 10
+    fmuls(
+        mem,
+        ctr,
+        trace,
+        t2,
+        Operand::Mem(t2),
+        Operand::Mem(inp.trans),
+    ); // 11
+    fmuls(mem, ctr, trace, t2, Operand::Mem(t2), Operand::Scalar(-1.0)); // 12
+    fsubs(mem, ctr, trace, r, Operand::Mem(r), Operand::Mem(t2)); // 13
 }
 
 #[cfg(test)]
@@ -110,6 +149,7 @@ mod tests {
     struct Rig {
         mem: PeMemory,
         ctr: OpCounters,
+        tr: PeTracer,
         r: Dsd,
         inp: FaceInputs,
         buf: FaceBuffers,
@@ -131,6 +171,7 @@ mod tests {
         Rig {
             mem,
             ctr: OpCounters::default(),
+            tr: PeTracer::null(),
             r,
             inp: FaceInputs {
                 p_k,
@@ -170,8 +211,8 @@ mod tests {
             let t = 1.0e-12 * (1.0 + i as f32 * 0.1);
             (pk, rk, pl, rl, t)
         });
-        let (mem, ctr) = (&mut rg.mem, &mut rg.ctr);
-        compute_face_flux(mem, ctr, rg.r, rg.inp, rg.buf);
+        let (mem, ctr, tr) = (&mut rg.mem, &mut rg.ctr, &mut rg.tr);
+        compute_face_flux(mem, ctr, tr, rg.r, rg.inp, rg.buf);
         for i in 0..rg.n {
             let pk = rg.mem.read_f32(rg.inp.p_k.at(i));
             let pl = rg.mem.read_f32(rg.inp.p_l.at(i));
@@ -195,8 +236,8 @@ mod tests {
         fill(&mut rg, |i| {
             (1.0e7, 1000.0, 1.0e7 + i as f32, 1000.0, 1e-12)
         });
-        let (mem, ctr) = (&mut rg.mem, &mut rg.ctr);
-        compute_face_flux(mem, ctr, rg.r, rg.inp, rg.buf);
+        let (mem, ctr, tr) = (&mut rg.mem, &mut rg.ctr, &mut rg.tr);
+        compute_face_flux(mem, ctr, tr, rg.r, rg.inp, rg.buf);
         let n = n as u64;
         assert_eq!(rg.ctr.fmul, 6 * n, "6 FMUL per flux");
         assert_eq!(rg.ctr.fsub, 4 * n, "4 FSUB per flux");
@@ -221,8 +262,8 @@ mod tests {
         let mut rg = rig(n, 0.0, 1.0);
         fill(&mut rg, |_| (1.0, 1.0, 2.0, 1.0, 1.0));
         for _ in 0..10 {
-            let (mem, ctr) = (&mut rg.mem, &mut rg.ctr);
-            compute_face_flux(mem, ctr, rg.r, rg.inp, rg.buf);
+            let (mem, ctr, tr) = (&mut rg.mem, &mut rg.ctr, &mut rg.tr);
+            compute_face_flux(mem, ctr, tr, rg.r, rg.inp, rg.buf);
         }
         let n = n as u64;
         assert_eq!(rg.ctr.fmul, 60 * n);
@@ -247,8 +288,8 @@ mod tests {
                 (1.0, 10.0, 2.0, 20.0, 1.0)
             }
         });
-        let (mem, ctr) = (&mut rg.mem, &mut rg.ctr);
-        compute_face_flux(mem, ctr, rg.r, rg.inp, rg.buf);
+        let (mem, ctr, tr) = (&mut rg.mem, &mut rg.ctr, &mut rg.tr);
+        compute_face_flux(mem, ctr, tr, rg.r, rg.inp, rg.buf);
         // elem 0: F = 1 · (10/1) · (2−1) = 10 (ρ_K chosen)
         assert_eq!(rg.mem.read_f32(rg.r.at(0)), 10.0);
         // elem 1: F = 1 · (20/1) · (1−2) = −20 (ρ_L chosen)
@@ -263,8 +304,8 @@ mod tests {
         for i in 0..4 {
             rg.mem.write_f32(rg.r.at(i), 7.0);
         }
-        let (mem, ctr) = (&mut rg.mem, &mut rg.ctr);
-        compute_face_flux(mem, ctr, rg.r, rg.inp, rg.buf);
+        let (mem, ctr, tr) = (&mut rg.mem, &mut rg.ctr, &mut rg.tr);
+        compute_face_flux(mem, ctr, tr, rg.r, rg.inp, rg.buf);
         for i in 0..4 {
             assert_eq!(rg.mem.read_f32(rg.r.at(i)), 7.0);
         }
@@ -275,8 +316,8 @@ mod tests {
         let mut rg = rig(1, 0.0, 1.0);
         fill(&mut rg, |_| (2.0, 1.0, 1.0, 1.0, 3.0));
         for _ in 0..4 {
-            let (mem, ctr) = (&mut rg.mem, &mut rg.ctr);
-            compute_face_flux(mem, ctr, rg.r, rg.inp, rg.buf);
+            let (mem, ctr, tr) = (&mut rg.mem, &mut rg.ctr, &mut rg.tr);
+            compute_face_flux(mem, ctr, tr, rg.r, rg.inp, rg.buf);
         }
         // each face adds F = 3 · 1 · 1 = 3
         assert_eq!(rg.mem.read_f32(rg.r.at(0)), 12.0);

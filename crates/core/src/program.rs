@@ -152,7 +152,7 @@ impl TpfaPeProgram {
         };
         let r = Dsd::contiguous(l.residual.offset, nz);
         let buf = self.buffers();
-        compute_face_flux(ctx.memory, ctx.counters, r, inputs, buf);
+        compute_face_flux(ctx.memory, ctx.counters, ctx.tracer, r, inputs, buf);
         self.faces_done += 1;
     }
 

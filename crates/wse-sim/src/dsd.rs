@@ -17,6 +17,7 @@
 use crate::memory::PeMemory;
 use crate::stats::OpCounters;
 use serde::{Deserialize, Serialize};
+use wse_trace::{PeTracer, TraceOp};
 
 /// A vector view of PE memory: base address, length, stride (in words).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,8 +115,16 @@ fn check_same_len(dst: Dsd, a: &Operand, b: Option<&Operand>) {
 }
 
 /// `dst[i] = a[i] * b[i]` — FMUL.
-pub fn fmuls(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand, b: Operand) {
+pub fn fmuls(
+    mem: &mut PeMemory,
+    ctr: &mut OpCounters,
+    trace: &mut PeTracer,
+    dst: Dsd,
+    a: Operand,
+    b: Operand,
+) {
     check_same_len(dst, &a, Some(&b));
+    trace.dsd(ctr.cycles(), TraceOp::Fmul, dst.len as u32);
     for i in 0..dst.len {
         let v = a.get(mem, i) * b.get(mem, i);
         mem.write_f32(dst.at(i), v);
@@ -134,8 +143,16 @@ pub fn fmuls(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand, b: 
 /// multiply throughput; this op models that, and is counted as a plain FMUL
 /// (2 loads, 1 store, 1 FLOP per element). It is the only non-textbook op
 /// the TPFA kernel needs to stay branch-free on vectors.
-pub fn fmuls_gate(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand, gate: Operand) {
+pub fn fmuls_gate(
+    mem: &mut PeMemory,
+    ctr: &mut OpCounters,
+    trace: &mut PeTracer,
+    dst: Dsd,
+    a: Operand,
+    gate: Operand,
+) {
     check_same_len(dst, &a, Some(&gate));
+    trace.dsd(ctr.cycles(), TraceOp::FmulGate, dst.len as u32);
     for i in 0..dst.len {
         let g = if gate.get(mem, i) > 0.0 { 1.0 } else { 0.0 };
         let v = a.get(mem, i) * g;
@@ -149,8 +166,16 @@ pub fn fmuls_gate(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand
 }
 
 /// `dst[i] = a[i] - b[i]` — FSUB.
-pub fn fsubs(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand, b: Operand) {
+pub fn fsubs(
+    mem: &mut PeMemory,
+    ctr: &mut OpCounters,
+    trace: &mut PeTracer,
+    dst: Dsd,
+    a: Operand,
+    b: Operand,
+) {
     check_same_len(dst, &a, Some(&b));
+    trace.dsd(ctr.cycles(), TraceOp::Fsub, dst.len as u32);
     for i in 0..dst.len {
         let v = a.get(mem, i) - b.get(mem, i);
         mem.write_f32(dst.at(i), v);
@@ -163,8 +188,16 @@ pub fn fsubs(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand, b: 
 }
 
 /// `dst[i] = a[i] + b[i]` — FADD.
-pub fn fadds(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand, b: Operand) {
+pub fn fadds(
+    mem: &mut PeMemory,
+    ctr: &mut OpCounters,
+    trace: &mut PeTracer,
+    dst: Dsd,
+    a: Operand,
+    b: Operand,
+) {
     check_same_len(dst, &a, Some(&b));
+    trace.dsd(ctr.cycles(), TraceOp::Fadd, dst.len as u32);
     for i in 0..dst.len {
         let v = a.get(mem, i) + b.get(mem, i);
         mem.write_f32(dst.at(i), v);
@@ -178,8 +211,16 @@ pub fn fadds(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand, b: 
 
 /// `dst[i] = a[i] * b[i] + dst[i]` — FMA (accumulating form; 2 FLOPs,
 /// 3 loads + 1 store per element).
-pub fn fmacs(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand, b: Operand) {
+pub fn fmacs(
+    mem: &mut PeMemory,
+    ctr: &mut OpCounters,
+    trace: &mut PeTracer,
+    dst: Dsd,
+    a: Operand,
+    b: Operand,
+) {
     check_same_len(dst, &a, Some(&b));
+    trace.dsd(ctr.cycles(), TraceOp::Fma, dst.len as u32);
     for i in 0..dst.len {
         let v = a
             .get(mem, i)
@@ -194,8 +235,9 @@ pub fn fmacs(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand, b: 
 }
 
 /// `dst[i] = -a[i]` — FNEG (1 load + 1 store per element).
-pub fn fnegs(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand) {
+pub fn fnegs(mem: &mut PeMemory, ctr: &mut OpCounters, trace: &mut PeTracer, dst: Dsd, a: Operand) {
     check_same_len(dst, &a, None);
+    trace.dsd(ctr.cycles(), TraceOp::Fneg, dst.len as u32);
     for i in 0..dst.len {
         let v = -a.get(mem, i);
         mem.write_f32(dst.at(i), v);
@@ -209,7 +251,14 @@ pub fn fnegs(mem: &mut PeMemory, ctr: &mut OpCounters, dst: Dsd, a: Operand) {
 
 /// Stores one received wavelet payload to memory — the receive half of
 /// FMOV (1 fabric load + 1 memory store).
-pub fn fmov_recv(mem: &mut PeMemory, ctr: &mut OpCounters, addr: usize, value: f32) {
+pub fn fmov_recv(
+    mem: &mut PeMemory,
+    ctr: &mut OpCounters,
+    trace: &mut PeTracer,
+    addr: usize,
+    value: f32,
+) {
+    trace.dsd(ctr.cycles(), TraceOp::FmovIn, 1);
     mem.write_f32(addr, value);
     ctr.fmov_in += 1;
     ctr.mem_stores += 1;
@@ -225,7 +274,8 @@ pub fn fmov_recv(mem: &mut PeMemory, ctr: &mut OpCounters, addr: usize, value: f
 /// **not** counted as PE memory traffic: the paper's Table 4 charges FMOV
 /// with "1 store, 1 fabric load" on the *receiving* side only, so the
 /// per-cell loads+stores total (406) excludes transmit reads.
-pub fn fmov_send(mem: &PeMemory, ctr: &mut OpCounters, src: Dsd) -> Vec<f32> {
+pub fn fmov_send(mem: &PeMemory, ctr: &mut OpCounters, trace: &mut PeTracer, src: Dsd) -> Vec<f32> {
+    trace.dsd(ctr.cycles(), TraceOp::FmovOut, src.len as u32);
     let out: Vec<f32> = (0..src.len).map(|i| mem.read_f32(src.at(i))).collect();
     let n = src.len as u64;
     ctr.fmov_out += n;
@@ -237,9 +287,11 @@ pub fn fmov_send(mem: &PeMemory, ctr: &mut OpCounters, src: Dsd) -> Vec<f32> {
 /// Scalar density evaluation (Eq. 5, `ρ = ρ_ref·exp(c_f(p − p_ref))`) over
 /// a vector — performed once per cell per iteration, *outside* the Table-4
 /// flux accounting (tracked via `eos_evals`).
+#[allow(clippy::too_many_arguments)]
 pub fn eos_density(
     mem: &mut PeMemory,
     ctr: &mut OpCounters,
+    trace: &mut PeTracer,
     dst: Dsd,
     p: Dsd,
     rho_ref: f32,
@@ -247,6 +299,7 @@ pub fn eos_density(
     p_ref: f32,
 ) {
     assert_eq!(dst.len, p.len);
+    trace.dsd(ctr.cycles(), TraceOp::Eos, dst.len as u32);
     for i in 0..dst.len {
         let pv = mem.read_f32(p.at(i));
         mem.write_f32(dst.at(i), rho_ref * (c_f * (pv - p_ref)).exp());
@@ -261,7 +314,7 @@ pub fn eos_density(
 mod tests {
     use super::*;
 
-    fn setup(len: usize) -> (PeMemory, OpCounters, Dsd, Dsd, Dsd) {
+    fn setup(len: usize) -> (PeMemory, OpCounters, PeTracer, Dsd, Dsd, Dsd) {
         let mut mem = PeMemory::with_capacity_bytes(4096);
         let a = mem.alloc(len).unwrap();
         let b = mem.alloc(len).unwrap();
@@ -273,6 +326,7 @@ mod tests {
         (
             mem,
             OpCounters::default(),
+            PeTracer::null(),
             Dsd::contiguous(a.offset, len),
             Dsd::contiguous(b.offset, len),
             Dsd::contiguous(d.offset, len),
@@ -281,8 +335,15 @@ mod tests {
 
     #[test]
     fn fmuls_computes_and_counts() {
-        let (mut mem, mut ctr, a, b, d) = setup(5);
-        fmuls(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        let (mut mem, mut ctr, mut tr, a, b, d) = setup(5);
+        fmuls(
+            &mut mem,
+            &mut ctr,
+            &mut tr,
+            d,
+            Operand::Mem(a),
+            Operand::Mem(b),
+        );
         for i in 0..5 {
             assert_eq!(mem.read_f32(d.at(i)), (i as f32 + 1.0) * 2.0);
         }
@@ -295,8 +356,15 @@ mod tests {
 
     #[test]
     fn scalar_operand_broadcasts() {
-        let (mut mem, mut ctr, a, _, d) = setup(4);
-        fmuls(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Scalar(0.5));
+        let (mut mem, mut ctr, mut tr, a, _, d) = setup(4);
+        fmuls(
+            &mut mem,
+            &mut ctr,
+            &mut tr,
+            d,
+            Operand::Mem(a),
+            Operand::Scalar(0.5),
+        );
         for i in 0..4 {
             assert_eq!(mem.read_f32(d.at(i)), (i as f32 + 1.0) * 0.5);
         }
@@ -304,12 +372,26 @@ mod tests {
 
     #[test]
     fn fsubs_fadds_fnegs() {
-        let (mut mem, mut ctr, a, b, d) = setup(3);
-        fsubs(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        let (mut mem, mut ctr, mut tr, a, b, d) = setup(3);
+        fsubs(
+            &mut mem,
+            &mut ctr,
+            &mut tr,
+            d,
+            Operand::Mem(a),
+            Operand::Mem(b),
+        );
         assert_eq!(mem.read_f32(d.at(0)), -1.0);
-        fadds(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        fadds(
+            &mut mem,
+            &mut ctr,
+            &mut tr,
+            d,
+            Operand::Mem(a),
+            Operand::Mem(b),
+        );
         assert_eq!(mem.read_f32(d.at(2)), 5.0);
-        fnegs(&mut mem, &mut ctr, d, Operand::Mem(a));
+        fnegs(&mut mem, &mut ctr, &mut tr, d, Operand::Mem(a));
         assert_eq!(mem.read_f32(d.at(1)), -2.0);
         assert_eq!(ctr.fsub, 3);
         assert_eq!(ctr.fadd, 3);
@@ -321,11 +403,18 @@ mod tests {
 
     #[test]
     fn fmacs_accumulates_with_two_flops() {
-        let (mut mem, mut ctr, a, b, d) = setup(3);
+        let (mut mem, mut ctr, mut tr, a, b, d) = setup(3);
         for i in 0..3 {
             mem.write_f32(d.at(i), 10.0);
         }
-        fmacs(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        fmacs(
+            &mut mem,
+            &mut ctr,
+            &mut tr,
+            d,
+            Operand::Mem(a),
+            Operand::Mem(b),
+        );
         assert_eq!(mem.read_f32(d.at(0)), 12.0);
         assert_eq!(mem.read_f32(d.at(2)), 16.0);
         assert_eq!(ctr.fma, 3);
@@ -336,13 +425,20 @@ mod tests {
 
     #[test]
     fn gate_multiply_implements_upwind_selection() {
-        let (mut mem, mut ctr, a, b, d) = setup(4);
+        let (mut mem, mut ctr, mut tr, a, b, d) = setup(4);
         // gate: alternate signs, zero counts as "not >0"
         mem.write_f32(b.at(0), 1.0);
         mem.write_f32(b.at(1), -1.0);
         mem.write_f32(b.at(2), 0.0);
         mem.write_f32(b.at(3), 5.0);
-        fmuls_gate(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        fmuls_gate(
+            &mut mem,
+            &mut ctr,
+            &mut tr,
+            d,
+            Operand::Mem(a),
+            Operand::Mem(b),
+        );
         assert_eq!(mem.read_f32(d.at(0)), 1.0);
         assert_eq!(mem.read_f32(d.at(1)), 0.0);
         assert_eq!(mem.read_f32(d.at(2)), 0.0);
@@ -352,14 +448,14 @@ mod tests {
 
     #[test]
     fn fmov_pair_counts_fabric_traffic() {
-        let (mut mem, mut ctr, a, _, d) = setup(4);
-        let vals = fmov_send(&mem, &mut ctr, a);
+        let (mut mem, mut ctr, mut tr, a, _, d) = setup(4);
+        let vals = fmov_send(&mem, &mut ctr, &mut tr, a);
         assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(ctr.fmov_out, 4);
         assert_eq!(ctr.fabric_stores, 4);
         assert_eq!(ctr.mem_loads, 0, "transmit reads are not PE memory traffic");
         for (i, v) in vals.iter().enumerate() {
-            fmov_recv(&mut mem, &mut ctr, d.at(i), *v);
+            fmov_recv(&mut mem, &mut ctr, &mut tr, d.at(i), *v);
         }
         assert_eq!(ctr.fmov_in, 4);
         assert_eq!(ctr.fabric_loads, 4);
@@ -404,9 +500,11 @@ mod tests {
         for i in 0..3 {
             mem.write_f32(p.at(i), 1.0e7 + i as f32 * 1.0e5);
         }
+        let mut tr = PeTracer::null();
         eos_density(
             &mut mem,
             &mut ctr,
+            &mut tr,
             Dsd::contiguous(rho.offset, 3),
             Dsd::contiguous(p.offset, 3),
             1000.0,
@@ -425,11 +523,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn length_mismatch_panics() {
-        let (mut mem, mut ctr, a, _, d) = setup(4);
+        let (mut mem, mut ctr, mut tr, a, _, d) = setup(4);
         let short = Dsd::contiguous(a.base, 2);
         fmuls(
             &mut mem,
             &mut ctr,
+            &mut tr,
             d,
             Operand::Mem(short),
             Operand::Scalar(1.0),

@@ -45,6 +45,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use wse_trace::{EventRing, PeTracer, Trace, TraceEventKind, TraceSpec, HOST_PE, LINK_CONTROL_BIT};
 
 /// Which event-loop engine [`Fabric::run`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +79,10 @@ pub struct FabricConfig {
     pub max_events: u64,
     /// Event-loop engine (default [`Execution::Sequential`]).
     pub execution: Execution,
+    /// Tracing request (default off — zero overhead beyond one predictable
+    /// branch per instrumentation site). When enabled, each PE records into
+    /// a bounded drop-oldest ring; read the result with [`Fabric::trace`].
+    pub trace: TraceSpec,
 }
 
 impl Default for FabricConfig {
@@ -87,6 +92,7 @@ impl Default for FabricConfig {
             hop_latency: 1,
             max_events: 1_000_000_000,
             execution: Execution::Sequential,
+            trace: TraceSpec::OFF,
         }
     }
 }
@@ -159,6 +165,8 @@ struct PeSlot {
     edge_drops: u64,
     /// Backpressure (park) events at this PE's router.
     flow_stalls: u64,
+    /// This PE's trace sink (a no-op unless tracing is enabled).
+    trace: PeTracer,
 }
 
 /// Outcome of a [`Fabric::run`] call.
@@ -224,14 +232,48 @@ impl std::fmt::Display for FabricError {
 
 impl std::error::Error for FabricError {}
 
+/// Trace `a`/`payload` encoding of a [`FabricError`]: `(class, detail)`.
+/// Classes: 0 = event budget, 1 = route, 2 = deadlock. Route errors carry
+/// the offending color id as detail; deadlocks carry the stalled count.
+fn error_code(error: &FabricError) -> (u8, u32) {
+    match error {
+        FabricError::EventBudgetExceeded { .. } => (0, 0),
+        FabricError::Route { error, .. } => {
+            let color = match error {
+                RouteError::UnconfiguredColor(c) => c.id(),
+                RouteError::InputNotAccepted { color, .. } => color.id(),
+            };
+            (1, u32::from(color))
+        }
+        FabricError::Deadlock { stalled, .. } => (2, *stalled as u32),
+    }
+}
+
 /// Keeps the error with the smallest event key — "the first error", under
 /// the engine-independent key order, regardless of which engine (or which
-/// shard) encountered it.
-fn record_error(best: &mut Option<(EventKey, FabricError)>, key: EventKey, error: FabricError) {
+/// shard) encountered it. Pure merge: used when combining already-observed
+/// (and therefore already-traced) errors, e.g. across shards.
+fn merge_min_error(best: &mut Option<(EventKey, FabricError)>, key: EventKey, error: FabricError) {
     match best {
         Some((k, _)) if *k <= key => {}
         _ => *best = Some((key, error)),
     }
+}
+
+/// The single entry point for *newly observed* errors: emits a trace error
+/// event on the observing sink, then merges into the running minimum. Every
+/// creation site goes through here, so an error can never be recorded
+/// without being traced.
+fn report_error(
+    trace: &mut PeTracer,
+    time: u64,
+    best: &mut Option<(EventKey, FabricError)>,
+    key: EventKey,
+    error: FabricError,
+) {
+    let (class, detail) = error_code(&error);
+    trace.record_at(time, TraceEventKind::Error, class, 0, detail);
+    merge_min_error(best, key, error);
 }
 
 // ---------------------------------------------------------------------------
@@ -241,6 +283,13 @@ fn record_error(best: &mut Option<(EventKey, FabricError)>, key: EventKey, error
 // `emit`; nothing else is touched, which is what makes shard-parallel
 // execution sound.
 // ---------------------------------------------------------------------------
+
+/// Trace link code for a wavelet event: low byte = direction index,
+/// bit 8 = control flag.
+#[inline]
+fn link_code(dir: Direction, control: bool) -> u16 {
+    dir.index() as u16 | if control { LINK_CONTROL_BIT } else { 0 }
+}
 
 #[allow(clippy::too_many_arguments)]
 fn process_route(
@@ -268,6 +317,13 @@ fn process_route(
             // this link yet (the hardware would backpressure). Park the
             // wavelet; a control toggling this color releases it.
             Err(RouteError::InputNotAccepted { .. }) => {
+                slot.trace.record_at(
+                    ev.time,
+                    TraceEventKind::FlowStall,
+                    wavelet.color.id(),
+                    link_code(inp, wavelet.is_control()),
+                    wavelet.payload,
+                );
                 slot.parked.push((inp, wavelet));
                 slot.flow_stalls += 1;
                 continue;
@@ -276,11 +332,24 @@ fn process_route(
             // both engines observe the same error set and can agree on the
             // smallest-key one) and drop the wavelet.
             Err(error) => {
-                record_error(first_error, ev.key(), FabricError::Route { pe: coord, error });
+                report_error(
+                    &mut slot.trace,
+                    ev.time,
+                    first_error,
+                    ev.key(),
+                    FabricError::Route { pe: coord, error },
+                );
                 continue;
             }
         };
         if outcome.toggled {
+            slot.trace.record_at(
+                ev.time,
+                TraceEventKind::RouterSwitch,
+                wavelet.color.id(),
+                outcome.position as u16,
+                wavelet.payload,
+            );
             // the switch moved: stalled wavelets of this color may pass
             let mut released = Vec::new();
             slot.parked.retain(|(dir, w)| {
@@ -298,6 +367,13 @@ fn process_route(
         }
         for dir in &outcome.outputs {
             if *dir == Direction::Ramp {
+                slot.trace.record_at(
+                    ev.time,
+                    TraceEventKind::WaveletRecv,
+                    wavelet.color.id(),
+                    link_code(inp, wavelet.is_control()),
+                    wavelet.payload,
+                );
                 slot.seq += 1;
                 emit(Event {
                     time: ev.time,
@@ -308,6 +384,16 @@ fn process_route(
                     wavelet,
                 });
             } else {
+                // A send is traced per fabric-link traversal — recorded
+                // even at the fabric edge, matching the router's
+                // `fabric_hops` counting (the drop gets its own event).
+                slot.trace.record_at(
+                    ev.time,
+                    TraceEventKind::WaveletSend,
+                    wavelet.color.id(),
+                    link_code(*dir, wavelet.is_control()),
+                    wavelet.payload,
+                );
                 match dims.neighbor(coord, *dir) {
                     Some(n) => {
                         slot.seq += 1;
@@ -320,7 +406,16 @@ fn process_route(
                             wavelet,
                         });
                     }
-                    None => slot.edge_drops += 1,
+                    None => {
+                        slot.trace.record_at(
+                            ev.time,
+                            TraceEventKind::EdgeDrop,
+                            wavelet.color.id(),
+                            link_code(*dir, wavelet.is_control()),
+                            wavelet.payload,
+                        );
+                        slot.edge_drops += 1;
+                    }
                 }
             }
         }
@@ -337,12 +432,21 @@ fn process_deliver(
 ) {
     let start = slot.busy_until.max(ev.time);
     let cycles_before = slot.counters.cycles();
+    slot.trace.record_at(
+        start,
+        TraceEventKind::TaskStart,
+        ev.wavelet.color.id(),
+        u16::from(ev.wavelet.is_control()),
+        ev.wavelet.payload,
+    );
+    slot.trace.task_begin(start, cycles_before);
     {
         let mut ctx = PeContext::new(
             coord,
             dims,
             &mut slot.memory,
             &mut slot.counters,
+            &mut slot.trace,
             &mut slot.router,
             &mut slot.outbox,
             &mut slot.activations,
@@ -354,6 +458,13 @@ fn process_deliver(
     }
     let cost = slot.counters.cycles() - cycles_before;
     slot.busy_until = start + cost;
+    slot.trace.record_at(
+        slot.busy_until,
+        TraceEventKind::TaskEnd,
+        ev.wavelet.color.id(),
+        u16::from(ev.wavelet.is_control()),
+        cost as u32,
+    );
     flush_pe_output(slot, pe, slot.busy_until, emit);
 }
 
@@ -556,6 +667,11 @@ struct SharedCoord {
     /// Global pop counter for the event budget (flushed in batches).
     pops: AtomicU64,
     over_budget: AtomicBool,
+    /// Whether tracing is enabled (gates the per-superstep meta lock).
+    trace_on: bool,
+    /// Engine meta stream (superstep barrier events), written only by the
+    /// leader worker between barriers.
+    meta: Mutex<PeTracer>,
 }
 
 /// How many pops a shard accumulates locally before flushing to the global
@@ -681,6 +797,15 @@ fn shard_worker(
         if window_start == u64::MAX {
             break; // globally quiescent
         }
+        if leader && shared.trace_on {
+            shared.meta.lock().unwrap().record_at(
+                window_start,
+                TraceEventKind::Barrier,
+                0,
+                0,
+                step as u32,
+            );
+        }
         let window_end = window_start.saturating_add(config.hop_latency);
         for sh in owned.iter_mut() {
             process_shard_window(sh, window_end, dims, &config, plan, shared);
@@ -699,6 +824,10 @@ pub struct Fabric {
     host_seq: u64,
     time: u64,
     initialized: bool,
+    /// Meta trace stream for host-side and engine-level events (barriers,
+    /// host phases, budget/deadlock errors). Kept separate from the per-PE
+    /// streams so sequential and sharded per-PE traces stay bit-identical.
+    host_trace: PeTracer,
 }
 
 impl Fabric {
@@ -711,7 +840,8 @@ impl Fabric {
     ) -> Self {
         let pes = dims
             .iter()
-            .map(|c| PeSlot {
+            .enumerate()
+            .map(|(i, c)| PeSlot {
                 memory: PeMemory::with_capacity_bytes(config.pe_memory_bytes),
                 counters: OpCounters::default(),
                 router: Router::new(),
@@ -723,6 +853,7 @@ impl Fabric {
                 seq: 0,
                 edge_drops: 0,
                 flow_stalls: 0,
+                trace: PeTracer::for_spec(config.trace, i as u32),
             })
             .collect();
         Self {
@@ -733,6 +864,7 @@ impl Fabric {
             host_seq: 0,
             time: 0,
             initialized: false,
+            host_trace: PeTracer::for_spec(config.trace, HOST_PE),
         }
     }
 
@@ -754,11 +886,15 @@ impl Fabric {
             let coord = self.dims.coord(i);
             let dims = self.dims;
             let slot = &mut self.pes[i];
+            // Init runs at t = 0; DSD ops traced from init are stamped
+            // relative to the PE's cycle count at this point.
+            slot.trace.task_begin(0, slot.counters.cycles());
             let mut ctx = PeContext::new(
                 coord,
                 dims,
                 &mut slot.memory,
                 &mut slot.counters,
+                &mut slot.trace,
                 &mut slot.router,
                 &mut slot.outbox,
                 &mut slot.activations,
@@ -805,10 +941,22 @@ impl Fabric {
     /// both engines observe the same error set.
     pub fn run(&mut self) -> Result<RunReport, FabricError> {
         assert!(self.initialized, "call load() before run()");
-        match self.config.execution {
+        let result = match self.config.execution {
             Execution::Sequential => self.run_sequential(),
             Execution::Sharded { shards, threads } => self.run_sharded(shards, threads),
+        };
+        if let Err(error) = &result {
+            // Route errors are traced per-PE where they occur; budget and
+            // deadlock errors are engine-level, so they go to the meta
+            // stream (keeping per-PE streams engine-independent).
+            if !matches!(error, FabricError::Route { .. }) {
+                let (class, detail) = error_code(error);
+                let time = self.time;
+                self.host_trace
+                    .record_at(time, TraceEventKind::Error, class, 0, detail);
+            }
         }
+        result
     }
 
     fn run_sequential(&mut self) -> Result<RunReport, FabricError> {
@@ -900,6 +1048,8 @@ impl Fabric {
             window_min: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
             pops: AtomicU64::new(0),
             over_budget: AtomicBool::new(false),
+            trace_on: config.trace.enabled,
+            meta: Mutex::new(std::mem::take(&mut self.host_trace)),
         };
         let mut per_worker: Vec<Vec<Shard>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, sh) in shard_states.into_iter().enumerate() {
@@ -928,7 +1078,7 @@ impl Fabric {
             events += sh.events;
             self.time = self.time.max(sh.max_time);
             if let Some((k, e)) = sh.error.take() {
-                record_error(&mut min_error, k, e);
+                merge_min_error(&mut min_error, k, e);
             }
             for ev in sh.heap.drain() {
                 self.queue.push(ev);
@@ -941,6 +1091,7 @@ impl Fabric {
             .into_iter()
             .map(|o| o.expect("every PE belongs to exactly one shard"))
             .collect();
+        self.host_trace = shared.meta.into_inner().unwrap();
         for inbox in shared.inboxes {
             for ev in inbox.into_inner().unwrap() {
                 self.queue.push(Reverse(ev));
@@ -1050,6 +1201,55 @@ impl Fabric {
             out[sh].merge(&self.pe_stats(slot));
         }
         out
+    }
+
+    /// Whether event tracing was enabled in [`FabricConfig::trace`].
+    pub fn trace_enabled(&self) -> bool {
+        self.config.trace.enabled
+    }
+
+    /// Records a host-side phase marker (e.g. inject/collect) into the meta
+    /// trace stream at the current fabric time. No-op when tracing is off.
+    pub fn trace_host(&mut self, phase: u8, payload: u32) {
+        let time = self.time;
+        self.host_trace
+            .record_at(time, TraceEventKind::HostPhase, phase, 0, payload);
+    }
+
+    /// Snapshot of the recorded trace, attributing PEs to the shards of the
+    /// configured execution mode (1 shard when sequential). `None` when
+    /// tracing is off.
+    pub fn trace(&self) -> Option<Trace> {
+        let shards = match self.config.execution {
+            Execution::Sequential => 1,
+            Execution::Sharded { shards, .. } => shards,
+        };
+        self.trace_with_shards(shards)
+    }
+
+    /// Snapshot of the recorded trace under the rectangular partition the
+    /// sharded engine would use for `shards`. The per-PE event streams are
+    /// engine-independent; only this shard attribution changes.
+    pub fn trace_with_shards(&self, shards: usize) -> Option<Trace> {
+        if !self.config.trace.enabled {
+            return None;
+        }
+        let plan = ShardPlan::new(self.dims, shards);
+        let shard_of: Vec<u32> = (0..self.dims.num_pes())
+            .map(|i| plan.shard_of(self.dims.coord(i)) as u32)
+            .collect();
+        let rings: Vec<&EventRing> = self.pes.iter().filter_map(|s| s.trace.ring()).collect();
+        let empty_host = EventRing::new(HOST_PE, 1);
+        let host = self.host_trace.ring().unwrap_or(&empty_host);
+        Some(Trace::from_rings(
+            self.dims.cols,
+            self.dims.rows,
+            plan.count(),
+            shard_of,
+            self.time,
+            &rings,
+            host,
+        ))
     }
 }
 

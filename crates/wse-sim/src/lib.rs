@@ -43,6 +43,10 @@ pub mod route;
 pub mod stats;
 pub mod wavelet;
 
+/// The tracing subsystem (re-export of the `wse-trace` crate): event kinds,
+/// sinks, sorted traces, Chrome/Perfetto export and summaries.
+pub use wse_trace as trace;
+
 /// Commonly used types.
 pub mod prelude {
     pub use crate::dsd::{Dsd, OpKind};
@@ -51,8 +55,9 @@ pub mod prelude {
     pub use crate::memory::{MemRange, PeMemory, WSE2_PE_MEMORY_BYTES};
     pub use crate::pe::{PeContext, PeProgram};
     pub use crate::route::{ColorConfig, DirMask, Router, RouterPosition};
-    pub use crate::stats::{FabricStats, OpCounters};
+    pub use crate::stats::{stats_from_trace, FabricStats, OpCounters};
     pub use crate::wavelet::{Color, Wavelet, WaveletKind, MAX_COLORS};
+    pub use wse_trace::{Trace, TraceSpec, TraceSummary};
 }
 
 pub use prelude::*;

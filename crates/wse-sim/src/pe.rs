@@ -12,6 +12,7 @@ use crate::memory::{MemRange, OutOfMemory, PeMemory};
 use crate::route::{ColorConfig, Router};
 use crate::stats::OpCounters;
 use crate::wavelet::{Color, Wavelet};
+use wse_trace::PeTracer;
 
 /// Everything a handler may touch: the PE's own memory, counters, router,
 /// and an outbox of wavelets to inject after the handler returns.
@@ -24,17 +25,23 @@ pub struct PeContext<'a> {
     pub memory: &'a mut PeMemory,
     /// The PE's instruction counters.
     pub counters: &'a mut OpCounters,
+    /// The PE's trace sink — a no-op unless tracing is enabled in
+    /// [`crate::fabric::FabricConfig::trace`]. DSD ops record through it;
+    /// pass it to [`crate::dsd`] free functions called directly.
+    pub tracer: &'a mut PeTracer,
     router: &'a mut Router,
     outbox: &'a mut Vec<Wavelet>,
     activations: &'a mut Vec<(Color, u32)>,
 }
 
 impl<'a> PeContext<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         coord: PeCoord,
         dims: FabricDims,
         memory: &'a mut PeMemory,
         counters: &'a mut OpCounters,
+        tracer: &'a mut PeTracer,
         router: &'a mut Router,
         outbox: &'a mut Vec<Wavelet>,
         activations: &'a mut Vec<(Color, u32)>,
@@ -44,6 +51,7 @@ impl<'a> PeContext<'a> {
             dims,
             memory,
             counters,
+            tracer,
             router,
             outbox,
             activations,
@@ -86,7 +94,7 @@ impl<'a> PeContext<'a> {
     /// Sends a whole memory vector as consecutive wavelets (an FMOV-out
     /// per element, with fabric-traffic accounting).
     pub fn send_vector(&mut self, color: Color, src: Dsd) {
-        let values = dsd::fmov_send(self.memory, self.counters, src);
+        let values = dsd::fmov_send(self.memory, self.counters, self.tracer, src);
         for v in values {
             self.outbox.push(Wavelet::data_f32(color, v));
         }
@@ -105,44 +113,53 @@ impl<'a> PeContext<'a> {
 
     /// Stores a received wavelet payload (FMOV-in accounting).
     pub fn recv_store(&mut self, addr: usize, value: f32) {
-        dsd::fmov_recv(self.memory, self.counters, addr, value);
+        dsd::fmov_recv(self.memory, self.counters, self.tracer, addr, value);
     }
 
     // --- vector-op sugar, delegating to the DSD engine ------------------
 
     /// `dst = a * b`.
     pub fn fmuls(&mut self, dst: Dsd, a: Operand, b: Operand) {
-        dsd::fmuls(self.memory, self.counters, dst, a, b);
+        dsd::fmuls(self.memory, self.counters, self.tracer, dst, a, b);
     }
 
     /// `dst = a * H(gate > 0)` — predicated multiply (upwind selection).
     pub fn fmuls_gate(&mut self, dst: Dsd, a: Operand, gate: Operand) {
-        dsd::fmuls_gate(self.memory, self.counters, dst, a, gate);
+        dsd::fmuls_gate(self.memory, self.counters, self.tracer, dst, a, gate);
     }
 
     /// `dst = a - b`.
     pub fn fsubs(&mut self, dst: Dsd, a: Operand, b: Operand) {
-        dsd::fsubs(self.memory, self.counters, dst, a, b);
+        dsd::fsubs(self.memory, self.counters, self.tracer, dst, a, b);
     }
 
     /// `dst = a + b`.
     pub fn fadds(&mut self, dst: Dsd, a: Operand, b: Operand) {
-        dsd::fadds(self.memory, self.counters, dst, a, b);
+        dsd::fadds(self.memory, self.counters, self.tracer, dst, a, b);
     }
 
     /// `dst += a * b`.
     pub fn fmacs(&mut self, dst: Dsd, a: Operand, b: Operand) {
-        dsd::fmacs(self.memory, self.counters, dst, a, b);
+        dsd::fmacs(self.memory, self.counters, self.tracer, dst, a, b);
     }
 
     /// `dst = -a`.
     pub fn fnegs(&mut self, dst: Dsd, a: Operand) {
-        dsd::fnegs(self.memory, self.counters, dst, a);
+        dsd::fnegs(self.memory, self.counters, self.tracer, dst, a);
     }
 
     /// Vector EOS density evaluation (Eq. 5) — outside Table-4 accounting.
     pub fn eos_density(&mut self, dst: Dsd, p: Dsd, rho_ref: f32, c_f: f32, p_ref: f32) {
-        dsd::eos_density(self.memory, self.counters, dst, p, rho_ref, c_f, p_ref);
+        dsd::eos_density(
+            self.memory,
+            self.counters,
+            self.tracer,
+            dst,
+            p,
+            rho_ref,
+            c_f,
+            p_ref,
+        );
     }
 }
 

@@ -144,6 +144,8 @@ pub struct RouteOutcome {
     pub outputs: Vec<Direction>,
     /// Whether a switch toggle occurred (control wavelet).
     pub toggled: bool,
+    /// The active switch-position index after any toggle.
+    pub position: usize,
 }
 
 /// A per-PE router: 24 color configurations plus traffic counters.
@@ -225,7 +227,11 @@ impl Router {
         } else {
             false
         };
-        Ok(RouteOutcome { outputs, toggled })
+        Ok(RouteOutcome {
+            outputs,
+            toggled,
+            position: cfg.current_index(),
+        })
     }
 }
 

@@ -11,6 +11,7 @@ use proptest::prelude::*;
 use wse_sim::dsd::{self, Dsd, Operand};
 use wse_sim::memory::PeMemory;
 use wse_sim::stats::OpCounters;
+use wse_sim::trace::PeTracer;
 
 fn setup(values_a: &[f32], values_b: &[f32]) -> (PeMemory, Dsd, Dsd, Dsd) {
     let n = values_a.len();
@@ -39,7 +40,8 @@ proptest! {
     fn fmuls_matches_scalar_semantics((va, vb) in finite_vec()) {
         let (mut mem, a, b, d) = setup(&va, &vb);
         let mut ctr = OpCounters::default();
-        dsd::fmuls(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        let mut tr = PeTracer::null();
+        dsd::fmuls(&mut mem, &mut ctr, &mut tr, d, Operand::Mem(a), Operand::Mem(b));
         for i in 0..va.len() {
             prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (va[i] * vb[i]).to_bits());
         }
@@ -52,11 +54,12 @@ proptest! {
     fn fsubs_fadds_match_scalar_semantics((va, vb) in finite_vec()) {
         let (mut mem, a, b, d) = setup(&va, &vb);
         let mut ctr = OpCounters::default();
-        dsd::fsubs(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        let mut tr = PeTracer::null();
+        dsd::fsubs(&mut mem, &mut ctr, &mut tr, d, Operand::Mem(a), Operand::Mem(b));
         for i in 0..va.len() {
             prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (va[i] - vb[i]).to_bits());
         }
-        dsd::fadds(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        dsd::fadds(&mut mem, &mut ctr, &mut tr, d, Operand::Mem(a), Operand::Mem(b));
         for i in 0..va.len() {
             prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (va[i] + vb[i]).to_bits());
         }
@@ -70,7 +73,8 @@ proptest! {
             mem.write_f32(d.at(i), 10.0);
         }
         let mut ctr = OpCounters::default();
-        dsd::fmacs(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        let mut tr = PeTracer::null();
+        dsd::fmacs(&mut mem, &mut ctr, &mut tr, d, Operand::Mem(a), Operand::Mem(b));
         for i in 0..va.len() {
             let expect = va[i].mul_add(vb[i], 10.0);
             prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), expect.to_bits());
@@ -82,9 +86,10 @@ proptest! {
     fn fnegs_is_sign_flip((va, vb) in finite_vec()) {
         let (mut mem, a, _b, d) = setup(&va, &vb);
         let mut ctr = OpCounters::default();
-        dsd::fnegs(&mut mem, &mut ctr, d, Operand::Mem(a));
-        for i in 0..va.len() {
-            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (-va[i]).to_bits());
+        let mut tr = PeTracer::null();
+        dsd::fnegs(&mut mem, &mut ctr, &mut tr, d, Operand::Mem(a));
+        for (i, v) in va.iter().enumerate() {
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (-*v).to_bits());
         }
         prop_assert_eq!(ctr.mem_loads, va.len() as u64);
     }
@@ -93,7 +98,8 @@ proptest! {
     fn gate_multiply_is_heaviside((va, vb) in finite_vec()) {
         let (mut mem, a, b, d) = setup(&va, &vb);
         let mut ctr = OpCounters::default();
-        dsd::fmuls_gate(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Mem(b));
+        let mut tr = PeTracer::null();
+        dsd::fmuls_gate(&mut mem, &mut ctr, &mut tr, d, Operand::Mem(a), Operand::Mem(b));
         for i in 0..va.len() {
             let expect = if vb[i] > 0.0 { va[i] } else { 0.0 };
             prop_assert_eq!(mem.read_f32(d.at(i)), expect);
@@ -106,12 +112,13 @@ proptest! {
     fn fmov_roundtrip_is_bit_exact((va, vb) in finite_vec()) {
         let (mut mem, a, _b, d) = setup(&va, &vb);
         let mut ctr = OpCounters::default();
-        let sent = dsd::fmov_send(&mem, &mut ctr, a);
+        let mut tr = PeTracer::null();
+        let sent = dsd::fmov_send(&mem, &mut ctr, &mut tr, a);
         for (i, v) in sent.iter().enumerate() {
-            dsd::fmov_recv(&mut mem, &mut ctr, d.at(i), *v);
+            dsd::fmov_recv(&mut mem, &mut ctr, &mut tr, d.at(i), *v);
         }
-        for i in 0..va.len() {
-            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), va[i].to_bits());
+        for (i, v) in va.iter().enumerate() {
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), v.to_bits());
         }
         prop_assert_eq!(ctr.fabric_loads, va.len() as u64);
         prop_assert_eq!(ctr.fabric_stores, va.len() as u64);
@@ -122,9 +129,10 @@ proptest! {
     fn scalar_operands_broadcast(s in -1.0e6_f32..1.0e6, (va, vb) in finite_vec()) {
         let (mut mem, a, _b, d) = setup(&va, &vb);
         let mut ctr = OpCounters::default();
-        dsd::fmuls(&mut mem, &mut ctr, d, Operand::Mem(a), Operand::Scalar(s));
-        for i in 0..va.len() {
-            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (va[i] * s).to_bits());
+        let mut tr = PeTracer::null();
+        dsd::fmuls(&mut mem, &mut ctr, &mut tr, d, Operand::Mem(a), Operand::Scalar(s));
+        for (i, v) in va.iter().enumerate() {
+            prop_assert_eq!(mem.read_f32(d.at(i)).to_bits(), (v * s).to_bits());
         }
     }
 }

@@ -1,0 +1,79 @@
+//! Shared parsing for the `--trace out.json [--trace-cap N]` flag used by
+//! the benchmark binaries and the quickstart example.
+
+use crate::sink::{TraceSpec, DEFAULT_RING_CAPACITY};
+
+/// A parsed `--trace` request: where to write the Chrome JSON and how big
+/// each per-PE ring should be.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// Output path for the Chrome `trace_event` JSON.
+    pub path: String,
+    /// Per-PE ring capacity in events.
+    pub capacity: usize,
+}
+
+impl TraceRequest {
+    /// The [`TraceSpec`] to put in `FabricConfig`/`DataflowOptions`.
+    pub fn spec(&self) -> TraceSpec {
+        TraceSpec::ring(self.capacity)
+    }
+}
+
+/// Parse `--trace <path> [--trace-cap <events>]` from an argument slice.
+/// Returns `None` when `--trace` is absent or has no path value.
+pub fn trace_request_from_arg_slice(args: &[String]) -> Option<TraceRequest> {
+    let path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))?
+        .clone();
+    let capacity = args
+        .iter()
+        .position(|a| a == "--trace-cap")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_RING_CAPACITY);
+    Some(TraceRequest { path, capacity })
+}
+
+/// [`trace_request_from_arg_slice`] over the process's own CLI arguments.
+pub fn trace_request_from_args() -> Option<TraceRequest> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    trace_request_from_arg_slice(&args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_trace_flag_with_and_without_cap() {
+        assert_eq!(trace_request_from_arg_slice(&to_args("")), None);
+        assert_eq!(trace_request_from_arg_slice(&to_args("--shards 4")), None);
+        assert_eq!(
+            trace_request_from_arg_slice(&to_args("--trace out.json")),
+            Some(TraceRequest {
+                path: "out.json".into(),
+                capacity: DEFAULT_RING_CAPACITY
+            })
+        );
+        assert_eq!(
+            trace_request_from_arg_slice(&to_args("--shards 4 --trace t.json --trace-cap 128")),
+            Some(TraceRequest {
+                path: "t.json".into(),
+                capacity: 128
+            })
+        );
+        // `--trace` immediately followed by another flag is not a path.
+        assert_eq!(
+            trace_request_from_arg_slice(&to_args("--trace --trace-cap 128")),
+            None
+        );
+    }
+}

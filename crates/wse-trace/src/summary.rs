@@ -1,0 +1,250 @@
+//! Compact human-readable trace summary: per-PE utilization, per-color
+//! wavelet histograms, per-shard busy/idle timelines, top-K hottest PEs.
+//!
+//! This is the tool for diagnosing shard load imbalance: the per-shard
+//! lines show each shard's mean utilization and an ASCII busy-density
+//! timeline, so a shard that is starved (or saturated) relative to its
+//! peers is visible at a glance.
+
+use std::fmt;
+
+use crate::event::TraceEventKind;
+use crate::trace::Trace;
+
+/// Number of buckets in the per-shard ASCII timeline.
+const TIMELINE_BUCKETS: usize = 48;
+/// Density glyphs from idle to fully busy.
+const DENSITY: &[u8] = b" .:-=+*#%@";
+
+/// Aggregated metrics computed from a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Fabric dims, copied from the trace.
+    pub cols: usize,
+    /// Fabric dims, copied from the trace.
+    pub rows: usize,
+    /// Shard count, copied from the trace.
+    pub num_shards: usize,
+    /// Fabric time at end of run.
+    pub final_time: u64,
+    /// Utilization horizon: `final_time` extended to the last task
+    /// completion (tasks delivered near the end may finish after the last
+    /// event pop that advances fabric time).
+    pub horizon: u64,
+    /// Total retained events.
+    pub num_events: usize,
+    /// Total dropped events.
+    pub dropped: u64,
+    /// Busy cycles per linear PE (sum of task costs).
+    pub busy_by_pe: Vec<u64>,
+    /// `(color, sends, recvs)` rows, descending by `sends + recvs`.
+    pub wavelets_by_color: Vec<(u8, u64, u64)>,
+    /// Per-shard `(busy_cycles, pe_count, timeline)` where `timeline` holds
+    /// mean utilization per bucket in [0, 1].
+    pub shard_load: Vec<(u64, usize, Vec<f64>)>,
+    /// `(linear pe, busy cycles)` for the hottest PEs, descending.
+    pub hottest: Vec<(u32, u64)>,
+    /// Number of flow stalls observed.
+    pub flow_stalls: u64,
+    /// Number of edge drops observed.
+    pub edge_drops: u64,
+}
+
+impl TraceSummary {
+    /// Compute a summary, keeping the `top_k` hottest PEs.
+    pub fn from_trace(trace: &Trace, top_k: usize) -> Self {
+        let num_pes = trace.num_pes();
+        let mut busy_by_pe = vec![0u64; num_pes];
+        let mut color_sends = [0u64; 256];
+        let mut color_recvs = [0u64; 256];
+        let mut flow_stalls = 0u64;
+        let mut edge_drops = 0u64;
+        let horizon = trace
+            .final_time
+            .max(trace.events.last().map_or(0, |e| e.time))
+            .max(1);
+        let mut shard_load: Vec<(u64, usize, Vec<f64>)> = (0..trace.num_shards.max(1))
+            .map(|_| (0, 0, vec![0.0; TIMELINE_BUCKETS]))
+            .collect();
+        for (pe, &shard) in trace.shard_of.iter().enumerate() {
+            if let Some(entry) = shard_load.get_mut(shard as usize) {
+                entry.1 += 1;
+            }
+            let _ = pe;
+        }
+
+        for ev in &trace.events {
+            match ev.kind {
+                TraceEventKind::TaskEnd => {
+                    let cost = u64::from(ev.payload);
+                    if let Some(b) = busy_by_pe.get_mut(ev.pe as usize) {
+                        *b += cost;
+                    }
+                    let shard = *trace.shard_of.get(ev.pe as usize).unwrap_or(&0) as usize;
+                    if let Some(entry) = shard_load.get_mut(shard) {
+                        entry.0 += cost;
+                        // Spread the task's busy interval over the timeline
+                        // buckets it overlaps.
+                        let start = ev.time.saturating_sub(cost);
+                        let mut t = start;
+                        while t < ev.time {
+                            let bucket = ((t * TIMELINE_BUCKETS as u64) / horizon)
+                                .min(TIMELINE_BUCKETS as u64 - 1)
+                                as usize;
+                            let bucket_end =
+                                ((bucket as u64 + 1) * horizon).div_ceil(TIMELINE_BUCKETS as u64);
+                            let step = bucket_end.min(ev.time).max(t + 1);
+                            entry.2[bucket] += (step - t) as f64;
+                            t = step;
+                        }
+                    }
+                }
+                TraceEventKind::WaveletSend => color_sends[ev.a as usize] += 1,
+                TraceEventKind::WaveletRecv => color_recvs[ev.a as usize] += 1,
+                TraceEventKind::FlowStall => flow_stalls += 1,
+                TraceEventKind::EdgeDrop => edge_drops += 1,
+                _ => {}
+            }
+        }
+
+        // Normalize timelines: bucket busy-cycles → mean utilization of the
+        // shard's PEs across the bucket's wall-clock span.
+        for entry in &mut shard_load {
+            let pes = entry.1.max(1) as f64;
+            let bucket_span = (horizon as f64 / TIMELINE_BUCKETS as f64).max(1.0);
+            for v in &mut entry.2 {
+                *v = (*v / (pes * bucket_span)).min(1.0);
+            }
+        }
+
+        let mut hottest: Vec<(u32, u64)> = busy_by_pe
+            .iter()
+            .enumerate()
+            .map(|(pe, &b)| (pe as u32, b))
+            .collect();
+        hottest.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        hottest.truncate(top_k);
+
+        let mut wavelets_by_color: Vec<(u8, u64, u64)> = (0..256usize)
+            .filter(|&c| color_sends[c] + color_recvs[c] > 0)
+            .map(|c| (c as u8, color_sends[c], color_recvs[c]))
+            .collect();
+        wavelets_by_color
+            .sort_unstable_by(|x, y| (y.1 + y.2).cmp(&(x.1 + x.2)).then(x.0.cmp(&y.0)));
+
+        Self {
+            cols: trace.cols,
+            rows: trace.rows,
+            num_shards: trace.num_shards,
+            final_time: trace.final_time,
+            horizon,
+            num_events: trace.events.len(),
+            dropped: trace.dropped,
+            busy_by_pe,
+            wavelets_by_color,
+            shard_load,
+            hottest,
+            flow_stalls,
+            edge_drops,
+        }
+    }
+
+    /// Mean utilization across all PEs in [0, 1].
+    pub fn mean_utilization(&self) -> f64 {
+        if self.busy_by_pe.is_empty() || self.horizon == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.busy_by_pe.iter().sum();
+        total as f64 / (self.horizon as f64 * self.busy_by_pe.len() as f64)
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace summary: {}x{} fabric, {} shard(s), final_time={} cycles, {} events ({} dropped)",
+            self.cols, self.rows, self.num_shards, self.final_time, self.num_events, self.dropped
+        )?;
+        writeln!(
+            f,
+            "  mean PE utilization: {:5.1}%   flow stalls: {}   edge drops: {}",
+            100.0 * self.mean_utilization(),
+            self.flow_stalls,
+            self.edge_drops
+        )?;
+        writeln!(
+            f,
+            "  per-shard load (utilization timeline, {} buckets):",
+            TIMELINE_BUCKETS
+        )?;
+        for (shard, (busy, pes, timeline)) in self.shard_load.iter().enumerate() {
+            let denom = (self.horizon.max(1) as f64) * (*pes).max(1) as f64;
+            let util = 100.0 * *busy as f64 / denom;
+            let bar: String = timeline
+                .iter()
+                .map(|&v| {
+                    let idx =
+                        ((v * (DENSITY.len() - 1) as f64).round() as usize).min(DENSITY.len() - 1);
+                    DENSITY[idx] as char
+                })
+                .collect();
+            writeln!(
+                f,
+                "    shard {shard:>3} ({pes:>4} PEs): {util:5.1}% |{bar}|"
+            )?;
+        }
+        writeln!(f, "  wavelets by color (sends/recvs):")?;
+        for &(color, sends, recvs) in self.wavelets_by_color.iter().take(12) {
+            writeln!(
+                f,
+                "    color {color:>3}: {sends:>8} sent {recvs:>8} delivered"
+            )?;
+        }
+        if self.wavelets_by_color.len() > 12 {
+            writeln!(f, "    … {} more colors", self.wavelets_by_color.len() - 12)?;
+        }
+        writeln!(f, "  hottest PEs (busy cycles):")?;
+        for &(pe, busy) in &self.hottest {
+            let (col, row) = (
+                pe as usize % self.cols.max(1),
+                pe as usize / self.cols.max(1),
+            );
+            let util = 100.0 * busy as f64 / self.horizon.max(1) as f64;
+            writeln!(f, "    PE ({col},{row}): {busy:>10} cycles  {util:5.1}%")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::EventRing;
+
+    #[test]
+    fn summary_aggregates_busy_and_colors() {
+        let mut r0 = EventRing::new(0, 64);
+        let mut r1 = EventRing::new(1, 64);
+        let host = EventRing::new(crate::HOST_PE, 4);
+        r0.record_at(240, TraceEventKind::TaskEnd, 5, 0, 240);
+        r0.record_at(480, TraceEventKind::TaskEnd, 5, 0, 120);
+        r0.record_at(1, TraceEventKind::WaveletSend, 5, 1, 0);
+        r1.record_at(480, TraceEventKind::TaskEnd, 7, 0, 480);
+        r1.record_at(2, TraceEventKind::WaveletRecv, 5, 4, 0);
+        r1.record_at(3, TraceEventKind::FlowStall, 7, 0, 0);
+        let t = Trace::from_rings(2, 1, 2, vec![0, 1], 480, &[&r0, &r1], &host);
+        let s = TraceSummary::from_trace(&t, 2);
+        assert_eq!(s.busy_by_pe, vec![360, 480]);
+        assert_eq!(s.hottest, vec![(1, 480), (0, 360)]);
+        assert_eq!(s.wavelets_by_color, vec![(5, 1, 1)]);
+        assert_eq!(s.flow_stalls, 1);
+        // PE1 busy the whole run, PE0 busy 75% → mean 87.5%.
+        assert!((s.mean_utilization() - 0.875).abs() < 1e-12);
+        // Shard 1's timeline is fully busy.
+        assert!(s.shard_load[1].2.iter().all(|&v| v > 0.99));
+        let text = s.to_string();
+        assert!(text.contains("shard   0"));
+        assert!(text.contains("hottest PEs"));
+    }
+}

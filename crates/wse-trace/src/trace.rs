@@ -1,0 +1,117 @@
+//! An assembled, sorted trace of one fabric run.
+
+use crate::event::{TraceEvent, TraceEventKind};
+use crate::sink::EventRing;
+
+/// Everything the per-PE rings held, merged into one deterministically
+/// sorted stream plus a side channel of engine/host meta events.
+///
+/// `events` is sorted by [`TraceEvent::key`] = `(time, pe, seq)`. Because
+/// each PE's events are recorded in the same causal order by the sequential
+/// and sharded engines, this sorted stream is **bit-identical across
+/// engines** for the same program — a much stronger determinism probe than
+/// comparing residuals. Engine-specific observations (superstep barriers,
+/// host phases, budget errors) go to `meta`, which is *excluded* from that
+/// guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Fabric width in PEs.
+    pub cols: usize,
+    /// Fabric height in PEs.
+    pub rows: usize,
+    /// Number of shards the run was partitioned into (1 for sequential).
+    pub num_shards: usize,
+    /// Shard owning each linear PE index (all 0 for sequential).
+    pub shard_of: Vec<u32>,
+    /// Fabric time when the run finished.
+    pub final_time: u64,
+    /// All retained per-PE events, sorted by `(time, pe, seq)`.
+    pub events: Vec<TraceEvent>,
+    /// Engine/host meta events (barriers, host phases, run-level errors),
+    /// sorted by the same key. Not engine-invariant.
+    pub meta: Vec<TraceEvent>,
+    /// Total events dropped across all per-PE rings (drop-oldest).
+    pub dropped: u64,
+    /// Events dropped per linear PE index.
+    pub dropped_by_pe: Vec<u64>,
+}
+
+impl Trace {
+    /// Merge per-PE rings (in linear PE order) and the host ring into a
+    /// sorted trace.
+    pub fn from_rings(
+        cols: usize,
+        rows: usize,
+        num_shards: usize,
+        shard_of: Vec<u32>,
+        final_time: u64,
+        rings: &[&EventRing],
+        host: &EventRing,
+    ) -> Self {
+        use crate::sink::TraceSink;
+        let mut events = Vec::with_capacity(rings.iter().map(|r| r.len()).sum());
+        let mut dropped_by_pe = Vec::with_capacity(rings.len());
+        for ring in rings {
+            events.extend(ring.ordered());
+            dropped_by_pe.push(ring.dropped());
+        }
+        events.sort_unstable_by_key(TraceEvent::key);
+        let mut meta = host.ordered();
+        meta.sort_unstable_by_key(TraceEvent::key);
+        let dropped = dropped_by_pe.iter().sum::<u64>() + host.dropped();
+        Self {
+            cols,
+            rows,
+            num_shards,
+            shard_of,
+            final_time,
+            events,
+            meta,
+            dropped,
+            dropped_by_pe,
+        }
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Events of one PE in causal (`seq`) order.
+    pub fn events_for_pe(&self, pe: u32) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> = self.events.iter().filter(|e| e.pe == pe).copied().collect();
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+
+    /// Count of retained events of a given kind.
+    pub fn count(&self, kind: TraceEventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::EventRing;
+
+    #[test]
+    fn from_rings_sorts_and_sums_drops() {
+        let mut r0 = EventRing::new(0, 2);
+        let mut r1 = EventRing::new(1, 8);
+        let mut host = EventRing::new(crate::HOST_PE, 8);
+        r0.record_at(5, TraceEventKind::TaskStart, 0, 0, 0);
+        r0.record_at(1, TraceEventKind::TaskStart, 0, 0, 0);
+        r0.record_at(9, TraceEventKind::TaskStart, 0, 0, 0); // evicts time=5
+        r1.record_at(1, TraceEventKind::WaveletSend, 0, 0, 0);
+        host.record_at(0, TraceEventKind::HostPhase, 0, 0, 0);
+        let t = Trace::from_rings(2, 1, 1, vec![0, 0], 9, &[&r0, &r1], &host);
+        let keys: Vec<_> = t.events.iter().map(TraceEvent::key).collect();
+        assert_eq!(keys, vec![(1, 0, 1), (1, 1, 0), (9, 0, 2)]);
+        assert_eq!(t.dropped, 1);
+        assert_eq!(t.dropped_by_pe, vec![1, 0]);
+        assert_eq!(t.meta.len(), 1);
+        assert_eq!(t.count(TraceEventKind::TaskStart), 2);
+        assert_eq!(t.events_for_pe(0).len(), 2);
+    }
+}

@@ -4,15 +4,25 @@
 //!
 //! ```text
 //! cargo run --example quickstart
+//! cargo run --example quickstart -- --trace trace.json [--trace-cap N]
 //! ```
+//!
+//! With `--trace`, both engine runs record per-PE event traces; the sorted
+//! traces are asserted bit-identical (the determinism probe), a Chrome
+//! `trace_event` JSON is written (open in Perfetto or `chrome://tracing`),
+//! and a load summary is printed.
 
 use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
 use mdfv::fv::prelude::*;
 use mdfv::fv::validate::Validation;
 use mdfv::gpu::problem::{GpuFluxProblem, GpuModel};
 use mdfv::wse::fabric::Execution;
+use mdfv::wse::trace::{chrome_trace_json, trace_request_from_args, TraceSummary};
 
 fn main() {
+    // Optional `--trace out.json [--trace-cap N]`.
+    let trace_req = trace_request_from_args();
+    let trace_spec = trace_req.as_ref().map(|r| r.spec()).unwrap_or_default();
     // 1. A 16×12×8 Cartesian mesh with heterogeneous (log-normal)
     //    permeability and a water-like slightly-compressible fluid.
     let mesh = CartesianMesh3::new(Extents::new(16, 12, 8), Spacing::new(10.0, 10.0, 4.0));
@@ -43,7 +53,15 @@ fn main() {
 
     // 5. The dataflow fabric: one PE per (x, y) column, cardinal exchange
     //    with router switching, diagonal exchange through intermediaries.
-    let mut fabric = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut fabric = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            trace: trace_spec,
+            ..DataflowOptions::default()
+        },
+    );
     let dataflow = fabric.apply(state.pressure()).expect("fabric run");
     let stats = fabric.stats();
     println!(
@@ -64,6 +82,7 @@ fn main() {
                 shards: 4,
                 threads: 2,
             },
+            trace: trace_spec,
             ..DataflowOptions::default()
         },
     );
@@ -88,4 +107,29 @@ fn main() {
         assert!(v.passed());
     }
     println!("\nall implementations agree — see DESIGN.md for the architecture map");
+
+    // 8. Tracing (only with `--trace`): the sorted per-PE event streams of
+    //    the two engines must be bit-identical — a determinism probe far
+    //    stronger than residual equality — then export for Perfetto.
+    if let Some(req) = trace_req {
+        let seq_trace = fabric.trace().expect("tracing was enabled");
+        let sh_trace = sharded_sim.trace().expect("tracing was enabled");
+        assert_eq!(
+            seq_trace.events, sh_trace.events,
+            "sequential and sharded sorted traces must be bit-identical"
+        );
+        println!(
+            "\ntrace determinism: {} events bit-identical across engines",
+            seq_trace.events.len()
+        );
+        std::fs::write(&req.path, chrome_trace_json(&sh_trace))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", req.path));
+        print!("{}", TraceSummary::from_trace(&sh_trace, 5));
+        println!(
+            "trace written to {} ({} events, {} dropped)",
+            req.path,
+            sh_trace.events.len(),
+            sh_trace.dropped
+        );
+    }
 }

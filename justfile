@@ -32,6 +32,18 @@ equivalence:
 bench-engines:
     cargo bench -p bench --bench weak_scaling -- 'engine/64x64'
 
+# traced quickstart run: asserts trace determinism across engines, writes
+# trace.json (open in https://ui.perfetto.dev or chrome://tracing) and
+# prints the per-shard load summary
+trace:
+    cargo run --release --example quickstart -- --trace trace.json
+
+# tracing overhead guard: `trace_overhead/off` must match
+# `engine/64x64/sequential`; the ring variants price enabling tracing
+bench-trace-overhead:
+    cargo bench -p bench --bench weak_scaling -- 'engine/64x64/sequential'
+    cargo bench -p bench --bench trace_overhead
+
 # regenerate every table/figure of the paper's evaluation
 tables:
     cargo run -p bench --release --bin table1
