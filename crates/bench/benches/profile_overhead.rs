@@ -1,0 +1,80 @@
+//! Overhead guard for the region-marker instrumentation: with tracing off
+//! (the default), the markers in `tpfa-dataflow`'s kernel driver compile
+//! down to the same predictable `NullSink` branch as every other
+//! instrumentation site — `profile_overhead/regions-off` must be
+//! indistinguishable from `engine/64x64/sequential` and from
+//! `trace_overhead/off` (same fabric, same problem, same engine).
+//!
+//! The `ring` variant shows what a profiled run costs (recording the
+//! markers plus every other event family), and `analyze` measures the
+//! profiler itself — attribution + critical-path recovery over a recorded
+//! trace, which runs on the host after the simulation.
+
+use bench::{pressure_for_iteration, standard_problem};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use wse_prof::{critical_path, Profile};
+use wse_sim::trace::TraceSpec;
+
+const NZ: usize = 6;
+
+fn bench_profile_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profile_overhead");
+    g.sample_size(10);
+    let n = 64usize;
+    let (mesh, fluid, trans) = standard_problem(n, n, NZ, 2);
+    let p = pressure_for_iteration(&mesh, 0);
+
+    // Simulation cost with markers compiled in: off must match
+    // engine/64x64/sequential within noise.
+    for (label, trace) in [
+        ("regions-off", TraceSpec::OFF),
+        ("ring-4096", TraceSpec::ring(4096)),
+    ] {
+        let mut sim = DataflowFluxSimulator::new(
+            &mesh,
+            &fluid,
+            &trans,
+            DataflowOptions {
+                trace,
+                ..DataflowOptions::default()
+            },
+        );
+        g.throughput(Throughput::Elements(mesh.num_cells() as u64));
+        g.bench_with_input(BenchmarkId::new(label, n * n), &n, |b, _| {
+            b.iter(|| sim.apply(&p).unwrap());
+        });
+    }
+
+    // Host-side analysis cost over a recorded 16×16 trace.
+    let (mesh16, fluid16, trans16) = standard_problem(16, 16, NZ, 7);
+    let mut sim16 = DataflowFluxSimulator::new(
+        &mesh16,
+        &fluid16,
+        &trans16,
+        DataflowOptions {
+            trace: TraceSpec::ring(8192),
+            ..DataflowOptions::default()
+        },
+    );
+    sim16
+        .apply(&pressure_for_iteration(&mesh16, 3))
+        .expect("traced run failed");
+    let trace = sim16.trace().expect("tracing was enabled");
+    g.throughput(Throughput::Elements(trace.events.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::new("analyze", trace.events.len()),
+        &n,
+        |b, _| {
+            b.iter(|| {
+                let profile = Profile::from_trace(&trace);
+                let cp = critical_path(&trace, 1);
+                black_box((profile, cp))
+            });
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_profile_overhead);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Compares two `BENCH_<rev>.json` reports (see `perf_harness`).
+//!
+//! ```text
+//! cargo run --release --bin perf_diff -- BASELINE.json CANDIDATE.json \
+//!     [--threshold pct] [--strict]
+//! ```
+//!
+//! Prints the per-metric deltas and flags changes beyond the threshold
+//! (default 10%) in each metric's worse direction. Report-only by default —
+//! exits 0 even with regressions, so CI can surface the diff without
+//! blocking merges on noisy shared runners; `--strict` exits 1 instead.
+
+use wse_prof::{bench_diff, BenchReport};
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading bench report {path}: {e}"));
+    BenchReport::from_json(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [a_path, b_path] = positional.as_slice() else {
+        eprintln!("usage: perf_diff BASELINE.json CANDIDATE.json [--threshold pct] [--strict]");
+        std::process::exit(2);
+    };
+    let threshold = args
+        .iter()
+        .position(|a| a == "--threshold")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(10.0);
+    let strict = args.iter().any(|a| a == "--strict");
+
+    let a = load(a_path);
+    let b = load(b_path);
+    println!("baseline:  {} (rev {})", a_path, a.rev);
+    println!("candidate: {} (rev {})\n", b_path, b.rev);
+    let diff = bench_diff(&a, &b, threshold);
+    print!("{diff}");
+
+    if strict && diff.has_regressions() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,194 @@
+//! The perf-regression harness: measures the simulator's host-side
+//! performance and the profiler's cycle-level figures on fixed workloads,
+//! and writes a schema-versioned `BENCH_<rev>.json` for `perf-diff`.
+//!
+//! ```text
+//! cargo run --release --bin perf_harness -- [rev] [--out path]
+//! ```
+//!
+//! `rev` (default `unversioned`) names the revision in the report and the
+//! default output file. Wall-clock entries are medians of several repeats —
+//! still noisy on shared CI machines, which is why `perf-diff` is a
+//! report-only gate with a generous threshold.
+
+use std::time::Instant;
+
+use bench::{pressure_for_iteration, standard_problem, PAPER_ITERATIONS};
+use perf_model::Cs2Model;
+use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use wse_prof::{bucket_name, critical_path, BenchReport, Profile, PROFILE_BUCKETS};
+use wse_sim::fabric::Execution;
+use wse_sim::trace::TraceSpec;
+
+const WALL_NZ: usize = 6;
+const WALL_N: usize = 64;
+const WALL_REPEATS: usize = 5;
+const PROF_N: usize = 16;
+const PROF_NZ: usize = 6;
+
+/// Median wall-clock seconds of one `apply` over `WALL_REPEATS` runs (after
+/// one warm-up), plus the events/s of the last run.
+fn measure_wall(execution: Execution) -> (f64, f64) {
+    let (mesh, fluid, trans) = standard_problem(WALL_N, WALL_N, WALL_NZ, 2);
+    let p = pressure_for_iteration(&mesh, 0);
+    let mut sim = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            execution,
+            ..DataflowOptions::default()
+        },
+    );
+    sim.apply(&p).expect("warm-up failed");
+    let mut times = Vec::with_capacity(WALL_REPEATS);
+    let mut events = 0u64;
+    for _ in 0..WALL_REPEATS {
+        let t0 = Instant::now();
+        sim.apply(&p).expect("measured run failed");
+        times.push(t0.elapsed().as_secs_f64());
+        events = sim.last_run().expect("run recorded").events;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    (median, events as f64 / median)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rev = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "unversioned".to_string());
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_{rev}.json"));
+
+    let mut report = BenchReport::new(&rev);
+
+    // Host-side wall-clock: the simulator as a program, both engines.
+    println!("== perf harness ({WALL_N}x{WALL_N}x{WALL_NZ} wall-clock, {PROF_N}x{PROF_N}x{PROF_NZ} profile) ==");
+    for (label, execution) in [
+        ("sequential", Execution::Sequential),
+        (
+            "sharded-4x2",
+            Execution::Sharded {
+                shards: 4,
+                threads: 2,
+            },
+        ),
+    ] {
+        let (wall_s, events_per_s) = measure_wall(execution);
+        println!("  {label}: {wall_s:.4} s/apply, {events_per_s:.0} events/s");
+        report.push(
+            &format!("wall_clock_s/{WALL_N}x{WALL_N}/{label}"),
+            wall_s,
+            "s",
+            "lower-better",
+        );
+        report.push(
+            &format!("events_per_s/{WALL_N}x{WALL_N}/{label}"),
+            events_per_s,
+            "events/s",
+            "higher-better",
+        );
+    }
+
+    // Cycle-level figures from the profiler: deterministic (simulated
+    // cycles, not wall-clock), so these regress only when the kernels or
+    // the fabric model change — tight signals, still report-only.
+    let (mesh, fluid, trans) = standard_problem(PROF_N, PROF_N, PROF_NZ, 7);
+    let mut sim = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            trace: TraceSpec::ring(8192),
+            ..DataflowOptions::default()
+        },
+    );
+    sim.apply(&pressure_for_iteration(&mesh, 3))
+        .expect("profiled run failed");
+    let trace = sim.trace().expect("tracing was enabled");
+    let profile = Profile::from_trace(&trace);
+    let cp = critical_path(&trace, 1).expect("run has tasks");
+    let grid = format!("{PROF_N}x{PROF_N}");
+
+    report.push(
+        &format!("critical_path/{grid}/makespan_cycles"),
+        cp.makespan as f64,
+        "cycles",
+        "lower-better",
+    );
+    report.push(
+        &format!("critical_path/{grid}/task_cycles"),
+        cp.task_cycles as f64,
+        "cycles",
+        "info",
+    );
+    report.push(
+        &format!("critical_path/{grid}/hop_cycles"),
+        cp.hop_cycles as f64,
+        "cycles",
+        "info",
+    );
+    report.push(
+        &format!("critical_path/{grid}/steps"),
+        cp.steps.len() as f64,
+        "steps",
+        "info",
+    );
+    report.push(
+        &format!("attribution/{grid}/pacing_pe_cycles"),
+        profile.max_pe_counters.cycles() as f64,
+        "cycles",
+        "lower-better",
+    );
+    for i in 0..PROFILE_BUCKETS {
+        report.push(
+            &format!("attribution/{grid}/share/{}", bucket_name(i)),
+            profile.share(i),
+            "fraction",
+            "info",
+        );
+    }
+    // The modeled full-scale wall-clock these cycles imply (Table 1's CS-2
+    // figure, profile-derived): the single number the paper optimizes.
+    let cs2 = Cs2Model::default();
+    let scale = 246.0 / PROF_NZ as f64;
+    let modeled = cs2.breakdown_from_cycles(
+        (profile.pacing_compute_cycles() as f64 * scale).round() as u64,
+        (profile.pacing_comm_cycles() as f64 * scale).round() as u64,
+        1,
+        PAPER_ITERATIONS,
+    );
+    report.push(
+        "modeled/paper_mesh/total_s",
+        modeled.total_s,
+        "s",
+        "lower-better",
+    );
+    report.push(
+        "modeled/paper_mesh/comm_fraction",
+        modeled.comm_fraction(),
+        "fraction",
+        "info",
+    );
+
+    println!(
+        "  profile: makespan {} cycles, pacing PE {} cycles, modeled paper-mesh {:.4} s",
+        cp.makespan,
+        profile.max_pe_counters.cycles(),
+        modeled.total_s
+    );
+    std::fs::write(&out, report.to_json())
+        .unwrap_or_else(|e| panic!("writing bench report to {out}: {e}"));
+    println!(
+        "bench report written to {out} ({} entries)",
+        report.entries.len()
+    );
+}

@@ -158,4 +158,10 @@ fn main() {
     if let Some(req) = bench::trace_request_from_args() {
         bench::run_traced(nx, ny, nz, 1, execution, &req);
     }
+
+    // `--profile out.json [--trace-cap N]`: same rerun, but analyzed —
+    // per-region cycle attribution plus the recovered critical path.
+    if let Some(req) = bench::profile_request_from_args() {
+        bench::run_profiled(nx, ny, nz, 1, execution, &req);
+    }
 }

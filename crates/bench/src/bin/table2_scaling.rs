@@ -119,4 +119,10 @@ fn main() {
     if let Some(req) = bench::trace_request_from_args() {
         bench::run_traced(16, 16, 8, 1, execution, &req);
     }
+
+    // `--profile out.json [--trace-cap N]`: profiled run of the same
+    // fabric — which PEs, colors and links bound the makespan.
+    if let Some(req) = bench::profile_request_from_args() {
+        bench::run_profiled(16, 16, 8, 1, execution, &req);
+    }
 }

@@ -7,8 +7,11 @@
 //! `compute_enabled = false` mode is the stripped binary; the split is
 //! computed from the measured critical-path PE cycles of both runs.
 
-use bench::{measure_dataflow, PAPER_ITERATIONS};
+use bench::{measure_dataflow, pressure_for_iteration, standard_problem, PAPER_ITERATIONS};
 use perf_model::Cs2Model;
+use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use wse_prof::Profile;
+use wse_sim::trace::TraceSpec;
 
 fn main() {
     println!("== Table 3: time distribution on the fabric (largest mesh) ==\n");
@@ -79,4 +82,83 @@ fn main() {
         &w,
     );
     println!("\n(shape check: data movement is the minority share, computation dominates)");
+
+    // Profile-derived breakdown: instead of the stripped comm-only binary,
+    // run the *full* binary once with tracing on and let wse-prof attribute
+    // the pacing PE's cycles to regions — the split must agree with the
+    // counter-derived protocol above (the rel-err column quantifies it).
+    let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
+    let mut sim = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            trace: TraceSpec::ring(1 << 16),
+            ..DataflowOptions::default()
+        },
+    );
+    sim.apply(&pressure_for_iteration(&mesh, 0))
+        .expect("traced run failed");
+    let trace = sim.trace().expect("tracing was enabled");
+    let profile = Profile::from_trace(&trace);
+
+    // Same paper-mesh scaling as above, applied to the attributed cycles.
+    let scaled = |cycles: u64| (cycles as f64 * scale).round() as u64;
+    let from_profile = cs2.breakdown_from_cycles(
+        scaled(profile.pacing_compute_cycles()),
+        scaled(profile.pacing_comm_cycles()),
+        1,
+        PAPER_ITERATIONS,
+    );
+    let from_counters =
+        cs2.breakdown_from_cycles(scaled(total - comm), scaled(comm), 1, PAPER_ITERATIONS);
+
+    println!("\n== profile-derived vs counter-derived breakdown ==\n");
+    let w2 = [16, 14, 14, 12];
+    bench::print_row(
+        &[
+            "".into(),
+            "profile [s]".into(),
+            "counter [s]".into(),
+            "rel err [%]".into(),
+        ],
+        &w2,
+    );
+    bench::print_sep(&w2);
+    let rel = |a: f64, b: f64| {
+        if b == 0.0 {
+            0.0
+        } else {
+            100.0 * (a - b).abs() / b
+        }
+    };
+    for (label, p, c) in [
+        ("Data movement", from_profile.comm_s, from_counters.comm_s),
+        (
+            "Computation",
+            from_profile.compute_s,
+            from_counters.compute_s,
+        ),
+        ("Total", from_profile.total_s, from_counters.total_s),
+    ] {
+        bench::print_row(
+            &[
+                label.into(),
+                bench::fmt_s(p),
+                bench::fmt_s(c),
+                format!("{:.2}", rel(p, c)),
+            ],
+            &w2,
+        );
+    }
+    println!(
+        "\n(profile attribution: {:.1}% of pacing-PE cycles in halo-exchange fabric I/O)",
+        100.0 * from_profile.comm_fraction()
+    );
+
+    // `--profile out.json [--trace-cap N]`: export the full attribution +
+    // critical path of the traced run above as JSON.
+    if let Some(req) = bench::profile_request_from_args() {
+        bench::export_profile(&sim, &req);
+    }
 }

@@ -12,11 +12,15 @@ use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
 use fv_core::state::FlowState;
 use fv_core::trans::{StencilKind, Transmissibilities};
 use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use wse_prof::{critical_path, profile_json, Profile};
 use wse_sim::fabric::Execution;
 use wse_sim::stats::OpCounters;
 use wse_sim::trace::{chrome_trace_json, TraceSummary};
 
-pub use wse_sim::trace::{trace_request_from_arg_slice, trace_request_from_args, TraceRequest};
+pub use wse_sim::trace::{
+    profile_request_from_arg_slice, profile_request_from_args, trace_request_from_arg_slice,
+    trace_request_from_args, ProfileRequest, TraceRequest,
+};
 
 /// The paper's production mesh (750 × 994 × 246 = 183 393 000 cells).
 pub const PAPER_MESH: (usize, usize, usize) = (750, 994, 246);
@@ -219,6 +223,71 @@ pub fn run_traced(
     sim.apply_many(iterations, |i| pressure_for_iteration(&mesh, i))
         .expect("traced run failed");
     export_trace(&sim, req);
+}
+
+/// Profiles a simulator's recorded trace: prints the per-region cycle
+/// attribution and the recovered critical path, and writes the combined
+/// JSON document to `req.path`.
+///
+/// Call after the measured run, on a simulator built with
+/// `trace: req.spec()` in its [`DataflowOptions`]. Panics if the simulator
+/// was not built with tracing enabled (a harness bug, not user input).
+/// Returns the profile for callers that post-process it (Table 3's
+/// profile-derived breakdown).
+pub fn export_profile(sim: &DataflowFluxSimulator, req: &ProfileRequest) -> Profile {
+    let trace = sim
+        .trace()
+        .expect("export_profile called on an untraced simulator");
+    let profile = Profile::from_trace(&trace);
+    let path = critical_path(&trace, 1);
+    println!();
+    print!("{profile}");
+    if let Some(cp) = &path {
+        print!("{cp}");
+    }
+    std::fs::write(&req.path, profile_json(&profile, path.as_ref()))
+        .unwrap_or_else(|e| panic!("writing profile to {}: {e}", req.path));
+    println!(
+        "profile written to {} ({} events analyzed, {} dropped)",
+        req.path,
+        trace.events.len(),
+        trace.dropped
+    );
+    if trace.dropped > 0 {
+        println!(
+            "  note: rings overflowed (drop-oldest); attribution covers the retained \
+             tail only — rerun with a larger --trace-cap for full coverage"
+        );
+    }
+    profile
+}
+
+/// Runs `iterations` applications of Algorithm 1 on an `nx × ny × nz`
+/// standard problem with tracing on, then profiles it via
+/// [`export_profile`]. The common tail of every benchmark binary's
+/// `--profile` handling.
+pub fn run_profiled(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iterations: usize,
+    execution: Execution,
+    req: &ProfileRequest,
+) -> Profile {
+    let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
+    let mut sim = DataflowFluxSimulator::new(
+        &mesh,
+        &fluid,
+        &trans,
+        DataflowOptions {
+            execution,
+            trace: req.spec(),
+            ..DataflowOptions::default()
+        },
+    );
+    sim.apply_many(iterations, |i| pressure_for_iteration(&mesh, i))
+        .expect("profiled run failed");
+    export_profile(&sim, req)
 }
 
 /// Prints a fixed-width table row.

@@ -199,6 +199,17 @@ impl DataflowFluxSimulator {
         self.fabric.shard_stats(shards)
     }
 
+    /// Total cycles wavelets spent queued behind busy PEs (see
+    /// [`Fabric::queue_wait_cycles`]); bit-identical across engines.
+    pub fn queue_wait_cycles(&self) -> u64 {
+        self.fabric.queue_wait_cycles()
+    }
+
+    /// Per-PE queue-wait cycles (see [`Fabric::queue_wait_by_pe`]).
+    pub fn queue_wait_by_pe(&self) -> Vec<u64> {
+        self.fabric.queue_wait_by_pe()
+    }
+
     /// The report of the most recent run.
     pub fn last_run(&self) -> Option<RunReport> {
         self.last_run

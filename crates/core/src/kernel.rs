@@ -30,7 +30,7 @@
 use wse_sim::dsd::{Dsd, Operand};
 use wse_sim::memory::PeMemory;
 use wse_sim::stats::OpCounters;
-use wse_sim::trace::PeTracer;
+use wse_sim::trace::{PeTracer, TraceRegion};
 
 /// The three reused temporary columns (§5.3.1), all of kernel length.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +76,10 @@ pub fn compute_face_flux(
     let (t0, t1, t2) = (buf.t0, buf.t1, buf.t2);
     debug_assert_eq!(r.len, inp.p_k.len);
 
+    // Profiling regions: steps 1–12 evaluate the face flux, step 13
+    // accumulates it into the residual. Region markers are no-ops (one
+    // predicted branch) with tracing off.
+    trace.region_begin(ctr.cycles(), TraceRegion::FluxCompute);
     fsubs(
         mem,
         ctr,
@@ -137,7 +141,10 @@ pub fn compute_face_flux(
         Operand::Mem(inp.trans),
     ); // 11
     fmuls(mem, ctr, trace, t2, Operand::Mem(t2), Operand::Scalar(-1.0)); // 12
+    trace.region_end(ctr.cycles(), TraceRegion::FluxCompute);
+    trace.region_begin(ctr.cycles(), TraceRegion::ResidualAccumulate);
     fsubs(mem, ctr, trace, r, Operand::Mem(r), Operand::Mem(t2)); // 13
+    trace.region_end(ctr.cycles(), TraceRegion::ResidualAccumulate);
 }
 
 #[cfg(test)]

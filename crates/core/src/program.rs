@@ -30,6 +30,7 @@ use fv_core::eos::Fluid;
 use fv_core::mesh::Neighbor;
 use wse_sim::dsd::Dsd;
 use wse_sim::pe::{PeContext, PeProgram};
+use wse_sim::trace::TraceRegion;
 use wse_sim::wavelet::Wavelet;
 
 /// Fluid constants in the `f32` working precision of the fabric.
@@ -160,8 +161,10 @@ impl TpfaPeProgram {
         self.faces_done = 0;
 
         // Densities from pressures (Eq. 5), ghosts included so the shifted
-        // Z views read finite values.
+        // Z views read finite values. The EOS pass is attributed to the
+        // flux-compute region (it feeds the kernel directly).
         let l = self.layout().clone();
+        ctx.region_begin(TraceRegion::FluxCompute);
         ctx.eos_density(
             Dsd::contiguous(l.rho_own.offset, self.nz + 2),
             Dsd::contiguous(l.p_own.offset, self.nz + 2),
@@ -169,6 +172,7 @@ impl TpfaPeProgram {
             self.fluid.c_f,
             self.fluid.p_ref,
         );
+        ctx.region_end(TraceRegion::FluxCompute);
 
         // Z faces: local memory only — compute immediately, overlapping the
         // exchanges below.
@@ -179,10 +183,12 @@ impl TpfaPeProgram {
 
         // In-plane exchange: two columns per stream (pressure, density).
         let views = [l.p_interior(), l.rho_interior()];
+        ctx.region_begin(TraceRegion::HaloExchange);
         self.exchange
             .as_mut()
             .expect("init not run")
             .begin(ctx, &views);
+        ctx.region_end(TraceRegion::HaloExchange);
     }
 
     /// True once every expected in-plane stream has fully arrived.
@@ -221,7 +227,10 @@ impl PeProgram for TpfaPeProgram {
             return;
         }
         let ex = self.exchange.as_mut().expect("init not run");
-        match ex.on_data(ctx, w) {
+        ctx.region_begin(TraceRegion::HaloExchange);
+        let event = ex.on_data(ctx, w);
+        ctx.region_end(TraceRegion::HaloExchange);
+        match event {
             ExchangeEvent::Stored => {}
             ExchangeEvent::FaceComplete(face) => self.compute_face(ctx, face),
             ExchangeEvent::NotMine => panic!(
@@ -234,10 +243,13 @@ impl PeProgram for TpfaPeProgram {
     }
 
     fn on_control(&mut self, ctx: &mut PeContext, w: Wavelet) {
+        // Hand-over control traffic (Fig. 6) is halo-exchange work.
+        ctx.region_begin(TraceRegion::HaloExchange);
         self.exchange
             .as_mut()
             .expect("init not run")
             .on_control(ctx, w);
+        ctx.region_end(TraceRegion::HaloExchange);
     }
 }
 

@@ -97,6 +97,70 @@ impl Cs2Model {
     pub fn throughput_gcell_per_s(&self, num_cells: usize, time_s: f64, iterations: usize) -> f64 {
         num_cells as f64 * iterations as f64 / time_s / 1.0e9
     }
+
+    /// Wall-clock from a raw critical-path-PE cycle count measured over
+    /// `measured_iterations`, extrapolated to `iterations` applications —
+    /// the profile-driven sibling of [`Cs2Model::time_from_counters`]: feed
+    /// it cycles a profiler attributed from a trace instead of aggregate
+    /// counters.
+    pub fn time_from_cycles(
+        &self,
+        cycles: u64,
+        measured_iterations: usize,
+        iterations: usize,
+    ) -> f64 {
+        assert!(measured_iterations > 0);
+        let per_iter = cycles as f64 / measured_iterations as f64;
+        self.time_seconds(per_iter / self.simd_width, iterations)
+    }
+
+    /// Table-3-style compute/communication/total wall-clock split from a
+    /// cycle breakdown of the critical-path PE (e.g. per-region cycles
+    /// attributed by `wse-prof`). Mirrors the counter-derived method used by
+    /// `table3_breakdown`: communication time is modeled from the
+    /// communication cycles alone, computation is the remainder of the total.
+    pub fn breakdown_from_cycles(
+        &self,
+        compute_cycles: u64,
+        comm_cycles: u64,
+        measured_iterations: usize,
+        iterations: usize,
+    ) -> BreakdownSeconds {
+        let total_s = self.time_from_cycles(
+            compute_cycles + comm_cycles,
+            measured_iterations,
+            iterations,
+        );
+        let comm_s = self.time_from_cycles(comm_cycles, measured_iterations, iterations);
+        BreakdownSeconds {
+            compute_s: total_s - comm_s,
+            comm_s,
+            total_s,
+        }
+    }
+}
+
+/// A compute/communication/total wall-clock split (Table 3's three rows),
+/// produced by [`Cs2Model::breakdown_from_cycles`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownSeconds {
+    /// Seconds attributed to computation.
+    pub compute_s: f64,
+    /// Seconds attributed to data movement.
+    pub comm_s: f64,
+    /// Total seconds.
+    pub total_s: f64,
+}
+
+impl BreakdownSeconds {
+    /// Fraction of time spent moving data (Table 3's percentage column).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total_s > 0.0 {
+            self.comm_s / self.total_s
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Analytic per-PE cycle counts of the TPFA program, derived from the
@@ -227,6 +291,24 @@ mod tests {
         let t1 = m.time_from_counters(&c, 4, 1000);
         let t2 = m.time_from_counters(&c, 4, 2000);
         assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_from_cycles_is_consistent_with_time_from_counters() {
+        let m = Cs2Model::default();
+        let c = OpCounters {
+            compute_cycles: 10_000,
+            comm_cycles: 2_000,
+            ..OpCounters::default()
+        };
+        let b = m.breakdown_from_cycles(c.compute_cycles, c.comm_cycles, 4, 1000);
+        let t = m.time_from_counters(&c, 4, 1000);
+        assert!(
+            (b.total_s - t).abs() < 1e-15,
+            "same total as the counter path"
+        );
+        assert!((b.compute_s + b.comm_s - b.total_s).abs() < 1e-15);
+        assert!(b.comm_fraction() > 0.0 && b.comm_fraction() < 1.0);
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod energy;
 pub mod roofline;
 
 pub use a100::A100Model;
-pub use cs2::{Cs2Model, TpfaCycleModel};
+pub use cs2::{BreakdownSeconds, Cs2Model, TpfaCycleModel};
 pub use energy::EnergyModel;
 pub use roofline::{Roofline, RooflinePoint};

@@ -1,0 +1,327 @@
+//! Per-region cycle attribution.
+//!
+//! A PE's cycle cost is entirely determined by its [`TraceEventKind::DsdOp`]
+//! events (the simulator's cost model charges cycles only for vector ops —
+//! `stats_from_trace` reconstructs the fabric counters from exactly these).
+//! Region markers ([`TraceEventKind::RegionStart`]/[`RegionEnd`]) bracket
+//! stretches of a task, so replaying each PE's stream with a region *stack*
+//! attributes every DSD op — and therefore every cycle — to the innermost
+//! open region. Ops outside any region land in the synthetic
+//! [`OTHER_REGION`] bucket.
+//!
+//! [`TraceRegion::RouterSwitch`] is special: no kernel marks it (switching
+//! happens in the router, not in a task), so its bucket counts
+//! `RouterSwitch` and `FlowStall` *events* instead of cycles.
+//!
+//! [`RegionEnd`]: TraceEventKind::RegionEnd
+
+use std::fmt;
+
+use wse_sim::stats::{apply_traced_op, OpCounters};
+use wse_trace::{Trace, TraceEventKind, TraceOp, TraceRegion, NUM_REGIONS};
+
+/// Index of the synthetic bucket for cycles outside any marked region.
+pub const OTHER_REGION: usize = NUM_REGIONS;
+
+/// Number of attribution buckets: the named regions plus [`OTHER_REGION`].
+pub const PROFILE_BUCKETS: usize = NUM_REGIONS + 1;
+
+/// Human-readable name of attribution bucket `i`.
+pub fn bucket_name(i: usize) -> &'static str {
+    match u8::try_from(i).ok().and_then(TraceRegion::from_code) {
+        Some(r) => r.name(),
+        None => "other",
+    }
+}
+
+/// Cycle and event totals attributed to one region bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionBreakdown {
+    /// Op counters reconstructed from the DSD ops attributed here.
+    pub counters: OpCounters,
+    /// Number of DSD-op events attributed here.
+    pub dsd_ops: u64,
+    /// For [`TraceRegion::RouterSwitch`]: router switch + flow-stall event
+    /// count. Zero for the marker-driven buckets.
+    pub marker_events: u64,
+}
+
+impl RegionBreakdown {
+    /// Total cycles (compute + fabric) attributed to this bucket.
+    pub fn cycles(&self) -> u64 {
+        self.counters.cycles()
+    }
+}
+
+/// A full cycle-attribution profile of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Simulated end time of the run (cycles).
+    pub horizon: u64,
+    /// Fabric-wide per-bucket totals (index [`OTHER_REGION`] = unmarked).
+    pub regions: [RegionBreakdown; PROFILE_BUCKETS],
+    /// The PE with the most reconstructed cycles (the pacing PE; ties go to
+    /// the lowest linear index).
+    pub max_pe: u32,
+    /// Full reconstructed counters of [`Self::max_pe`].
+    pub max_pe_counters: OpCounters,
+    /// Per-bucket breakdown of [`Self::max_pe`] alone — this is what feeds
+    /// the CS-2 timing model (the fabric runs at the pace of its slowest PE).
+    pub max_pe_regions: [RegionBreakdown; PROFILE_BUCKETS],
+    /// Reconstructed total cycles per PE (linear index).
+    pub per_pe_cycles: Vec<u64>,
+    /// Region markers that could not be paired (ring eviction or unbalanced
+    /// instrumentation). Non-zero means the attribution covers only the
+    /// retained tail of each stream.
+    pub unpaired_markers: u64,
+}
+
+impl Profile {
+    /// Builds the attribution by replaying every PE stream of `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let streams = trace.by_pe();
+        let mut regions = [RegionBreakdown::default(); PROFILE_BUCKETS];
+        let mut per_pe_cycles = vec![0u64; streams.len()];
+        let mut unpaired = 0u64;
+        let mut max_pe = 0u32;
+        let mut max_pe_counters = OpCounters::default();
+        let mut max_pe_regions = [RegionBreakdown::default(); PROFILE_BUCKETS];
+        let mut horizon = trace.final_time;
+
+        for (pe, stream) in streams.iter().enumerate() {
+            let mut local = [RegionBreakdown::default(); PROFILE_BUCKETS];
+            let mut total = OpCounters::default();
+            // Innermost open region is the top of this stack.
+            let mut stack: Vec<u8> = Vec::new();
+            for ev in stream {
+                horizon = horizon.max(ev.time);
+                match ev.kind {
+                    TraceEventKind::DsdOp => {
+                        if let Some(op) = TraceOp::from_code(ev.a) {
+                            let len = u64::from(ev.payload);
+                            let bucket = stack.last().map_or(OTHER_REGION, |&code| code as usize);
+                            apply_traced_op(&mut local[bucket].counters, op, len);
+                            local[bucket].dsd_ops += 1;
+                            apply_traced_op(&mut total, op, len);
+                        }
+                    }
+                    TraceEventKind::RegionStart => stack.push(ev.a),
+                    TraceEventKind::RegionEnd => {
+                        if stack.last() == Some(&ev.a) {
+                            stack.pop();
+                        } else {
+                            unpaired += 1;
+                        }
+                    }
+                    TraceEventKind::RouterSwitch | TraceEventKind::FlowStall => {
+                        local[TraceRegion::RouterSwitch.code() as usize].marker_events += 1;
+                    }
+                    _ => {}
+                }
+            }
+            unpaired += stack.len() as u64;
+            let cycles = total.cycles();
+            if let Some(slot) = per_pe_cycles.get_mut(pe) {
+                *slot = cycles;
+            }
+            if cycles > max_pe_counters.cycles() {
+                max_pe = pe as u32;
+                max_pe_counters = total;
+                max_pe_regions = local;
+            }
+            for (agg, l) in regions.iter_mut().zip(local.iter()) {
+                agg.counters.merge(&l.counters);
+                agg.dsd_ops += l.dsd_ops;
+                agg.marker_events += l.marker_events;
+            }
+        }
+
+        Self {
+            horizon: horizon.max(1),
+            regions,
+            max_pe,
+            max_pe_counters,
+            max_pe_regions,
+            per_pe_cycles,
+            unpaired_markers: unpaired,
+        }
+    }
+
+    /// Total cycles attributed across all buckets (equals the fabric-wide
+    /// reconstructed cycle total).
+    pub fn attributed_cycles(&self) -> u64 {
+        self.regions.iter().map(RegionBreakdown::cycles).sum()
+    }
+
+    /// Fraction of attributed cycles in bucket `i` (0 when nothing ran).
+    pub fn share(&self, i: usize) -> f64 {
+        let total = self.attributed_cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        self.regions.get(i).map_or(0.0, |r| r.cycles() as f64) / total as f64
+    }
+
+    /// Idle cycles of PE `pe`: horizon minus its reconstructed busy cycles.
+    pub fn idle_cycles(&self, pe: usize) -> u64 {
+        self.horizon
+            .saturating_sub(self.per_pe_cycles.get(pe).copied().unwrap_or(0))
+    }
+
+    /// Halo-exchange fabric cycles of the pacing PE — the profile-derived
+    /// "communication" term of the paper's Table 3 breakdown.
+    pub fn pacing_comm_cycles(&self) -> u64 {
+        self.max_pe_regions
+            .iter()
+            .map(|r| r.counters.comm_cycles)
+            .sum()
+    }
+
+    /// Compute cycles of the pacing PE (everything that is not fabric I/O).
+    pub fn pacing_compute_cycles(&self) -> u64 {
+        self.max_pe_counters.compute_cycles
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.attributed_cycles().max(1);
+        writeln!(
+            f,
+            "cycle attribution over {} PEs, horizon {} cycles:",
+            self.per_pe_cycles.len(),
+            self.horizon
+        )?;
+        writeln!(
+            f,
+            "  {:<20} {:>12} {:>12} {:>12} {:>7}",
+            "region", "compute", "fabric", "total", "share"
+        )?;
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.cycles() == 0 && r.marker_events == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<20} {:>12} {:>12} {:>12} {:>6.1}%",
+                bucket_name(i),
+                r.counters.compute_cycles,
+                r.counters.comm_cycles,
+                r.cycles(),
+                100.0 * r.cycles() as f64 / total as f64,
+            )?;
+            if i == TraceRegion::RouterSwitch.code() as usize && r.marker_events > 0 {
+                writeln!(f, "  {:<20} {} switch/stall events", "", r.marker_events)?;
+            }
+        }
+        writeln!(
+            f,
+            "  pacing PE {}: {} cycles busy, {} idle ({} compute, {} fabric)",
+            self.max_pe,
+            self.max_pe_counters.cycles(),
+            self.idle_cycles(self.max_pe as usize),
+            self.pacing_compute_cycles(),
+            self.pacing_comm_cycles(),
+        )?;
+        if self.unpaired_markers > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} unpaired region markers — attribution covers the retained tail only",
+                self.unpaired_markers
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_trace::EventRing;
+
+    /// (time, pe, kind, a, b, payload) — recorded in list order per PE, so
+    /// sequence numbers follow list position.
+    type Rec = (u64, u32, TraceEventKind, u8, u16, u32);
+
+    fn trace_from(events: &[Rec], pes: u32) -> Trace {
+        let mut rings: Vec<EventRing> = (0..pes).map(|p| EventRing::new(p, 64)).collect();
+        let mut final_time = 0;
+        for &(time, pe, kind, a, b, payload) in events {
+            final_time = final_time.max(time);
+            rings[pe as usize].record_at(time, kind, a, b, payload);
+        }
+        let refs: Vec<&EventRing> = rings.iter().collect();
+        let host = EventRing::new(u32::MAX, 1);
+        Trace::from_rings(
+            pes as usize,
+            1,
+            1,
+            vec![0; pes as usize],
+            final_time,
+            &refs,
+            &host,
+        )
+    }
+
+    #[test]
+    fn dsd_ops_split_by_region_stack() {
+        let flux = TraceRegion::FluxCompute.code();
+        let halo = TraceRegion::HaloExchange.code();
+        let events = [
+            // unmarked op → other
+            (0, 0, TraceEventKind::DsdOp, TraceOp::Fmul.code(), 0, 4),
+            (1, 0, TraceEventKind::RegionStart, flux, 0, 0),
+            (2, 0, TraceEventKind::DsdOp, TraceOp::Fadd.code(), 0, 8),
+            // nested halo inside flux: innermost wins
+            (3, 0, TraceEventKind::RegionStart, halo, 0, 0),
+            (4, 0, TraceEventKind::DsdOp, TraceOp::FmovIn.code(), 0, 2),
+            (5, 0, TraceEventKind::RegionEnd, halo, 0, 0),
+            (6, 0, TraceEventKind::RegionEnd, flux, 0, 0),
+        ];
+        let p = Profile::from_trace(&trace_from(&events, 1));
+        assert_eq!(p.unpaired_markers, 0);
+        assert_eq!(p.regions[OTHER_REGION].counters.compute_cycles, 4);
+        assert_eq!(p.regions[flux as usize].counters.compute_cycles, 8);
+        assert_eq!(p.regions[halo as usize].counters.comm_cycles, 2);
+        assert_eq!(p.attributed_cycles(), 14);
+        assert_eq!(p.per_pe_cycles, vec![14]);
+        assert_eq!(p.max_pe, 0);
+    }
+
+    #[test]
+    fn router_events_count_into_switch_bucket() {
+        let events = [
+            (0, 0, TraceEventKind::RouterSwitch, 3, 1, 0),
+            (1, 0, TraceEventKind::FlowStall, 3, 0, 0),
+        ];
+        let p = Profile::from_trace(&trace_from(&events, 1));
+        let sw = TraceRegion::RouterSwitch.code() as usize;
+        assert_eq!(p.regions[sw].marker_events, 2);
+        assert_eq!(p.regions[sw].cycles(), 0);
+    }
+
+    #[test]
+    fn unbalanced_markers_are_counted_not_fatal() {
+        let flux = TraceRegion::FluxCompute.code();
+        let halo = TraceRegion::HaloExchange.code();
+        let events = [
+            // end without start, and a start never closed
+            (0, 0, TraceEventKind::RegionEnd, flux, 0, 0),
+            (1, 0, TraceEventKind::RegionStart, halo, 0, 0),
+        ];
+        let p = Profile::from_trace(&trace_from(&events, 1));
+        assert_eq!(p.unpaired_markers, 2);
+    }
+
+    #[test]
+    fn max_pe_ties_go_to_lowest_index() {
+        let op = TraceOp::Fmul.code();
+        let events = [
+            (0, 0, TraceEventKind::DsdOp, op, 0, 5),
+            (0, 1, TraceEventKind::DsdOp, op, 0, 5),
+        ];
+        let p = Profile::from_trace(&trace_from(&events, 2));
+        assert_eq!(p.max_pe, 0);
+        assert_eq!(p.per_pe_cycles, vec![5, 5]);
+    }
+}

@@ -1,0 +1,552 @@
+//! The perf-regression harness's machine-readable format.
+//!
+//! The bench runner (`bench/src/bin/perf_harness.rs`) writes one
+//! `BENCH_<rev>.json` per revision; `just perf-diff A.json B.json` compares
+//! two of them entry by entry against a threshold. The schema is versioned
+//! so old baselines keep parsing as the harness grows; parsing is
+//! hand-rolled (no serde_json in the offline build environment).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Version of the `BENCH_<rev>.json` schema this crate reads and writes.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One measured quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Metric name, e.g. `"wall_clock_s/64x64/sequential"`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit label, e.g. `"s"`, `"events/s"`, `"cycles"`.
+    pub unit: String,
+    /// `"lower-better"`, `"higher-better"` or `"info"` (never a regression).
+    pub direction: String,
+}
+
+/// A full report: everything the harness measured at one revision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version the file was written with.
+    pub schema_version: u32,
+    /// Source revision (git SHA or `"unversioned"`).
+    pub rev: String,
+    /// Measured entries, in emission order.
+    pub entries: Vec<BenchEntry>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchReport {
+    /// Creates an empty report for revision `rev` at the current schema.
+    pub fn new(rev: &str) -> Self {
+        Self {
+            schema_version: BENCH_SCHEMA_VERSION,
+            rev: rev.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a measurement.
+    pub fn push(&mut self, name: &str, value: f64, unit: &str, direction: &str) {
+        self.entries.push(BenchEntry {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+            direction: direction.to_string(),
+        });
+    }
+
+    /// Looks up an entry by exact name.
+    pub fn get(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serializes to the `BENCH_<rev>.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 128 * self.entries.len());
+        let _ = write!(
+            out,
+            "{{\n  \"schema_version\": {},\n  \"rev\": \"{}\",\n  \"entries\": [\n",
+            self.schema_version,
+            escape(&self.rev)
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\", \"direction\": \"{}\"}}{}",
+                escape(&e.name),
+                // f64 Display round-trips and never emits NaN-invalid JSON
+                // for finite values; clamp non-finite to null-safe 0.
+                if e.value.is_finite() { e.value } else { 0.0 },
+                escape(&e.unit),
+                escape(&e.direction),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Self::to_json`] (any schema ≤ the
+    /// current one).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let root = Json::parse(json)?;
+        let schema_version = root
+            .field("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")? as u32;
+        if schema_version > BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {schema_version} is newer than supported {BENCH_SCHEMA_VERSION}"
+            ));
+        }
+        let rev = root
+            .field("rev")
+            .and_then(Json::as_str)
+            .ok_or("missing rev")?
+            .to_string();
+        let mut entries = Vec::new();
+        for e in root
+            .field("entries")
+            .and_then(Json::as_array)
+            .ok_or("missing entries")?
+        {
+            entries.push(BenchEntry {
+                name: e
+                    .field("name")
+                    .and_then(Json::as_str)
+                    .ok_or("entry missing name")?
+                    .to_string(),
+                value: e
+                    .field("value")
+                    .and_then(Json::as_f64)
+                    .ok_or("entry missing value")?,
+                unit: e
+                    .field("unit")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                direction: e
+                    .field("direction")
+                    .and_then(Json::as_str)
+                    .unwrap_or("info")
+                    .to_string(),
+            });
+        }
+        Ok(Self {
+            schema_version,
+            rev,
+            entries,
+        })
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// Metric name.
+    pub name: String,
+    /// Value in the baseline report.
+    pub a: f64,
+    /// Value in the candidate report.
+    pub b: f64,
+    /// Relative change in percent (`(b − a) / |a| · 100`).
+    pub delta_pct: f64,
+    /// True when the change exceeds the threshold in the worse direction.
+    pub regressed: bool,
+}
+
+/// Result of comparing two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Per-metric comparison for names present in both reports.
+    pub lines: Vec<DiffLine>,
+    /// Names only in the candidate (new metrics).
+    pub missing_in_a: Vec<String>,
+    /// Names only in the baseline (dropped metrics).
+    pub missing_in_b: Vec<String>,
+    /// Threshold (percent) used to flag regressions.
+    pub threshold_pct: f64,
+}
+
+impl BenchDiff {
+    /// True when any compared metric regressed.
+    pub fn has_regressions(&self) -> bool {
+        self.lines.iter().any(|l| l.regressed)
+    }
+}
+
+/// Compares candidate `b` against baseline `a` with a regression threshold
+/// in percent. `"info"` entries are reported but never flagged.
+pub fn bench_diff(a: &BenchReport, b: &BenchReport, threshold_pct: f64) -> BenchDiff {
+    let mut lines = Vec::new();
+    let mut missing_in_b = Vec::new();
+    for ea in &a.entries {
+        let Some(eb) = b.get(&ea.name) else {
+            missing_in_b.push(ea.name.clone());
+            continue;
+        };
+        let delta_pct = if ea.value == 0.0 {
+            if eb.value == 0.0 {
+                0.0
+            } else {
+                100.0
+            }
+        } else {
+            (eb.value - ea.value) / ea.value.abs() * 100.0
+        };
+        let regressed = match ea.direction.as_str() {
+            "lower-better" => delta_pct > threshold_pct,
+            "higher-better" => delta_pct < -threshold_pct,
+            _ => false,
+        };
+        lines.push(DiffLine {
+            name: ea.name.clone(),
+            a: ea.value,
+            b: eb.value,
+            delta_pct,
+            regressed,
+        });
+    }
+    let missing_in_a = b
+        .entries
+        .iter()
+        .filter(|e| a.get(&e.name).is_none())
+        .map(|e| e.name.clone())
+        .collect();
+    BenchDiff {
+        lines,
+        missing_in_a,
+        missing_in_b,
+        threshold_pct,
+    }
+}
+
+impl fmt::Display for BenchDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "perf diff ({} metrics, threshold {:.1}%):",
+            self.lines.len(),
+            self.threshold_pct
+        )?;
+        writeln!(
+            f,
+            "  {:<44} {:>14} {:>14} {:>9}",
+            "metric", "baseline", "candidate", "delta"
+        )?;
+        for l in &self.lines {
+            writeln!(
+                f,
+                "  {:<44} {:>14.6} {:>14.6} {:>+8.2}%{}",
+                l.name,
+                l.a,
+                l.b,
+                l.delta_pct,
+                if l.regressed { "  REGRESSED" } else { "" }
+            )?;
+        }
+        for n in &self.missing_in_a {
+            writeln!(f, "  {n:<44} (new metric, no baseline)")?;
+        }
+        for n in &self.missing_in_b {
+            writeln!(f, "  {n:<44} (missing from candidate)")?;
+        }
+        if self.has_regressions() {
+            writeln!(f, "  RESULT: regressions detected")?;
+        } else {
+            writeln!(f, "  RESULT: within threshold")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value parser (subset: what BenchReport emits).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub(crate) fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn field(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        self.as_f64().filter(|n| *n >= 0.0).map(|n| n as u64)
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        *pos += 4;
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(format!("unknown escape \\{}", esc as char)),
+                }
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("abc1234");
+        r.push("wall_clock_s/64x64/sequential", 1.25, "s", "lower-better");
+        r.push(
+            "events_per_s/64x64/sequential",
+            2.0e6,
+            "events/s",
+            "higher-better",
+        );
+        r.push("critical_path/16x16/makespan", 5421.0, "cycles", "info");
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let json = r.to_json();
+        let back = BenchReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn diff_flags_directional_regressions() {
+        let a = sample();
+        let mut b = sample();
+        b.entries[0].value = 1.50; // +20% wall-clock: regression
+        b.entries[1].value = 1.0e6; // −50% throughput: regression
+        b.entries[2].value = 9999.0; // info: never flagged
+        let d = bench_diff(&a, &b, 5.0);
+        assert!(d.has_regressions());
+        assert!(d.lines[0].regressed);
+        assert!(d.lines[1].regressed);
+        assert!(!d.lines[2].regressed);
+        // within threshold → clean
+        let mut c = sample();
+        c.entries[0].value = 1.26;
+        let d2 = bench_diff(&a, &c, 5.0);
+        assert!(!d2.has_regressions());
+    }
+
+    #[test]
+    fn diff_reports_missing_metrics() {
+        let a = sample();
+        let mut b = sample();
+        b.entries.remove(2);
+        b.push("brand_new_metric", 1.0, "", "info");
+        let d = bench_diff(&a, &b, 5.0);
+        assert_eq!(
+            d.missing_in_b,
+            vec!["critical_path/16x16/makespan".to_string()]
+        );
+        assert_eq!(d.missing_in_a, vec!["brand_new_metric".to_string()]);
+    }
+
+    #[test]
+    fn newer_schema_is_rejected() {
+        let json = "{\"schema_version\": 999, \"rev\": \"x\", \"entries\": []}";
+        assert!(BenchReport::from_json(json).is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let mut r = BenchReport::new("r\"ev\\1");
+        r.push("na\nme", 1.0, "u", "info");
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.rev, "r\"ev\\1");
+        assert_eq!(back.entries[0].name, "na\nme");
+    }
+
+    #[test]
+    fn display_mentions_result() {
+        let d = bench_diff(&sample(), &sample(), 5.0);
+        let s = format!("{d}");
+        assert!(s.contains("within threshold"));
+    }
+}

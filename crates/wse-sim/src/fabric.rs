@@ -165,6 +165,11 @@ struct PeSlot {
     edge_drops: u64,
     /// Backpressure (park) events at this PE's router.
     flow_stalls: u64,
+    /// Cycles deliveries spent queued behind this PE's busy CE before their
+    /// task could start (`busy_until − delivery time`, summed). Accumulated
+    /// in the shared `process_deliver` path, so it is bit-identical between
+    /// the sequential and sharded engines.
+    queue_wait_cycles: u64,
     /// This PE's trace sink (a no-op unless tracing is enabled).
     trace: PeTracer,
 }
@@ -431,6 +436,7 @@ fn process_deliver(
     emit: &mut dyn FnMut(Event),
 ) {
     let start = slot.busy_until.max(ev.time);
+    slot.queue_wait_cycles += start - ev.time;
     let cycles_before = slot.counters.cycles();
     slot.trace.record_at(
         start,
@@ -853,6 +859,7 @@ impl Fabric {
                 seq: 0,
                 edge_drops: 0,
                 flow_stalls: 0,
+                queue_wait_cycles: 0,
                 trace: PeTracer::for_spec(config.trace, i as u32),
             })
             .collect();
@@ -1137,6 +1144,21 @@ impl Fabric {
 
     fn total_edge_drops(&self) -> u64 {
         self.pes.iter().map(|s| s.edge_drops).sum()
+    }
+
+    /// Cycles each PE's deliveries spent queued behind its busy CE before
+    /// their task started, in linear PE order. Accumulated identically by
+    /// both engines (the accounting lives in the shared delivery path), so
+    /// this vector is bit-identical between `Execution::Sequential` and
+    /// `Execution::Sharded`.
+    pub fn queue_wait_by_pe(&self) -> Vec<u64> {
+        self.pes.iter().map(|s| s.queue_wait_cycles).collect()
+    }
+
+    /// Total queued-delivery wait cycles across all PEs (see
+    /// [`Fabric::queue_wait_by_pe`]).
+    pub fn queue_wait_cycles(&self) -> u64 {
+        self.pes.iter().map(|s| s.queue_wait_cycles).sum()
     }
 
     /// Host access to a PE's memory (SDK `memcpy`).

@@ -12,7 +12,7 @@ use crate::memory::{MemRange, OutOfMemory, PeMemory};
 use crate::route::{ColorConfig, Router};
 use crate::stats::OpCounters;
 use crate::wavelet::{Color, Wavelet};
-use wse_trace::PeTracer;
+use wse_trace::{PeTracer, TraceRegion};
 
 /// Everything a handler may touch: the PE's own memory, counters, router,
 /// and an outbox of wavelets to inject after the handler returns.
@@ -114,6 +114,20 @@ impl<'a> PeContext<'a> {
     /// Stores a received wavelet payload (FMOV-in accounting).
     pub fn recv_store(&mut self, addr: usize, value: f32) {
         dsd::fmov_recv(self.memory, self.counters, self.tracer, addr, value);
+    }
+
+    /// Opens a named profiling region, timestamped from the PE's current
+    /// cycle counter. A no-op (single predicted branch) with tracing off;
+    /// region markers are recorded inside the task handler, so they land in
+    /// the per-PE stream identically on both engines.
+    pub fn region_begin(&mut self, region: TraceRegion) {
+        self.tracer.region_begin(self.counters.cycles(), region);
+    }
+
+    /// Closes the matching profiling region (see
+    /// [`PeContext::region_begin`]).
+    pub fn region_end(&mut self, region: TraceRegion) {
+        self.tracer.region_end(self.counters.cycles(), region);
     }
 
     // --- vector-op sugar, delegating to the DSD engine ------------------

@@ -165,8 +165,9 @@ impl FabricStats {
 /// Applies one traced DSD op of `len` elements to a counter set, using the
 /// same accounting rules as [`crate::dsd`]. The inverse of the simulator's
 /// instrumentation: replaying every [`TraceEventKind::DsdOp`] event of a PE
-/// reconstructs that PE's [`OpCounters`] exactly.
-fn apply_traced_op(ctr: &mut OpCounters, op: TraceOp, len: u64) {
+/// reconstructs that PE's [`OpCounters`] exactly. Public so profilers
+/// (`wse-prof`) can attribute per-region counters with the same rules.
+pub fn apply_traced_op(ctr: &mut OpCounters, op: TraceOp, len: u64) {
     match op {
         TraceOp::Fmul | TraceOp::FmulGate => {
             ctr.fmul += len;

@@ -12,7 +12,7 @@
 //! so no string escaping is required. A small [`validate`] parser is
 //! provided for tests and smoke checks.
 
-use crate::event::{link_name, TraceEventKind, TraceOp, LINK_CONTROL_BIT};
+use crate::event::{link_name, TraceEventKind, TraceOp, TraceRegion, LINK_CONTROL_BIT};
 use crate::trace::Trace;
 
 /// Synthetic `tid` used for engine/host meta events (the meta "process" is
@@ -163,6 +163,20 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                     pid,
                     tid,
                     &format!("{loc},\"class\":{},\"detail\":{}", ev.a, ev.payload),
+                );
+            }
+            TraceEventKind::RegionStart | TraceEventKind::RegionEnd => {
+                let region = TraceRegion::from_code(ev.a).map_or("region?", TraceRegion::name);
+                em.instant(
+                    if ev.kind == TraceEventKind::RegionStart {
+                        "region_start"
+                    } else {
+                        "region_end"
+                    },
+                    ev.time,
+                    pid,
+                    tid,
+                    &format!("{loc},\"region\":\"{region}\""),
                 );
             }
             TraceEventKind::Barrier | TraceEventKind::HostPhase => {

@@ -1,5 +1,6 @@
-//! Shared parsing for the `--trace out.json [--trace-cap N]` flag used by
-//! the benchmark binaries and the quickstart example.
+//! Shared parsing for the `--trace out.json [--trace-cap N]` and
+//! `--profile out.json` flags used by the benchmark binaries and the
+//! quickstart example.
 
 use crate::sink::{TraceSpec, DEFAULT_RING_CAPACITY};
 
@@ -44,6 +45,49 @@ pub fn trace_request_from_args() -> Option<TraceRequest> {
     trace_request_from_arg_slice(&args)
 }
 
+/// A parsed `--profile` request: where to write the profile JSON and how
+/// big each per-PE ring should be. Profiling implies tracing (the profile is
+/// derived from the event trace), so the ring capacity is shared with
+/// `--trace-cap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRequest {
+    /// Output path for the profile JSON.
+    pub path: String,
+    /// Per-PE ring capacity in events.
+    pub capacity: usize,
+}
+
+impl ProfileRequest {
+    /// The [`TraceSpec`] to put in `FabricConfig`/`DataflowOptions`.
+    pub fn spec(&self) -> TraceSpec {
+        TraceSpec::ring(self.capacity)
+    }
+}
+
+/// Parse `--profile <path> [--trace-cap <events>]` from an argument slice.
+/// Returns `None` when `--profile` is absent or has no path value.
+pub fn profile_request_from_arg_slice(args: &[String]) -> Option<ProfileRequest> {
+    let path = args
+        .iter()
+        .position(|a| a == "--profile")
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))?
+        .clone();
+    let capacity = args
+        .iter()
+        .position(|a| a == "--trace-cap")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_RING_CAPACITY);
+    Some(ProfileRequest { path, capacity })
+}
+
+/// [`profile_request_from_arg_slice`] over the process's own CLI arguments.
+pub fn profile_request_from_args() -> Option<ProfileRequest> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    profile_request_from_arg_slice(&args)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +117,31 @@ mod tests {
         // `--trace` immediately followed by another flag is not a path.
         assert_eq!(
             trace_request_from_arg_slice(&to_args("--trace --trace-cap 128")),
+            None
+        );
+    }
+
+    #[test]
+    fn parses_profile_flag_with_shared_cap() {
+        assert_eq!(profile_request_from_arg_slice(&to_args("")), None);
+        assert_eq!(
+            profile_request_from_arg_slice(&to_args("--profile p.json")),
+            Some(ProfileRequest {
+                path: "p.json".into(),
+                capacity: DEFAULT_RING_CAPACITY
+            })
+        );
+        assert_eq!(
+            profile_request_from_arg_slice(&to_args(
+                "--trace t.json --profile p.json --trace-cap 64"
+            )),
+            Some(ProfileRequest {
+                path: "p.json".into(),
+                capacity: 64
+            })
+        );
+        assert_eq!(
+            profile_request_from_arg_slice(&to_args("--profile --trace-cap 64")),
             None
         );
     }

@@ -45,6 +45,12 @@ pub enum TraceEventKind {
     /// Host-side phase marker emitted by the driver (`a` = phase code,
     /// `payload` = application index). Meta stream only.
     HostPhase = 10,
+    /// A named profiling region opened inside the current task
+    /// (`a` = [`TraceRegion`] code; `time` is the fabric-time estimate at the
+    /// open, derived from the task base like a [`TraceEventKind::DsdOp`]).
+    RegionStart = 11,
+    /// The matching profiling region closed (`a` = [`TraceRegion`] code).
+    RegionEnd = 12,
 }
 
 impl TraceEventKind {
@@ -68,6 +74,8 @@ impl TraceEventKind {
             8 => Self::Error,
             9 => Self::Barrier,
             10 => Self::HostPhase,
+            11 => Self::RegionStart,
+            12 => Self::RegionEnd,
             _ => return None,
         })
     }
@@ -86,6 +94,61 @@ impl TraceEventKind {
             Self::Error => "error",
             Self::Barrier => "barrier",
             Self::HostPhase => "host_phase",
+            Self::RegionStart => "region_start",
+            Self::RegionEnd => "region_end",
+        }
+    }
+}
+
+/// Named profiling region carried in a [`TraceEventKind::RegionStart`] /
+/// [`TraceEventKind::RegionEnd`] event's `a` field. Region markers are
+/// emitted by the kernel program (see `tpfa-dataflow`), so they live in the
+/// per-PE streams and stay bit-identical across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum TraceRegion {
+    /// Cardinal/diagonal pressure-halo exchange: fabric sends, receive
+    /// stores, and router hand-over control traffic.
+    HaloExchange = 0,
+    /// TPFA face-flux evaluation (the 12-instruction kernel body plus the
+    /// equation-of-state density pass).
+    FluxCompute = 1,
+    /// Residual accumulation (the kernel's final subtract into `r`).
+    ResidualAccumulate = 2,
+    /// Router reconfiguration. No markers are emitted for this region; the
+    /// profiler synthesizes it from `RouterSwitch` / `FlowStall` events.
+    RouterSwitch = 3,
+}
+
+/// Number of named regions (the profiler adds one extra "other" bucket for
+/// cycles outside any marked region).
+pub const NUM_REGIONS: usize = 4;
+
+impl TraceRegion {
+    /// Stable numeric code (the enum discriminant).
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`TraceRegion::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Self::HaloExchange,
+            1 => Self::FluxCompute,
+            2 => Self::ResidualAccumulate,
+            3 => Self::RouterSwitch,
+            _ => return None,
+        })
+    }
+
+    /// Short label used by the exporters and the profiler.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::HaloExchange => "halo-exchange",
+            Self::FluxCompute => "flux-compute",
+            Self::ResidualAccumulate => "residual-accumulate",
+            Self::RouterSwitch => "router-switch",
         }
     }
 }
@@ -227,16 +290,26 @@ mod tests {
 
     #[test]
     fn kind_and_op_codes_round_trip() {
-        for code in 0..=10u8 {
+        for code in 0..=12u8 {
             let kind = TraceEventKind::from_code(code).unwrap();
             assert_eq!(kind.code(), code);
         }
-        assert_eq!(TraceEventKind::from_code(11), None);
+        assert_eq!(TraceEventKind::from_code(13), None);
         for code in 0..=8u8 {
             let op = TraceOp::from_code(code).unwrap();
             assert_eq!(op.code(), code);
         }
         assert_eq!(TraceOp::from_code(9), None);
+    }
+
+    #[test]
+    fn region_codes_round_trip() {
+        for code in 0..NUM_REGIONS as u8 {
+            let region = TraceRegion::from_code(code).unwrap();
+            assert_eq!(region.code(), code);
+            assert!(!region.name().is_empty());
+        }
+        assert_eq!(TraceRegion::from_code(NUM_REGIONS as u8), None);
     }
 
     #[test]

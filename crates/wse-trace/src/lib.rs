@@ -39,8 +39,13 @@ pub mod summary;
 pub mod trace;
 
 pub use chrome::{chrome_trace_json, validate};
-pub use cli::{trace_request_from_arg_slice, trace_request_from_args, TraceRequest};
-pub use event::{link_name, TraceEvent, TraceEventKind, TraceOp, LINK_CONTROL_BIT};
+pub use cli::{
+    profile_request_from_arg_slice, profile_request_from_args, trace_request_from_arg_slice,
+    trace_request_from_args, ProfileRequest, TraceRequest,
+};
+pub use event::{
+    link_name, TraceEvent, TraceEventKind, TraceOp, TraceRegion, LINK_CONTROL_BIT, NUM_REGIONS,
+};
 pub use sink::{
     EventRing, NullSink, PeTracer, RingSink, TraceSink, TraceSpec, DEFAULT_RING_CAPACITY,
 };

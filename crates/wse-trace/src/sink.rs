@@ -6,7 +6,7 @@
 //! dispatch instead of `dyn TraceSink` keeps the off path free of virtual
 //! calls and lets the whole record body inline away.
 
-use crate::event::{TraceEvent, TraceEventKind, TraceOp};
+use crate::event::{TraceEvent, TraceEventKind, TraceOp, TraceRegion};
 
 /// Default per-PE ring capacity (events). At ≤ 32 bytes per event this is
 /// ≤ 128 KiB per PE.
@@ -344,6 +344,33 @@ impl PeTracer {
         }
     }
 
+    /// Open a named profiling region, timestamped from the current task base
+    /// and the PE's current cycle counter (like [`PeTracer::dsd`]). With
+    /// tracing off this is a single predicted branch.
+    #[inline]
+    pub fn region_begin(&mut self, cycles_now: u64, region: TraceRegion) {
+        match self {
+            Self::Null(_) => {}
+            Self::Ring(r) => {
+                let t = r.now(cycles_now);
+                r.record_at(t, TraceEventKind::RegionStart, region.code(), 0, 0);
+            }
+        }
+    }
+
+    /// Close the matching profiling region (same timestamping rule as
+    /// [`PeTracer::region_begin`]).
+    #[inline]
+    pub fn region_end(&mut self, cycles_now: u64, region: TraceRegion) {
+        match self {
+            Self::Null(_) => {}
+            Self::Ring(r) => {
+                let t = r.now(cycles_now);
+                r.record_at(t, TraceEventKind::RegionEnd, region.code(), 0, 0);
+            }
+        }
+    }
+
     /// Events dropped by this tracer's ring (0 when off).
     #[inline]
     pub fn dropped(&self) -> u64 {
@@ -414,9 +441,33 @@ mod tests {
         t.task_begin(5, 10);
         t.record_at(6, TraceEventKind::Error, 1, 0, 0);
         t.dsd(11, TraceOp::Fmul, 8);
+        t.region_begin(11, TraceRegion::FluxCompute);
+        t.region_end(12, TraceRegion::FluxCompute);
         assert!(!t.enabled());
         assert_eq!(t.dropped(), 0);
         assert!(t.ring().is_none());
+    }
+
+    #[test]
+    fn region_markers_time_like_dsd_ops() {
+        let mut t = PeTracer::for_spec(TraceSpec::ring(16), 3);
+        t.task_begin(100, 40);
+        t.region_begin(40, TraceRegion::HaloExchange); // at task start → 100
+        t.dsd(44, TraceOp::FmovOut, 4); // 4 cycles in → 104
+        t.region_end(52, TraceRegion::HaloExchange); // 12 cycles in → 112
+        let evs = t.ring().unwrap().ordered();
+        assert_eq!(
+            evs.iter().map(|e| (e.kind, e.time)).collect::<Vec<_>>(),
+            vec![
+                (TraceEventKind::RegionStart, 100),
+                (TraceEventKind::DsdOp, 104),
+                (TraceEventKind::RegionEnd, 112),
+            ]
+        );
+        assert!(evs
+            .iter()
+            .filter(|e| e.kind != TraceEventKind::DsdOp)
+            .all(|e| e.a == TraceRegion::HaloExchange.code()));
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub struct TraceSummary {
     pub flow_stalls: u64,
     /// Number of edge drops observed.
     pub edge_drops: u64,
+    /// `TaskEnd` / `RegionEnd` markers whose opening partner is missing from
+    /// the retained stream — the drop-oldest ring evicted the `TaskStart` /
+    /// `RegionStart` but kept the end. When nonzero, busy/region accounting
+    /// covers only the retained tail and must not be read as a full-run
+    /// busy-horizon.
+    pub unpaired_ends: u64,
+    /// `TaskStart` / `RegionStart` markers never closed within the retained
+    /// stream (task or region still open when recording stopped).
+    pub unclosed_starts: u64,
 }
 
 impl TraceSummary {
@@ -125,6 +134,44 @@ impl TraceSummary {
         hottest.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
         hottest.truncate(top_k);
 
+        // Marker-pairing scan (per PE, causal order): a drop-oldest ring can
+        // evict a TaskStart/RegionStart while its matching end survives;
+        // count those so the busy/region numbers are not silently read as a
+        // full-run horizon.
+        let mut unpaired_ends = 0u64;
+        let mut unclosed_starts = 0u64;
+        for stream in trace.by_pe() {
+            let mut in_task = false;
+            let mut region_stack: Vec<u8> = Vec::new();
+            for ev in &stream {
+                match ev.kind {
+                    TraceEventKind::TaskStart => {
+                        if in_task {
+                            unclosed_starts += 1;
+                        }
+                        in_task = true;
+                    }
+                    TraceEventKind::TaskEnd => {
+                        if in_task {
+                            in_task = false;
+                        } else {
+                            unpaired_ends += 1;
+                        }
+                    }
+                    TraceEventKind::RegionStart => region_stack.push(ev.a),
+                    TraceEventKind::RegionEnd => {
+                        if region_stack.last() == Some(&ev.a) {
+                            region_stack.pop();
+                        } else {
+                            unpaired_ends += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            unclosed_starts += u64::from(in_task) + region_stack.len() as u64;
+        }
+
         let mut wavelets_by_color: Vec<(u8, u64, u64)> = (0..256usize)
             .filter(|&c| color_sends[c] + color_recvs[c] > 0)
             .map(|c| (c as u8, color_sends[c], color_recvs[c]))
@@ -146,6 +193,8 @@ impl TraceSummary {
             hottest,
             flow_stalls,
             edge_drops,
+            unpaired_ends,
+            unclosed_starts,
         }
     }
 
@@ -173,6 +222,15 @@ impl fmt::Display for TraceSummary {
             self.flow_stalls,
             self.edge_drops
         )?;
+        if self.unpaired_ends + self.unclosed_starts > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} unpaired end marker(s), {} unclosed start marker(s) — \
+                 ring eviction truncated task/region pairs; busy and region \
+                 figures cover the retained tail only, not the full run",
+                self.unpaired_ends, self.unclosed_starts
+            )?;
+        }
         writeln!(
             f,
             "  per-shard load (utilization timeline, {} buckets):",
@@ -246,5 +304,44 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("shard   0"));
         assert!(text.contains("hottest PEs"));
+        // The bare TaskEnds above have no retained TaskStart: reported, not
+        // silently folded into the busy horizon.
+        assert_eq!(s.unpaired_ends, 3);
+    }
+
+    #[test]
+    fn eviction_that_splits_marker_pairs_is_reported() {
+        use crate::event::{TraceEventKind as K, TraceRegion};
+        // Capacity 3: recording start/end pairs for two tasks (with a region
+        // inside the second) evicts the older events, leaving end markers
+        // whose starts are gone.
+        let mut ring = EventRing::new(0, 3);
+        let host = EventRing::new(crate::HOST_PE, 1);
+        ring.record_at(0, K::TaskStart, 1, 0, 0);
+        ring.record_at(10, K::TaskEnd, 1, 0, 10);
+        ring.record_at(20, K::TaskStart, 1, 0, 0);
+        ring.record_at(21, K::RegionStart, TraceRegion::FluxCompute.code(), 0, 0);
+        ring.record_at(29, K::RegionEnd, TraceRegion::FluxCompute.code(), 0, 0);
+        ring.record_at(30, K::TaskEnd, 1, 0, 10);
+        let t = Trace::from_rings(1, 1, 1, vec![0], 30, &[&ring], &host);
+        assert!(t.dropped > 0);
+        let s = TraceSummary::from_trace(&t, 1);
+        // Retained tail: RegionStart, RegionEnd, TaskEnd — the TaskEnd's
+        // start was evicted.
+        assert_eq!(s.unpaired_ends, 1);
+        assert_eq!(s.unclosed_starts, 0);
+        assert!(s.to_string().contains("WARNING"));
+
+        // An uncapped ring pairs cleanly.
+        let mut full = EventRing::new(0, 64);
+        full.record_at(0, K::TaskStart, 1, 0, 0);
+        full.record_at(5, K::RegionStart, TraceRegion::HaloExchange.code(), 0, 0);
+        full.record_at(8, K::RegionEnd, TraceRegion::HaloExchange.code(), 0, 0);
+        full.record_at(10, K::TaskEnd, 1, 0, 10);
+        let t2 = Trace::from_rings(1, 1, 1, vec![0], 10, &[&full], &host);
+        let s2 = TraceSummary::from_trace(&t2, 1);
+        assert_eq!(s2.unpaired_ends, 0);
+        assert_eq!(s2.unclosed_starts, 0);
+        assert!(!s2.to_string().contains("WARNING"));
     }
 }

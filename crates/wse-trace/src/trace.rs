@@ -84,6 +84,33 @@ impl Trace {
         out
     }
 
+    /// All per-PE streams in one pass: `result[pe]` holds PE `pe`'s retained
+    /// events in causal (`seq`) order. This is the bulk form of
+    /// [`Trace::events_for_pe`] — O(events) grouping instead of one full scan
+    /// per PE — and the entry point profilers iterate from.
+    pub fn by_pe(&self) -> Vec<Vec<TraceEvent>> {
+        let mut streams: Vec<Vec<TraceEvent>> = vec![Vec::new(); self.num_pes()];
+        for ev in &self.events {
+            if let Some(stream) = streams.get_mut(ev.pe as usize) {
+                stream.push(*ev);
+            }
+        }
+        for stream in &mut streams {
+            stream.sort_unstable_by_key(|e| e.seq);
+        }
+        streams
+    }
+
+    /// Iterate `(linear pe, seq-ordered events)` pairs for every PE that
+    /// retained at least one event (built on [`Trace::by_pe`]).
+    pub fn iter_pe_streams(&self) -> impl Iterator<Item = (u32, Vec<TraceEvent>)> {
+        self.by_pe()
+            .into_iter()
+            .enumerate()
+            .filter(|(_, evs)| !evs.is_empty())
+            .map(|(pe, evs)| (pe as u32, evs))
+    }
+
     /// Count of retained events of a given kind.
     pub fn count(&self, kind: TraceEventKind) -> usize {
         self.events.iter().filter(|e| e.kind == kind).count()
@@ -113,5 +140,28 @@ mod tests {
         assert_eq!(t.meta.len(), 1);
         assert_eq!(t.count(TraceEventKind::TaskStart), 2);
         assert_eq!(t.events_for_pe(0).len(), 2);
+    }
+
+    #[test]
+    fn by_pe_matches_events_for_pe() {
+        let mut r0 = EventRing::new(0, 8);
+        let mut r1 = EventRing::new(1, 8);
+        let host = EventRing::new(crate::HOST_PE, 1);
+        r0.record_at(5, TraceEventKind::TaskStart, 0, 0, 0);
+        r0.record_at(1, TraceEventKind::WaveletSend, 0, 0, 0);
+        r1.record_at(3, TraceEventKind::TaskStart, 0, 0, 0);
+        let t = Trace::from_rings(2, 1, 1, vec![0, 0], 5, &[&r0, &r1], &host);
+        let streams = t.by_pe();
+        assert_eq!(streams.len(), 2);
+        for pe in 0..2u32 {
+            assert_eq!(streams[pe as usize], t.events_for_pe(pe));
+        }
+        // seq order, not time order.
+        assert_eq!(
+            streams[0].iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let pairs: Vec<u32> = t.iter_pe_streams().map(|(pe, _)| pe).collect();
+        assert_eq!(pairs, vec![0, 1]);
     }
 }

@@ -87,6 +87,8 @@ fn trace_covers_every_event_family() {
         TraceEventKind::DsdOp,
         TraceEventKind::RouterSwitch,
         TraceEventKind::EdgeDrop,
+        TraceEventKind::RegionStart,
+        TraceEventKind::RegionEnd,
     ] {
         assert!(
             trace.count(kind) > 0,

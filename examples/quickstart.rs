@@ -5,24 +5,35 @@
 //! ```text
 //! cargo run --example quickstart
 //! cargo run --example quickstart -- --trace trace.json [--trace-cap N]
+//! cargo run --example quickstart -- --profile prof.json [--trace-cap N]
 //! ```
 //!
 //! With `--trace`, both engine runs record per-PE event traces; the sorted
 //! traces are asserted bit-identical (the determinism probe), a Chrome
 //! `trace_event` JSON is written (open in Perfetto or `chrome://tracing`),
-//! and a load summary is printed.
+//! and a load summary is printed. With `--profile`, the trace is analyzed
+//! instead: per-region cycle attribution plus the recovered critical path,
+//! both asserted bit-identical across engines, exported as JSON.
 
 use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
 use mdfv::fv::prelude::*;
 use mdfv::fv::validate::Validation;
 use mdfv::gpu::problem::{GpuFluxProblem, GpuModel};
+use mdfv::prof::{critical_path, profile_json, Profile};
 use mdfv::wse::fabric::Execution;
-use mdfv::wse::trace::{chrome_trace_json, trace_request_from_args, TraceSummary};
+use mdfv::wse::trace::{
+    chrome_trace_json, profile_request_from_args, trace_request_from_args, TraceSummary,
+};
 
 fn main() {
-    // Optional `--trace out.json [--trace-cap N]`.
+    // Optional `--trace out.json [--trace-cap N]` / `--profile out.json`.
     let trace_req = trace_request_from_args();
-    let trace_spec = trace_req.as_ref().map(|r| r.spec()).unwrap_or_default();
+    let profile_req = profile_request_from_args();
+    let trace_spec = trace_req
+        .as_ref()
+        .map(|r| r.spec())
+        .or_else(|| profile_req.as_ref().map(|r| r.spec()))
+        .unwrap_or_default();
     // 1. A 16×12×8 Cartesian mesh with heterogeneous (log-normal)
     //    permeability and a water-like slightly-compressible fluid.
     let mesh = CartesianMesh3::new(Extents::new(16, 12, 8), Spacing::new(10.0, 10.0, 4.0));
@@ -131,5 +142,36 @@ fn main() {
             sh_trace.events.len(),
             sh_trace.dropped
         );
+    }
+
+    // 9. Profiling (only with `--profile`): attribute every cycle to a
+    //    named region and recover the critical path bounding the makespan.
+    //    Both are pure functions of the engine-invariant per-PE streams, so
+    //    both must be bit-identical across engines too.
+    if let Some(req) = profile_req {
+        let seq_trace = fabric.trace().expect("tracing was enabled");
+        let sh_trace = sharded_sim.trace().expect("tracing was enabled");
+        let profile = Profile::from_trace(&seq_trace);
+        let path = critical_path(&seq_trace, 1);
+        assert_eq!(
+            profile,
+            Profile::from_trace(&sh_trace),
+            "attribution must be bit-identical across engines"
+        );
+        assert_eq!(
+            path,
+            critical_path(&sh_trace, 1),
+            "critical path must be bit-identical across engines"
+        );
+        println!(
+            "\nprofiler determinism: attribution + critical path bit-identical across engines\n"
+        );
+        print!("{profile}");
+        if let Some(cp) = &path {
+            print!("{cp}");
+        }
+        std::fs::write(&req.path, profile_json(&profile, path.as_ref()))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", req.path));
+        println!("profile written to {}", req.path);
     }
 }

@@ -44,6 +44,25 @@ bench-trace-overhead:
     cargo bench -p bench --bench weak_scaling -- 'engine/64x64/sequential'
     cargo bench -p bench --bench trace_overhead
 
+# profiled quickstart run: per-region cycle attribution + recovered
+# critical path, asserted bit-identical across engines, exported as JSON
+profile:
+    cargo run --release --example quickstart -- --profile prof.json
+
+# profiler overhead guard: `profile_overhead/regions-off` must match
+# `engine/64x64/sequential`; `analyze` prices the host-side analysis
+bench-profile-overhead:
+    cargo bench -p bench --bench weak_scaling -- 'engine/64x64/sequential'
+    cargo bench -p bench --bench profile_overhead
+
+# write a schema-versioned BENCH_<rev>.json perf report for this checkout
+perf-report rev="local":
+    cargo run -p bench --release --bin perf_harness -- {{rev}}
+
+# compare two perf reports (report-only; add --strict to fail on regression)
+perf-diff a b *flags="":
+    cargo run -p bench --release --bin perf_diff -- {{a}} {{b}} {{flags}}
+
 # regenerate every table/figure of the paper's evaluation
 tables:
     cargo run -p bench --release --bin table1

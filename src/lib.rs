@@ -11,6 +11,7 @@
 //! * [`dataflow`] — the paper's contribution: TPFA on the fabric
 //! * [`gpu`] — RAJA-like and CUDA-like reference implementations
 //! * [`perf`] — CS-2 / A100 machine models, rooflines, energy
+//! * [`prof`] — critical-path profiling, cycle attribution, perf harness
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -18,4 +19,5 @@ pub use fv_core as fv;
 pub use gpu_ref as gpu;
 pub use perf_model as perf;
 pub use tpfa_dataflow as dataflow;
+pub use wse_prof as prof;
 pub use wse_sim as wse;
