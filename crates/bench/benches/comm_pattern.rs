@@ -5,7 +5,7 @@
 
 use bench::{pressure_for_iteration, standard_problem};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 
 fn bench_comm_vs_full(c: &mut Criterion) {
     let mut g = c.benchmark_group("comm_pattern");
@@ -13,15 +13,12 @@ fn bench_comm_vs_full(c: &mut Criterion) {
     let n = 8usize;
     for (label, compute) in [("full", true), ("comm_only", false)] {
         let (mesh, fluid, trans) = standard_problem(n, n, 8, 3);
-        let mut sim = DataflowFluxSimulator::new(
-            &mesh,
-            &fluid,
-            &trans,
-            DataflowOptions {
-                compute_enabled: compute,
-                ..DataflowOptions::default()
-            },
-        );
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .compute_enabled(compute)
+            .build()
+            .unwrap();
         let p = pressure_for_iteration(&mesh, 0);
         g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
             b.iter(|| sim.apply(&p).unwrap());
@@ -36,15 +33,12 @@ fn bench_fabric_sizes_comm(c: &mut Criterion) {
     g.sample_size(10);
     for n in [4usize, 8] {
         let (mesh, fluid, trans) = standard_problem(n, n, 8, 3);
-        let mut sim = DataflowFluxSimulator::new(
-            &mesh,
-            &fluid,
-            &trans,
-            DataflowOptions {
-                compute_enabled: false,
-                ..DataflowOptions::default()
-            },
-        );
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .compute_enabled(false)
+            .build()
+            .unwrap();
         let p = pressure_for_iteration(&mesh, 0);
         g.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
             b.iter(|| sim.apply(&p).unwrap());

@@ -6,7 +6,7 @@ use bench::{pressure_for_iteration, standard_problem};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fv_core::residual::{assemble_flux_residual, assemble_flux_residual_facewise};
 use gpu_ref::problem::{GpuFluxProblem, GpuModel};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 
 fn bench_serial(c: &mut Criterion) {
     let mut g = c.benchmark_group("serial_reference");
@@ -48,7 +48,11 @@ fn bench_dataflow_sim(c: &mut Criterion) {
     g.sample_size(10);
     for n in [6usize, 10] {
         let (mesh, fluid, trans) = standard_problem(n, n, 6, 1);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .build()
+            .unwrap();
         let p = pressure_for_iteration(&mesh, 0);
         g.throughput(Throughput::Elements(mesh.num_cells() as u64));
         g.bench_with_input(BenchmarkId::new("one_application", n), &n, |b, _| {

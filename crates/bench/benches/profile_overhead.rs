@@ -12,7 +12,7 @@
 
 use bench::{pressure_for_iteration, standard_problem};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_prof::{critical_path, Profile};
 use wse_sim::trace::TraceSpec;
 
@@ -31,15 +31,12 @@ fn bench_profile_overhead(c: &mut Criterion) {
         ("regions-off", TraceSpec::OFF),
         ("ring-4096", TraceSpec::ring(4096)),
     ] {
-        let mut sim = DataflowFluxSimulator::new(
-            &mesh,
-            &fluid,
-            &trans,
-            DataflowOptions {
-                trace,
-                ..DataflowOptions::default()
-            },
-        );
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .trace(trace)
+            .build()
+            .unwrap();
         g.throughput(Throughput::Elements(mesh.num_cells() as u64));
         g.bench_with_input(BenchmarkId::new(label, n * n), &n, |b, _| {
             b.iter(|| sim.apply(&p).unwrap());
@@ -48,15 +45,12 @@ fn bench_profile_overhead(c: &mut Criterion) {
 
     // Host-side analysis cost over a recorded 16×16 trace.
     let (mesh16, fluid16, trans16) = standard_problem(16, 16, NZ, 7);
-    let mut sim16 = DataflowFluxSimulator::new(
-        &mesh16,
-        &fluid16,
-        &trans16,
-        DataflowOptions {
-            trace: TraceSpec::ring(8192),
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim16 = DataflowFluxSimulator::builder(&mesh16)
+        .fluid(&fluid16)
+        .transmissibilities(&trans16)
+        .trace(TraceSpec::ring(8192))
+        .build()
+        .unwrap();
     sim16
         .apply(&pressure_for_iteration(&mesh16, 3))
         .expect("traced run failed");

@@ -9,7 +9,7 @@
 
 use bench::{pressure_for_iteration, standard_problem};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_sim::trace::TraceSpec;
 
 const NZ: usize = 6;
@@ -26,15 +26,12 @@ fn bench_trace_overhead(c: &mut Criterion) {
         ("ring-4096", TraceSpec::ring(4096)),
     ];
     for (label, trace) in variants {
-        let mut sim = DataflowFluxSimulator::new(
-            &mesh,
-            &fluid,
-            &trans,
-            DataflowOptions {
-                trace,
-                ..DataflowOptions::default()
-            },
-        );
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .trace(trace)
+            .build()
+            .unwrap();
         g.throughput(Throughput::Elements(mesh.num_cells() as u64));
         g.bench_with_input(BenchmarkId::new(label, n * n), &n, |b, _| {
             b.iter(|| sim.apply(&p).unwrap());

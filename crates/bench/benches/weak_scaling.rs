@@ -6,7 +6,7 @@
 use bench::{pressure_for_iteration, standard_problem};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_ref::problem::{GpuFluxProblem, GpuModel};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_sim::fabric::Execution;
 
 const NZ: usize = 6;
@@ -16,7 +16,11 @@ fn bench_dataflow_weak_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for n in [4usize, 8, 12] {
         let (mesh, fluid, trans) = standard_problem(n, n, NZ, 2);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .build()
+            .unwrap();
         let p = pressure_for_iteration(&mesh, 0);
         g.throughput(Throughput::Elements(mesh.num_cells() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
@@ -58,15 +62,12 @@ fn bench_engine_comparison(c: &mut Criterion) {
         ),
     ];
     for (label, execution) in engines {
-        let mut sim = DataflowFluxSimulator::new(
-            &mesh,
-            &fluid,
-            &trans,
-            DataflowOptions {
-                execution,
-                ..DataflowOptions::default()
-            },
-        );
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .execution(execution)
+            .build()
+            .unwrap();
         g.throughput(Throughput::Elements(mesh.num_cells() as u64));
         g.bench_with_input(BenchmarkId::new(label, n * n), &n, |b, _| {
             b.iter(|| sim.apply(&p).unwrap());

@@ -1,0 +1,249 @@
+//! **Chaos harness** — randomized seeded fault schedules against the fabric
+//! simulator, asserting the recovery contract on every run:
+//!
+//! * a run that returns `Ok` without degradation is **bit-identical** to the
+//!   fault-free residual;
+//! * a degraded run's valid PEs are bit-identical to the fault-free
+//!   residual on those columns;
+//! * everything else is a **typed** [`FabricError::Fault`]-family error —
+//!   never silently wrong data;
+//! * per seed and policy, `Execution::Sequential` and `Execution::Sharded`
+//!   reach the **same outcome** with the same fault log.
+//!
+//! Usage: `chaos [--schedules N] [--seed S0] [--shards N [--threads M]]
+//! [--report out.json]`. With `--shards`, the harness still runs *both*
+//! engines per schedule (the differential assertion needs them); the flag
+//! selects the sharded geometry being differenced. Exit code 0 iff every
+//! schedule upholds every invariant.
+
+use bench::{pressure_for_iteration, standard_problem};
+use tpfa_dataflow::{DataflowFluxSimulator, Recovered, RecoveryPolicy};
+use wse_sim::fabric::{Execution, FabricError};
+use wse_sim::fault::FaultPlan;
+use wse_sim::geometry::FabricDims;
+
+const NX: usize = 8;
+const NY: usize = 8;
+const NZ: usize = 6;
+/// Injection window: wide enough to hit every phase of the 2-step cardinal
+/// + 3-phase diagonal exchange of one application.
+const HORIZON: u64 = 400;
+const FAULTS_PER_SCHEDULE: usize = 3;
+
+/// Outcome of one (schedule, policy, engine) run, reduced to comparable
+/// form.
+#[derive(Debug, Clone, PartialEq)]
+enum Outcome {
+    /// Clean residual (bit-comparable), attempts used.
+    Clean { residual: Vec<f32>, attempts: u32 },
+    /// Degraded residual with validity map.
+    Degraded {
+        residual: Vec<f32>,
+        valid: Vec<bool>,
+    },
+    /// Typed error, reduced to its rendered form (site, time, class).
+    Error { message: String },
+}
+
+fn run_one(
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    execution: Execution,
+    pressure: &[f32],
+) -> (Outcome, usize) {
+    let (mesh, fluid, trans) = standard_problem(NX, NY, NZ, 42);
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .fault_plan(plan.clone())
+        .recovery(policy)
+        .build()
+        .expect("chaos problem must pass builder validation");
+    let outcome = match sim.apply_recovering(pressure) {
+        Ok(Recovered {
+            residual,
+            valid,
+            degraded: true,
+            ..
+        }) => Outcome::Degraded { residual, valid },
+        Ok(r) => Outcome::Clean {
+            residual: r.residual,
+            attempts: r.attempts,
+        },
+        Err(e) => {
+            assert!(
+                matches!(e, FabricError::Fault { .. }),
+                "fault schedules must fail through the typed Fault error, got: {e}"
+            );
+            Outcome::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    (outcome, sim.fault_log().len())
+}
+
+fn check_invariants(seed: u64, policy: RecoveryPolicy, outcome: &Outcome, baseline: &[f32]) {
+    match outcome {
+        Outcome::Clean { residual, .. } => {
+            assert_eq!(
+                residual.as_slice(),
+                baseline,
+                "seed {seed} {policy:?}: clean run must be bit-identical to fault-free"
+            );
+        }
+        Outcome::Degraded { residual, valid } => {
+            assert_eq!(valid.len(), NX * NY);
+            for (pe, &ok) in valid.iter().enumerate() {
+                if !ok {
+                    continue;
+                }
+                let (x, y) = (pe % NX, pe / NX);
+                for z in 0..NZ {
+                    let i = (z * NY + y) * NX + x;
+                    assert_eq!(
+                        residual[i].to_bits(),
+                        baseline[i].to_bits(),
+                        "seed {seed}: degraded run marked PE ({x},{y}) valid but \
+                         cell {i} differs from the fault-free residual"
+                    );
+                }
+            }
+        }
+        Outcome::Error { .. } => {}
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let common = bench::CommonArgs::from_slice(&raw).unwrap_or_else(|why| {
+        eprintln!("error: {why}");
+        std::process::exit(2);
+    });
+    let schedules = flag_value(&raw, "--schedules").unwrap_or(50) as usize;
+    let seed0 = flag_value(&raw, "--seed").unwrap_or(1);
+    let report_path = raw
+        .iter()
+        .position(|a| a == "--report")
+        .and_then(|i| raw.get(i + 1))
+        .cloned();
+    let sharded = match common.execution {
+        Execution::Sharded { .. } => common.execution,
+        Execution::Sequential => Execution::Sharded {
+            shards: 4,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(4)),
+        },
+    };
+
+    println!(
+        "== chaos: {schedules} randomized fault schedules on {NX}x{NY}x{NZ} \
+         (seeds {seed0}..{}) ==",
+        seed0 + schedules as u64 - 1
+    );
+    println!(
+        "(differencing sequential vs {}; {FAULTS_PER_SCHEDULE} faults per schedule, \
+         horizon {HORIZON} cycles)\n",
+        bench::execution_label(sharded)
+    );
+
+    // Fault-free baseline, once per engine (they are asserted identical —
+    // the repo's standing differential invariant).
+    let (mesh, _, _) = standard_problem(NX, NY, NZ, 42);
+    let pressure = pressure_for_iteration(&mesh, 0);
+    let dims = FabricDims::new(NX, NY);
+    let (base_seq, _) = run_one(
+        &FaultPlan::new(),
+        RecoveryPolicy::Fail,
+        Execution::Sequential,
+        &pressure,
+    );
+    let (base_shard, _) = run_one(&FaultPlan::new(), RecoveryPolicy::Fail, sharded, &pressure);
+    assert_eq!(base_seq, base_shard, "fault-free engines must agree");
+    let baseline = match &base_seq {
+        Outcome::Clean { residual, .. } => residual.clone(),
+        other => panic!("fault-free run must be clean, got {other:?}"),
+    };
+
+    let policies = [
+        RecoveryPolicy::Fail,
+        RecoveryPolicy::Retry {
+            max_attempts: 3,
+            backoff: 64,
+        },
+        RecoveryPolicy::Degrade,
+    ];
+    let mut tally = [[0usize; 3]; 3]; // [policy][clean, degraded, error]
+    let mut report_lines = Vec::new();
+    for s in 0..schedules {
+        let seed = seed0 + s as u64;
+        let plan = FaultPlan::randomized(seed, dims, HORIZON, FAULTS_PER_SCHEDULE);
+        for (pi, &policy) in policies.iter().enumerate() {
+            let (seq, seq_faults) = run_one(&plan, policy, Execution::Sequential, &pressure);
+            let (par, par_faults) = run_one(&plan, policy, sharded, &pressure);
+            assert_eq!(
+                seq, par,
+                "seed {seed} {policy:?}: engines disagree on the outcome"
+            );
+            assert_eq!(
+                seq_faults, par_faults,
+                "seed {seed} {policy:?}: engines disagree on the fault log"
+            );
+            check_invariants(seed, policy, &seq, &baseline);
+            let (label, slot) = match &seq {
+                Outcome::Clean { attempts, .. } => (format!("clean(attempts={attempts})"), 0usize),
+                Outcome::Degraded { valid, .. } => {
+                    let invalid = valid.iter().filter(|v| !**v).count();
+                    (format!("degraded(invalid_pes={invalid})"), 1)
+                }
+                Outcome::Error { message } => (format!("error({message})"), 2),
+            };
+            tally[pi][slot] += 1;
+            report_lines.push(format!(
+                "{{\"seed\":{seed},\"policy\":{pi},\"outcome\":\"{label}\",\
+                 \"fault_events\":{seq_faults}}}"
+            ));
+        }
+    }
+
+    let w = [18, 8, 10, 8];
+    bench::print_row(
+        &[
+            "policy".into(),
+            "clean".into(),
+            "degraded".into(),
+            "error".into(),
+        ],
+        &w,
+    );
+    bench::print_sep(&w);
+    for (pi, name) in ["fail", "retry:3:64", "degrade"].iter().enumerate() {
+        bench::print_row(
+            &[
+                (*name).into(),
+                tally[pi][0].to_string(),
+                tally[pi][1].to_string(),
+                tally[pi][2].to_string(),
+            ],
+            &w,
+        );
+    }
+    println!(
+        "\nall {} runs upheld the contract: clean ⇒ bit-identical, degraded ⇒ \
+         valid PEs bit-identical, otherwise a typed fault error; engines agree.",
+        schedules * policies.len() * 2
+    );
+
+    if let Some(path) = report_path {
+        let json = format!("[\n{}\n]\n", report_lines.join(",\n"));
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing report to {path}: {e}"));
+        println!("report written to {path}");
+    }
+}

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use bench::{pressure_for_iteration, standard_problem, PAPER_ITERATIONS};
 use perf_model::Cs2Model;
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_prof::{bucket_name, critical_path, BenchReport, Profile, PROFILE_BUCKETS};
 use wse_sim::fabric::Execution;
 use wse_sim::trace::TraceSpec;
@@ -31,15 +31,12 @@ const PROF_NZ: usize = 6;
 fn measure_wall(execution: Execution) -> (f64, f64) {
     let (mesh, fluid, trans) = standard_problem(WALL_N, WALL_N, WALL_NZ, 2);
     let p = pressure_for_iteration(&mesh, 0);
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution,
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .build()
+        .unwrap();
     sim.apply(&p).expect("warm-up failed");
     let mut times = Vec::with_capacity(WALL_REPEATS);
     let mut events = 0u64;
@@ -102,15 +99,12 @@ fn main() {
     // cycles, not wall-clock), so these regress only when the kernels or
     // the fabric model change — tight signals, still report-only.
     let (mesh, fluid, trans) = standard_problem(PROF_N, PROF_N, PROF_NZ, 7);
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            trace: TraceSpec::ring(8192),
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .trace(TraceSpec::ring(8192))
+        .build()
+        .unwrap();
     sim.apply(&pressure_for_iteration(&mesh, 3))
         .expect("profiled run failed");
     let trace = sim.trace().expect("tracing was enabled");

@@ -27,11 +27,12 @@ fn stats_of(samples: &[f64]) -> (f64, f64) {
 }
 
 fn main() {
-    // `--shards N [--threads M]` runs the fabric simulation on the
-    // parallel sharded engine (bit-identical results, faster host clock).
-    let execution = bench::execution_from_args();
+    // The shared flag family (`--shards N [--threads M]`, `--trace`,
+    // `--profile`, ...) selects the fabric engine and optional exports.
+    let args = bench::CommonArgs::parse();
+    let execution = args.execution;
     println!("== Table 1: time measurement, 1000 applications of Algorithm 1 ==");
-    println!("(fabric engine: {})\n", bench::execution_label(execution));
+    println!("(fabric engine: {})\n", args.execution_label());
 
     // ---- layer 1: measured at laboratory scale --------------------------
     let (nx, ny, nz) = (24, 24, 12);
@@ -155,13 +156,17 @@ fn main() {
     // `--trace out.json [--trace-cap N]`: rerun one traced application at
     // laboratory scale on the selected engine and export Chrome JSON + a
     // load summary.
-    if let Some(req) = bench::trace_request_from_args() {
-        bench::run_traced(nx, ny, nz, 1, execution, &req);
+    if let Some(req) = &args.trace {
+        bench::run_traced(nx, ny, nz, 1, execution, req);
     }
 
     // `--profile out.json [--trace-cap N]`: same rerun, but analyzed —
     // per-region cycle attribution plus the recovered critical path.
-    if let Some(req) = bench::profile_request_from_args() {
-        bench::run_profiled(nx, ny, nz, 1, execution, &req);
+    if let Some(req) = &args.profile {
+        bench::run_profiled(nx, ny, nz, 1, execution, req);
     }
+
+    // `--faults <seed> [--recovery <policy>]`: one faulted demonstration
+    // run (never part of the measured tables above).
+    bench::run_faulted_demo(&args, nx, ny, nz);
 }

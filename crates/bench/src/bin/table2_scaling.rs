@@ -23,11 +23,13 @@ const PAPER_ROWS: [(usize, usize, usize, f64, f64, f64); 6] = [
 ];
 
 fn main() {
-    // `--shards N [--threads M]` selects the parallel sharded fabric
-    // engine; counters (and thus every modeled number) are bit-identical.
-    let execution = bench::execution_from_args();
+    // The shared flag family (`--shards N [--threads M]`, `--trace`,
+    // `--profile`, ...); counters — and thus every modeled number — are
+    // bit-identical across engines.
+    let args = bench::CommonArgs::parse();
+    let execution = args.execution;
     println!("== Table 2: weak scaling (Nz = 246, 1000 applications) ==");
-    println!("(fabric engine: {})\n", bench::execution_label(execution));
+    println!("(fabric engine: {})\n", args.execution_label());
 
     // ---- functional demonstration on the simulator ----------------------
     println!("Functional weak scaling on the fabric simulator (nz = 8):");
@@ -116,13 +118,18 @@ fn main() {
     // `--trace out.json [--trace-cap N]`: traced run of the largest
     // functional fabric above; the per-shard summary lines diagnose load
     // imbalance across the sharded engine's partition.
-    if let Some(req) = bench::trace_request_from_args() {
-        bench::run_traced(16, 16, 8, 1, execution, &req);
+    if let Some(req) = &args.trace {
+        bench::run_traced(16, 16, 8, 1, execution, req);
     }
 
     // `--profile out.json [--trace-cap N]`: profiled run of the same
     // fabric — which PEs, colors and links bound the makespan.
-    if let Some(req) = bench::profile_request_from_args() {
-        bench::run_profiled(16, 16, 8, 1, execution, &req);
+    if let Some(req) = &args.profile {
+        bench::run_profiled(16, 16, 8, 1, execution, req);
     }
+
+    // `--faults <seed> [--recovery <policy>]`: one faulted demonstration
+    // run (never part of the measured tables above).
+    let (fx, fy, fz) = (16, 16, 8);
+    bench::run_faulted_demo(&args, fx, fy, fz);
 }

@@ -9,11 +9,12 @@
 
 use bench::{measure_dataflow, pressure_for_iteration, standard_problem, PAPER_ITERATIONS};
 use perf_model::Cs2Model;
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_prof::Profile;
 use wse_sim::trace::TraceSpec;
 
 fn main() {
+    let args = bench::CommonArgs::parse();
     println!("== Table 3: time distribution on the fabric (largest mesh) ==\n");
 
     let (nx, ny, nz) = (9, 9, 12);
@@ -88,15 +89,12 @@ fn main() {
     // the pacing PE's cycles to regions — the split must agree with the
     // counter-derived protocol above (the rel-err column quantifies it).
     let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            trace: TraceSpec::ring(1 << 16),
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .trace(TraceSpec::ring(1 << 16))
+        .build()
+        .unwrap();
     sim.apply(&pressure_for_iteration(&mesh, 0))
         .expect("traced run failed");
     let trace = sim.trace().expect("tracing was enabled");
@@ -158,7 +156,12 @@ fn main() {
 
     // `--profile out.json [--trace-cap N]`: export the full attribution +
     // critical path of the traced run above as JSON.
-    if let Some(req) = bench::profile_request_from_args() {
-        bench::export_profile(&sim, &req);
+    if let Some(req) = &args.profile {
+        bench::export_profile(&sim, req);
     }
+
+    // `--faults <seed> [--recovery <policy>]`: one faulted demonstration
+    // run (never part of the measured tables above).
+    let (fx, fy, fz) = (12, 12, 8);
+    bench::run_faulted_demo(&args, fx, fy, fz);
 }

@@ -1,0 +1,178 @@
+//! Shared CLI parsing for the benchmark binaries.
+//!
+//! Every table/figure generator accepts the same flag family; parsing it
+//! used to be copy-pasted per binary. [`CommonArgs`] centralizes it:
+//!
+//! * `--shards N [--threads M]` — fabric engine selection (sequential
+//!   reference when absent);
+//! * `--trace out.json [--trace-cap N]` — Chrome-JSON event trace export;
+//! * `--profile out.json [--trace-cap N]` — cycle attribution + critical
+//!   path export;
+//! * `--faults <seed>` — install a randomized seeded
+//!   [`wse_sim::fault::FaultPlan`] (fault injection off when absent);
+//! * `--recovery fail|retry[:attempts[:backoff]]|degrade` — what the
+//!   driver does when a fault is detected (default `fail`).
+
+use tpfa_dataflow::RecoveryPolicy;
+use wse_sim::fabric::Execution;
+use wse_sim::fault::FaultPlan;
+use wse_sim::geometry::FabricDims;
+use wse_sim::trace::{
+    profile_request_from_arg_slice, trace_request_from_arg_slice, ProfileRequest, TraceRequest,
+};
+
+/// The flag set shared by all benchmark binaries, parsed once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// Fabric engine (`--shards`/`--threads`; sequential when absent).
+    pub execution: Execution,
+    /// `--trace` request, if any.
+    pub trace: Option<TraceRequest>,
+    /// `--profile` request, if any.
+    pub profile: Option<ProfileRequest>,
+    /// `--faults <seed>`: seed for a randomized fault plan, if any.
+    pub fault_seed: Option<u64>,
+    /// `--recovery <policy>` (default [`RecoveryPolicy::Fail`]).
+    pub recovery: RecoveryPolicy,
+}
+
+impl CommonArgs {
+    /// Parses the common flags from an argument slice. Unknown flags are
+    /// ignored (binaries may have extras); malformed values of the known
+    /// flags are an error.
+    pub fn from_slice(args: &[String]) -> Result<Self, String> {
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        };
+        let usize_of = |flag: &str| -> Result<Option<usize>, String> {
+            match value_of(flag) {
+                None => Ok(None),
+                Some(v) => v
+                    .parse::<usize>()
+                    .map(Some)
+                    .map_err(|_| format!("bad value for {flag}: {v:?}")),
+            }
+        };
+        let execution = match usize_of("--shards")? {
+            None | Some(0) => Execution::Sequential,
+            Some(shards) => {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                let threads = usize_of("--threads")?.unwrap_or_else(|| shards.min(cores));
+                Execution::Sharded { shards, threads }
+            }
+        };
+        let fault_seed = match value_of("--faults") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad value for --faults: {v:?}"))?,
+            ),
+        };
+        let recovery = match value_of("--recovery") {
+            None => RecoveryPolicy::Fail,
+            Some(v) => RecoveryPolicy::parse(v)?,
+        };
+        Ok(Self {
+            execution,
+            trace: trace_request_from_arg_slice(args),
+            profile: profile_request_from_arg_slice(args),
+            fault_seed,
+            recovery,
+        })
+    }
+
+    /// [`CommonArgs::from_slice`] over the process's own CLI arguments,
+    /// exiting with the parse error on bad input.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::from_slice(&args) {
+            Ok(parsed) => parsed,
+            Err(why) => {
+                eprintln!("error: {why}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Human-readable engine label for benchmark headers.
+    pub fn execution_label(&self) -> String {
+        crate::execution_label(self.execution)
+    }
+
+    /// The fault plan the flags request for a fabric of `dims`:
+    /// `n_faults` randomized faults over `[1, horizon]` when `--faults` was
+    /// given, empty otherwise.
+    pub fn fault_plan(&self, dims: FabricDims, horizon: u64, n_faults: usize) -> FaultPlan {
+        match self.fault_seed {
+            Some(seed) => FaultPlan::randomized(seed, dims, horizon, n_faults),
+            None => FaultPlan::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_with_no_flags() {
+        let args = CommonArgs::from_slice(&to_args("")).unwrap();
+        assert_eq!(args.execution, Execution::Sequential);
+        assert_eq!(args.trace, None);
+        assert_eq!(args.profile, None);
+        assert_eq!(args.fault_seed, None);
+        assert_eq!(args.recovery, RecoveryPolicy::Fail);
+    }
+
+    #[test]
+    fn parses_the_full_flag_family() {
+        let args = CommonArgs::from_slice(&to_args(
+            "--shards 4 --threads 2 --trace t.json --profile p.json --trace-cap 64 \
+             --faults 7 --recovery retry:5:100",
+        ))
+        .unwrap();
+        assert_eq!(
+            args.execution,
+            Execution::Sharded {
+                shards: 4,
+                threads: 2
+            }
+        );
+        assert_eq!(args.trace.as_ref().unwrap().path, "t.json");
+        assert_eq!(args.trace.as_ref().unwrap().capacity, 64);
+        assert_eq!(args.profile.as_ref().unwrap().path, "p.json");
+        assert_eq!(args.fault_seed, Some(7));
+        assert_eq!(
+            args.recovery,
+            RecoveryPolicy::Retry {
+                max_attempts: 5,
+                backoff: 100
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        assert!(CommonArgs::from_slice(&to_args("--shards four")).is_err());
+        assert!(CommonArgs::from_slice(&to_args("--faults abc")).is_err());
+        assert!(CommonArgs::from_slice(&to_args("--recovery sometimes")).is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_empty_without_the_flag_and_seeded_with_it() {
+        let dims = FabricDims::new(4, 4);
+        let off = CommonArgs::from_slice(&to_args("")).unwrap();
+        assert!(off.fault_plan(dims, 1000, 3).is_empty());
+        let on = CommonArgs::from_slice(&to_args("--faults 42")).unwrap();
+        let a = on.fault_plan(dims, 1000, 3);
+        let b = on.fault_plan(dims, 1000, 3);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "seeded plans are deterministic");
+    }
+}

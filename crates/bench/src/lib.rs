@@ -11,12 +11,15 @@ use fv_core::fields::PermeabilityField;
 use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
 use fv_core::state::FlowState;
 use fv_core::trans::{StencilKind, Transmissibilities};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_prof::{critical_path, profile_json, Profile};
 use wse_sim::fabric::Execution;
 use wse_sim::stats::OpCounters;
 use wse_sim::trace::{chrome_trace_json, TraceSummary};
 
+pub mod cli;
+
+pub use cli::CommonArgs;
 pub use wse_sim::trace::{
     profile_request_from_arg_slice, profile_request_from_args, trace_request_from_arg_slice,
     trace_request_from_args, ProfileRequest, TraceRequest,
@@ -129,16 +132,13 @@ pub fn measure_dataflow_with(
 ) -> DataflowMeasurement {
     assert!(nx >= 3 && ny >= 3, "need an interior PE to measure");
     let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            compute_enabled: compute,
-            execution,
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .compute_enabled(compute)
+        .execution(execution)
+        .build()
+        .expect("standard problem is always valid");
     sim.apply_many(iterations, |i| pressure_for_iteration(&mesh, i))
         .expect("dataflow run failed");
     let interior = *sim.pe_counters(nx / 2, ny / 2);
@@ -168,12 +168,51 @@ pub fn measure_dataflow_with(
     }
 }
 
+/// Honors the shared `--faults <seed>` / `--recovery <policy>` flags: runs
+/// one application of the standard problem with the requested seeded fault
+/// plan and recovery policy on the selected engine, and prints the outcome
+/// (clean, recovered, degraded, or the typed failure). A no-op when
+/// `--faults` was not given, so generators can call it unconditionally.
+pub fn run_faulted_demo(args: &CommonArgs, nx: usize, ny: usize, nz: usize) {
+    let Some(seed) = args.fault_seed else { return };
+    let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
+    let plan = args.fault_plan(wse_sim::geometry::FabricDims::new(nx, ny), 400, 3);
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(args.execution)
+        .fault_plan(plan)
+        .recovery(args.recovery)
+        .build()
+        .expect("standard problem is always valid");
+    println!(
+        "\n-- fault injection: --faults {seed} ({:?} recovery, {}x{} fabric) --",
+        args.recovery, nx, ny
+    );
+    match sim.apply_recovering(&pressure_for_iteration(&mesh, 0)) {
+        Ok(r) if r.degraded => {
+            let valid = r.valid.iter().filter(|&&v| v).count();
+            println!(
+                "degraded result: {valid}/{} PEs valid, {} fault event(s) logged",
+                r.valid.len(),
+                r.faults.len()
+            );
+        }
+        Ok(r) if r.attempts > 1 => println!(
+            "recovered bit-identically on attempt {} (+{} modeled backoff cycles)",
+            r.attempts, r.backoff_cycles
+        ),
+        Ok(_) => println!("no fault disturbed the run within its horizon; result is clean"),
+        Err(e) => println!("typed failure: {e}"),
+    }
+}
+
 /// Exports a simulator's recorded trace as Chrome `trace_event` JSON to
 /// `req.path` and prints the compact summary (per-shard load timelines,
 /// per-color wavelet histogram, hottest PEs) plus the drop count.
 ///
 /// Call after the measured run, on a simulator built with
-/// `trace: req.spec()` in its [`DataflowOptions`]. Panics if the simulator
+/// `.trace(req.spec())` on its builder. Panics if the simulator
 /// was not built with tracing enabled (a harness bug, not user input).
 pub fn export_trace(sim: &DataflowFluxSimulator, req: &TraceRequest) {
     let trace = sim
@@ -210,16 +249,13 @@ pub fn run_traced(
     req: &TraceRequest,
 ) {
     let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution,
-            trace: req.spec(),
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .trace(req.spec())
+        .build()
+        .expect("standard problem is always valid");
     sim.apply_many(iterations, |i| pressure_for_iteration(&mesh, i))
         .expect("traced run failed");
     export_trace(&sim, req);
@@ -230,7 +266,7 @@ pub fn run_traced(
 /// JSON document to `req.path`.
 ///
 /// Call after the measured run, on a simulator built with
-/// `trace: req.spec()` in its [`DataflowOptions`]. Panics if the simulator
+/// `.trace(req.spec())` on its builder. Panics if the simulator
 /// was not built with tracing enabled (a harness bug, not user input).
 /// Returns the profile for callers that post-process it (Table 3's
 /// profile-derived breakdown).
@@ -275,16 +311,13 @@ pub fn run_profiled(
     req: &ProfileRequest,
 ) -> Profile {
     let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution,
-            trace: req.spec(),
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .trace(req.spec())
+        .build()
+        .expect("standard problem is always valid");
     sim.apply_many(iterations, |i| pressure_for_iteration(&mesh, i))
         .expect("profiled run failed");
     export_profile(&sim, req)

@@ -6,19 +6,60 @@
 //! and no computations take place on the [host] machine during the
 //! experiments", §7.1). Algorithm 1 is applied repeatedly — 1000 times in
 //! the paper — "with a different pressure vector at every call".
+//!
+//! # Construction
+//!
+//! Simulators are built with the fluent [`SimulatorBuilder`]
+//! ([`DataflowFluxSimulator::builder`]), which validates the whole problem
+//! *before* fabric construction: a full-stencil transmissibility set with
+//! the diagonal exchange disabled is rejected (instead of silently missing
+//! fluxes), a mesh whose per-PE footprint exceeds the PE memory is rejected
+//! with the maximum feasible `nz`, and a [`FaultPlan`] is bounds-checked.
+//! The old 4-positional-argument [`DataflowFluxSimulator::new`] remains as
+//! a deprecated shim.
+//!
+//! # Fault recovery
+//!
+//! When a [`FaultPlan`] is installed, the fabric detects faults (checksum
+//! verification, typed errors) and the driver adds a progress watchdog:
+//! after every run it compares each PE's completed-iteration counter
+//! against the number of runs launched on the current fabric, so *silent*
+//! omission faults (a dropped wavelet that leaves a PE incomplete without
+//! any protocol error) are caught too. [`DataflowFluxSimulator::apply`]
+//! honors the configured [`RecoveryPolicy`]:
+//!
+//! * [`RecoveryPolicy::Fail`] — surface the typed error (the default).
+//! * [`RecoveryPolicy::Retry`] — rebuild the fabric, re-upload the static
+//!   data, and re-inject the pressure vector; transient faults
+//!   ([`Fault::persistent`]` == false`) do not re-fire, so the retry
+//!   recovers **bit-identically** to the fault-free residual. Persistent
+//!   faults re-fire every attempt and exhaust the budget into the typed
+//!   error. A rebuild resets fabric time and counters, so cumulative
+//!   statistics are not continuous across a retry.
+//! * [`RecoveryPolicy::Degrade`] — return the partial residual plus a
+//!   per-PE validity bitmap ([`Recovered::valid`]). Omission faults
+//!   invalidate the tainted/stalled PEs dilated by a Chebyshev radius of
+//!   2 (the reach of one halo exchange, diagonals included, with margin);
+//!   timing/routing faults (`PeSlow`, effective `RouterFlip`) have an
+//!   unbounded blast radius and invalidate everything.
 
 use crate::colors::START;
-use crate::layout::ColumnLayout;
+use crate::layout::{ColumnLayout, MemoryPlan};
 use crate::program::{FluidParams, TpfaPeProgram};
 use fv_core::eos::Fluid;
 use fv_core::mesh::{CartesianMesh3, ALL_NEIGHBORS};
 use fv_core::trans::Transmissibilities;
 use wse_sim::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
+use wse_sim::fault::{FaultClass, FaultEvent, FaultPlan};
 use wse_sim::geometry::{FabricDims, PeCoord};
 use wse_sim::stats::FabricStats;
 use wse_sim::trace::{Trace, TraceSpec};
 
 /// Driver options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `DataflowFluxSimulator::builder(mesh)` and its fluent setters"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DataflowOptions {
     /// `false` strips all flux computation (the paper's Table 3
@@ -40,6 +81,7 @@ pub struct DataflowOptions {
     pub trace: TraceSpec,
 }
 
+#[allow(deprecated)]
 impl Default for DataflowOptions {
     fn default() -> Self {
         Self {
@@ -50,6 +92,389 @@ impl Default for DataflowOptions {
             execution: Execution::Sequential,
             trace: TraceSpec::OFF,
         }
+    }
+}
+
+/// What [`DataflowFluxSimulator::apply`] does when a fault is detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Surface the typed [`FabricError`] (previous behavior).
+    #[default]
+    Fail,
+    /// Rebuild the fabric, re-upload static data, and re-inject the
+    /// pressure vector. Transient faults do not re-fire on later attempts,
+    /// so a successful retry is bit-identical to the fault-free run;
+    /// persistent faults exhaust the attempts into the typed error.
+    Retry {
+        /// Total attempts, including the first (≥ 1).
+        max_attempts: u32,
+        /// Simulated backoff cycles added before retry `n` as
+        /// `backoff · 2^(n−1)`, accumulated in
+        /// [`Recovered::backoff_cycles`].
+        backoff: u64,
+    },
+    /// Return the partial residual with a per-PE validity bitmap instead of
+    /// failing (see [`Recovered`]).
+    Degrade,
+}
+
+impl RecoveryPolicy {
+    /// Parses `fail`, `retry[:attempts[:backoff]]`, or `degrade`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let policy = match head {
+            "fail" => Self::Fail,
+            "degrade" => Self::Degrade,
+            "retry" => {
+                let max_attempts = match parts.next() {
+                    Some(v) => v
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad retry attempt count {v:?}"))?,
+                    None => 3,
+                };
+                let backoff = match parts.next() {
+                    Some(v) => v
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad retry backoff {v:?}"))?,
+                    None => 0,
+                };
+                Self::Retry {
+                    max_attempts,
+                    backoff,
+                }
+            }
+            other => return Err(format!("unknown recovery policy {other:?}")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing fields in recovery policy {s:?}"));
+        }
+        Ok(policy)
+    }
+}
+
+/// A residual produced under a [`RecoveryPolicy`], with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovered {
+    /// The flux residual in mesh linear order. When `degraded`, only cells
+    /// whose PE is marked valid are trustworthy.
+    pub residual: Vec<f32>,
+    /// Per-PE validity in linear (row-major) order; all-true unless
+    /// `degraded`. Validity is per PE, i.e. per whole `(x, y)` column.
+    pub valid: Vec<bool>,
+    /// True when the residual is partial ([`RecoveryPolicy::Degrade`] after
+    /// a detected fault).
+    pub degraded: bool,
+    /// Attempts used, including the successful one.
+    pub attempts: u32,
+    /// Simulated backoff cycles spent between attempts.
+    pub backoff_cycles: u64,
+    /// Every fault injection/detection logged on the final fabric, in
+    /// engine-independent order.
+    pub faults: Vec<FaultEvent>,
+}
+
+/// A problem [`SimulatorBuilder::build`] rejected before fabric
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// No fluid was supplied ([`SimulatorBuilder::fluid`]).
+    MissingFluid,
+    /// No transmissibilities were supplied
+    /// ([`SimulatorBuilder::transmissibilities`]).
+    MissingTransmissibilities,
+    /// The diagonal exchange is disabled but the transmissibility set has
+    /// nonzero diagonal entries — the fabric would silently drop those
+    /// fluxes. Use a `StencilKind::Cardinal` set or enable diagonals.
+    MissingDiagonalFluxes {
+        /// Nonzero diagonal transmissibility entries found.
+        nonzero_entries: usize,
+    },
+    /// The per-PE memory footprint of an `nz`-cell column exceeds the
+    /// configured PE memory.
+    PeMemoryExceeded {
+        /// Words needed for this `nz`.
+        needed_words: usize,
+        /// Words available per PE.
+        available_words: usize,
+        /// Largest `nz` that fits the configured memory.
+        max_nz: usize,
+    },
+    /// The fault plan references a PE or link outside this fabric, or has
+    /// degenerate parameters.
+    InvalidFaultPlan(
+        /// Description of the first offending fault.
+        String,
+    ),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MissingFluid => write!(f, "no fluid supplied (builder.fluid(..))"),
+            BuildError::MissingTransmissibilities => {
+                write!(
+                    f,
+                    "no transmissibilities supplied (builder.transmissibilities(..))"
+                )
+            }
+            BuildError::MissingDiagonalFluxes { nonzero_entries } => write!(
+                f,
+                "diagonal exchange disabled but {nonzero_entries} nonzero diagonal \
+                 transmissibility entries exist — their fluxes would be silently dropped"
+            ),
+            BuildError::PeMemoryExceeded {
+                needed_words,
+                available_words,
+                max_nz,
+            } => write!(
+                f,
+                "per-PE footprint {needed_words} words exceeds {available_words} available \
+                 (largest nz that fits: {max_nz})"
+            ),
+            BuildError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Everything needed to (re)build the fabric — kept by the simulator so
+/// [`RecoveryPolicy::Retry`] can reconstruct and re-upload without
+/// borrowing the original problem.
+struct SimSpec {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    params: FluidParams,
+    compute_enabled: bool,
+    diagonals_enabled: bool,
+    config: FabricConfig,
+    fault_plan: FaultPlan,
+    /// Transmissibility columns in upload order:
+    /// `[y][x][face][z]`, flattened.
+    trans_cols: Vec<f32>,
+}
+
+fn build_fabric(spec: &SimSpec, plan: &FaultPlan) -> Fabric {
+    let dims = FabricDims::new(spec.nx, spec.ny);
+    let (nz, params, compute, diagonals) = (
+        spec.nz,
+        spec.params,
+        spec.compute_enabled,
+        spec.diagonals_enabled,
+    );
+    let mut fabric = Fabric::new(dims, spec.config, |_| {
+        let mut p = TpfaPeProgram::new(nz, params, compute);
+        if !diagonals {
+            p = p.without_diagonals();
+        }
+        Box::new(p)
+    });
+    fabric.load();
+    // Upload the ten transmissibility columns of every PE (static data,
+    // uploaded once like the paper's mesh load).
+    let layout = ColumnLayout::new(nz);
+    let mut cols = spec.trans_cols.chunks_exact(nz);
+    for y in 0..spec.ny {
+        for x in 0..spec.nx {
+            let pe = PeCoord::new(x, y);
+            for nb in ALL_NEIGHBORS {
+                let col = cols.next().expect("trans_cols covers every PE face");
+                fabric
+                    .memory_mut(pe)
+                    .host_write_f32(layout.trans[nb.face_index()], col);
+            }
+        }
+    }
+    if !plan.is_empty() {
+        fabric.set_fault_plan(plan);
+    }
+    fabric
+}
+
+/// Fluent, validating constructor for [`DataflowFluxSimulator`] — see
+/// [`DataflowFluxSimulator::builder`].
+pub struct SimulatorBuilder<'a> {
+    mesh: &'a CartesianMesh3,
+    fluid: Option<&'a Fluid>,
+    trans: Option<&'a Transmissibilities>,
+    compute_enabled: bool,
+    diagonals_enabled: bool,
+    pe_memory_bytes: usize,
+    max_events: u64,
+    execution: Execution,
+    trace: TraceSpec,
+    fault_plan: FaultPlan,
+    recovery: RecoveryPolicy,
+}
+
+impl<'a> SimulatorBuilder<'a> {
+    fn new(mesh: &'a CartesianMesh3) -> Self {
+        Self {
+            mesh,
+            fluid: None,
+            trans: None,
+            compute_enabled: true,
+            diagonals_enabled: true,
+            pe_memory_bytes: wse_sim::memory::WSE2_PE_MEMORY_BYTES,
+            max_events: 1_000_000_000,
+            execution: Execution::Sequential,
+            trace: TraceSpec::OFF,
+            fault_plan: FaultPlan::new(),
+            recovery: RecoveryPolicy::Fail,
+        }
+    }
+
+    /// The working fluid (required).
+    pub fn fluid(mut self, fluid: &'a Fluid) -> Self {
+        self.fluid = Some(fluid);
+        self
+    }
+
+    /// The transmissibility set (required).
+    pub fn transmissibilities(mut self, trans: &'a Transmissibilities) -> Self {
+        self.trans = Some(trans);
+        self
+    }
+
+    /// `false` strips all flux computation (the paper's Table 3
+    /// communication-cost experiment). Default `true`.
+    pub fn compute_enabled(mut self, enabled: bool) -> Self {
+        self.compute_enabled = enabled;
+        self
+    }
+
+    /// `false` disables the diagonal exchange (the §5.2.2 ablation).
+    /// `build()` then rejects transmissibility sets with nonzero diagonal
+    /// entries. Default `true`.
+    pub fn diagonals_enabled(mut self, enabled: bool) -> Self {
+        self.diagonals_enabled = enabled;
+        self
+    }
+
+    /// Per-PE memory in bytes (default WSE-2: 48 kB). `build()` rejects
+    /// meshes whose column footprint does not fit.
+    pub fn pe_memory_bytes(mut self, bytes: usize) -> Self {
+        self.pe_memory_bytes = bytes;
+        self
+    }
+
+    /// Event budget per run (safety; default 10⁹).
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Fabric event-loop engine (default [`Execution::Sequential`]).
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Event tracing (default off).
+    pub fn trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Installs a fault-injection plan (default: empty — the fault-free
+    /// fast path).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// What `apply` does when a fault is detected (default
+    /// [`RecoveryPolicy::Fail`]).
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Validates the assembled problem and constructs the simulator.
+    pub fn build(self) -> Result<DataflowFluxSimulator, BuildError> {
+        let mesh = self.mesh;
+        let fluid = self.fluid.ok_or(BuildError::MissingFluid)?;
+        let trans = self.trans.ok_or(BuildError::MissingTransmissibilities)?;
+        let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
+        let dims = FabricDims::new(nx, ny);
+
+        // A cardinal-only fabric with diagonal transmissibilities would
+        // silently drop those fluxes — reject instead.
+        if !self.diagonals_enabled {
+            let nonzero_entries = (0..mesh.num_cells())
+                .flat_map(|idx| {
+                    ALL_NEIGHBORS
+                        .iter()
+                        .filter(move |nb| nb.is_diagonal() && trans.t(idx, **nb) != 0.0)
+                })
+                .count();
+            if nonzero_entries > 0 {
+                return Err(BuildError::MissingDiagonalFluxes { nonzero_entries });
+            }
+        }
+
+        // Column footprint must fit the PE before any fabric is built.
+        let available_words = self.pe_memory_bytes / 4;
+        let plan = MemoryPlan::for_nz(nz);
+        if !plan.fits(available_words) {
+            return Err(BuildError::PeMemoryExceeded {
+                needed_words: plan.total_words(),
+                available_words,
+                max_nz: MemoryPlan::max_nz(available_words),
+            });
+        }
+
+        self.fault_plan
+            .validate(dims)
+            .map_err(BuildError::InvalidFaultPlan)?;
+
+        // Flatten the transmissibility columns in upload order so retry
+        // rebuilds never need the original problem back.
+        let mut trans_cols = Vec::with_capacity(nx * ny * ALL_NEIGHBORS.len() * nz);
+        for y in 0..ny {
+            for x in 0..nx {
+                for nb in ALL_NEIGHBORS {
+                    for z in 0..nz {
+                        trans_cols.push(trans.t(mesh.linear(x, y, z), nb) as f32);
+                    }
+                }
+            }
+        }
+
+        let spec = SimSpec {
+            nx,
+            ny,
+            nz,
+            params: FluidParams::from_fluid(fluid, mesh.spacing().dz),
+            compute_enabled: self.compute_enabled,
+            diagonals_enabled: self.diagonals_enabled,
+            config: FabricConfig {
+                pe_memory_bytes: self.pe_memory_bytes,
+                max_events: self.max_events,
+                execution: self.execution,
+                trace: self.trace,
+                ..FabricConfig::default()
+            },
+            fault_plan: self.fault_plan,
+            trans_cols,
+        };
+        let fabric = build_fabric(&spec, &spec.fault_plan.clone());
+        Ok(DataflowFluxSimulator {
+            fabric,
+            layout: ColumnLayout::new(nz),
+            nx,
+            ny,
+            nz,
+            applications: 0,
+            fabric_applications: 0,
+            spec,
+            recovery: self.recovery,
+            last_run: None,
+        })
     }
 }
 
@@ -66,68 +491,64 @@ pub struct DataflowFluxSimulator {
     ny: usize,
     nz: usize,
     applications: usize,
+    /// Runs launched on the *current* fabric instance (reset by a retry
+    /// rebuild) — the progress the watchdog expects of every PE.
+    fabric_applications: usize,
+    spec: SimSpec,
+    recovery: RecoveryPolicy,
     last_run: Option<RunReport>,
 }
 
 impl DataflowFluxSimulator {
-    /// Builds the fabric for `mesh` (PE grid = `Nx × Ny`, Z in PE memory),
-    /// loads the program, and uploads the transmissibility columns.
+    /// Starts a fluent, validating builder for `mesh` (PE grid = `Nx × Ny`,
+    /// Z in PE memory).
+    ///
+    /// ```ignore
+    /// let mut sim = DataflowFluxSimulator::builder(&mesh)
+    ///     .fluid(&fluid)
+    ///     .transmissibilities(&trans)
+    ///     .execution(Execution::Sharded { shards: 4, threads: 2 })
+    ///     .build()?;
+    /// ```
+    pub fn builder(mesh: &CartesianMesh3) -> SimulatorBuilder<'_> {
+        SimulatorBuilder::new(mesh)
+    }
+
+    /// Builds the fabric for `mesh` with positional arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the problem fails the [`SimulatorBuilder`] validations
+    /// (e.g. diagonals disabled against a full-stencil transmissibility
+    /// set) — cases the old constructor accepted silently.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DataflowFluxSimulator::builder(mesh)` and its fluent setters"
+    )]
+    #[allow(deprecated)]
     pub fn new(
         mesh: &CartesianMesh3,
         fluid: &Fluid,
         trans: &Transmissibilities,
         opts: DataflowOptions,
     ) -> Self {
-        let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
-        let dims = FabricDims::new(nx, ny);
-        let params = FluidParams::from_fluid(fluid, mesh.spacing().dz);
-        let config = FabricConfig {
-            pe_memory_bytes: opts.pe_memory_bytes,
-            max_events: opts.max_events,
-            execution: opts.execution,
-            trace: opts.trace,
-            ..FabricConfig::default()
-        };
-        let mut fabric = Fabric::new(dims, config, |_| {
-            let mut p = TpfaPeProgram::new(nz, params, opts.compute_enabled);
-            if !opts.diagonals_enabled {
-                p = p.without_diagonals();
-            }
-            Box::new(p)
-        });
-        fabric.load();
-
-        // Upload the ten transmissibility columns of every PE (static data,
-        // uploaded once like the paper's mesh load).
-        let layout = ColumnLayout::new(nz);
-        let mut column = vec![0.0_f32; nz];
-        for y in 0..ny {
-            for x in 0..nx {
-                let pe = PeCoord::new(x, y);
-                for nb in ALL_NEIGHBORS {
-                    for (z, slot) in column.iter_mut().enumerate() {
-                        *slot = trans.t(mesh.linear(x, y, z), nb) as f32;
-                    }
-                    fabric
-                        .memory_mut(pe)
-                        .host_write_f32(layout.trans[nb.face_index()], &column);
-                }
-            }
-        }
-        Self {
-            fabric,
-            layout,
-            nx,
-            ny,
-            nz,
-            applications: 0,
-            last_run: None,
-        }
+        Self::builder(mesh)
+            .fluid(fluid)
+            .transmissibilities(trans)
+            .compute_enabled(opts.compute_enabled)
+            .diagonals_enabled(opts.diagonals_enabled)
+            .pe_memory_bytes(opts.pe_memory_bytes)
+            .max_events(opts.max_events)
+            .execution(opts.execution)
+            .trace(opts.trace)
+            .build()
+            .unwrap_or_else(|e| panic!("DataflowFluxSimulator::new: {e}"))
     }
 
-    /// Applies Algorithm 1 once to `pressure` (mesh linear order, f32) and
-    /// returns the flux residual in mesh linear order.
-    pub fn apply(&mut self, pressure: &[f32]) -> Result<Vec<f32>, FabricError> {
+    /// Uploads `pressure`, launches one application of Algorithm 1, runs to
+    /// quiescence, and — when a fault plan is active — runs the progress
+    /// watchdog. Does not apply the recovery policy.
+    fn apply_attempt(&mut self, pressure: &[f32]) -> Result<Vec<f32>, FabricError> {
         assert_eq!(pressure.len(), self.nx * self.ny * self.nz);
         let nz = self.nz;
         // Host-load pressures (with ghost duplication) and zero residuals.
@@ -150,12 +571,38 @@ impl DataflowFluxSimulator {
         self.fabric
             .trace_host(HOST_PHASE_INJECT, self.applications as u32);
         self.fabric.activate_all(START, 0);
-        let report = self.fabric.run()?;
+        let result = self.fabric.run();
+        self.fabric_applications += 1;
+        // Progress watchdog: every PE must have completed as many
+        // iterations as this fabric has launched; a laggard lost wavelets
+        // to a fault without tripping any protocol error. Reported before
+        // propagating `result` so `Degrade` sees the complete taint set.
+        if !self.spec.fault_plan.is_empty() {
+            let expected = self.fabric_applications as u64;
+            let dims = self.fabric.dims();
+            for (i, p) in self.fabric.progress_by_pe().into_iter().enumerate() {
+                if let Some(p) = p {
+                    if p < expected {
+                        self.fabric.report_watchdog_stall(dims.coord(i), p);
+                    }
+                }
+            }
+        }
+        let report = result?;
+        if let Some(error) = self.fabric.first_fault_error() {
+            // The run itself was clean, but the watchdog found silent
+            // stalls (or earlier benign-looking damage) — same typed error.
+            return Err(error);
+        }
         self.fabric
             .trace_host(HOST_PHASE_COLLECT, self.applications as u32);
         self.last_run = Some(report);
         self.applications += 1;
-        // Collect residual columns.
+        Ok(self.collect_residual())
+    }
+
+    fn collect_residual(&self) -> Vec<f32> {
+        let nz = self.nz;
         let mut residual = vec![0.0_f32; self.nx * self.ny * nz];
         for y in 0..self.ny {
             for x in 0..self.nx {
@@ -166,7 +613,142 @@ impl DataflowFluxSimulator {
                 }
             }
         }
-        Ok(residual)
+        residual
+    }
+
+    /// Rebuilds the fabric for retry attempt `attempt` (non-persistent
+    /// faults are filtered out) and re-uploads the static data. Fabric
+    /// time and counters restart from zero.
+    fn rebuild_for_attempt(&mut self, attempt: u32) {
+        let plan = self.spec.fault_plan.for_attempt(attempt);
+        self.fabric = build_fabric(&self.spec, &plan);
+        self.fabric_applications = 0;
+        self.last_run = None;
+    }
+
+    fn all_valid(&self) -> Vec<bool> {
+        vec![true; self.nx * self.ny]
+    }
+
+    /// The per-PE validity map after a detected fault: invalid = within
+    /// Chebyshev distance 2 of any tainted PE. Timing/routing faults
+    /// (`PeSlow`, effective `RouterFlip`) and route/budget errors have an
+    /// unbounded blast radius — everything is invalidated.
+    fn degrade_validity(&self, error: &FabricError, faults: &[FaultEvent]) -> Vec<bool> {
+        let unbounded = matches!(
+            error,
+            FabricError::Route { .. } | FabricError::EventBudgetExceeded { .. }
+        ) || faults
+            .iter()
+            .any(|f| !f.benign && matches!(f.class, FaultClass::PeSlow | FaultClass::RouterFlip));
+        if unbounded {
+            return vec![false; self.nx * self.ny];
+        }
+        let tainted = self.fabric.tainted_pes();
+        let mut valid = vec![true; self.nx * self.ny];
+        for (i, &t) in tainted.iter().enumerate() {
+            if !t {
+                continue;
+            }
+            let (cx, cy) = (i % self.nx, i / self.nx);
+            for y in cy.saturating_sub(2)..(cy + 3).min(self.ny) {
+                for x in cx.saturating_sub(2)..(cx + 3).min(self.nx) {
+                    valid[y * self.nx + x] = false;
+                }
+            }
+        }
+        valid
+    }
+
+    /// Applies Algorithm 1 once to `pressure` (mesh linear order, f32) and
+    /// returns the flux residual in mesh linear order, honoring the
+    /// configured [`RecoveryPolicy`]. Use
+    /// [`DataflowFluxSimulator::apply_recovering`] to also receive the
+    /// validity bitmap and fault provenance.
+    pub fn apply(&mut self, pressure: &[f32]) -> Result<Vec<f32>, FabricError> {
+        Ok(self.apply_recovering(pressure)?.residual)
+    }
+
+    /// [`DataflowFluxSimulator::apply`] with full recovery provenance:
+    /// attempts used, simulated backoff, per-PE validity, and the fault
+    /// log. `Err` is returned exactly when the policy could not produce a
+    /// usable residual — never silently wrong data.
+    pub fn apply_recovering(&mut self, pressure: &[f32]) -> Result<Recovered, FabricError> {
+        match self.recovery {
+            RecoveryPolicy::Fail => {
+                let residual = self.apply_attempt(pressure)?;
+                Ok(Recovered {
+                    residual,
+                    valid: self.all_valid(),
+                    degraded: false,
+                    attempts: 1,
+                    backoff_cycles: 0,
+                    faults: self.fabric.fault_log(),
+                })
+            }
+            RecoveryPolicy::Retry {
+                max_attempts,
+                backoff,
+            } => {
+                assert!(max_attempts >= 1, "Retry requires max_attempts >= 1");
+                let mut backoff_cycles = 0u64;
+                let mut attempt = 0u32;
+                loop {
+                    match self.apply_attempt(pressure) {
+                        Ok(residual) => {
+                            return Ok(Recovered {
+                                residual,
+                                valid: self.all_valid(),
+                                degraded: false,
+                                attempts: attempt + 1,
+                                backoff_cycles,
+                                faults: self.fabric.fault_log(),
+                            })
+                        }
+                        Err(error) => {
+                            attempt += 1;
+                            // Only detected faults are recoverable; genuine
+                            // program bugs propagate immediately.
+                            let recoverable = matches!(error, FabricError::Fault { .. });
+                            if !recoverable || attempt >= max_attempts {
+                                return Err(error);
+                            }
+                            backoff_cycles = backoff_cycles.saturating_add(
+                                backoff.saturating_mul(1u64 << (attempt - 1).min(32)),
+                            );
+                            self.rebuild_for_attempt(attempt);
+                        }
+                    }
+                }
+            }
+            RecoveryPolicy::Degrade => match self.apply_attempt(pressure) {
+                Ok(residual) => Ok(Recovered {
+                    residual,
+                    valid: self.all_valid(),
+                    degraded: false,
+                    attempts: 1,
+                    backoff_cycles: 0,
+                    faults: self.fabric.fault_log(),
+                }),
+                Err(error) => {
+                    let faults = self.fabric.fault_log();
+                    if faults.iter().all(|f| f.benign) {
+                        // No fault was involved — a genuine program bug;
+                        // there is nothing sound to degrade around.
+                        return Err(error);
+                    }
+                    let valid = self.degrade_validity(&error, &faults);
+                    Ok(Recovered {
+                        residual: self.collect_residual(),
+                        valid,
+                        degraded: true,
+                        attempts: 1,
+                        backoff_cycles: 0,
+                        faults,
+                    })
+                }
+            },
+        }
     }
 
     /// Applies Algorithm 1 `n` times with a fresh pressure vector per call
@@ -183,9 +765,31 @@ impl DataflowFluxSimulator {
         Ok(last)
     }
 
-    /// Applications of Algorithm 1 so far.
+    /// Applications of Algorithm 1 so far (successful ones).
     pub fn applications(&self) -> usize {
         self.applications
+    }
+
+    /// The configured recovery policy.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// The installed fault plan (empty when fault injection is off).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.spec.fault_plan
+    }
+
+    /// Every fault injection/detection logged on the current fabric, in
+    /// engine-independent `(time, PE, log position)` order.
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        self.fabric.fault_log()
+    }
+
+    /// Per-PE completed-iteration counters in linear order (the watchdog's
+    /// input).
+    pub fn progress_by_pe(&self) -> Vec<Option<u64>> {
+        self.fabric.progress_by_pe()
     }
 
     /// Aggregated fabric statistics (instruction counters, traffic).
@@ -262,6 +866,7 @@ mod tests {
     use fv_core::state::FlowState;
     use fv_core::trans::StencilKind;
     use fv_core::validate::rel_max_diff_vs_reference;
+    use wse_sim::fault::{Fault, FaultKind};
 
     fn problem(
         nx: usize,
@@ -274,6 +879,18 @@ mod tests {
         let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 99);
         let trans = Transmissibilities::tpfa(&mesh, &perm, kind);
         (mesh, fluid, trans)
+    }
+
+    fn simulator(
+        mesh: &CartesianMesh3,
+        fluid: &Fluid,
+        trans: &Transmissibilities,
+    ) -> DataflowFluxSimulator {
+        DataflowFluxSimulator::builder(mesh)
+            .fluid(fluid)
+            .transmissibilities(trans)
+            .build()
+            .expect("valid problem")
     }
 
     fn serial_reference(
@@ -292,7 +909,7 @@ mod tests {
     fn dataflow_matches_serial_reference_ten_point() {
         let (mesh, fluid, trans) = problem(5, 4, 3, StencilKind::TenPoint);
         let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 7);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = simulator(&mesh, &fluid, &trans);
         let r = sim.apply(state.pressure()).unwrap();
         let reference = serial_reference(&mesh, &fluid, &trans, state.pressure());
         let diff = rel_max_diff_vs_reference(&reference, &r);
@@ -304,7 +921,7 @@ mod tests {
         // Tall column: exercises the Z faces and gravity heads hard.
         let (mesh, fluid, trans) = problem(3, 3, 8, StencilKind::TenPoint);
         let state = FlowState::<f32>::hydrostatic(&mesh, &fluid, 2.0e7);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = simulator(&mesh, &fluid, &trans);
         let r = sim.apply(state.pressure()).unwrap();
         let reference = serial_reference(&mesh, &fluid, &trans, state.pressure());
         // hydrostatic: residuals are tiny; compare against the pulse scale
@@ -325,7 +942,7 @@ mod tests {
     fn dataflow_matches_serial_cardinal_stencil() {
         let (mesh, fluid, trans) = problem(4, 5, 2, StencilKind::Cardinal);
         let state = FlowState::<f32>::gaussian_pulse(&mesh, 1.0e7, 2.0e6, 1.5);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = simulator(&mesh, &fluid, &trans);
         let r = sim.apply(state.pressure()).unwrap();
         let reference = serial_reference(&mesh, &fluid, &trans, state.pressure());
         let diff = rel_max_diff_vs_reference(&reference, &r);
@@ -336,7 +953,7 @@ mod tests {
     fn interior_pe_counts_match_table_4_per_cell() {
         let (mesh, fluid, trans) = problem(5, 5, 4, StencilKind::TenPoint);
         let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 1);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = simulator(&mesh, &fluid, &trans);
         sim.apply(state.pressure()).unwrap();
         let nz = 4u64;
         let c = sim.pe_counters(2, 2); // interior PE
@@ -359,15 +976,12 @@ mod tests {
     fn comm_only_mode_moves_data_but_computes_nothing() {
         let (mesh, fluid, trans) = problem(4, 4, 3, StencilKind::TenPoint);
         let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 2);
-        let mut sim = DataflowFluxSimulator::new(
-            &mesh,
-            &fluid,
-            &trans,
-            DataflowOptions {
-                compute_enabled: false,
-                ..DataflowOptions::default()
-            },
-        );
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .compute_enabled(false)
+            .build()
+            .unwrap();
         let r = sim.apply(state.pressure()).unwrap();
         assert!(r.iter().all(|&v| v == 0.0), "no fluxes in comm-only mode");
         let stats = sim.stats();
@@ -380,7 +994,7 @@ mod tests {
     #[test]
     fn repeated_applications_accumulate_counters_linearly() {
         let (mesh, fluid, trans) = problem(3, 3, 2, StencilKind::TenPoint);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = simulator(&mesh, &fluid, &trans);
         let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 0);
         sim.apply(p.pressure()).unwrap();
         let one = sim.stats().total;
@@ -394,7 +1008,7 @@ mod tests {
     #[test]
     fn apply_many_cycles_pressure_vectors() {
         let (mesh, fluid, trans) = problem(3, 3, 2, StencilKind::TenPoint);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = simulator(&mesh, &fluid, &trans);
         let final_r = sim
             .apply_many(3, |i| {
                 FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, i as u64)
@@ -415,8 +1029,7 @@ mod tests {
         let (mesh, fluid, trans) = problem(4, 3, 3, StencilKind::TenPoint);
         let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.15e7, 5);
         let run = || {
-            let mut sim =
-                DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+            let mut sim = simulator(&mesh, &fluid, &trans);
             sim.apply(p.pressure()).unwrap()
         };
         let a = run();
@@ -431,15 +1044,12 @@ mod tests {
         // the cardinal-only fabric must still match the serial reference.
         let (mesh, fluid, trans) = problem(5, 4, 3, StencilKind::Cardinal);
         let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 4);
-        let mut sim = DataflowFluxSimulator::new(
-            &mesh,
-            &fluid,
-            &trans,
-            DataflowOptions {
-                diagonals_enabled: false,
-                ..DataflowOptions::default()
-            },
-        );
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .diagonals_enabled(false)
+            .build()
+            .unwrap();
         let r = sim.apply(state.pressure()).unwrap();
         let reference = serial_reference(&mesh, &fluid, &trans, state.pressure());
         let diff = rel_max_diff_vs_reference(&reference, &r);
@@ -454,7 +1064,7 @@ mod tests {
         // 1×1 fabric: only the Z faces exist; everything is local.
         let (mesh, fluid, trans) = problem(1, 1, 6, StencilKind::TenPoint);
         let p = FlowState::<f32>::hydrostatic(&mesh, &fluid, 3.0e7);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = simulator(&mesh, &fluid, &trans);
         let r = sim.apply(p.pressure()).unwrap();
         let stats = sim.stats();
         assert_eq!(
@@ -466,5 +1076,119 @@ mod tests {
         for i in 0..r.len() {
             assert!((r[i] as f64 - reference[i]).abs() <= 1e-3 * pulse_scale.max(1e-10));
         }
+    }
+
+    #[test]
+    fn builder_rejects_disabled_diagonals_with_full_stencil() {
+        let (mesh, fluid, trans) = problem(4, 4, 2, StencilKind::TenPoint);
+        let err = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .diagonals_enabled(false)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, BuildError::MissingDiagonalFluxes { nonzero_entries } if nonzero_entries > 0),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_oversized_columns() {
+        let (mesh, fluid, trans) = problem(2, 2, 64, StencilKind::TenPoint);
+        let err = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .pe_memory_bytes(4 * 1024)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        match err {
+            BuildError::PeMemoryExceeded {
+                needed_words,
+                available_words,
+                max_nz,
+            } => {
+                assert!(needed_words > available_words);
+                assert!(max_nz < 64);
+            }
+            other => panic!("expected PeMemoryExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_missing_inputs_and_bad_fault_plans() {
+        let (mesh, fluid, trans) = problem(3, 3, 2, StencilKind::TenPoint);
+        assert_eq!(
+            DataflowFluxSimulator::builder(&mesh)
+                .transmissibilities(&trans)
+                .build()
+                .map(|_| ())
+                .unwrap_err(),
+            BuildError::MissingFluid
+        );
+        assert_eq!(
+            DataflowFluxSimulator::builder(&mesh)
+                .fluid(&fluid)
+                .build()
+                .map(|_| ())
+                .unwrap_err(),
+            BuildError::MissingTransmissibilities
+        );
+        // A fault site outside the 3×3 fabric is rejected before build.
+        let plan = FaultPlan::new().with(Fault {
+            pe: PeCoord::new(7, 0),
+            at: 10,
+            kind: FaultKind::PeHalt,
+            persistent: true,
+        });
+        let err = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .fault_plan(plan)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidFaultPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_matches_builder() {
+        let (mesh, fluid, trans) = problem(4, 3, 2, StencilKind::TenPoint);
+        let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 3);
+        let mut via_new =
+            DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut via_builder = simulator(&mesh, &fluid, &trans);
+        let a = via_new.apply(p.pressure()).unwrap();
+        let b = via_builder.apply(p.pressure()).unwrap();
+        assert_eq!(a, b, "shim must be bit-identical to the builder");
+    }
+
+    #[test]
+    fn recovery_policy_parses() {
+        assert_eq!(RecoveryPolicy::parse("fail"), Ok(RecoveryPolicy::Fail));
+        assert_eq!(
+            RecoveryPolicy::parse("degrade"),
+            Ok(RecoveryPolicy::Degrade)
+        );
+        assert_eq!(
+            RecoveryPolicy::parse("retry"),
+            Ok(RecoveryPolicy::Retry {
+                max_attempts: 3,
+                backoff: 0
+            })
+        );
+        assert_eq!(
+            RecoveryPolicy::parse("retry:5:100"),
+            Ok(RecoveryPolicy::Retry {
+                max_attempts: 5,
+                backoff: 100
+            })
+        );
+        assert!(RecoveryPolicy::parse("retry:0").is_err());
+        assert!(RecoveryPolicy::parse("bogus").is_err());
+        assert!(RecoveryPolicy::parse("fail:1").is_err());
     }
 }

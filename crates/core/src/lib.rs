@@ -42,7 +42,10 @@
 //! [`driver::DataflowFluxSimulator`] owns the fabric, loads a `fv-core`
 //! problem onto it, applies Algorithm 1 repeatedly (the paper applies it
 //! 1000 times), extracts residual columns, and validates against the serial
-//! reference.
+//! reference. Simulators are constructed with the validating
+//! [`driver::SimulatorBuilder`] and can carry a seeded
+//! [`wse_sim::fault::FaultPlan`] plus a [`driver::RecoveryPolicy`] for
+//! fault-injection experiments (see `DESIGN.md`, "Fault model & recovery").
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -55,7 +58,9 @@ pub mod layout;
 pub mod program;
 pub mod wave;
 
-pub use driver::{DataflowFluxSimulator, DataflowOptions};
+#[allow(deprecated)]
+pub use driver::DataflowOptions;
+pub use driver::{BuildError, DataflowFluxSimulator, Recovered, RecoveryPolicy, SimulatorBuilder};
 pub use kernel::{compute_face_flux, FaceBuffers, FaceInputs};
 pub use layout::MemoryPlan;
 pub use program::{FluidParams, TpfaPeProgram};

@@ -80,6 +80,12 @@ pub struct TpfaPeProgram {
     exchange: Option<ColumnExchange>,
     /// Faces computed this iteration (diagnostics).
     faces_done: usize,
+    /// Completed iterations — the progress counter read by the host-side
+    /// fault watchdog ([`wse_sim::pe::PeProgram::progress`]).
+    iterations_done: u64,
+    /// Whether the current iteration has already been counted. Starts true
+    /// (nothing in flight); cleared at the top of each `start_iteration`.
+    iter_counted: bool,
 }
 
 impl TpfaPeProgram {
@@ -93,6 +99,8 @@ impl TpfaPeProgram {
             layout: None,
             exchange: None,
             faces_done: 0,
+            iterations_done: 0,
+            iter_counted: true,
         }
     }
 
@@ -159,6 +167,7 @@ impl TpfaPeProgram {
 
     fn start_iteration(&mut self, ctx: &mut PeContext) {
         self.faces_done = 0;
+        self.iter_counted = false;
 
         // Densities from pressures (Eq. 5), ghosts included so the shifted
         // Z views read finite values. The EOS pass is attributed to the
@@ -200,6 +209,17 @@ impl TpfaPeProgram {
     pub fn faces_done(&self) -> usize {
         self.faces_done
     }
+
+    /// Bumps the progress counter once per completed iteration. Called at
+    /// the end of every handler so the count advances the moment the last
+    /// expected stream arrives (including the degenerate 1×1 fabric where
+    /// the exchange is complete immediately after `start_iteration`).
+    fn note_progress(&mut self) {
+        if !self.iter_counted && self.iteration_complete() {
+            self.iterations_done += 1;
+            self.iter_counted = true;
+        }
+    }
 }
 
 impl PeProgram for TpfaPeProgram {
@@ -224,6 +244,7 @@ impl PeProgram for TpfaPeProgram {
     fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
         if w.color == START {
             self.start_iteration(ctx);
+            self.note_progress();
             return;
         }
         let ex = self.exchange.as_mut().expect("init not run");
@@ -240,6 +261,7 @@ impl PeProgram for TpfaPeProgram {
                 w.color.id()
             ),
         }
+        self.note_progress();
     }
 
     fn on_control(&mut self, ctx: &mut PeContext, w: Wavelet) {
@@ -250,6 +272,11 @@ impl PeProgram for TpfaPeProgram {
             .expect("init not run")
             .on_control(ctx, w);
         ctx.region_end(TraceRegion::HaloExchange);
+        self.note_progress();
+    }
+
+    fn progress(&self) -> Option<u64> {
+        Some(self.iterations_done)
     }
 }
 

@@ -1,0 +1,261 @@
+//! Host-level fault recovery on the TPFA dataflow program.
+//!
+//! The contract under test: whatever the injected faults, `apply` either
+//! recovers **bit-identically** to the fault-free residual, returns an
+//! honestly-labeled partial residual (`Degrade`), or fails with the typed
+//! `FabricError::Fault` — never silently wrong data. And all of it is
+//! engine-invariant: Sequential and Sharded{1,4,9} agree on every outcome.
+
+use fv_core::eos::Fluid;
+use fv_core::fields::PermeabilityField;
+use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+use fv_core::state::FlowState;
+use fv_core::trans::{StencilKind, Transmissibilities};
+use tpfa_dataflow::{DataflowFluxSimulator, Recovered, RecoveryPolicy};
+use wse_sim::fabric::{Execution, FabricError};
+use wse_sim::fault::{Fault, FaultClass, FaultKind, FaultPlan};
+use wse_sim::geometry::{Direction, FabricDims, PeCoord};
+
+const NX: usize = 6;
+const NY: usize = 6;
+const NZ: usize = 4;
+
+fn problem() -> (CartesianMesh3, Fluid, Transmissibilities) {
+    let mesh = CartesianMesh3::new(Extents::new(NX, NY, NZ), Spacing::new(10.0, 10.0, 4.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 17);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    (mesh, fluid, trans)
+}
+
+fn pressure(mesh: &CartesianMesh3) -> Vec<f32> {
+    FlowState::<f32>::varied(mesh, 1.0e7, 1.2e7, 3)
+        .pressure()
+        .to_vec()
+}
+
+fn apply_with(
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    execution: Execution,
+) -> Result<Recovered, String> {
+    let (mesh, fluid, trans) = problem();
+    let p = pressure(&mesh);
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .fault_plan(plan.clone())
+        .recovery(policy)
+        .build()
+        .expect("valid problem");
+    sim.apply_recovering(&p).map_err(|e| e.to_string())
+}
+
+fn baseline() -> Vec<f32> {
+    apply_with(
+        &FaultPlan::new(),
+        RecoveryPolicy::Fail,
+        Execution::Sequential,
+    )
+    .expect("fault-free run succeeds")
+    .residual
+}
+
+/// A transient interior link failure wide enough to hit the first halo
+/// exchange.
+fn transient_link_failure() -> FaultPlan {
+    FaultPlan::new().with(Fault {
+        pe: PeCoord::new(2, 3),
+        at: 10,
+        kind: FaultKind::LinkDown {
+            dir: Direction::North,
+            until: 600,
+        },
+        persistent: false,
+    })
+}
+
+#[test]
+fn detected_faults_surface_as_typed_errors_under_fail_policy() {
+    let err = apply_with(
+        &transient_link_failure(),
+        RecoveryPolicy::Fail,
+        Execution::Sequential,
+    )
+    .expect_err("a downed interior link must be detected");
+    assert!(
+        err.contains("link_down"),
+        "error names the fault class: {err}"
+    );
+}
+
+#[test]
+fn retry_recovers_bit_identically_from_transient_faults() {
+    let r = apply_with(
+        &transient_link_failure(),
+        RecoveryPolicy::Retry {
+            max_attempts: 3,
+            backoff: 128,
+        },
+        Execution::Sequential,
+    )
+    .expect("retry must recover from a transient fault");
+    assert_eq!(r.attempts, 2, "first attempt fails, rebuild succeeds");
+    assert_eq!(r.backoff_cycles, 128, "one backoff step");
+    assert!(!r.degraded);
+    assert!(r.valid.iter().all(|&v| v));
+    assert_eq!(
+        r.residual,
+        baseline(),
+        "recovered residual is bit-identical to fault-free"
+    );
+    assert!(r.faults.is_empty(), "the rebuilt fabric saw no faults");
+}
+
+#[test]
+fn retry_exhausts_into_the_typed_error_on_persistent_faults() {
+    let mut plan = transient_link_failure();
+    plan.faults[0].persistent = true;
+    let err = apply_with(
+        &plan,
+        RecoveryPolicy::Retry {
+            max_attempts: 3,
+            backoff: 0,
+        },
+        Execution::Sequential,
+    )
+    .expect_err("a persistent fault re-fires on every rebuilt fabric");
+    assert!(err.contains("link_down"), "typed error survives: {err}");
+}
+
+#[test]
+fn degrade_returns_partial_residual_with_honest_validity() {
+    // Halt one interior PE outright: omission fault with a bounded blast
+    // radius.
+    let plan = FaultPlan::new().with(Fault {
+        pe: PeCoord::new(1, 1),
+        at: 1,
+        kind: FaultKind::PeHalt,
+        persistent: true,
+    });
+    let r = apply_with(&plan, RecoveryPolicy::Degrade, Execution::Sequential)
+        .expect("degrade converts the fault into a partial result");
+    assert!(r.degraded);
+    assert!(!r.valid[1 + NX], "the halted PE itself is invalid");
+    assert!(
+        r.valid.iter().any(|&v| v),
+        "a single halted PE must not invalidate the whole fabric"
+    );
+    assert!(
+        !r.faults.iter().all(|f| f.benign),
+        "the log records the non-benign halt"
+    );
+    // Every PE still marked valid is bit-identical to the fault-free run.
+    let base = baseline();
+    for (pe, &ok) in r.valid.iter().enumerate() {
+        if !ok {
+            continue;
+        }
+        let (x, y) = (pe % NX, pe / NX);
+        for z in 0..NZ {
+            let i = (z * NY + y) * NX + x;
+            assert_eq!(
+                r.residual[i].to_bits(),
+                base[i].to_bits(),
+                "valid PE ({x},{y}) cell {i} must match fault-free"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_outcomes_are_identical_across_all_engines() {
+    let dims = FabricDims::new(NX, NY);
+    let engines = [
+        Execution::Sequential,
+        Execution::Sharded {
+            shards: 1,
+            threads: 1,
+        },
+        Execution::Sharded {
+            shards: 4,
+            threads: 2,
+        },
+        Execution::Sharded {
+            shards: 9,
+            threads: 2,
+        },
+    ];
+    for seed in [3u64, 11, 29] {
+        let plan = FaultPlan::randomized(seed, dims, 500, 3);
+        for policy in [
+            RecoveryPolicy::Fail,
+            RecoveryPolicy::Retry {
+                max_attempts: 2,
+                backoff: 16,
+            },
+            RecoveryPolicy::Degrade,
+        ] {
+            let reference = apply_with(&plan, policy, engines[0]);
+            for &engine in &engines[1..] {
+                let other = apply_with(&plan, policy, engine);
+                assert_eq!(
+                    reference, other,
+                    "seed {seed} {policy:?} {engine:?}: outcome diverged from sequential"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn watchdog_catches_silent_omissions_after_an_ok_run() {
+    // Corrupt a wavelet: the receiver discards it and waits forever for a
+    // replacement that never comes, but the fabric itself quiesces without
+    // a protocol error. Only the checksum + progress watchdog make this an
+    // error instead of a silently short residual.
+    let plan = FaultPlan::new().with(Fault {
+        pe: PeCoord::new(3, 3),
+        at: 5,
+        kind: FaultKind::CorruptPayload { xor: 0x8000_0001 },
+        persistent: true,
+    });
+    let err = apply_with(&plan, RecoveryPolicy::Fail, Execution::Sequential)
+        .expect_err("corruption must never yield Ok");
+    assert!(
+        err.contains("corrupt_detected") || err.contains("stall"),
+        "typed error comes from detection or the watchdog: {err}"
+    );
+}
+
+#[test]
+fn error_display_names_site_time_and_class() {
+    let plan = FaultPlan::new().with(Fault {
+        pe: PeCoord::new(2, 3),
+        at: 10,
+        kind: FaultKind::LinkDown {
+            dir: Direction::North,
+            until: 600,
+        },
+        persistent: true,
+    });
+    let (mesh, fluid, trans) = problem();
+    let p = pressure(&mesh);
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .fault_plan(plan)
+        .build()
+        .expect("valid problem");
+    match sim.apply(&p) {
+        Err(FabricError::Fault {
+            pe, class, time, ..
+        }) => {
+            assert_eq!(pe, PeCoord::new(2, 3));
+            assert_eq!(class, FaultClass::LinkDown);
+            assert!(time >= 10, "fault cannot fire before its schedule");
+        }
+        other => panic!("expected the typed fault error, got {other:?}"),
+    }
+}

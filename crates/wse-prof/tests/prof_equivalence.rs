@@ -9,7 +9,7 @@ use fv_core::fields::PermeabilityField;
 use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
 use fv_core::state::FlowState;
 use fv_core::trans::{StencilKind, Transmissibilities};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_prof::{critical_path, Profile};
 use wse_sim::fabric::Execution;
 use wse_trace::{TraceRegion, TraceSpec};
@@ -36,16 +36,13 @@ fn profiled_run(execution: Execution) -> Run {
     let pressure = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 3)
         .pressure()
         .to_vec();
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution,
-            trace: TraceSpec::ring(CAP),
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .trace(TraceSpec::ring(CAP))
+        .build()
+        .unwrap();
     sim.apply(&pressure).expect("traced run failed");
     let trace = sim.trace().expect("tracing was enabled");
     assert_eq!(trace.dropped, 0, "capacity must hold the full run");
@@ -111,16 +108,13 @@ fn attribution_totals_match_fabric_counters() {
     let pressure = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 3)
         .pressure()
         .to_vec();
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution: Execution::Sequential,
-            trace: TraceSpec::ring(CAP),
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(Execution::Sequential)
+        .trace(TraceSpec::ring(CAP))
+        .build()
+        .unwrap();
     sim.apply(&pressure).expect("run failed");
     let trace = sim.trace().unwrap();
     let profile = Profile::from_trace(&trace);

@@ -35,6 +35,7 @@
 //! loses nothing. Results, per-PE [`OpCounters`], [`RunReport`] totals, and
 //! error reporting are bit-identical between the engines.
 
+use crate::fault::{FaultClass, FaultEvent, FaultKind, FaultPlan};
 use crate::geometry::{Direction, FabricDims, PeCoord};
 use crate::memory::PeMemory;
 use crate::pe::{PeContext, PeProgram};
@@ -144,6 +145,40 @@ impl PartialOrd for Event {
 // Events carry Wavelet (PartialEq only via derive); provide Eq manually.
 impl Eq for Wavelet {}
 
+/// Per-PE fault-injection state, distributed from a [`FaultPlan`] by
+/// [`Fabric::set_fault_plan`]. All fields are static during a run (except
+/// the one-shot pending lists and the log), and every decision is keyed on
+/// `(event time, this state)` — both engine-invariant — so fault behavior
+/// is bit-identical between the sequential and sharded engines.
+#[derive(Default)]
+struct PeFaultState {
+    /// Fast-path gate: true iff any fault is scheduled at this PE.
+    active: bool,
+    /// Verify wavelet checksums at ramp delivery (set fabric-wide whenever
+    /// a fault plan is installed: corruption may be injected at a *different*
+    /// PE than the receiver, so a local `active` check is insufficient).
+    verify_checksums: bool,
+    /// Downed outgoing links: `(dir, from, until)` — drops in `[from, until)`.
+    link_down: Vec<(Direction, u64, u64)>,
+    /// The PE swallows every delivery at time ≥ this.
+    halt_at: Option<u64>,
+    /// Slow-down windows: `(from, until, factor)`, sorted; first match wins.
+    slow: Vec<(u64, u64, u32)>,
+    /// One fault event has been logged for each slow window already applied.
+    slow_logged: Vec<bool>,
+    /// Pending payload corruptions `(at, xor)`, sorted by `at`; each fires
+    /// on the first wavelet routed here at time ≥ `at`, then is consumed.
+    corrupt: Vec<(u64, u32)>,
+    /// Pending spurious router flips `(at, color)`, sorted by `at`; each
+    /// fires at the first route event at time ≥ `at`, then is consumed.
+    flips: Vec<(u64, Color)>,
+    /// Every injection/detection at this PE, in processing order (times are
+    /// non-decreasing because each PE processes events in key order).
+    log: Vec<FaultEvent>,
+    /// A non-benign fault touched this PE (drives `Degrade` validity maps).
+    tainted: bool,
+}
+
 struct PeSlot {
     memory: PeMemory,
     counters: OpCounters,
@@ -170,8 +205,39 @@ struct PeSlot {
     /// in the shared `process_deliver` path, so it is bit-identical between
     /// the sequential and sharded engines.
     queue_wait_cycles: u64,
+    /// Wavelets dropped or swallowed by injected faults at this PE.
+    fault_drops: u64,
+    /// Corrupted wavelets caught by checksum verification at this ramp.
+    checksum_drops: u64,
+    /// Fault-injection state (inert unless a plan is installed).
+    faults: PeFaultState,
     /// This PE's trace sink (a no-op unless tracing is enabled).
     trace: PeTracer,
+}
+
+/// Traces and logs one fault injection/detection at a PE, in the PE's own
+/// deterministic processing order.
+fn record_fault(
+    slot: &mut PeSlot,
+    coord: PeCoord,
+    time: u64,
+    class: FaultClass,
+    link: u16,
+    detail: u32,
+    benign: bool,
+) {
+    slot.trace
+        .record_at(time, TraceEventKind::Fault, class.code(), link, detail);
+    slot.faults.log.push(FaultEvent {
+        time,
+        pe: coord,
+        class,
+        detail,
+        benign,
+    });
+    if !benign {
+        slot.faults.tainted = true;
+    }
 }
 
 /// Outcome of a [`Fabric::run`] call.
@@ -183,6 +249,9 @@ pub struct RunReport {
     pub final_time: u64,
     /// Wavelets dropped at the fabric edge during this run.
     pub edge_drops: u64,
+    /// Fault injections/detections logged during this run (benign ones
+    /// included); zero unless a [`FaultPlan`] is installed.
+    pub faults: u64,
 }
 
 /// A fatal simulation error (program bug).
@@ -199,6 +268,19 @@ pub enum FabricError {
     EventBudgetExceeded {
         /// The configured cap.
         max_events: u64,
+    },
+    /// An injected fault was detected (see `wse-sim::fault`). Reported in
+    /// preference to route/deadlock errors — those are usually *consequences*
+    /// of the fault — but after the event budget.
+    Fault {
+        /// The PE at which the fault fired (for detections, the detector).
+        pe: PeCoord,
+        /// Fabric time of the first non-benign fault event.
+        time: u64,
+        /// What kind of fault.
+        class: FaultClass,
+        /// Class-dependent detail (see [`FaultEvent::detail`]).
+        detail: u32,
     },
     /// The fabric went quiescent with wavelets still stalled by flow
     /// control — no control wavelet will ever release them.
@@ -221,6 +303,18 @@ impl std::fmt::Display for FabricError {
             FabricError::EventBudgetExceeded { max_events } => {
                 write!(f, "event budget exceeded ({max_events})")
             }
+            FabricError::Fault {
+                pe,
+                time,
+                class,
+                detail,
+            } => write!(
+                f,
+                "injected fault detected: {} at PE ({}, {}) at t={time} (detail {detail})",
+                class.name(),
+                pe.col,
+                pe.row
+            ),
             FabricError::Deadlock {
                 pe,
                 stalled,
@@ -238,8 +332,9 @@ impl std::fmt::Display for FabricError {
 impl std::error::Error for FabricError {}
 
 /// Trace `a`/`payload` encoding of a [`FabricError`]: `(class, detail)`.
-/// Classes: 0 = event budget, 1 = route, 2 = deadlock. Route errors carry
-/// the offending color id as detail; deadlocks carry the stalled count.
+/// Classes: 0 = event budget, 1 = route, 2 = deadlock, 3 = fault. Route
+/// errors carry the offending color id as detail; deadlocks carry the
+/// stalled count; faults carry the [`FaultClass`] code.
 fn error_code(error: &FabricError) -> (u8, u32) {
     match error {
         FabricError::EventBudgetExceeded { .. } => (0, 0),
@@ -251,6 +346,7 @@ fn error_code(error: &FabricError) -> (u8, u32) {
             (1, u32::from(color))
         }
         FabricError::Deadlock { stalled, .. } => (2, *stalled as u32),
+        FabricError::Fault { class, .. } => (3, u32::from(class.code())),
     }
 }
 
@@ -314,7 +410,80 @@ fn process_route(
     // the same color can overtake them (link-order preservation).
     let mut work: std::collections::VecDeque<(Direction, Wavelet)> =
         std::collections::VecDeque::new();
-    work.push_back((input, ev.wavelet));
+    let mut incoming = ev.wavelet;
+    if slot.faults.active {
+        // Spurious router-configuration flips scheduled at or before this
+        // event's time fire first (consumed one-shot, in `at` order). An
+        // effective flip releases parked wavelets of that color, exactly
+        // like a legitimate control toggle would.
+        while slot
+            .faults
+            .flips
+            .first()
+            .is_some_and(|&(at, _)| at <= ev.time)
+        {
+            let (_, color) = slot.faults.flips.remove(0);
+            match slot.router.force_toggle(color) {
+                Some(pos) => {
+                    record_fault(
+                        slot,
+                        coord,
+                        ev.time,
+                        FaultClass::RouterFlip,
+                        0,
+                        pos as u32,
+                        false,
+                    );
+                    let mut released = Vec::new();
+                    slot.parked.retain(|(dir, w)| {
+                        if w.color == color {
+                            released.push((*dir, *w));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    for r in released {
+                        work.push_back(r);
+                    }
+                }
+                // Unconfigured or fixed color: the flip has no observable
+                // effect — benign by construction.
+                None => record_fault(
+                    slot,
+                    coord,
+                    ev.time,
+                    FaultClass::RouterFlip,
+                    0,
+                    u32::MAX,
+                    true,
+                ),
+            }
+        }
+        // In-flight payload corruption: the first wavelet routed here at
+        // time ≥ `at` has its payload XORed with a stale checksum. The
+        // injection itself is benign — detection (non-benign) happens at
+        // the receiving ramp's checksum verification.
+        if slot
+            .faults
+            .corrupt
+            .first()
+            .is_some_and(|&(at, _)| at <= ev.time)
+        {
+            let (_, xor) = slot.faults.corrupt.remove(0);
+            incoming.corrupt_payload(xor);
+            record_fault(
+                slot,
+                coord,
+                ev.time,
+                FaultClass::CorruptInjected,
+                link_code(input, incoming.is_control()),
+                xor,
+                true,
+            );
+        }
+    }
+    work.push_back((input, incoming));
     while let Some((inp, wavelet)) = work.pop_front() {
         let outcome = match slot.router.route(wavelet.color, inp, wavelet.is_control()) {
             Ok(o) => o,
@@ -399,6 +568,36 @@ fn process_route(
                     link_code(*dir, wavelet.is_control()),
                     wavelet.payload,
                 );
+                // A downed link drops the wavelet after the router forwards
+                // it — traced as both a fault and an edge drop, and counted
+                // in both `fault_drops` and `edge_drops`, so trace-derived
+                // stats stay exact.
+                let downed =
+                    slot.faults.active
+                        && slot.faults.link_down.iter().any(|&(d, from, until)| {
+                            d == *dir && ev.time >= from && ev.time < until
+                        });
+                if downed {
+                    record_fault(
+                        slot,
+                        coord,
+                        ev.time,
+                        FaultClass::LinkDown,
+                        link_code(*dir, wavelet.is_control()),
+                        wavelet.payload,
+                        false,
+                    );
+                    slot.trace.record_at(
+                        ev.time,
+                        TraceEventKind::EdgeDrop,
+                        wavelet.color.id(),
+                        link_code(*dir, wavelet.is_control()),
+                        wavelet.payload,
+                    );
+                    slot.edge_drops += 1;
+                    slot.fault_drops += 1;
+                    continue;
+                }
                 match dims.neighbor(coord, *dir) {
                     Some(n) => {
                         slot.seq += 1;
@@ -435,6 +634,35 @@ fn process_deliver(
     ev: &Event,
     emit: &mut dyn FnMut(Event),
 ) {
+    // A halted PE swallows every delivery without running a task.
+    if slot.faults.active && slot.faults.halt_at.is_some_and(|h| ev.time >= h) {
+        record_fault(
+            slot,
+            coord,
+            ev.time,
+            FaultClass::PeHalt,
+            u16::from(ev.wavelet.is_control()),
+            ev.wavelet.payload,
+            false,
+        );
+        slot.fault_drops += 1;
+        return;
+    }
+    // Checksum verification at the ramp (on whenever a fault plan is
+    // installed): a corrupted payload never reaches a task handler.
+    if slot.faults.verify_checksums && !ev.wavelet.checksum_ok() {
+        record_fault(
+            slot,
+            coord,
+            ev.time,
+            FaultClass::CorruptDetected,
+            u16::from(ev.wavelet.is_control()),
+            ev.wavelet.payload,
+            false,
+        );
+        slot.checksum_drops += 1;
+        return;
+    }
     let start = slot.busy_until.max(ev.time);
     slot.queue_wait_cycles += start - ev.time;
     let cycles_before = slot.counters.cycles();
@@ -462,7 +690,25 @@ fn process_deliver(
             WaveletKind::Control => slot.program.on_control(&mut ctx, ev.wavelet),
         }
     }
-    let cost = slot.counters.cycles() - cycles_before;
+    let mut cost = slot.counters.cycles() - cycles_before;
+    // A slow-down window multiplies the task's timing cost (busy horizon
+    // only — the instruction counters stay truthful). Logged once per
+    // window, at the first affected task.
+    if slot.faults.active {
+        if let Some(i) = slot
+            .faults
+            .slow
+            .iter()
+            .position(|&(from, until, _)| start >= from && start < until)
+        {
+            let factor = slot.faults.slow[i].2;
+            cost *= u64::from(factor);
+            if !slot.faults.slow_logged[i] {
+                slot.faults.slow_logged[i] = true;
+                record_fault(slot, coord, start, FaultClass::PeSlow, 0, factor, false);
+            }
+        }
+    }
     slot.busy_until = start + cost;
     slot.trace.record_at(
         slot.busy_until,
@@ -477,9 +723,16 @@ fn process_deliver(
 /// Injects a PE's pending sends (through its own router, ramp input) and
 /// local activations.
 fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut dyn FnMut(Event)) {
+    // Wavelets are sealed (checksum installed) at network injection only
+    // while a fault plan has verification on — the fault-free path never
+    // computes a checksum.
+    let verify = slot.faults.verify_checksums;
     let outbox: Vec<Wavelet> = slot.outbox.drain(..).collect();
     // Successive wavelets leave the ramp one cycle apart.
-    for (k, w) in outbox.into_iter().enumerate() {
+    for (k, mut w) in outbox.into_iter().enumerate() {
+        if verify {
+            w.seal();
+        }
         slot.seq += 1;
         emit(Event {
             time: at + k as u64,
@@ -492,6 +745,10 @@ fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut dyn FnMut(E
     }
     let acts: Vec<(Color, u32)> = slot.activations.drain(..).collect();
     for (color, payload) in acts {
+        let mut w = Wavelet::data(color, payload);
+        if verify {
+            w.seal();
+        }
         slot.seq += 1;
         emit(Event {
             time: at,
@@ -499,7 +756,7 @@ fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut dyn FnMut(E
             src: pe,
             pe,
             kind: EventKind::Deliver,
-            wavelet: Wavelet::data(color, payload),
+            wavelet: w,
         });
     }
 }
@@ -860,6 +1117,9 @@ impl Fabric {
                 edge_drops: 0,
                 flow_stalls: 0,
                 queue_wait_cycles: 0,
+                fault_drops: 0,
+                checksum_drops: 0,
+                faults: PeFaultState::default(),
                 trace: PeTracer::for_spec(config.trace, i as u32),
             })
             .collect();
@@ -919,13 +1179,18 @@ impl Fabric {
     /// the host-side "launch" (like the SDK starting a kernel).
     pub fn activate(&mut self, coord: PeCoord, color: Color, payload: u32) {
         self.host_seq += 1;
+        let pe = self.dims.linear(coord);
+        let mut wavelet = Wavelet::data(color, payload);
+        if self.pes[pe].faults.verify_checksums {
+            wavelet.seal();
+        }
         let ev = Event {
             time: self.time,
             seq: self.host_seq,
             src: HOST_SRC,
-            pe: self.dims.linear(coord),
+            pe,
             kind: EventKind::Deliver,
-            wavelet: Wavelet::data(color, payload),
+            wavelet,
         };
         self.queue.push(Reverse(ev));
     }
@@ -938,12 +1203,118 @@ impl Fabric {
         }
     }
 
+    /// Installs a [`FaultPlan`], distributing each fault to its PE's slot
+    /// and enabling fabric-wide checksum verification. Replaces any prior
+    /// plan (logs and taint flags are cleared). Fault times are absolute
+    /// fabric time, which keeps advancing across runs. The fault-free fast
+    /// path is untouched when the plan is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] for this fabric.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        plan.validate(self.dims)
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        let verify = !plan.is_empty();
+        for slot in &mut self.pes {
+            slot.faults = PeFaultState {
+                verify_checksums: verify,
+                ..PeFaultState::default()
+            };
+        }
+        if verify {
+            // Wavelets already queued (e.g. sent from `init` during
+            // `load`, before this plan existed) predate sealing — install
+            // their checksums now so verification doesn't misread them as
+            // corrupted.
+            self.queue = std::mem::take(&mut self.queue)
+                .into_iter()
+                .map(|Reverse(mut e)| {
+                    e.wavelet.seal();
+                    Reverse(e)
+                })
+                .collect();
+        }
+        for f in &plan.faults {
+            let st = &mut self.pes[self.dims.linear(f.pe)].faults;
+            st.active = true;
+            match f.kind {
+                FaultKind::LinkDown { dir, until } => st.link_down.push((dir, f.at, until)),
+                FaultKind::PeHalt => {
+                    st.halt_at = Some(st.halt_at.map_or(f.at, |h| h.min(f.at)));
+                }
+                FaultKind::PeSlow { factor, until } => st.slow.push((f.at, until, factor)),
+                FaultKind::CorruptPayload { xor } => st.corrupt.push((f.at, xor)),
+                FaultKind::RouterFlip { color } => st.flips.push((f.at, color)),
+            }
+        }
+        for slot in &mut self.pes {
+            slot.faults.slow.sort_unstable();
+            slot.faults.slow_logged = vec![false; slot.faults.slow.len()];
+            slot.faults.corrupt.sort_unstable();
+            slot.faults.flips.sort_unstable();
+        }
+    }
+
+    /// Every fault injection/detection recorded so far, ordered by
+    /// `(time, PE linear index, per-PE log position)` — bit-identical
+    /// between the sequential and sharded engines.
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        let mut out = Vec::new();
+        for slot in &self.pes {
+            out.extend_from_slice(&slot.faults.log);
+        }
+        // Stable sort: ties keep linear-PE then log order.
+        out.sort_by_key(|e| e.time);
+        out
+    }
+
+    /// Per-PE taint flags in linear order: true where a non-benign fault
+    /// fired (injection or detection site). Drives `Degrade` validity maps
+    /// in the host driver.
+    pub fn tainted_pes(&self) -> Vec<bool> {
+        self.pes.iter().map(|s| s.faults.tainted).collect()
+    }
+
+    /// Per-PE program progress counters in linear order (see
+    /// [`PeProgram::progress`]); the host watchdog compares these against
+    /// the expected count after each run.
+    pub fn progress_by_pe(&self) -> Vec<Option<u64>> {
+        self.pes.iter().map(|s| s.program.progress()).collect()
+    }
+
+    /// The typed error for the earliest non-benign fault recorded so far
+    /// (`(time, PE linear index, log position)` order), if any. Lets the
+    /// host surface watchdog stalls it reported after a run through the
+    /// same typed-error channel the engines use.
+    pub fn first_fault_error(&self) -> Option<FabricError> {
+        self.scan_faults()
+    }
+
+    /// Records a host-watchdog stall detection: the PE's program made less
+    /// progress than expected after a run (it lost wavelets to a fault).
+    /// Logged and traced like a fabric-detected fault — non-benign, taints
+    /// the PE.
+    pub fn report_watchdog_stall(&mut self, coord: PeCoord, observed: u64) {
+        let i = self.dims.linear(coord);
+        let time = self.time;
+        record_fault(
+            &mut self.pes[i],
+            coord,
+            time,
+            FaultClass::WatchdogStall,
+            0,
+            observed as u32,
+            false,
+        );
+    }
+
     /// Processes events until the fabric is quiescent, with the engine
     /// selected by [`FabricConfig::execution`].
     ///
     /// Error precedence (identical in both engines): the event budget, then
-    /// the routing error with the smallest event key, then a deadlock scan
-    /// in PE linear order. Routing errors do not abort processing — the
+    /// the first non-benign injected fault, then the routing error with the
+    /// smallest event key, then a deadlock scan in PE linear order. Routing errors do not abort processing — the
     /// offending wavelet is dropped and the run continues to quiescence, so
     /// both engines observe the same error set.
     pub fn run(&mut self) -> Result<RunReport, FabricError> {
@@ -969,6 +1340,7 @@ impl Fabric {
     fn run_sequential(&mut self) -> Result<RunReport, FabricError> {
         let mut events = 0u64;
         let drops_before = self.total_edge_drops();
+        let faults_before = self.total_fault_events();
         let mut first_error: Option<(EventKey, FabricError)> = None;
         let dims = self.dims;
         let hop_latency = self.config.hop_latency;
@@ -1000,6 +1372,9 @@ impl Fabric {
                 EventKind::Deliver => process_deliver(slot, pe, coord, dims, &ev, &mut emit),
             }
         }
+        if let Some(error) = self.scan_faults() {
+            return Err(error);
+        }
         if let Some((_, error)) = first_error {
             return Err(error);
         }
@@ -1008,6 +1383,7 @@ impl Fabric {
             events,
             final_time: self.time,
             edge_drops: self.total_edge_drops() - drops_before,
+            faults: self.total_fault_events() - faults_before,
         })
     }
 
@@ -1022,6 +1398,7 @@ impl Fabric {
         let n = plan.count();
         let workers = threads.clamp(1, n);
         let drops_before = self.total_edge_drops();
+        let faults_before = self.total_fault_events();
 
         // Move each PE's slot into its shard; restored before returning.
         let mut slot_opts: Vec<Option<PeSlot>> = self.pes.drain(..).map(Some).collect();
@@ -1110,6 +1487,9 @@ impl Fabric {
                 max_events: config.max_events,
             });
         }
+        if let Some(error) = self.scan_faults() {
+            return Err(error);
+        }
         if let Some((_, error)) = min_error {
             return Err(error);
         }
@@ -1118,6 +1498,7 @@ impl Fabric {
             events,
             final_time: self.time,
             edge_drops: self.total_edge_drops() - drops_before,
+            faults: self.total_fault_events() - faults_before,
         })
     }
 
@@ -1140,6 +1521,39 @@ impl Fabric {
             }
         }
         Ok(())
+    }
+
+    /// The minimal non-benign fault event across all PEs under the
+    /// engine-independent order `(time, PE linear index, log position)`,
+    /// as a typed error. Per-PE log times are non-decreasing (each PE
+    /// processes events in key order), so the first non-benign entry of a
+    /// log is that PE's earliest.
+    fn scan_faults(&self) -> Option<FabricError> {
+        let mut best: Option<(u64, usize, FabricError)> = None;
+        for (i, slot) in self.pes.iter().enumerate() {
+            if let Some(evt) = slot.faults.log.iter().find(|e| !e.benign) {
+                if best
+                    .as_ref()
+                    .is_none_or(|&(t, p, _)| (evt.time, i) < (t, p))
+                {
+                    best = Some((
+                        evt.time,
+                        i,
+                        FabricError::Fault {
+                            pe: evt.pe,
+                            time: evt.time,
+                            class: evt.class,
+                            detail: evt.detail,
+                        },
+                    ));
+                }
+            }
+        }
+        best.map(|(_, _, e)| e)
+    }
+
+    fn total_fault_events(&self) -> u64 {
+        self.pes.iter().map(|s| s.faults.log.len() as u64).sum()
     }
 
     fn total_edge_drops(&self) -> u64 {
@@ -1199,6 +1613,8 @@ impl Fabric {
             ramp_deliveries: slot.router.ramp_deliveries,
             edge_drops: slot.edge_drops,
             flow_stalls: slot.flow_stalls,
+            fault_drops: slot.fault_drops,
+            checksum_drops: slot.checksum_drops,
             num_pes: 1,
         }
     }

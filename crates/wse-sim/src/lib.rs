@@ -36,6 +36,7 @@
 
 pub mod dsd;
 pub mod fabric;
+pub mod fault;
 pub mod geometry;
 pub mod memory;
 pub mod pe;
@@ -51,6 +52,7 @@ pub use wse_trace as trace;
 pub mod prelude {
     pub use crate::dsd::{Dsd, OpKind};
     pub use crate::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
+    pub use crate::fault::{Fault, FaultClass, FaultEvent, FaultKind, FaultPlan};
     pub use crate::geometry::{Direction, FabricDims, PeCoord};
     pub use crate::memory::{MemRange, PeMemory, WSE2_PE_MEMORY_BYTES};
     pub use crate::pe::{PeContext, PeProgram};

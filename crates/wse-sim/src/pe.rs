@@ -195,4 +195,12 @@ pub trait PeProgram: Send {
     fn on_control(&mut self, ctx: &mut PeContext, wavelet: Wavelet) {
         let _ = (ctx, wavelet);
     }
+
+    /// A monotone progress counter, if the program tracks one (e.g. the
+    /// number of completed iterations). The host-side progress watchdog
+    /// compares this across PEs after a run to localize silent stalls —
+    /// a PE whose counter lags its peers lost wavelets to a fault.
+    fn progress(&self) -> Option<u64> {
+        None
+    }
 }

@@ -189,6 +189,19 @@ impl Router {
         self.configs[color.index()].map(|c| c.current_index())
     }
 
+    /// Force-toggles a color's switch position outside the normal control
+    /// protocol — the fault injector's model of a spurious configuration
+    /// switch. Returns the new position index when the flip had an effect;
+    /// `None` (benign) when the color is unconfigured or not switchable.
+    pub fn force_toggle(&mut self, color: Color) -> Option<usize> {
+        let cfg = self.configs[color.index()].as_mut()?;
+        if cfg.num_positions != 2 {
+            return None;
+        }
+        cfg.toggle();
+        Some(cfg.current_index())
+    }
+
     /// Routes one wavelet arriving on `input`. Returns the output links.
     ///
     /// # Errors

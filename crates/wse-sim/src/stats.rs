@@ -9,6 +9,8 @@
 use serde::{Deserialize, Serialize};
 use wse_trace::{Trace, TraceEventKind, TraceOp};
 
+use crate::fault::FaultClass;
+
 /// Per-PE (or aggregated) operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpCounters {
@@ -141,6 +143,11 @@ pub struct FabricStats {
     /// Wavelets that were stalled by router flow control at least once
     /// (backpressure events).
     pub flow_stalls: u64,
+    /// Wavelets dropped or swallowed by injected faults (failed links,
+    /// halted PEs) — see `wse-sim::fault`.
+    pub fault_drops: u64,
+    /// Corrupted wavelets caught by checksum verification at a ramp.
+    pub checksum_drops: u64,
     /// Number of PEs aggregated.
     pub num_pes: usize,
 }
@@ -158,6 +165,8 @@ impl FabricStats {
         self.ramp_deliveries += other.ramp_deliveries;
         self.edge_drops += other.edge_drops;
         self.flow_stalls += other.flow_stalls;
+        self.fault_drops += other.fault_drops;
+        self.checksum_drops += other.checksum_drops;
         self.num_pes += other.num_pes;
     }
 }
@@ -248,6 +257,11 @@ pub fn stats_from_trace(trace: &Trace) -> FabricStats {
             TraceEventKind::WaveletRecv => stats.ramp_deliveries += 1,
             TraceEventKind::EdgeDrop => stats.edge_drops += 1,
             TraceEventKind::FlowStall => stats.flow_stalls += 1,
+            TraceEventKind::Fault => match FaultClass::from_code(ev.a) {
+                Some(FaultClass::LinkDown | FaultClass::PeHalt) => stats.fault_drops += 1,
+                Some(FaultClass::CorruptDetected) => stats.checksum_drops += 1,
+                _ => {}
+            },
             _ => {}
         }
     }
@@ -325,6 +339,8 @@ mod tests {
             ramp_deliveries: 2,
             edge_drops: 1,
             flow_stalls: 4,
+            fault_drops: 2,
+            checksum_drops: 1,
             num_pes: 3,
         };
         let b = FabricStats {
@@ -336,6 +352,8 @@ mod tests {
             ramp_deliveries: 6,
             edge_drops: 0,
             flow_stalls: 1,
+            fault_drops: 1,
+            checksum_drops: 0,
             num_pes: 2,
         };
         let mut ab = a;
@@ -351,6 +369,8 @@ mod tests {
         assert_eq!(ab.ramp_deliveries, 8);
         assert_eq!(ab.edge_drops, 1);
         assert_eq!(ab.flow_stalls, 5);
+        assert_eq!(ab.fault_drops, 3);
+        assert_eq!(ab.checksum_drops, 1);
         assert_eq!(ab.num_pes, 5);
     }
 

@@ -49,6 +49,14 @@ pub enum WaveletKind {
 }
 
 /// A 32-bit packet with its color tag.
+///
+/// Every wavelet carries a private payload checksum slot, installed by
+/// [`Wavelet::seal`]. The fabric seals wavelets at network injection only
+/// while a fault plan enables checksum verification, so the fault-free
+/// fast path never computes a checksum. The checksum mixes the payload
+/// through a bijective finalizer, so *any* in-flight payload corruption
+/// (see `wse-sim::fault`) is guaranteed to be detectable — there are no
+/// colliding bit-flips.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Wavelet {
     /// Routing color.
@@ -57,15 +65,36 @@ pub struct Wavelet {
     pub payload: u32,
     /// Data or control.
     pub kind: WaveletKind,
+    /// Checksum of `(color, kind, payload)`; zero until sealed, stale
+    /// after fault injection.
+    crc: u32,
+}
+
+/// Murmur3's `fmix32` finalizer: a bijection on `u32`, so two distinct
+/// payloads never share a checksum for the same `(color, kind)`.
+#[inline]
+fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^ (h >> 16)
+}
+
+#[inline]
+fn wavelet_crc(color: Color, kind: WaveletKind, payload: u32) -> u32 {
+    let tag = (color.id() as u32) << 1 | (kind == WaveletKind::Control) as u32;
+    fmix32(payload) ^ tag
 }
 
 impl Wavelet {
-    /// A data wavelet carrying raw bits.
+    /// A data wavelet carrying raw bits (unsealed).
     pub fn data(color: Color, payload: u32) -> Self {
         Self {
             color,
             payload,
             kind: WaveletKind::Data,
+            crc: 0,
         }
     }
 
@@ -75,13 +104,42 @@ impl Wavelet {
         Self::data(color, value.to_bits())
     }
 
-    /// A control wavelet (payload is available to the receiving task).
+    /// A control wavelet (payload is available to the receiving task;
+    /// unsealed).
     pub fn control(color: Color, payload: u32) -> Self {
         Self {
             color,
             payload,
             kind: WaveletKind::Control,
+            crc: 0,
         }
+    }
+
+    /// Computes and installs the payload checksum. The fabric seals every
+    /// wavelet at network injection while checksum verification is on;
+    /// the fault-free path skips sealing entirely (the slot stays zero
+    /// and is never read), keeping wavelet construction free.
+    #[inline]
+    pub fn seal(&mut self) {
+        self.crc = wavelet_crc(self.color, self.kind, self.payload);
+    }
+
+    /// True when the checksum still matches the payload — only meaningful
+    /// on a sealed wavelet. The fabric calls this at ramp delivery when
+    /// checksum verification is enabled by an active fault plan; because
+    /// the checksum finalizer is a bijection, this returns `false` for
+    /// *every* corrupted payload.
+    #[inline]
+    pub fn checksum_ok(&self) -> bool {
+        self.crc == wavelet_crc(self.color, self.kind, self.payload)
+    }
+
+    /// Flips payload bits *without* refreshing the checksum — the fault
+    /// injector's model of in-flight corruption. `xor` must be nonzero for
+    /// the wavelet to actually change.
+    #[inline]
+    pub fn corrupt_payload(&mut self, xor: u32) {
+        self.payload ^= xor;
     }
 
     /// The payload reinterpreted as `f32`.
@@ -129,6 +187,40 @@ mod tests {
         let w = Wavelet::control(Color::new(3), 42);
         assert!(w.is_control());
         assert_eq!(w.payload, 42);
+    }
+
+    #[test]
+    fn checksum_catches_every_single_bit_flip() {
+        let mut w = Wavelet::data_f32(Color::new(2), 1.25);
+        w.seal();
+        assert!(w.checksum_ok());
+        for bit in 0..32 {
+            let mut c = w;
+            c.corrupt_payload(1 << bit);
+            assert!(!c.checksum_ok(), "bit {bit} flip must be detected");
+        }
+        let mut c = w;
+        c.corrupt_payload(0xdead_beef);
+        assert!(!c.checksum_ok());
+    }
+
+    #[test]
+    fn checksum_distinguishes_kind_and_color() {
+        // Same payload, different kind/color → different checksums, so a
+        // data wavelet masquerading as control (or recolored) is caught.
+        let mut d = Wavelet::data(Color::new(0), 7);
+        let mut c = Wavelet::control(Color::new(0), 7);
+        let mut e = Wavelet::data(Color::new(1), 7);
+        d.seal();
+        c.seal();
+        e.seal();
+        assert!(d.checksum_ok() && c.checksum_ok() && e.checksum_ok());
+        let mut x = d;
+        x.kind = WaveletKind::Control;
+        assert!(!x.checksum_ok());
+        let mut y = d;
+        y.color = Color::new(1);
+        assert!(!y.checksum_ok());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use fv_core::fields::PermeabilityField;
 use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
 use fv_core::state::FlowState;
 use fv_core::trans::{StencilKind, Transmissibilities};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_sim::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
 use wse_sim::geometry::{Direction, FabricDims, PeCoord};
 use wse_sim::pe::{PeContext, PeProgram};
@@ -39,15 +39,12 @@ fn observe_tpfa(nx: usize, ny: usize, nz: usize, execution: Execution) -> Observ
     let fluid = Fluid::water_like();
     let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 12345);
     let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution,
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .build()
+        .unwrap();
     let pressure = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 77);
     let residual = sim.apply(pressure.pressure()).expect("TPFA run failed");
     Observation {
@@ -104,15 +101,12 @@ fn sharded_tpfa_repeated_applications_stay_identical() {
         let fluid = Fluid::water_like();
         let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 5);
         let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
-        let mut sim = DataflowFluxSimulator::new(
-            &mesh,
-            &fluid,
-            &trans,
-            DataflowOptions {
-                execution,
-                ..DataflowOptions::default()
-            },
-        );
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .execution(execution)
+            .build()
+            .unwrap();
         let mut all_bits = Vec::new();
         for i in 0..3 {
             let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, i);
@@ -268,18 +262,15 @@ fn per_shard_stats_partition_the_global_stats() {
     let fluid = Fluid::water_like();
     let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 3);
     let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution: Execution::Sharded {
-                shards: 4,
-                threads: 2,
-            },
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(Execution::Sharded {
+            shards: 4,
+            threads: 2,
+        })
+        .build()
+        .unwrap();
     let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 0);
     sim.apply(p.pressure()).unwrap();
     let global = sim.stats();

@@ -9,7 +9,7 @@ use fv_core::fields::PermeabilityField;
 use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
 use fv_core::state::FlowState;
 use fv_core::trans::{StencilKind, Transmissibilities};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_sim::fabric::Execution;
 use wse_sim::stats::stats_from_trace;
 use wse_sim::trace::TraceSpec;
@@ -19,16 +19,13 @@ fn cross_check(execution: Execution) {
     let fluid = Fluid::water_like();
     let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 2024);
     let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution,
-            trace: TraceSpec::ring(8192),
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .trace(TraceSpec::ring(8192))
+        .build()
+        .unwrap();
     let pressure = FlowState::<f32>::gaussian_pulse(&mesh, 20.0e6, 2.0e6, 3.0);
     sim.apply(pressure.pressure()).expect("fabric run failed");
 

@@ -165,6 +165,20 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                     &format!("{loc},\"class\":{},\"detail\":{}", ev.a, ev.payload),
                 );
             }
+            TraceEventKind::Fault => {
+                em.instant(
+                    "fault",
+                    ev.time,
+                    pid,
+                    tid,
+                    &format!(
+                        "{loc},\"fault_class\":{},{},\"detail\":{}",
+                        ev.a,
+                        link_args(ev.b),
+                        ev.payload
+                    ),
+                );
+            }
             TraceEventKind::RegionStart | TraceEventKind::RegionEnd => {
                 let region = TraceRegion::from_code(ev.a).map_or("region?", TraceRegion::name);
                 em.instant(

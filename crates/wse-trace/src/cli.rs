@@ -15,7 +15,7 @@ pub struct TraceRequest {
 }
 
 impl TraceRequest {
-    /// The [`TraceSpec`] to put in `FabricConfig`/`DataflowOptions`.
+    /// The [`TraceSpec`] to put in `FabricConfig` / the simulator builder.
     pub fn spec(&self) -> TraceSpec {
         TraceSpec::ring(self.capacity)
     }
@@ -58,7 +58,7 @@ pub struct ProfileRequest {
 }
 
 impl ProfileRequest {
-    /// The [`TraceSpec`] to put in `FabricConfig`/`DataflowOptions`.
+    /// The [`TraceSpec`] to put in `FabricConfig` / the simulator builder.
     pub fn spec(&self) -> TraceSpec {
         TraceSpec::ring(self.capacity)
     }

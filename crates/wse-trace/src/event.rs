@@ -51,6 +51,11 @@ pub enum TraceEventKind {
     RegionStart = 11,
     /// The matching profiling region closed (`a` = [`TraceRegion`] code).
     RegionEnd = 12,
+    /// A fault was injected or detected by the fault-injection subsystem
+    /// (`a` = fault class code, `b` = link code | control flag where
+    /// applicable, `payload` = class-dependent detail such as the raw
+    /// wavelet bits; see `wse-sim::fault` for the class table).
+    Fault = 13,
 }
 
 impl TraceEventKind {
@@ -76,6 +81,7 @@ impl TraceEventKind {
             10 => Self::HostPhase,
             11 => Self::RegionStart,
             12 => Self::RegionEnd,
+            13 => Self::Fault,
             _ => return None,
         })
     }
@@ -96,6 +102,7 @@ impl TraceEventKind {
             Self::HostPhase => "host_phase",
             Self::RegionStart => "region_start",
             Self::RegionEnd => "region_end",
+            Self::Fault => "fault",
         }
     }
 }
@@ -290,11 +297,11 @@ mod tests {
 
     #[test]
     fn kind_and_op_codes_round_trip() {
-        for code in 0..=12u8 {
+        for code in 0..=13u8 {
             let kind = TraceEventKind::from_code(code).unwrap();
             assert_eq!(kind.code(), code);
         }
-        assert_eq!(TraceEventKind::from_code(13), None);
+        assert_eq!(TraceEventKind::from_code(14), None);
         for code in 0..=8u8 {
             let op = TraceOp::from_code(code).unwrap();
             assert_eq!(op.code(), code);

@@ -48,6 +48,8 @@ pub struct TraceSummary {
     pub flow_stalls: u64,
     /// Number of edge drops observed.
     pub edge_drops: u64,
+    /// Number of fault events (injections and detections) observed.
+    pub faults: u64,
     /// `TaskEnd` / `RegionEnd` markers whose opening partner is missing from
     /// the retained stream — the drop-oldest ring evicted the `TaskStart` /
     /// `RegionStart` but kept the end. When nonzero, busy/region accounting
@@ -68,6 +70,7 @@ impl TraceSummary {
         let mut color_recvs = [0u64; 256];
         let mut flow_stalls = 0u64;
         let mut edge_drops = 0u64;
+        let mut faults = 0u64;
         let horizon = trace
             .final_time
             .max(trace.events.last().map_or(0, |e| e.time))
@@ -112,6 +115,7 @@ impl TraceSummary {
                 TraceEventKind::WaveletRecv => color_recvs[ev.a as usize] += 1,
                 TraceEventKind::FlowStall => flow_stalls += 1,
                 TraceEventKind::EdgeDrop => edge_drops += 1,
+                TraceEventKind::Fault => faults += 1,
                 _ => {}
             }
         }
@@ -193,6 +197,7 @@ impl TraceSummary {
             hottest,
             flow_stalls,
             edge_drops,
+            faults,
             unpaired_ends,
             unclosed_starts,
         }
@@ -217,10 +222,11 @@ impl fmt::Display for TraceSummary {
         )?;
         writeln!(
             f,
-            "  mean PE utilization: {:5.1}%   flow stalls: {}   edge drops: {}",
+            "  mean PE utilization: {:5.1}%   flow stalls: {}   edge drops: {}   faults: {}",
             100.0 * self.mean_utilization(),
             self.flow_stalls,
-            self.edge_drops
+            self.edge_drops,
+            self.faults
         )?;
         if self.unpaired_ends + self.unclosed_starts > 0 {
             writeln!(

@@ -14,7 +14,7 @@ use fv_core::fields::PermeabilityField;
 use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
 use fv_core::state::FlowState;
 use fv_core::trans::{StencilKind, Transmissibilities};
-use tpfa_dataflow::{DataflowFluxSimulator, DataflowOptions};
+use tpfa_dataflow::DataflowFluxSimulator;
 use wse_sim::fabric::Execution;
 use wse_trace::{Trace, TraceEventKind, TraceSpec};
 
@@ -32,16 +32,13 @@ fn traced_run(execution: Execution, capacity: usize) -> (Trace, Vec<f32>) {
     let pressure = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 3)
         .pressure()
         .to_vec();
-    let mut sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution,
-            trace: TraceSpec::ring(capacity),
-            ..DataflowOptions::default()
-        },
-    );
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .trace(TraceSpec::ring(capacity))
+        .build()
+        .unwrap();
     let residual = sim.apply(&pressure).expect("traced run failed");
     let trace = sim.trace().expect("tracing was enabled");
     (trace, residual)

@@ -8,7 +8,7 @@
 //! ```
 
 use mdfv::dataflow::colors::{CARDINAL_CHANNELS, DIAGONAL_FAMILIES};
-use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+use mdfv::dataflow::DataflowFluxSimulator;
 use mdfv::fv::prelude::*;
 use mdfv::wse::geometry::{FabricDims, PeCoord};
 
@@ -63,7 +63,11 @@ fn main() {
     let fluid = Fluid::water_like().without_gravity();
     let perm = PermeabilityField::uniform(&mesh, 1e-12);
     let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
-    let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
 
     // Encode each cell's identity into its pressure so receives are traceable.
     let p: Vec<f32> = (0..mesh.num_cells()).map(|i| 1.0e7 + i as f32).collect();

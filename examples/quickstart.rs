@@ -15,20 +15,21 @@
 //! instead: per-region cycle attribution plus the recovered critical path,
 //! both asserted bit-identical across engines, exported as JSON.
 
-use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+use bench::CommonArgs;
+use mdfv::dataflow::DataflowFluxSimulator;
 use mdfv::fv::prelude::*;
 use mdfv::fv::validate::Validation;
 use mdfv::gpu::problem::{GpuFluxProblem, GpuModel};
 use mdfv::prof::{critical_path, profile_json, Profile};
 use mdfv::wse::fabric::Execution;
-use mdfv::wse::trace::{
-    chrome_trace_json, profile_request_from_args, trace_request_from_args, TraceSummary,
-};
+use mdfv::wse::trace::{chrome_trace_json, TraceSummary};
 
 fn main() {
-    // Optional `--trace out.json [--trace-cap N]` / `--profile out.json`.
-    let trace_req = trace_request_from_args();
-    let profile_req = profile_request_from_args();
+    // The shared benchmark flag family (`--trace`, `--profile`,
+    // `--trace-cap`, `--shards`, ...), parsed once.
+    let args = CommonArgs::parse();
+    let trace_req = args.trace.clone();
+    let profile_req = args.profile.clone();
     let trace_spec = trace_req
         .as_ref()
         .map(|r| r.spec())
@@ -64,15 +65,12 @@ fn main() {
 
     // 5. The dataflow fabric: one PE per (x, y) column, cardinal exchange
     //    with router switching, diagonal exchange through intermediaries.
-    let mut fabric = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            trace: trace_spec,
-            ..DataflowOptions::default()
-        },
-    );
+    let mut fabric = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .trace(trace_spec)
+        .build()
+        .expect("quickstart problem passes builder validation");
     let dataflow = fabric.apply(state.pressure()).expect("fabric run");
     let stats = fabric.stats();
     println!(
@@ -84,19 +82,20 @@ fn main() {
 
     // 6. The same fabric program on the parallel sharded engine (BSP
     //    supersteps over 4 rectangular shards): bit-identical results.
-    let mut sharded_sim = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            execution: Execution::Sharded {
-                shards: 4,
-                threads: 2,
-            },
-            trace: trace_spec,
-            ..DataflowOptions::default()
+    let sharded_exec = match args.execution {
+        Execution::Sharded { .. } => args.execution,
+        Execution::Sequential => Execution::Sharded {
+            shards: 4,
+            threads: 2,
         },
-    );
+    };
+    let mut sharded_sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(sharded_exec)
+        .trace(trace_spec)
+        .build()
+        .expect("quickstart problem passes builder validation");
     let sharded = sharded_sim.apply(state.pressure()).expect("sharded run");
     assert!(
         dataflow
@@ -105,7 +104,10 @@ fn main() {
             .all(|(a, b)| a.to_bits() == b.to_bits()),
         "sharded engine must be bit-identical to the sequential engine"
     );
-    println!("sharded engine (4 shards, 2 threads): bit-identical residual");
+    println!(
+        "{}: bit-identical residual",
+        bench::execution_label(sharded_exec)
+    );
 
     // 7. Cross-validation.
     println!();
@@ -174,4 +176,9 @@ fn main() {
             .unwrap_or_else(|e| panic!("writing {}: {e}", req.path));
         println!("profile written to {}", req.path);
     }
+
+    // 10. Fault injection (only with `--faults <seed>`): one faulted run
+    //     under the `--recovery` policy — recover bit-identically, degrade
+    //     honestly, or fail with the typed error.
+    bench::run_faulted_demo(&args, mesh.nx(), mesh.ny(), mesh.nz());
 }

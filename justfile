@@ -55,6 +55,16 @@ bench-profile-overhead:
     cargo bench -p bench --bench weak_scaling -- 'engine/64x64/sequential'
     cargo bench -p bench --bench profile_overhead
 
+# chaos harness: seeded random fault schedules x all recovery policies x
+# both engines; every run must recover bit-identically or fail typed
+chaos schedules="15":
+    cargo run -p bench --release --bin chaos -- --schedules {{schedules}} --report chaos-report.json
+
+# the fault-injection test suites (fabric-level fixtures + host recovery)
+faults:
+    cargo test -q -p wse-sim --release --test fault_equivalence
+    cargo test -q -p tpfa-dataflow --release --test fault_recovery
+
 # write a schema-versioned BENCH_<rev>.json perf report for this checkout
 perf-report rev="local":
     cargo run -p bench --release --bin perf_harness -- {{rev}}

@@ -3,7 +3,7 @@
 //! position, diagonal delivery through intermediaries, and overlap
 //! accounting.
 
-use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+use mdfv::dataflow::DataflowFluxSimulator;
 use mdfv::fv::prelude::*;
 
 fn problem(nx: usize, ny: usize, nz: usize) -> (CartesianMesh3, Fluid, Transmissibilities) {
@@ -40,7 +40,11 @@ fn expected_fabric_loads(nx: usize, ny: usize, nz: usize, x: usize, y: usize) ->
 fn every_pe_receives_exactly_its_neighbors_columns() {
     let (nx, ny, nz) = (6, 5, 4);
     let (mesh, fluid, trans) = problem(nx, ny, nz);
-    let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
     let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 0);
     sim.apply(p.pressure()).unwrap();
     for y in 0..ny {
@@ -58,7 +62,11 @@ fn every_pe_receives_exactly_its_neighbors_columns() {
 #[test]
 fn interior_edge_and_corner_traffic_differ_as_in_figure_5() {
     let (mesh, fluid, trans) = problem(5, 5, 3);
-    let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
     let p = FlowState::<f32>::uniform(&mesh, 1.0e7);
     sim.apply(p.pressure()).unwrap();
     let nz = 3u64;
@@ -73,7 +81,11 @@ fn switch_positions_restore_after_every_application() {
     // Ten applications in a row only work if the Fig. 6 toggle protocol
     // returns every router to its initial position each time (involution).
     let (mesh, fluid, trans) = problem(5, 4, 2);
-    let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
     let mut last = Vec::new();
     for i in 0..10 {
         let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, i % 3);
@@ -94,17 +106,18 @@ fn comm_only_mode_has_identical_traffic_to_full_mode() {
     // exactly the same data as the full one
     let (mesh, fluid, trans) = problem(5, 5, 4);
     let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 1);
-    let mut full = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut full = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
     full.apply(p.pressure()).unwrap();
-    let mut comm = DataflowFluxSimulator::new(
-        &mesh,
-        &fluid,
-        &trans,
-        DataflowOptions {
-            compute_enabled: false,
-            ..DataflowOptions::default()
-        },
-    );
+    let mut comm = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .compute_enabled(false)
+        .build()
+        .unwrap();
     comm.apply(p.pressure()).unwrap();
     let f = full.stats().total;
     let c = comm.stats().total;
@@ -120,7 +133,11 @@ fn z_faces_never_generate_fabric_traffic() {
     // paper §7.3: "Data accesses from top and bottom cells in the mesh only
     // require memory access since they are in the same PE's memory"
     let (mesh, fluid, trans) = problem(3, 3, 16);
-    let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
     let p = FlowState::<f32>::hydrostatic(&mesh, &fluid, 2.0e7);
     sim.apply(p.pressure()).unwrap();
     // traffic counts only reflect the in-plane exchanges, independent of nz
@@ -136,7 +153,11 @@ fn diagonal_data_flows_through_intermediaries() {
     // PEs' routers: corner PEs receive 3 streams but their routers forward
     // more wavelets than they deliver locally.
     let (mesh, fluid, trans) = problem(3, 3, 2);
-    let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
     let p = FlowState::<f32>::uniform(&mesh, 1.0e7);
     sim.apply(p.pressure()).unwrap();
     // all 4 diagonal streams of the center PE arrived
@@ -152,7 +173,11 @@ fn deterministic_event_ordering_across_runs() {
     let (mesh, fluid, trans) = problem(4, 4, 3);
     let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 7);
     let run = || {
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .build()
+            .unwrap();
         let r = sim.apply(p.pressure()).unwrap();
         let s = sim.stats();
         (r, s.total.cycles(), s.fabric_hops, s.ramp_deliveries)

@@ -6,7 +6,7 @@
 //! CUDA-like, and the dataflow fabric — must agree on the same flux
 //! residual, across mesh shapes, stencils, fluids and pressure fields.
 
-use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+use mdfv::dataflow::DataflowFluxSimulator;
 use mdfv::fv::prelude::*;
 use mdfv::fv::validate::rel_max_diff_vs_reference;
 use mdfv::gpu::problem::{GpuFluxProblem, GpuModel};
@@ -42,7 +42,11 @@ fn check_all(mesh: &CartesianMesh3, fluid: &Fluid, trans: &Transmissibilities, p
         );
     }
 
-    let mut fabric = DataflowFluxSimulator::new(mesh, fluid, trans, DataflowOptions::default());
+    let mut fabric = DataflowFluxSimulator::builder(mesh)
+        .fluid(fluid)
+        .transmissibilities(trans)
+        .build()
+        .unwrap();
     let dataflow = fabric.apply(p).expect("fabric run");
     assert!(
         rel_max_diff_vs_reference(&reference, &dataflow) < 1e-3,
@@ -100,7 +104,11 @@ fn agreement_across_iterated_pressure_vectors() {
     let fluid = Fluid::water_like();
     let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.3, 3);
     let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
-    let mut fabric = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut fabric = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
     let mut gpu = GpuFluxProblem::new(&mesh, &fluid, &trans);
     for i in 0..5 {
         let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, i);
@@ -145,8 +153,11 @@ fn single_row_and_single_column_fabrics() {
         let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
         let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 1);
         let reference = reference_f64(&mesh, &fluid, &trans, p.pressure());
-        let mut fabric =
-            DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut fabric = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .build()
+            .unwrap();
         let df = fabric.apply(p.pressure()).unwrap();
         assert!(
             rel_max_diff_vs_reference(&reference, &df) < 1e-3,

@@ -105,12 +105,16 @@ fn impes_waterflood_on_heterogeneous_3d_mesh() {
 fn wave_and_tpfa_share_the_exchange_infrastructure() {
     // both programs run on identically-configured fabrics: a smoke test
     // that the factored exchange engine serves two different applications
-    use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+    use mdfv::dataflow::DataflowFluxSimulator;
     let mesh = CartesianMesh3::new(Extents::new(5, 5, 3), Spacing::uniform(5.0));
     let fluid = Fluid::water_like();
     let perm = PermeabilityField::uniform(&mesh, 1e-13);
     let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
-    let mut tpfa = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut tpfa = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
     let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 0);
     tpfa.apply(p.pressure()).unwrap();
 

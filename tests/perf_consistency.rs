@@ -1,7 +1,7 @@
 //! Consistency between the measured simulators and the analytic machine
 //! models — the contract that makes the full-scale tables trustworthy.
 
-use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+use mdfv::dataflow::DataflowFluxSimulator;
 use mdfv::fv::prelude::*;
 use mdfv::perf::{A100Model, Cs2Model, TpfaCycleModel};
 
@@ -10,7 +10,11 @@ fn measure_interior(nz: usize) -> mdfv::wse::stats::OpCounters {
     let fluid = Fluid::water_like();
     let perm = PermeabilityField::uniform(&mesh, 1e-13);
     let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
-    let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .build()
+        .unwrap();
     let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 0);
     sim.apply(p.pressure()).unwrap();
     *sim.pe_counters(2, 2)

@@ -156,7 +156,7 @@ proptest! {
         ny in 3usize..6,
         nz in 1usize..5,
     ) {
-        use mdfv::dataflow::{DataflowFluxSimulator, DataflowOptions};
+        use mdfv::dataflow::DataflowFluxSimulator;
         use mdfv::fv::validate::rel_max_diff_vs_reference;
         let mesh = CartesianMesh3::new(Extents::new(nx, ny, nz), Spacing::uniform(5.0));
         let fluid = Fluid::water_like();
@@ -166,7 +166,11 @@ proptest! {
         let p64: Vec<f64> = p.pressure().iter().map(|&v| v as f64).collect();
         let mut reference = vec![0.0_f64; mesh.num_cells()];
         assemble_flux_residual(&mesh, &fluid, &trans, &p64, &mut reference);
-        let mut sim = DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .build()
+            .unwrap();
         let r = sim.apply(p.pressure()).unwrap();
         prop_assert!(rel_max_diff_vs_reference(&reference, &r) < 1e-3);
     }
