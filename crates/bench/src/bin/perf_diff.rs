@@ -2,13 +2,21 @@
 //!
 //! ```text
 //! cargo run --release --bin perf_diff -- BASELINE.json CANDIDATE.json \
-//!     [--threshold pct] [--strict]
+//!     [--threshold pct] [--strict] [--deterministic]
 //! ```
 //!
 //! Prints the per-metric deltas and flags changes beyond the threshold
 //! (default 10%) in each metric's worse direction. Report-only by default —
 //! exits 0 even with regressions, so CI can surface the diff without
 //! blocking merges on noisy shared runners; `--strict` exits 1 instead.
+//!
+//! `--deterministic` restricts the comparison to the simulated-cycle
+//! metrics (everything except the `wall_clock_s/` and `events_per_s/`
+//! families). Those are exact functions of the program — not of the
+//! machine — so the threshold drops to 0.00% and *any* change in *any*
+//! direction counts as a regression, including `info` entries and
+//! metrics missing from the candidate. CI runs this with `--strict`: an
+//! engine optimization can never silently change simulated semantics.
 
 use wse_prof::{bench_diff, BenchReport};
 
@@ -32,15 +40,29 @@ fn main() {
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(10.0);
     let strict = args.iter().any(|a| a == "--strict");
+    let deterministic = args.iter().any(|a| a == "--deterministic");
 
-    let a = load(a_path);
-    let b = load(b_path);
+    let mut a = load(a_path);
+    let mut b = load(b_path);
+    if deterministic {
+        let is_wall =
+            |name: &str| name.starts_with("wall_clock_s/") || name.starts_with("events_per_s/");
+        a.entries.retain(|e| !is_wall(&e.name));
+        b.entries.retain(|e| !is_wall(&e.name));
+    }
     println!("baseline:  {} (rev {})", a_path, a.rev);
     println!("candidate: {} (rev {})\n", b_path, b.rev);
-    let diff = bench_diff(&a, &b, threshold);
+    let mut diff = bench_diff(&a, &b, if deterministic { 0.0 } else { threshold });
+    if deterministic {
+        // Deterministic metrics admit no direction and no tolerance.
+        for line in &mut diff.lines {
+            line.regressed = line.delta_pct != 0.0;
+        }
+    }
     print!("{diff}");
 
-    if strict && diff.has_regressions() {
+    let failed = diff.has_regressions() || (deterministic && !diff.missing_in_b.is_empty());
+    if strict && failed {
         std::process::exit(1);
     }
 }

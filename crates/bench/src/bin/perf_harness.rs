@@ -3,13 +3,16 @@
 //! and writes a schema-versioned `BENCH_<rev>.json` for `perf-diff`.
 //!
 //! ```text
-//! cargo run --release --bin perf_harness -- [rev] [--out path]
+//! cargo run --release --bin perf_harness -- [rev] [--out path] [--update-baseline]
 //! ```
 //!
 //! `rev` (default `unversioned`) names the revision in the report and the
 //! default output file. Wall-clock entries are medians of several repeats —
 //! still noisy on shared CI machines, which is why `perf-diff` is a
-//! report-only gate with a generous threshold.
+//! report-only gate with a generous threshold. `--update-baseline`
+//! additionally rewrites the committed `BENCH_baseline.json` with this
+//! run's numbers (`just bench-baseline`) — do this only deliberately, on
+//! an idle machine, after an intentional performance change.
 
 use std::time::Instant;
 
@@ -185,4 +188,9 @@ fn main() {
         "bench report written to {out} ({} entries)",
         report.entries.len()
     );
+    if args.iter().any(|a| a == "--update-baseline") {
+        std::fs::write("BENCH_baseline.json", report.to_json())
+            .unwrap_or_else(|e| panic!("rewriting BENCH_baseline.json: {e}"));
+        println!("BENCH_baseline.json updated (rev {rev})");
+    }
 }

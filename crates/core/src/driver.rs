@@ -306,6 +306,7 @@ pub struct SimulatorBuilder<'a> {
     pe_memory_bytes: usize,
     max_events: u64,
     execution: Execution,
+    fast_forward: bool,
     trace: TraceSpec,
     fault_plan: FaultPlan,
     recovery: RecoveryPolicy,
@@ -322,6 +323,7 @@ impl<'a> SimulatorBuilder<'a> {
             pe_memory_bytes: wse_sim::memory::WSE2_PE_MEMORY_BYTES,
             max_events: 1_000_000_000,
             execution: Execution::Sequential,
+            fast_forward: true,
             trace: TraceSpec::OFF,
             fault_plan: FaultPlan::new(),
             recovery: RecoveryPolicy::Fail,
@@ -371,6 +373,15 @@ impl<'a> SimulatorBuilder<'a> {
     /// Fabric event-loop engine (default [`Execution::Sequential`]).
     pub fn execution(mut self, execution: Execution) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// Static-route fast-forwarding in the fabric event engine (default
+    /// on; automatically disabled while tracing or fault injection is
+    /// active, see [`FabricConfig::fast_forward`]). Turning it off forces
+    /// per-hop event semantics — results are bit-identical either way.
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
         self
     }
 
@@ -456,6 +467,7 @@ impl<'a> SimulatorBuilder<'a> {
                 pe_memory_bytes: self.pe_memory_bytes,
                 max_events: self.max_events,
                 execution: self.execution,
+                fast_forward: self.fast_forward,
                 trace: self.trace,
                 ..FabricConfig::default()
             },

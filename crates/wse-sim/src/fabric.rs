@@ -22,28 +22,53 @@
 //!
 //! Both engines order events by the same key `(time, seq, src)`, where
 //! `seq` is a counter private to the *creating* PE (or to the host) and
-//! `src` identifies that creator. The key is causally local: it depends
-//! only on the creating PE's own processing history, never on global
-//! interleaving, so both engines assign identical keys to identical events.
-//! Keys are unique (each creator numbers its events), giving a strict total
-//! order, so heap insertion order is irrelevant. Determinism of the sharded
-//! engine then follows from one lookahead property: a wavelet leaving a PE
-//! reaches a *different* PE no earlier than `hop_latency` cycles later, so
-//! all same-time events at a PE are locally created and every cross-shard
+//! `src` identifies that creator. A pure pass-through hop — a data wavelet
+//! crossing a *fixed* single-cardinal-output route — is **key-preserving**:
+//! the router forwards the event with `(seq, src)` untouched, advancing
+//! only its time, so passive forwarding routers never contribute to the
+//! key. Every other emission (ramp delivery, fan-out, task output, local
+//! activation) gets a fresh `seq` from its creator. The key is causally
+//! local: it depends only on the originating PE's own processing history,
+//! never on global interleaving, so both engines assign identical keys to
+//! identical events. Keys of *pending* events are unique (each creator
+//! numbers its events, and a key-preserved forward consumes its predecessor
+//! and is its only descendant), giving a strict total order, so queue
+//! insertion order is irrelevant. Determinism of the sharded engine then
+//! follows from one lookahead property: a wavelet leaving a PE reaches a
+//! *different* PE no earlier than `hop_latency` cycles later, so all
+//! same-time events at a PE are locally created and every cross-shard
 //! event created inside window `[W, W + hop_latency)` lands at time
 //! `≥ W + hop_latency` — the next window — and exchanging at the barrier
 //! loses nothing. Results, per-PE [`OpCounters`], [`RunReport`] totals, and
 //! error reporting are bit-identical between the engines.
+//!
+//! # Event engine
+//!
+//! Events live in a bucketed [`CalendarQueue`] — O(1) push/pop for the
+//! near-term, integer-cycle times the fabric produces (see
+//! [`crate::queue`]) — behind the [`EventQueue`] trait both engines share.
+//! On fault-free, untraced runs the engines also **fast-forward static
+//! routes**: a per-`(pe, color)` table of passive-forwarding hops is built
+//! at `run()` entry, and a data wavelet entering a k-hop chain of fixed
+//! single-cardinal-output routes is delivered to the chain's end as *one*
+//! event at `t + k·hop_latency`, with each intermediate router's
+//! `fabric_hops` bumped exactly as the per-hop walk would bump it. Key
+//! preservation makes both walks emit the same final event, so results are
+//! bit-identical with fast-forwarding on or off
+//! ([`FabricConfig::fast_forward`]). Chains re-validate each hop against
+//! [`Router::version`] at walk time, so runtime reconfiguration falls back
+//! to per-hop routing; sharded chains additionally stop at shard
+//! boundaries, preserving the BSP lookahead argument above.
 
 use crate::fault::{FaultClass, FaultEvent, FaultKind, FaultPlan};
 use crate::geometry::{Direction, FabricDims, PeCoord};
 use crate::memory::PeMemory;
 use crate::pe::{PeContext, PeProgram};
-use crate::route::{RouteError, Router};
+use crate::queue::{advance_time, CalendarQueue, EventQueue, Timestamped};
+use crate::route::{DirMask, RouteError, Router};
 use crate::stats::{FabricStats, OpCounters};
-use crate::wavelet::{Color, Wavelet, WaveletKind};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::wavelet::{Color, Wavelet, WaveletKind, MAX_COLORS};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wse_trace::{EventRing, PeTracer, Trace, TraceEventKind, TraceSpec, HOST_PE, LINK_CONTROL_BIT};
@@ -84,6 +109,13 @@ pub struct FabricConfig {
     /// branch per instrumentation site). When enabled, each PE records into
     /// a bounded drop-oldest ring; read the result with [`Fabric::trace`].
     pub trace: TraceSpec,
+    /// Static-route fast-forwarding (default on): deliver wavelets across
+    /// chains of passive fixed-route routers as one event instead of one
+    /// per hop. Results are bit-identical either way (see the module docs);
+    /// the toggle exists for differential testing and benchmarking. Ignored
+    /// (treated as off) while tracing is enabled or a non-empty
+    /// [`FaultPlan`] is installed — those paths need per-hop semantics.
+    pub fast_forward: bool,
 }
 
 impl Default for FabricConfig {
@@ -94,6 +126,7 @@ impl Default for FabricConfig {
             max_events: 1_000_000_000,
             execution: Execution::Sequential,
             trace: TraceSpec::OFF,
+            fast_forward: true,
         }
     }
 }
@@ -135,6 +168,12 @@ impl Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.key().cmp(&other.key())
+    }
+}
+
+impl Timestamped for Event {
+    fn time(&self) -> u64 {
+        self.time
     }
 }
 impl PartialOrd for Event {
@@ -192,6 +231,10 @@ struct PeSlot {
     /// link in this situation; we park the wavelet and re-inject it when a
     /// control wavelet toggles the color's position. FIFO per color.
     parked: Vec<(Direction, Wavelet)>,
+    /// `process_route`'s work list, kept on the slot so the routing hot
+    /// path never allocates. Always drained back to empty. The flag marks
+    /// the primary (incoming) wavelet, whose hop may be key-preserving.
+    route_scratch: VecDeque<(Direction, Wavelet, bool)>,
     /// This PE's private event sequence counter (the `seq` of events it
     /// creates). Causally local: advances only when this PE processes an
     /// event, identically in both engines.
@@ -401,15 +444,17 @@ fn process_route(
     hop_latency: u64,
     ev: &Event,
     input: Direction,
-    emit: &mut dyn FnMut(Event),
+    emit: &mut impl FnMut(Event),
     first_error: &mut Option<(EventKey, FabricError)>,
 ) {
-    // Work list: the incoming wavelet, then — in arrival order — any
-    // previously stalled wavelets a toggle releases. Releases are
-    // processed *within this event* so that no later-queued wavelet of
-    // the same color can overtake them (link-order preservation).
-    let mut work: std::collections::VecDeque<(Direction, Wavelet)> =
-        std::collections::VecDeque::new();
+    // Work list (slot-resident, so the hot path never allocates): the
+    // incoming wavelet, then — in arrival order — any previously stalled
+    // wavelets a toggle releases. Releases are processed *within this
+    // event* so that no later-queued wavelet of the same color can
+    // overtake them (link-order preservation). Only the incoming wavelet
+    // is `primary`: released wavelets share this event's time, so
+    // key-preserving their hops too would duplicate pending keys.
+    debug_assert!(slot.route_scratch.is_empty());
     let mut incoming = ev.wavelet;
     if slot.faults.active {
         // Spurious router-configuration flips scheduled at or before this
@@ -443,8 +488,8 @@ fn process_route(
                             true
                         }
                     });
-                    for r in released {
-                        work.push_back(r);
+                    for (dir, w) in released {
+                        slot.route_scratch.push_back((dir, w, false));
                     }
                 }
                 // Unconfigured or fixed color: the flip has no observable
@@ -483,8 +528,8 @@ fn process_route(
             );
         }
     }
-    work.push_back((input, incoming));
-    while let Some((inp, wavelet)) = work.pop_front() {
+    slot.route_scratch.push_back((input, incoming, true));
+    while let Some((inp, wavelet, primary)) = slot.route_scratch.pop_front() {
         let outcome = match slot.router.route(wavelet.color, inp, wavelet.is_control()) {
             Ok(o) => o,
             // Flow control: the active switch position does not accept
@@ -535,12 +580,12 @@ fn process_route(
                 }
             });
             // keep their original relative order, ahead of nothing else
-            for r in released.into_iter().rev() {
-                work.push_front(r);
+            for (dir, w) in released.into_iter().rev() {
+                slot.route_scratch.push_front((dir, w, false));
             }
         }
-        for dir in &outcome.outputs {
-            if *dir == Direction::Ramp {
+        for dir in outcome.outputs.iter() {
+            if dir == Direction::Ramp {
                 slot.trace.record_at(
                     ev.time,
                     TraceEventKind::WaveletRecv,
@@ -565,7 +610,7 @@ fn process_route(
                     ev.time,
                     TraceEventKind::WaveletSend,
                     wavelet.color.id(),
-                    link_code(*dir, wavelet.is_control()),
+                    link_code(dir, wavelet.is_control()),
                     wavelet.payload,
                 );
                 // A downed link drops the wavelet after the router forwards
@@ -575,7 +620,7 @@ fn process_route(
                 let downed =
                     slot.faults.active
                         && slot.faults.link_down.iter().any(|&(d, from, until)| {
-                            d == *dir && ev.time >= from && ev.time < until
+                            d == dir && ev.time >= from && ev.time < until
                         });
                 if downed {
                     record_fault(
@@ -583,7 +628,7 @@ fn process_route(
                         coord,
                         ev.time,
                         FaultClass::LinkDown,
-                        link_code(*dir, wavelet.is_control()),
+                        link_code(dir, wavelet.is_control()),
                         wavelet.payload,
                         false,
                     );
@@ -591,20 +636,36 @@ fn process_route(
                         ev.time,
                         TraceEventKind::EdgeDrop,
                         wavelet.color.id(),
-                        link_code(*dir, wavelet.is_control()),
+                        link_code(dir, wavelet.is_control()),
                         wavelet.payload,
                     );
                     slot.edge_drops += 1;
                     slot.fault_drops += 1;
                     continue;
                 }
-                match dims.neighbor(coord, *dir) {
+                match dims.neighbor(coord, dir) {
                     Some(n) => {
-                        slot.seq += 1;
+                        // Key-preserving forward (see the module docs): the
+                        // primary data wavelet crossing a fixed single-
+                        // cardinal-output route keeps its `(seq, src)` and
+                        // advances only in time — the hop is pure
+                        // pass-through, so the forwarding router stays out
+                        // of the key and fast-forwarding the chain emits
+                        // the identical event.
+                        let preserve = primary
+                            && !wavelet.is_control()
+                            && outcome.fixed
+                            && outcome.outputs.len() == 1;
+                        let (seq, src) = if preserve {
+                            (ev.seq, ev.src)
+                        } else {
+                            slot.seq += 1;
+                            (slot.seq, pe)
+                        };
                         emit(Event {
-                            time: ev.time + hop_latency,
-                            seq: slot.seq,
-                            src: pe,
+                            time: advance_time(ev.time, hop_latency),
+                            seq,
+                            src,
                             pe: dims.linear(n),
                             kind: EventKind::Route(dir.arrival_side()),
                             wavelet,
@@ -615,7 +676,7 @@ fn process_route(
                             ev.time,
                             TraceEventKind::EdgeDrop,
                             wavelet.color.id(),
-                            link_code(*dir, wavelet.is_control()),
+                            link_code(dir, wavelet.is_control()),
                             wavelet.payload,
                         );
                         slot.edge_drops += 1;
@@ -632,7 +693,7 @@ fn process_deliver(
     coord: PeCoord,
     dims: FabricDims,
     ev: &Event,
-    emit: &mut dyn FnMut(Event),
+    emit: &mut impl FnMut(Event),
 ) {
     // A halted PE swallows every delivery without running a task.
     if slot.faults.active && slot.faults.halt_at.is_some_and(|h| ev.time >= h) {
@@ -702,14 +763,14 @@ fn process_deliver(
             .position(|&(from, until, _)| start >= from && start < until)
         {
             let factor = slot.faults.slow[i].2;
-            cost *= u64::from(factor);
+            cost = cost.saturating_mul(u64::from(factor));
             if !slot.faults.slow_logged[i] {
                 slot.faults.slow_logged[i] = true;
                 record_fault(slot, coord, start, FaultClass::PeSlow, 0, factor, false);
             }
         }
     }
-    slot.busy_until = start + cost;
+    slot.busy_until = advance_time(start, cost);
     slot.trace.record_at(
         slot.busy_until,
         TraceEventKind::TaskEnd,
@@ -721,30 +782,33 @@ fn process_deliver(
 }
 
 /// Injects a PE's pending sends (through its own router, ramp input) and
-/// local activations.
-fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut dyn FnMut(Event)) {
+/// local activations. The outbox/activation buffers are recycled
+/// (take/clear/restore), so steady-state flushes allocate nothing.
+fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut impl FnMut(Event)) {
     // Wavelets are sealed (checksum installed) at network injection only
     // while a fault plan has verification on — the fault-free path never
     // computes a checksum.
     let verify = slot.faults.verify_checksums;
-    let outbox: Vec<Wavelet> = slot.outbox.drain(..).collect();
+    let mut outbox = std::mem::take(&mut slot.outbox);
     // Successive wavelets leave the ramp one cycle apart.
-    for (k, mut w) in outbox.into_iter().enumerate() {
+    for (k, w) in outbox.iter_mut().enumerate() {
         if verify {
             w.seal();
         }
         slot.seq += 1;
         emit(Event {
-            time: at + k as u64,
+            time: advance_time(at, k as u64),
             seq: slot.seq,
             src: pe,
             pe,
             kind: EventKind::Route(Direction::Ramp),
-            wavelet: w,
+            wavelet: *w,
         });
     }
-    let acts: Vec<(Color, u32)> = slot.activations.drain(..).collect();
-    for (color, payload) in acts {
+    outbox.clear();
+    slot.outbox = outbox;
+    let mut acts = std::mem::take(&mut slot.activations);
+    for &(color, payload) in acts.iter() {
         let mut w = Wavelet::data(color, payload);
         if verify {
             w.seal();
@@ -759,6 +823,140 @@ fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut dyn FnMut(E
             wavelet: w,
         });
     }
+    acts.clear();
+    slot.activations = acts;
+}
+
+// ---------------------------------------------------------------------------
+// Static-route fast-forwarding
+// ---------------------------------------------------------------------------
+
+/// One precomputed passive-forwarding hop: what a fixed single-cardinal-
+/// output route at a `(pe, color)` does to a data wavelet, when valid.
+#[derive(Clone, Copy)]
+struct FwdStep {
+    valid: bool,
+    /// Input links the fixed position accepts.
+    rx: DirMask,
+    /// [`Router::version`] the step was built from; a mismatch at walk
+    /// time means the program reconfigured the router mid-run — the chain
+    /// breaks there and routing falls back to per-hop.
+    version: u32,
+    /// Arrival side at the downstream PE.
+    arrival: Direction,
+    /// Linear index of the downstream PE.
+    next: u32,
+}
+
+const INVALID_STEP: FwdStep = FwdStep {
+    valid: false,
+    rx: DirMask::EMPTY,
+    version: 0,
+    arrival: Direction::North,
+    next: 0,
+};
+
+/// Per-`(pe, color)` table of passive-forwarding hops, built once at
+/// `run()` entry when fast-forwarding is enabled (never while tracing is on
+/// or fault state is installed — see [`Fabric::fwd_table`]).
+struct FwdTable {
+    steps: Vec<FwdStep>,
+    num_pes: usize,
+}
+
+impl FwdTable {
+    fn build(dims: FabricDims, pes: &[PeSlot]) -> Self {
+        let mut steps = vec![INVALID_STEP; pes.len() * MAX_COLORS];
+        for (i, slot) in pes.iter().enumerate() {
+            let coord = dims.coord(i);
+            for c in 0..MAX_COLORS {
+                let Some(cfg) = slot.router.config(Color::new(c as u8)) else {
+                    continue;
+                };
+                if !cfg.is_fixed() {
+                    continue;
+                }
+                let pos = cfg.active();
+                // Exactly the key-preserving hop shape: one cardinal
+                // output. Edge-pointing routes are excluded (their drops
+                // must be counted per hop).
+                if pos.tx.len() != 1 || pos.tx.contains(Direction::Ramp) {
+                    continue;
+                }
+                let out = pos.tx.iter().next().expect("single output");
+                let Some(n) = dims.neighbor(coord, out) else {
+                    continue;
+                };
+                steps[i * MAX_COLORS + c] = FwdStep {
+                    valid: true,
+                    rx: pos.rx,
+                    version: slot.router.version(),
+                    arrival: out.arrival_side(),
+                    next: dims.linear(n) as u32,
+                };
+            }
+        }
+        Self {
+            steps,
+            num_pes: pes.len(),
+        }
+    }
+}
+
+/// Walks the passive-forwarding chain starting at `ev`'s PE and delivers
+/// the wavelet across all of it as one event: returns the hop count and
+/// the chain-end event (key preserved, time advanced `hops · hop_latency`),
+/// or `None` when the first hop is not a chain hop. Each traversed router's
+/// `fabric_hops` is bumped exactly as the per-hop walk would. `map` turns a
+/// linear PE index into the caller's slot index — `None` stops the chain
+/// (the sharded engine owns only its shard's slots, so chains stop at
+/// shard boundaries and the BSP lookahead argument is untouched).
+fn fast_forward(
+    table: &FwdTable,
+    slots: &mut [PeSlot],
+    map: impl Fn(usize) -> Option<usize>,
+    hop_latency: u64,
+    ev: &Event,
+    input: Direction,
+) -> Option<(u64, Event)> {
+    let color = ev.wavelet.color.index();
+    let mut time = ev.time;
+    let mut pe = ev.pe;
+    let mut input = input;
+    let mut hops = 0u64;
+    // A chain of distinct eligible routers can never be longer than the
+    // fabric; stopping there re-queues the wavelet mid-cycle and lets the
+    // event budget catch genuinely circular routes.
+    while hops < table.num_pes as u64 {
+        let step = table.steps[pe * MAX_COLORS + color];
+        if !step.valid || !step.rx.contains(input) {
+            break;
+        }
+        let Some(local) = map(pe) else { break };
+        let slot = &mut slots[local];
+        if slot.router.version() != step.version {
+            break;
+        }
+        slot.router.fabric_hops += 1;
+        time = advance_time(time, hop_latency);
+        input = step.arrival;
+        pe = step.next as usize;
+        hops += 1;
+    }
+    if hops == 0 {
+        return None;
+    }
+    Some((
+        hops,
+        Event {
+            time,
+            seq: ev.seq,
+            src: ev.src,
+            pe,
+            kind: EventKind::Route(input),
+            wavelet: ev.wavelet,
+        },
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -912,7 +1110,7 @@ struct Shard {
     id: usize,
     rect: ShardRect,
     slots: Vec<PeSlot>,
-    heap: BinaryHeap<Reverse<Event>>,
+    queue: CalendarQueue<Event>,
     events: u64,
     max_time: u64,
     error: Option<(EventKey, FabricError)>,
@@ -942,32 +1140,30 @@ struct SharedCoord {
 const BUDGET_BATCH: u64 = 64;
 
 /// Processes one shard's events inside the window `[.., window_end)`.
+#[allow(clippy::too_many_arguments)]
 fn process_shard_window(
     shard: &mut Shard,
     window_end: u64,
     dims: FabricDims,
     config: &FabricConfig,
     plan: &ShardPlan,
+    fwd: Option<&FwdTable>,
     shared: &SharedCoord,
 ) {
     let Shard {
         id,
         rect,
         slots,
-        heap,
+        queue,
         events,
         max_time,
         error,
     } = shard;
     let mut batch = 0u64;
-    loop {
-        let ev = match heap.peek() {
-            Some(Reverse(e)) if e.time < window_end => heap.pop().unwrap().0,
-            _ => break,
-        };
+    while let Some(ev) = queue.pop_before(window_end) {
         *events += 1;
         batch += 1;
-        if batch == BUDGET_BATCH {
+        if batch >= BUDGET_BATCH {
             let global = shared.pops.fetch_add(batch, Ordering::SeqCst) + batch;
             batch = 0;
             if global > config.max_events {
@@ -981,11 +1177,33 @@ fn process_shard_window(
         *max_time = (*max_time).max(ev.time);
         let pe = ev.pe;
         let coord = dims.coord(pe);
+        if let (Some(table), EventKind::Route(input)) = (fwd, ev.kind) {
+            if ev.wavelet.kind == WaveletKind::Data {
+                let own = |i: usize| {
+                    let c = dims.coord(i);
+                    (plan.shard_of(c) == *id).then(|| rect.local_index(c))
+                };
+                if let Some((hops, jumped)) =
+                    fast_forward(table, slots, own, config.hop_latency, &ev, input)
+                {
+                    // The chain's intermediate pops happened in bulk.
+                    *events += hops - 1;
+                    batch += hops - 1;
+                    let dest = plan.shard_of(dims.coord(jumped.pe));
+                    if dest == *id {
+                        queue.push(jumped);
+                    } else {
+                        shared.inboxes[dest].lock().unwrap().push(jumped);
+                    }
+                    continue;
+                }
+            }
+        }
         let slot = &mut slots[rect.local_index(coord)];
         let mut emit = |e: Event| {
             let dest = plan.shard_of(dims.coord(e.pe));
             if dest == *id {
-                heap.push(Reverse(e));
+                queue.push(e);
             } else {
                 shared.inboxes[dest].lock().unwrap().push(e);
             }
@@ -1015,12 +1233,14 @@ fn process_shard_window(
 
 /// One worker's superstep loop. Workers own whole shards; `leader` is
 /// responsible for resetting the idle `window_min` slot.
+#[allow(clippy::too_many_arguments)]
 fn shard_worker(
     mut owned: Vec<Shard>,
     leader: bool,
     dims: FabricDims,
     config: FabricConfig,
     plan: &ShardPlan,
+    fwd: Option<&FwdTable>,
     shared: &SharedCoord,
 ) -> Vec<Shard> {
     let mut step = 0usize;
@@ -1037,11 +1257,11 @@ fn shard_worker(
         for sh in owned.iter_mut() {
             let mut inbox = shared.inboxes[sh.id].lock().unwrap();
             for ev in inbox.drain(..) {
-                sh.heap.push(Reverse(ev));
+                sh.queue.push(ev);
             }
             drop(inbox);
-            if let Some(Reverse(e)) = sh.heap.peek() {
-                local_min = local_min.min(e.time);
+            if let Some(t) = sh.queue.next_time() {
+                local_min = local_min.min(t);
             }
         }
         // The idle slot was last read before barrier A, so resetting it
@@ -1069,9 +1289,9 @@ fn shard_worker(
                 step as u32,
             );
         }
-        let window_end = window_start.saturating_add(config.hop_latency);
+        let window_end = advance_time(window_start, config.hop_latency);
         for sh in owned.iter_mut() {
-            process_shard_window(sh, window_end, dims, &config, plan, shared);
+            process_shard_window(sh, window_end, dims, &config, plan, fwd, shared);
         }
         step += 1;
     }
@@ -1083,7 +1303,7 @@ pub struct Fabric {
     dims: FabricDims,
     config: FabricConfig,
     pes: Vec<PeSlot>,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: CalendarQueue<Event>,
     host_seq: u64,
     time: u64,
     initialized: bool,
@@ -1113,6 +1333,7 @@ impl Fabric {
                 outbox: Vec::new(),
                 activations: Vec::new(),
                 parked: Vec::new(),
+                route_scratch: VecDeque::new(),
                 seq: 0,
                 edge_drops: 0,
                 flow_stalls: 0,
@@ -1127,7 +1348,7 @@ impl Fabric {
             dims,
             config,
             pes,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             host_seq: 0,
             time: 0,
             initialized: false,
@@ -1171,7 +1392,7 @@ impl Fabric {
         // Anything sent from init is injected at t = 0.
         let Self { pes, queue, .. } = self;
         for (i, slot) in pes.iter_mut().enumerate() {
-            flush_pe_output(slot, i, 0, &mut |e| queue.push(Reverse(e)));
+            flush_pe_output(slot, i, 0, &mut |e| queue.push(e));
         }
     }
 
@@ -1192,7 +1413,7 @@ impl Fabric {
             kind: EventKind::Deliver,
             wavelet,
         };
-        self.queue.push(Reverse(ev));
+        self.queue.push(ev);
     }
 
     /// Activates every PE (host broadcast launch).
@@ -1227,13 +1448,10 @@ impl Fabric {
             // `load`, before this plan existed) predate sealing — install
             // their checksums now so verification doesn't misread them as
             // corrupted.
-            self.queue = std::mem::take(&mut self.queue)
-                .into_iter()
-                .map(|Reverse(mut e)| {
-                    e.wavelet.seal();
-                    Reverse(e)
-                })
-                .collect();
+            for mut e in self.queue.drain_unordered() {
+                e.wavelet.seal();
+                self.queue.push(e);
+            }
         }
         for f in &plan.faults {
             let st = &mut self.pes[self.dims.linear(f.pe)].faults;
@@ -1337,6 +1555,24 @@ impl Fabric {
         result
     }
 
+    /// Builds the fast-forwarding table for a run, or `None` when the
+    /// feature is gated off: disabled by config, tracing on (per-hop sends
+    /// must be recorded), or fault state installed (faults interpose on
+    /// individual hops).
+    fn fwd_table(&self) -> Option<FwdTable> {
+        if !self.config.fast_forward || self.config.trace.enabled {
+            return None;
+        }
+        if self
+            .pes
+            .iter()
+            .any(|s| s.faults.active || s.faults.verify_checksums)
+        {
+            return None;
+        }
+        Some(FwdTable::build(self.dims, &self.pes))
+    }
+
     fn run_sequential(&mut self) -> Result<RunReport, FabricError> {
         let mut events = 0u64;
         let drops_before = self.total_edge_drops();
@@ -1344,19 +1580,34 @@ impl Fabric {
         let mut first_error: Option<(EventKey, FabricError)> = None;
         let dims = self.dims;
         let hop_latency = self.config.hop_latency;
-        while let Some(Reverse(ev)) = self.queue.pop() {
+        let max_events = self.config.max_events;
+        let fwd = self.fwd_table();
+        while let Some(ev) = self.queue.pop() {
             events += 1;
-            if events > self.config.max_events {
-                return Err(FabricError::EventBudgetExceeded {
-                    max_events: self.config.max_events,
-                });
+            if events > max_events {
+                return Err(FabricError::EventBudgetExceeded { max_events });
             }
             self.time = self.time.max(ev.time);
             let pe = ev.pe;
             let coord = dims.coord(pe);
             let Self { pes, queue, .. } = self;
+            if let (Some(table), EventKind::Route(input)) = (&fwd, ev.kind) {
+                if ev.wavelet.kind == WaveletKind::Data {
+                    if let Some((hops, jumped)) =
+                        fast_forward(table, pes, Some, hop_latency, &ev, input)
+                    {
+                        // The chain's intermediate pops happened in bulk.
+                        events += hops - 1;
+                        if events > max_events {
+                            return Err(FabricError::EventBudgetExceeded { max_events });
+                        }
+                        queue.push(jumped);
+                        continue;
+                    }
+                }
+            }
             let slot = &mut pes[pe];
-            let mut emit = |e: Event| queue.push(Reverse(e));
+            let mut emit = |e: Event| queue.push(e);
             match ev.kind {
                 EventKind::Route(input) => process_route(
                     slot,
@@ -1399,6 +1650,7 @@ impl Fabric {
         let workers = threads.clamp(1, n);
         let drops_before = self.total_edge_drops();
         let faults_before = self.total_fault_events();
+        let fwd = self.fwd_table();
 
         // Move each PE's slot into its shard; restored before returning.
         let mut slot_opts: Vec<Option<PeSlot>> = self.pes.drain(..).map(Some).collect();
@@ -1413,17 +1665,17 @@ impl Fabric {
                     id,
                     rect,
                     slots,
-                    heap: BinaryHeap::new(),
+                    queue: CalendarQueue::new(),
                     events: 0,
                     max_time: 0,
                     error: None,
                 }
             })
             .collect();
-        for Reverse(ev) in self.queue.drain() {
+        for ev in self.queue.drain_unordered() {
             shard_states[plan.shard_of(dims.coord(ev.pe))]
-                .heap
-                .push(Reverse(ev));
+                .queue
+                .push(ev);
         }
 
         let shared = SharedCoord {
@@ -1445,8 +1697,9 @@ impl Fabric {
                 .into_iter()
                 .enumerate()
                 .map(|(w, owned)| {
-                    let (shared, plan) = (&shared, &plan);
-                    scope.spawn(move || shard_worker(owned, w == 0, dims, config, plan, shared))
+                    let (shared, plan, fwd) = (&shared, &plan, fwd.as_ref());
+                    scope
+                        .spawn(move || shard_worker(owned, w == 0, dims, config, plan, fwd, shared))
                 })
                 .collect();
             handles
@@ -1464,7 +1717,7 @@ impl Fabric {
             if let Some((k, e)) = sh.error.take() {
                 merge_min_error(&mut min_error, k, e);
             }
-            for ev in sh.heap.drain() {
+            for ev in sh.queue.drain_unordered() {
                 self.queue.push(ev);
             }
             for (lin, slot) in sh.rect.iter_linear(dims).zip(sh.slots) {
@@ -1478,7 +1731,7 @@ impl Fabric {
         self.host_trace = shared.meta.into_inner().unwrap();
         for inbox in shared.inboxes {
             for ev in inbox.into_inner().unwrap() {
-                self.queue.push(Reverse(ev));
+                self.queue.push(ev);
             }
         }
 

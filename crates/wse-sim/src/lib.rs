@@ -40,6 +40,7 @@ pub mod fault;
 pub mod geometry;
 pub mod memory;
 pub mod pe;
+pub mod queue;
 pub mod route;
 pub mod stats;
 pub mod wavelet;

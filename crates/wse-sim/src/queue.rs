@@ -1,0 +1,466 @@
+//! Event queues for the discrete-event engines.
+//!
+//! Both fabric engines pop events in the strict key order `(time, seq,
+//! src)`. The reference container is a [`BinaryHeap`] of reversed items
+//! ([`HeapQueue`]), which costs O(log n) per hop. Fabric event times are
+//! integer cycles and overwhelmingly near-term (`hop_latency`-quantized),
+//! so the production container is a **bucketed calendar queue**
+//! ([`CalendarQueue`]): a power-of-two ring of one-cycle buckets with an
+//! occupancy bitmap gives O(1) push and near-O(1) pop, while an overflow
+//! heap absorbs far-future items (fault schedules, saturated near-
+//! `u64::MAX` times). Same-cycle ties land in the same bucket, which stays
+//! unsorted until its cycle is reached and is then sorted once — restoring
+//! the full key order, so the pop sequence is *identical* to the reference
+//! heap's (asserted by `tests/queue_properties.rs`).
+//!
+//! Both containers implement [`EventQueue`], which is what the engines
+//! program against.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Items a queue can order by simulated time. The full `Ord` on the item
+/// breaks same-time ties (the fabric uses `(time, seq, src)`).
+pub trait Timestamped {
+    /// The item's simulated time in cycles.
+    fn time(&self) -> u64;
+}
+
+/// A min-queue over [`Timestamped`] items, popped in full `Ord` order.
+///
+/// Contract: after the first pop, pushed items must not be earlier than the
+/// last popped time (simulated time never rewinds while events are
+/// pending). Pushing earlier items is only supported while the queue is
+/// empty — the fabric re-seeds queues between runs this way.
+pub trait EventQueue<T: Timestamped + Ord> {
+    /// Inserts an item.
+    fn push(&mut self, item: T);
+    /// Removes and returns the minimum item.
+    fn pop(&mut self) -> Option<T>;
+    /// Removes and returns the minimum item only if its time is strictly
+    /// before `bound` (the sharded engine's window test).
+    fn pop_before(&mut self, bound: u64) -> Option<T>;
+    /// The minimum pending time, if any.
+    fn next_time(&self) -> Option<u64>;
+    /// Number of pending items.
+    fn len(&self) -> usize;
+    /// True when nothing is pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Removes all items in no particular order.
+    fn drain_unordered(&mut self) -> Vec<T>;
+}
+
+/// The reference queue: a binary heap of reversed items.
+#[derive(Debug, Default)]
+pub struct HeapQueue<T: Ord> {
+    heap: BinaryHeap<Reverse<T>>,
+}
+
+impl<T: Ord> HeapQueue<T> {
+    /// An empty heap queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<T: Timestamped + Ord> EventQueue<T> for HeapQueue<T> {
+    fn push(&mut self, item: T) {
+        self.heap.push(Reverse(item));
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn pop_before(&mut self, bound: u64) -> Option<T> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time() < bound => self.pop(),
+            _ => None,
+        }
+    }
+
+    fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.time())
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn drain_unordered(&mut self) -> Vec<T> {
+        self.heap.drain().map(|Reverse(e)| e).collect()
+    }
+}
+
+/// Ring size in buckets (one bucket per cycle). Power of two so the
+/// time→bucket map is a mask. 1024 cycles of lookahead covers every
+/// near-term event the fabric produces (hops are `hop_latency ≈ 1` ahead,
+/// task ends at most a few hundred cycles ahead); anything later waits in
+/// the overflow heap and migrates in as the cursor advances.
+const RING_BUCKETS: usize = 1024;
+const RING_MASK: u64 = (RING_BUCKETS - 1) as u64;
+const BITMAP_WORDS: usize = RING_BUCKETS / 64;
+
+/// A bucketed calendar queue: O(1) push, near-O(1) pop, identical pop
+/// order to [`HeapQueue`]. See the module docs.
+///
+/// Lockstep workloads concentrate thousands of events into a handful of
+/// cycles, so per-bucket ordering is the real cost. Buckets are therefore
+/// *unsorted* `Vec`s — a push is a plain append — and a bucket is sorted
+/// exactly once, when the cursor reaches its cycle and it becomes the
+/// *drain*: a descending `Vec` popped from the tail. Items pushed for the
+/// cycle currently being drained (routing emits same-cycle ramp
+/// deliveries) go to a small `side` min-heap, and each pop takes the
+/// smaller of the drain tail and the side head, which is exactly the
+/// global minimum. Pending keys are unique (see the fabric's key
+/// discussion), so the unstable sort is deterministic.
+pub struct CalendarQueue<T: Ord> {
+    /// One bucket per cycle in `[cursor, horizon)`; bucket `t & RING_MASK`
+    /// holds the ring-resident items of time `t`, unsorted.
+    buckets: Vec<Vec<T>>,
+    /// Occupancy bitmap over `buckets` (bit = bucket non-empty).
+    occupied: [u64; BITMAP_WORDS],
+    /// All ring-resident items have time in `(cursor, horizon)`; all
+    /// overflow items have time ≥ horizon, where
+    /// `horizon = cursor.saturating_add(RING_BUCKETS)`; all drain/side
+    /// items have time = cursor exactly.
+    cursor: u64,
+    /// Items too far in the future for the ring.
+    overflow: BinaryHeap<Reverse<T>>,
+    /// Items in `buckets` (excludes drain/side).
+    ring_len: usize,
+    /// The active cycle's items, sorted descending (pop = `Vec::pop`).
+    /// All have time = `cursor`.
+    drain: Vec<T>,
+    /// Items pushed *for* the active cycle *during* its drain.
+    side: BinaryHeap<Reverse<T>>,
+}
+
+impl<T: Timestamped + Ord> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Timestamped + Ord> CalendarQueue<T> {
+    /// An empty calendar queue with its cursor at time 0.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..RING_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; BITMAP_WORDS],
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            ring_len: 0,
+            drain: Vec::new(),
+            side: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn horizon(&self) -> u64 {
+        self.cursor.saturating_add(RING_BUCKETS as u64)
+    }
+
+    #[inline]
+    fn bucket_push(&mut self, item: T) {
+        let b = (item.time() & RING_MASK) as usize;
+        self.buckets[b].push(item);
+        self.occupied[b / 64] |= 1 << (b % 64);
+        self.ring_len += 1;
+    }
+
+    #[inline]
+    fn active_len(&self) -> usize {
+        self.drain.len() + self.side.len()
+    }
+
+    /// The smallest ring-resident time, via a circular bitmap scan from the
+    /// cursor's bucket. Ring times live in `[cursor, horizon)`, so the
+    /// circular distance from the cursor bucket recovers the absolute time.
+    fn next_ring_time(&self) -> Option<u64> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let start = (self.cursor & RING_MASK) as usize;
+        let (w0, b0) = (start / 64, start % 64);
+        let first = self.occupied[w0] & (!0u64 << b0);
+        let found = if first != 0 {
+            w0 * 64 + first.trailing_zeros() as usize
+        } else {
+            let mut found = None;
+            for i in 1..=BITMAP_WORDS {
+                let w = (w0 + i) % BITMAP_WORDS;
+                let bits = if i == BITMAP_WORDS {
+                    // back to the first word: only the wrapped-around low bits
+                    self.occupied[w0] & !(!0u64 << b0)
+                } else {
+                    self.occupied[w]
+                };
+                if bits != 0 {
+                    found = Some(w * 64 + bits.trailing_zeros() as usize);
+                    break;
+                }
+            }
+            found?
+        };
+        let dist = (found + RING_BUCKETS - start) % RING_BUCKETS;
+        Some(self.cursor + dist as u64)
+    }
+
+    /// Makes cycle `t` the active drain: moves the cursor there, migrates
+    /// newly near-term overflow items, then sorts `t`'s bucket descending
+    /// into `drain`. The previous drain must be exhausted.
+    fn activate(&mut self, t: u64) {
+        debug_assert!(self.active_len() == 0);
+        debug_assert!(t >= self.cursor);
+        self.cursor = t;
+        let horizon = self.horizon();
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|Reverse(e)| e.time() < horizon)
+        {
+            let Reverse(e) = self.overflow.pop().unwrap();
+            self.bucket_push(e);
+        }
+        let b = (t & RING_MASK) as usize;
+        if self.buckets[b].is_empty() {
+            return; // t's items are all in the saturated overflow
+        }
+        // Reuse the exhausted drain's capacity for the next cycles' pushes.
+        std::mem::swap(&mut self.buckets[b], &mut self.drain);
+        self.occupied[b / 64] &= !(1 << (b % 64));
+        self.ring_len -= self.drain.len();
+        self.drain.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    /// Empties the ring and the active drain back into the overflow heap
+    /// and restarts the window at `t` — the rare out-of-contract push (time
+    /// before the cursor while items are pending, e.g. re-seeding a queue
+    /// in arbitrary order).
+    fn rebase(&mut self, t: u64) {
+        for b in 0..RING_BUCKETS {
+            for item in self.buckets[b].drain(..) {
+                self.overflow.push(Reverse(item));
+            }
+        }
+        for item in self.drain.drain(..) {
+            self.overflow.push(Reverse(item));
+        }
+        self.overflow.append(&mut self.side);
+        self.occupied = [0; BITMAP_WORDS];
+        self.ring_len = 0;
+        self.cursor = t;
+        let horizon = self.horizon();
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|Reverse(e)| e.time() < horizon)
+        {
+            let Reverse(e) = self.overflow.pop().unwrap();
+            self.bucket_push(e);
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<T> {
+        // The active cycle is at the cursor — nothing pending is earlier.
+        match (self.drain.last(), self.side.peek()) {
+            (Some(d), Some(Reverse(s))) => {
+                return if d <= s {
+                    self.drain.pop()
+                } else {
+                    self.side.pop().map(|Reverse(e)| e)
+                };
+            }
+            (Some(_), None) => return self.drain.pop(),
+            (None, Some(_)) => return self.side.pop().map(|Reverse(e)| e),
+            (None, None) => {}
+        }
+        let t_ring = self.next_ring_time();
+        let t_over = self.overflow.peek().map(|Reverse(e)| e.time());
+        let t = match (t_ring, t_over) {
+            (Some(r), _) => r, // overflow times ≥ horizon > every ring time
+            (None, Some(o)) => o,
+            (None, None) => return None,
+        };
+        if t < self.horizon() {
+            self.activate(t);
+            self.drain.pop()
+        } else {
+            // The horizon is saturated at u64::MAX and so is `t`: the item
+            // can never migrate into the ring — pop it from the overflow.
+            self.overflow.pop().map(|Reverse(e)| e)
+        }
+    }
+}
+
+impl<T: Timestamped + Ord> EventQueue<T> for CalendarQueue<T> {
+    fn push(&mut self, item: T) {
+        let t = item.time();
+        if t == self.cursor && self.active_len() > 0 {
+            // A push for the cycle currently being drained.
+            self.side.push(Reverse(item));
+            return;
+        }
+        if t < self.cursor {
+            if self.len() == 0 {
+                self.cursor = t;
+            } else {
+                self.rebase(t);
+            }
+        }
+        if t < self.horizon() {
+            self.bucket_push(item);
+        } else {
+            self.overflow.push(Reverse(item));
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.pop_min()
+    }
+
+    fn pop_before(&mut self, bound: u64) -> Option<T> {
+        match self.next_time() {
+            Some(t) if t < bound => self.pop_min(),
+            _ => None,
+        }
+    }
+
+    fn next_time(&self) -> Option<u64> {
+        if self.active_len() > 0 {
+            return Some(self.cursor);
+        }
+        match (
+            self.next_ring_time(),
+            self.overflow.peek().map(|Reverse(e)| e.time()),
+        ) {
+            (Some(r), _) => Some(r),
+            (None, o) => o,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ring_len + self.overflow.len() + self.active_len()
+    }
+
+    fn drain_unordered(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for b in 0..RING_BUCKETS {
+            out.append(&mut self.buckets[b]);
+        }
+        out.append(&mut self.drain);
+        out.extend(self.side.drain().map(|Reverse(e)| e));
+        self.occupied = [0; BITMAP_WORDS];
+        self.ring_len = 0;
+        out.extend(self.overflow.drain().map(|Reverse(e)| e));
+        out
+    }
+}
+
+/// Advances a simulated time by a delta, saturating at `u64::MAX` instead
+/// of wrapping — the single overflow policy for every time computation in
+/// the fabric (hop advancement, ramp injection offsets, busy horizons, BSP
+/// window ends). Fault schedules may place events arbitrarily late, so
+/// saturation is reachable, and both engines must agree on it.
+#[inline]
+pub fn advance_time(t: u64, dt: u64) -> u64 {
+    t.saturating_add(dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct Item(u64, u64);
+
+    impl Timestamped for Item {
+        fn time(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_tie_order() {
+        let mut q = CalendarQueue::new();
+        for it in [Item(5, 1), Item(3, 2), Item(5, 0), Item(3, 1)] {
+            q.push(it);
+        }
+        let popped: Vec<Item> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped, vec![Item(3, 1), Item(3, 2), Item(5, 0), Item(5, 1)]);
+    }
+
+    #[test]
+    fn far_future_items_migrate_from_overflow() {
+        let mut q = CalendarQueue::new();
+        q.push(Item(0, 0));
+        let far = 10 * RING_BUCKETS as u64;
+        q.push(Item(far + 3, 0));
+        q.push(Item(far, 0));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(Item(0, 0)));
+        assert_eq!(q.pop(), Some(Item(far, 0)));
+        assert_eq!(q.pop(), Some(Item(far + 3, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn saturated_times_pop_from_overflow() {
+        let mut q = CalendarQueue::new();
+        q.push(Item(u64::MAX, 1));
+        q.push(Item(u64::MAX, 0));
+        q.push(Item(u64::MAX - 3, 0));
+        assert_eq!(q.pop(), Some(Item(u64::MAX - 3, 0)));
+        assert_eq!(q.pop(), Some(Item(u64::MAX, 0)));
+        assert_eq!(q.pop(), Some(Item(u64::MAX, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn empty_queue_accepts_earlier_times() {
+        let mut q = CalendarQueue::new();
+        q.push(Item(500, 0));
+        assert_eq!(q.pop(), Some(Item(500, 0)));
+        q.push(Item(10, 0)); // empty: the cursor rewinds
+        assert_eq!(q.pop(), Some(Item(10, 0)));
+    }
+
+    #[test]
+    fn out_of_contract_push_rebases() {
+        let mut q = CalendarQueue::new();
+        q.push(Item(900, 0));
+        assert_eq!(q.pop(), Some(Item(900, 0)));
+        q.push(Item(1000, 0));
+        // 1000 and 80 are RING_BUCKETS apart modulo the ring minus 96 —
+        // distinct buckets either way; what matters is the cursor rewind
+        // with items pending, which forces a rebase.
+        q.push(Item(80, 0));
+        assert_eq!(q.pop(), Some(Item(80, 0)));
+        assert_eq!(q.pop(), Some(Item(1000, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_before_respects_bound() {
+        let mut q = CalendarQueue::new();
+        q.push(Item(4, 0));
+        q.push(Item(9, 0));
+        assert_eq!(q.pop_before(5), Some(Item(4, 0)));
+        assert_eq!(q.pop_before(5), None);
+        assert_eq!(q.next_time(), Some(9));
+        assert_eq!(q.pop_before(10), Some(Item(9, 0)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn advance_time_saturates() {
+        assert_eq!(advance_time(5, 3), 8);
+        assert_eq!(advance_time(u64::MAX - 1, 5), u64::MAX);
+        assert_eq!(advance_time(u64::MAX, u64::MAX), u64::MAX);
+    }
+}

@@ -135,23 +135,38 @@ impl ColorConfig {
             self.current ^= 1;
         }
     }
+
+    /// True for single-position routes (built with [`ColorConfig::fixed`]).
+    #[inline]
+    pub fn is_fixed(&self) -> bool {
+        self.num_positions == 1
+    }
 }
 
 /// What a router does with one incoming wavelet.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteOutcome {
-    /// Links the wavelet is forwarded to (may include `Ramp`).
-    pub outputs: Vec<Direction>,
+    /// Links the wavelet is forwarded to (may include `Ramp`), as a mask —
+    /// no allocation on the routing hot path.
+    pub outputs: DirMask,
     /// Whether a switch toggle occurred (control wavelet).
     pub toggled: bool,
     /// The active switch-position index after any toggle.
     pub position: usize,
+    /// Whether the color's route is single-position (can never switch).
+    /// Fixed single-cardinal-output routes are the passive-forwarding hops
+    /// the fabric's static-route fast-forwarding elides.
+    pub fixed: bool,
 }
 
 /// A per-PE router: 24 color configurations plus traffic counters.
 #[derive(Debug, Clone)]
 pub struct Router {
     configs: [Option<ColorConfig>; MAX_COLORS],
+    /// Bumped on every [`Router::configure`]; lets cached route chains
+    /// detect runtime reconfiguration (load-time configuration happens
+    /// before any chain is built, so steady-state versions never move).
+    version: u32,
     /// Wavelets forwarded per fabric link (excludes ramp deliveries).
     pub fabric_hops: u64,
     /// Wavelets delivered up the ramp to the PE.
@@ -169,6 +184,7 @@ impl Router {
     pub fn new() -> Self {
         Self {
             configs: [None; MAX_COLORS],
+            version: 0,
             fabric_hops: 0,
             ramp_deliveries: 0,
         }
@@ -177,6 +193,15 @@ impl Router {
     /// Installs a color configuration (program-load time on real hardware).
     pub fn configure(&mut self, color: Color, config: ColorConfig) {
         self.configs[color.index()] = Some(config);
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// Configuration version: bumped on every [`Router::configure`] call.
+    /// Cached forwarding chains compare this against the version they were
+    /// built from and fall back to per-hop routing on mismatch.
+    #[inline]
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The configuration of a color, if installed.
@@ -226,13 +251,13 @@ impl Router {
                 position: cfg.current_index(),
             });
         }
-        let outputs: Vec<Direction> = pos.tx.iter().collect();
-        for d in &outputs {
-            if *d == Direction::Ramp {
-                self.ramp_deliveries += 1;
-            } else {
-                self.fabric_hops += 1;
-            }
+        let outputs = pos.tx;
+        let fixed = cfg.num_positions == 1;
+        if outputs.contains(Direction::Ramp) {
+            self.ramp_deliveries += 1;
+            self.fabric_hops += (outputs.len() - 1) as u64;
+        } else {
+            self.fabric_hops += outputs.len() as u64;
         }
         let toggled = if is_control {
             cfg.toggle();
@@ -244,6 +269,7 @@ impl Router {
             outputs,
             toggled,
             position: cfg.current_index(),
+            fixed,
         })
     }
 }
@@ -317,8 +343,9 @@ mod tests {
             )),
         );
         let out = r.route(c, Ramp, false).unwrap();
-        assert_eq!(out.outputs, vec![East, West]);
+        assert_eq!(out.outputs, DirMask::of(&[East, West]));
         assert!(!out.toggled);
+        assert!(out.fixed);
         assert_eq!(r.fabric_hops, 2);
         assert_eq!(r.ramp_deliveries, 0);
     }
@@ -360,17 +387,18 @@ mod tests {
 
         // data flows ramp → east while in position 0
         let out = r.route(c, Ramp, false).unwrap();
-        assert_eq!(out.outputs, vec![East]);
+        assert_eq!(out.outputs, DirMask::single(East));
+        assert!(!out.fixed);
 
         // control wavelet is forwarded AND toggles
         let out = r.route(c, Ramp, true).unwrap();
         assert!(out.toggled);
-        assert_eq!(out.outputs, vec![East]);
+        assert_eq!(out.outputs, DirMask::single(East));
         assert_eq!(r.position_index(c), Some(1));
 
         // now the router receives from the west instead
         let out = r.route(c, West, false).unwrap();
-        assert_eq!(out.outputs, vec![Ramp]);
+        assert_eq!(out.outputs, DirMask::single(Ramp));
         assert_eq!(r.ramp_deliveries, 1);
 
         // ramp sends are rejected in receive position
@@ -407,5 +435,24 @@ mod tests {
         let out = r.route(c, Ramp, false).unwrap();
         assert_eq!(out.outputs.len(), 4);
         assert_eq!(r.fabric_hops, 4);
+    }
+
+    #[test]
+    fn configure_bumps_the_version() {
+        let mut r = Router::new();
+        let v0 = r.version();
+        r.configure(
+            Color::new(3),
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Ramp),
+                DirMask::single(East),
+            )),
+        );
+        assert_ne!(r.version(), v0);
+        let v1 = r.version();
+        // routing and force-toggles do not move the version
+        let _ = r.route(Color::new(3), Ramp, false).unwrap();
+        let _ = r.force_toggle(Color::new(3));
+        assert_eq!(r.version(), v1);
     }
 }

@@ -1,0 +1,209 @@
+//! Differential harness for static-route fast-forwarding: with
+//! `fast_forward` on, chains of passive fixed-route routers deliver a
+//! wavelet as one jumped event — and every observable (residuals, per-PE
+//! counters, [`FabricStats`], [`RunReport`], final time) must be
+//! **bit-identical** to the per-hop engine, on both execution engines.
+//!
+//! Also home to the overflow regression tests: event times near
+//! `u64::MAX` (fault schedules and extreme `hop_latency` values can place
+//! events arbitrarily late) must saturate instead of wrapping.
+
+use fv_core::eos::Fluid;
+use fv_core::fields::PermeabilityField;
+use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+use fv_core::state::FlowState;
+use fv_core::trans::{StencilKind, Transmissibilities};
+use tpfa_dataflow::DataflowFluxSimulator;
+use wse_sim::fabric::{Execution, Fabric, FabricConfig, RunReport};
+use wse_sim::geometry::{Direction, FabricDims, PeCoord};
+use wse_sim::pe::{PeContext, PeProgram};
+use wse_sim::route::{ColorConfig, DirMask, RouterPosition};
+use wse_sim::stats::{FabricStats, OpCounters};
+use wse_sim::wavelet::{Color, Wavelet};
+
+/// Everything observable from one TPFA run (bit-exact comparisons).
+#[derive(Debug, PartialEq)]
+struct Observation {
+    residual_bits: Vec<u32>,
+    per_pe_counters: Vec<OpCounters>,
+    report: RunReport,
+    stats: FabricStats,
+}
+
+fn observe_tpfa(execution: Execution, fast_forward: bool) -> Observation {
+    let (nx, ny, nz) = (24, 24, 2);
+    let mesh = CartesianMesh3::new(Extents::new(nx, ny, nz), Spacing::new(10.0, 10.0, 4.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 4242);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(execution)
+        .fast_forward(fast_forward)
+        .build()
+        .unwrap();
+    let pressure = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 99);
+    let residual = sim.apply(pressure.pressure()).expect("TPFA run failed");
+    Observation {
+        residual_bits: residual.iter().map(|v| v.to_bits()).collect(),
+        per_pe_counters: (0..ny)
+            .flat_map(|y| (0..nx).map(move |x| (x, y)))
+            .map(|(x, y)| *sim.pe_counters(x, y))
+            .collect(),
+        report: sim.last_run().unwrap(),
+        stats: sim.stats(),
+    }
+}
+
+/// The real TPFA workload (switch toggling on cardinal channels, fixed
+/// 2-hop diagonal chains, DSD ops): fast-forwarding must be invisible.
+#[test]
+fn tpfa_fast_forward_is_bit_identical() {
+    let reference = observe_tpfa(Execution::Sequential, false);
+    assert!(reference.report.events > 0);
+    let ff_seq = observe_tpfa(Execution::Sequential, true);
+    assert_eq!(
+        reference, ff_seq,
+        "sequential: fast-forward changed results"
+    );
+    let ff_sharded = observe_tpfa(
+        Execution::Sharded {
+            shards: 4,
+            threads: 2,
+        },
+        true,
+    );
+    assert_eq!(
+        reference, ff_sharded,
+        "sharded: fast-forward changed results"
+    );
+}
+
+const KICK: Color = Color::new(0);
+const STREAM: Color = Color::new(7);
+
+/// A dedicated long static route: PE (0, 0) injects on `STREAM`, PEs
+/// 1..n-1 passively forward West→East on a fixed route, and the last PE
+/// receives up its ramp — the longest fast-forward chain the fabric can
+/// express (the source and sink hops stay per-hop; only the passive
+/// middle is jumped).
+struct PipelineProgram {
+    width: usize,
+    received: u32,
+}
+
+impl PeProgram for PipelineProgram {
+    fn init(&mut self, ctx: &mut PeContext) {
+        let col = ctx.coord.col;
+        let cfg = if col == 0 {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Direction::Ramp),
+                DirMask::single(Direction::East),
+            ))
+        } else if col == self.width - 1 {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Direction::West),
+                DirMask::single(Direction::Ramp),
+            ))
+        } else {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Direction::West),
+                DirMask::single(Direction::East),
+            ))
+        };
+        ctx.configure_color(STREAM, cfg);
+    }
+    fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
+        if w.color == KICK && ctx.coord.col == 0 {
+            for i in 0..4 {
+                ctx.send_f32(STREAM, i as f32);
+            }
+        } else if w.color == STREAM {
+            self.received += 1;
+        }
+    }
+}
+
+fn run_pipeline(
+    width: usize,
+    execution: Execution,
+    fast_forward: bool,
+) -> (RunReport, FabricStats, u64, Vec<u64>) {
+    let dims = FabricDims::new(width, 1);
+    let config = FabricConfig {
+        execution,
+        fast_forward,
+        ..FabricConfig::default()
+    };
+    let mut f = Fabric::new(dims, config, |_| {
+        Box::new(PipelineProgram { width, received: 0 })
+    });
+    f.load();
+    f.activate(PeCoord::new(0, 0), KICK, 0);
+    let report = f.run().expect("pipeline run failed");
+    let hops: Vec<u64> = (0..width)
+        .map(|x| f.router(PeCoord::new(x, 0)).fabric_hops)
+        .collect();
+    (report, f.stats(), f.time(), hops)
+}
+
+/// A 32-PE passive chain: fast-forward jumps 30 hops per wavelet, and
+/// every per-router hop counter, the aggregate stats, the event count,
+/// and the final time must still match the per-hop engine exactly.
+#[test]
+fn long_chain_fast_forward_is_bit_identical() {
+    for width in [3usize, 8, 32] {
+        let reference = run_pipeline(width, Execution::Sequential, false);
+        assert!(reference.1.fabric_hops >= (width as u64 - 1) * 4);
+        let ff = run_pipeline(width, Execution::Sequential, true);
+        assert_eq!(
+            reference, ff,
+            "width {width}: sequential fast-forward diverged"
+        );
+        let ff_sharded = run_pipeline(
+            width,
+            Execution::Sharded {
+                shards: 2,
+                threads: 2,
+            },
+            true,
+        );
+        assert_eq!(
+            reference, ff_sharded,
+            "width {width}: sharded fast-forward diverged (chains must stop at shard boundaries)"
+        );
+    }
+}
+
+/// Extreme `hop_latency`: event times saturate at `u64::MAX` instead of
+/// wrapping (the sequential path used unchecked `+` before the overflow
+/// handling was unified behind `advance_time`). The run must terminate
+/// with the clock pinned at the end of time, identically with and without
+/// fast-forwarding.
+#[test]
+fn near_u64_max_event_times_saturate() {
+    let run = |fast_forward: bool| {
+        let dims = FabricDims::new(6, 1);
+        let config = FabricConfig {
+            execution: Execution::Sequential,
+            hop_latency: u64::MAX / 2,
+            fast_forward,
+            ..FabricConfig::default()
+        };
+        let mut f = Fabric::new(dims, config, |_| {
+            Box::new(PipelineProgram {
+                width: 6,
+                received: 0,
+            })
+        });
+        f.load();
+        f.activate(PeCoord::new(0, 0), KICK, 0);
+        let report = f.run().expect("saturated run failed");
+        (report, f.stats(), f.time())
+    };
+    let reference = run(false);
+    // Three hops of u64::MAX/2 pin the clock at the end of time.
+    assert_eq!(reference.2, u64::MAX);
+    assert_eq!(reference, run(true));
+}

@@ -1,0 +1,208 @@
+//! Property tests of the event-queue contract: under randomized schedules
+//! the [`CalendarQueue`] must pop items in the *exact* order the reference
+//! [`HeapQueue`] (a `BinaryHeap<Reverse<T>>`) produces — including
+//! same-cycle ties broken by `(seq, src)`, items far enough in the future
+//! to land in the overflow heap and migrate back into the ring, and pushes
+//! interleaved with pops (the fabric pushes new events for the cycle it is
+//! currently draining).
+
+use proptest::prelude::*;
+use wse_sim::queue::{advance_time, CalendarQueue, EventQueue, HeapQueue, Timestamped};
+
+/// A stand-in for the fabric's `Event` key `(time, seq, src)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: u64,
+    seq: u64,
+    src: usize,
+}
+
+impl Timestamped for Key {
+    fn time(&self) -> u64 {
+        self.time
+    }
+}
+
+/// Pops everything from both queues, asserting identical sequences.
+fn assert_same_drain(cal: &mut CalendarQueue<Key>, heap: &mut HeapQueue<Key>) {
+    loop {
+        let (a, b) = (cal.pop(), heap.pop());
+        assert_eq!(a, b, "calendar and heap queues diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+/// The fabric guarantees pending keys are unique; mirror that here so the
+/// pop order is a total order with no ambiguous ties.
+fn unique_keys(raw: Vec<(u64, usize)>) -> Vec<Key> {
+    raw.into_iter()
+        .enumerate()
+        .map(|(seq, (time, src))| Key {
+            time,
+            seq: seq as u64,
+            src,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Bulk push then bulk pop: same-cycle ties (times drawn from a tiny
+    /// range) must come out in `(time, seq, src)` order.
+    #[test]
+    fn dense_tied_schedules_pop_identically(raw in proptest::collection::vec((0u64..16, 0usize..4), 0..512)) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for k in unique_keys(raw) {
+            cal.push(k);
+            heap.push(k);
+        }
+        prop_assert_eq!(cal.len(), heap.len());
+        assert_same_drain(&mut cal, &mut heap);
+    }
+
+    /// Times spanning many ring windows: items start in the overflow heap
+    /// and must migrate into ring buckets as the cursor advances.
+    #[test]
+    fn overflow_migration_preserves_order(raw in proptest::collection::vec((0u64..1_000_000, 0usize..4), 0..512)) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for k in unique_keys(raw) {
+            cal.push(k);
+            heap.push(k);
+        }
+        assert_same_drain(&mut cal, &mut heap);
+    }
+
+    /// Interleaved push/pop in the fabric's access pattern: each popped
+    /// item may spawn successors at `t` (same cycle — lands in the active
+    /// drain's side heap), `t + 1`, or far in the future.
+    #[test]
+    fn interleaved_push_pop_matches_heap(
+        seed in proptest::collection::vec((0u64..64, 0usize..4), 1..64),
+        spawns in proptest::collection::vec((0u64..3, 0u64..5000, 0usize..4), 0..512),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut seq = 0u64;
+        for (time, src) in seed {
+            let k = Key { time, seq, src };
+            seq += 1;
+            cal.push(k);
+            heap.push(k);
+        }
+        let mut spawns = spawns.into_iter();
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            let Some(popped) = a else { break };
+            if let Some((kind, dt, src)) = spawns.next() {
+                let time = match kind {
+                    0 => popped.time,                     // same-cycle (side heap)
+                    1 => advance_time(popped.time, 1),    // next cycle
+                    _ => advance_time(popped.time, dt),   // far future
+                };
+                let k = Key { time, seq, src };
+                seq += 1;
+                cal.push(k);
+                heap.push(k);
+            }
+        }
+        prop_assert!(cal.is_empty() && heap.is_empty());
+    }
+
+    /// `pop_before` (the sharded engine's windowed pop) agrees with the
+    /// heap's filtered order and never returns an item at/after the bound.
+    #[test]
+    fn windowed_pops_match(
+        raw in proptest::collection::vec((0u64..256, 0usize..4), 0..256),
+        window in 1u64..32,
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for k in unique_keys(raw) {
+            cal.push(k);
+            heap.push(k);
+        }
+        let mut bound = window;
+        while !heap.is_empty() {
+            loop {
+                let (a, b) = (cal.pop_before(bound), heap.pop_before(bound));
+                prop_assert_eq!(a, b);
+                match a {
+                    Some(k) => prop_assert!(k.time < bound),
+                    None => break,
+                }
+            }
+            prop_assert_eq!(cal.next_time(), heap.next_time());
+            bound = advance_time(bound, window);
+        }
+        prop_assert!(cal.is_empty());
+    }
+}
+
+/// Event times right at the edge of the representable range: the ring
+/// horizon saturates at `u64::MAX`, so these items live permanently in the
+/// overflow heap yet must still pop in exact key order.
+#[test]
+fn near_u64_max_times_pop_in_order() {
+    let mut cal = CalendarQueue::new();
+    let mut heap = HeapQueue::new();
+    let times = [
+        u64::MAX,
+        u64::MAX - 1,
+        u64::MAX - 1500, // within one ring window of the saturated horizon
+        0,
+        1,
+        u64::MAX / 2,
+        u64::MAX,
+    ];
+    for (seq, &time) in times.iter().enumerate() {
+        let k = Key {
+            time,
+            seq: seq as u64,
+            src: 0,
+        };
+        cal.push(k);
+        heap.push(k);
+    }
+    assert_same_drain(&mut cal, &mut heap);
+    // `advance_time` saturates rather than wrapping past the end of time.
+    assert_eq!(advance_time(u64::MAX - 1, 5), u64::MAX);
+    assert_eq!(advance_time(u64::MAX, u64::MAX), u64::MAX);
+}
+
+/// Re-seeding a queue in arbitrary (unsorted) order after a drain — the
+/// fabric does this when resealing wavelets on fault-plan installation —
+/// must rebase the ring correctly.
+#[test]
+fn out_of_contract_reseed_rebases() {
+    let mut cal = CalendarQueue::new();
+    let mut heap = HeapQueue::new();
+    for (seq, time) in [5000u64, 10, 99_999, 0, 5000, 1024, 2048]
+        .into_iter()
+        .enumerate()
+    {
+        let k = Key {
+            time,
+            seq: seq as u64,
+            src: 1,
+        };
+        cal.push(k);
+        heap.push(k);
+    }
+    // Drain past the first few, then push an *earlier* time than the
+    // cursor while items are still pending.
+    for _ in 0..3 {
+        assert_eq!(cal.pop(), heap.pop());
+    }
+    let k = Key {
+        time: 1,
+        seq: 100,
+        src: 2,
+    };
+    cal.push(k);
+    heap.push(k);
+    assert_same_drain(&mut cal, &mut heap);
+}

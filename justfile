@@ -32,6 +32,11 @@ equivalence:
 bench-engines:
     cargo bench -p bench --bench weak_scaling -- 'engine/64x64'
 
+# event-queue microbench (BinaryHeap vs calendar queue at 1k/100k/1M) and
+# the fast-forwarding on/off toggle on the real 64x64 TPFA apply
+bench-queue:
+    cargo bench -p bench --bench event_queue
+
 # traced quickstart run: asserts trace determinism across engines, writes
 # trace.json (open in https://ui.perfetto.dev or chrome://tracing) and
 # prints the per-shard load summary
@@ -68,6 +73,10 @@ faults:
 # write a schema-versioned BENCH_<rev>.json perf report for this checkout
 perf-report rev="local":
     cargo run -p bench --release --bin perf_harness -- {{rev}}
+
+# re-measure this checkout and rewrite the committed BENCH_baseline.json
+bench-baseline:
+    cargo run -p bench --release --bin perf_harness -- baseline --update-baseline
 
 # compare two perf reports (report-only; add --strict to fail on regression)
 perf-diff a b *flags="":
