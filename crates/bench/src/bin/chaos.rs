@@ -13,8 +13,12 @@
 //! Usage: `chaos [--schedules N] [--seed S0] [--shards N [--threads M]]
 //! [--report out.json]`. With `--shards`, the harness still runs *both*
 //! engines per schedule (the differential assertion needs them); the flag
-//! selects the sharded geometry being differenced. Exit code 0 iff every
-//! schedule upholds every invariant.
+//! pins the sharded geometry being differenced. Without it, schedules
+//! rotate through a sweep of shard grids (1×, 2×2, 3×3 and an
+//! asymmetric 4×1) so the conservative-lookahead protocol is chaos-tested
+//! across boundary layouts — fault plans force per-hop routing, and halt
+//! faults exercise the no-deadlock guarantee when a whole shard goes
+//! quiet. Exit code 0 iff every schedule upholds every invariant.
 
 use bench::{pressure_for_iteration, standard_problem};
 use tpfa_dataflow::{DataflowFluxSimulator, Recovered, RecoveryPolicy};
@@ -135,13 +139,19 @@ fn main() {
         .position(|a| a == "--report")
         .and_then(|i| raw.get(i + 1))
         .cloned();
-    let sharded = match common.execution {
-        Execution::Sharded { .. } => common.execution,
-        Execution::Sequential => Execution::Sharded {
-            shards: 4,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(4)),
-        },
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
+    // One pinned geometry with --shards, otherwise a rotating sweep of
+    // shard grids so every boundary layout gets chaos coverage.
+    let geometries: Vec<Execution> = match common.execution {
+        Execution::Sharded { .. } => vec![common.execution],
+        Execution::Sequential => vec![
+            Execution::Sharded { shards: 4, threads },
+            Execution::Sharded { shards: 1, threads },
+            Execution::Sharded { shards: 9, threads },
+            Execution::Sharded { shards: 2, threads },
+        ],
     };
+    let sharded = geometries[0];
 
     println!(
         "== chaos: {schedules} randomized fault schedules on {NX}x{NY}x{NZ} \
@@ -151,7 +161,14 @@ fn main() {
     println!(
         "(differencing sequential vs {}; {FAULTS_PER_SCHEDULE} faults per schedule, \
          horizon {HORIZON} cycles)\n",
-        bench::execution_label(sharded)
+        if geometries.len() == 1 {
+            bench::execution_label(sharded)
+        } else {
+            format!(
+                "a rotating sweep of {} sharded geometries",
+                geometries.len()
+            )
+        }
     );
 
     // Fault-free baseline, once per engine (they are asserted identical —
@@ -184,10 +201,11 @@ fn main() {
     let mut report_lines = Vec::new();
     for s in 0..schedules {
         let seed = seed0 + s as u64;
+        let geometry = geometries[s % geometries.len()];
         let plan = FaultPlan::randomized(seed, dims, HORIZON, FAULTS_PER_SCHEDULE);
         for (pi, &policy) in policies.iter().enumerate() {
             let (seq, seq_faults) = run_one(&plan, policy, Execution::Sequential, &pressure);
-            let (par, par_faults) = run_one(&plan, policy, sharded, &pressure);
+            let (par, par_faults) = run_one(&plan, policy, geometry, &pressure);
             assert_eq!(
                 seq, par,
                 "seed {seed} {policy:?}: engines disagree on the outcome"

@@ -17,8 +17,20 @@
 //! direction counts as a regression, including `info` entries and
 //! metrics missing from the candidate. CI runs this with `--strict`: an
 //! engine optimization can never silently change simulated semantics.
+//!
+//! The `speedup/` family is **deterministic-adjacent**: a ratio of two
+//! same-process throughput measurements, so machine noise largely cancels
+//! but does not vanish. In `--deterministic` mode it stays in the
+//! comparison with a generous worse-direction tolerance
+//! ([`SPEEDUP_TOLERANCE_PCT`]) instead of the exact-match rule — the gate
+//! that keeps the sharded engine from silently falling behind sequential
+//! again.
 
 use wse_prof::{bench_diff, BenchReport};
+
+/// Worse-direction tolerance for the `speedup/` family in
+/// `--deterministic` mode (see the module docs).
+const SPEEDUP_TOLERANCE_PCT: f64 = 25.0;
 
 fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path)
@@ -54,9 +66,15 @@ fn main() {
     println!("candidate: {} (rev {})\n", b_path, b.rev);
     let mut diff = bench_diff(&a, &b, if deterministic { 0.0 } else { threshold });
     if deterministic {
-        // Deterministic metrics admit no direction and no tolerance.
         for line in &mut diff.lines {
-            line.regressed = line.delta_pct != 0.0;
+            if line.name.starts_with("speedup/") {
+                // Deterministic-adjacent ratio: blocking, but only on a
+                // substantial move in the worse (lower) direction.
+                line.regressed = line.delta_pct < -SPEEDUP_TOLERANCE_PCT;
+            } else {
+                // Deterministic metrics admit no direction and no tolerance.
+                line.regressed = line.delta_pct != 0.0;
+            }
         }
     }
     print!("{diff}");

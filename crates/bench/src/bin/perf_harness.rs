@@ -29,9 +29,25 @@ const WALL_REPEATS: usize = 5;
 const PROF_N: usize = 16;
 const PROF_NZ: usize = 6;
 
-/// Median wall-clock seconds of one `apply` over `WALL_REPEATS` runs (after
-/// one warm-up), plus the events/s of the last run.
-fn measure_wall(execution: Execution) -> (f64, f64) {
+/// One engine's wall-clock measurement plus the deterministic cycle-level
+/// observables of the measured workload.
+struct WallMeasurement {
+    /// Median wall-clock seconds of one `apply` (after one warm-up).
+    wall_s: f64,
+    /// Events per second of the median run.
+    events_per_s: f64,
+    /// Events per `apply` — an exact function of the program, identical
+    /// across engines (the differential invariant, surfaced as a metric).
+    events: u64,
+    /// Final fabric time of the last `apply`, in simulated cycles.
+    final_time: u64,
+    /// Delivery cycles spent queued behind busy CEs, summed over PEs.
+    queue_wait_cycles: u64,
+    /// Per-shard fabric-hop split under the measured 4-shard partition.
+    shard_hops: Vec<u64>,
+}
+
+fn measure_wall(execution: Execution) -> WallMeasurement {
     let (mesh, fluid, trans) = standard_problem(WALL_N, WALL_N, WALL_NZ, 2);
     let p = pressure_for_iteration(&mesh, 0);
     let mut sim = DataflowFluxSimulator::builder(&mesh)
@@ -43,15 +59,25 @@ fn measure_wall(execution: Execution) -> (f64, f64) {
     sim.apply(&p).expect("warm-up failed");
     let mut times = Vec::with_capacity(WALL_REPEATS);
     let mut events = 0u64;
+    let mut final_time = 0u64;
     for _ in 0..WALL_REPEATS {
         let t0 = Instant::now();
         sim.apply(&p).expect("measured run failed");
         times.push(t0.elapsed().as_secs_f64());
-        events = sim.last_run().expect("run recorded").events;
+        let report = sim.last_run().expect("run recorded");
+        events = report.events;
+        final_time = report.final_time;
     }
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = times[times.len() / 2];
-    (median, events as f64 / median)
+    WallMeasurement {
+        wall_s: median,
+        events_per_s: events as f64 / median,
+        events,
+        final_time,
+        queue_wait_cycles: sim.queue_wait_cycles(),
+        shard_hops: sim.shard_stats(4).iter().map(|s| s.fabric_hops).collect(),
+    }
 }
 
 fn main() {
@@ -72,31 +98,80 @@ fn main() {
 
     // Host-side wall-clock: the simulator as a program, both engines.
     println!("== perf harness ({WALL_N}x{WALL_N}x{WALL_NZ} wall-clock, {PROF_N}x{PROF_N}x{PROF_NZ} profile) ==");
+    let mut throughputs = Vec::new();
+    // "4x2" = 4 shards × up to 2 workers. The worker request is capped at
+    // the host's parallelism: spinning more lookahead workers than cores
+    // only adds scheduling overhead, and on a single-core host the engine's
+    // lone-worker schedule (no clock gossip, no mailbox handoff) is the
+    // honest best case being measured.
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get().min(2));
     for (label, execution) in [
         ("sequential", Execution::Sequential),
-        (
-            "sharded-4x2",
-            Execution::Sharded {
-                shards: 4,
-                threads: 2,
-            },
-        ),
+        ("sharded-4x2", Execution::Sharded { shards: 4, threads }),
     ] {
-        let (wall_s, events_per_s) = measure_wall(execution);
-        println!("  {label}: {wall_s:.4} s/apply, {events_per_s:.0} events/s");
+        let m = measure_wall(execution);
+        println!(
+            "  {label}: {:.4} s/apply, {:.0} events/s",
+            m.wall_s, m.events_per_s
+        );
         report.push(
             &format!("wall_clock_s/{WALL_N}x{WALL_N}/{label}"),
-            wall_s,
+            m.wall_s,
             "s",
             "lower-better",
         );
         report.push(
             &format!("events_per_s/{WALL_N}x{WALL_N}/{label}"),
-            events_per_s,
+            m.events_per_s,
             "events/s",
             "higher-better",
         );
+        // Cycle-level observables of the measured workload: exact functions
+        // of the program, bit-identical across engines. The deterministic
+        // perf-diff gate flags *any* drift in them — per engine label, so a
+        // sharded-only semantic change cannot hide behind the sequential
+        // numbers.
+        report.push(
+            &format!("events/{WALL_N}x{WALL_N}/{label}"),
+            m.events as f64,
+            "events",
+            "info",
+        );
+        report.push(
+            &format!("final_time/{WALL_N}x{WALL_N}/{label}"),
+            m.final_time as f64,
+            "cycles",
+            "info",
+        );
+        report.push(
+            &format!("queue_wait_cycles/{WALL_N}x{WALL_N}/{label}"),
+            m.queue_wait_cycles as f64,
+            "cycles",
+            "info",
+        );
+        for (k, hops) in m.shard_hops.iter().enumerate() {
+            report.push(
+                &format!("shard_hops/{WALL_N}x{WALL_N}/{label}/shard{k}"),
+                *hops as f64,
+                "hops",
+                "info",
+            );
+        }
+        throughputs.push(m.events_per_s);
     }
+    // The seq-vs-sharded gap as one deterministic-adjacent ratio: both
+    // throughputs come from the same process moments apart, so machine
+    // noise largely cancels and `perf_diff --deterministic --strict` can
+    // block on it (with a generous worse-direction tolerance) without the
+    // flakiness of raw wall-clock gates.
+    let speedup = throughputs[1] / throughputs[0];
+    println!("  speedup (sharded-4x2 / sequential): {speedup:.3}×");
+    report.push(
+        &format!("speedup/{WALL_N}x{WALL_N}/sharded-4x2_vs_sequential"),
+        speedup,
+        "ratio",
+        "higher-better",
+    );
 
     // Cycle-level figures from the profiler: deterministic (simulated
     // cycles, not wall-clock), so these regress only when the kernels or

@@ -14,11 +14,21 @@
 //! * [`Execution::Sequential`] — a single event queue popped in key order
 //!   (the reference engine).
 //! * [`Execution::Sharded`] — the PE grid is partitioned into rectangular
-//!   shards, each with a private event queue, advanced in BSP supersteps on
-//!   a scoped-thread worker pool. Each superstep processes one *time window*
-//!   of width `hop_latency` starting at the globally minimal pending event
-//!   time; wavelets crossing a shard boundary are buffered in the
-//!   destination shard's mailbox and injected at the next superstep barrier.
+//!   shards, each with a private event queue, advanced by a scoped-thread
+//!   worker pool under **conservative lookahead** (CMB/null-message style;
+//!   no global barrier). Each directed pair of adjacent shards carries a
+//!   monotone *channel clock*: a promise that every event the source shard
+//!   will henceforth push into the destination's mailbox has time ≥ the
+//!   clock. A shard may safely process everything strictly below the
+//!   minimum of its in-edge clocks (its *earliest input time*, EIT), so
+//!   lightly-coupled shards free-run far ahead of their neighbors instead
+//!   of synchronizing every `hop_latency` window. Clocks advance by
+//!   *position-aware lookahead*: a pending event at a PE `d` links away
+//!   from a shard boundary cannot influence the neighbor across it before
+//!   `d · hop_latency` cycles, so a stalled shard publishes
+//!   `min(event.time + d·hop_latency)` over its queue (and `EIT +
+//!   hop_latency` for anything it may yet receive and relay), which is what
+//!   lets interior work stop throttling boundary neighbors.
 //!
 //! Both engines order events by the same key `(time, seq, src)`, where
 //! `seq` is a counter private to the *creating* PE (or to the host) and
@@ -34,13 +44,15 @@
 //! numbers its events, and a key-preserved forward consumes its predecessor
 //! and is its only descendant), giving a strict total order, so queue
 //! insertion order is irrelevant. Determinism of the sharded engine then
-//! follows from one lookahead property: a wavelet leaving a PE reaches a
-//! *different* PE no earlier than `hop_latency` cycles later, so all
-//! same-time events at a PE are locally created and every cross-shard
-//! event created inside window `[W, W + hop_latency)` lands at time
-//! `≥ W + hop_latency` — the next window — and exchanging at the barrier
-//! loses nothing. Results, per-PE [`OpCounters`], [`RunReport`] totals, and
-//! error reporting are bit-identical between the engines.
+//! follows from the channel-clock promise: a shard pops only events with
+//! time strictly below its EIT, and every *future* cross-shard arrival has
+//! time ≥ EIT (clocks are read with `Acquire` *before* the mailbox is
+//! drained, and senders flush their batches *before* publishing, so any
+//! event the promise does not cover is already visible in the drain). Each
+//! shard therefore processes its PEs' events in exactly the key order the
+//! sequential engine would, and per-event processing touches only one PE's
+//! slot. Results, per-PE [`OpCounters`], [`RunReport`] totals, and error
+//! reporting are bit-identical between the engines.
 //!
 //! # Event engine
 //!
@@ -57,11 +69,17 @@
 //! bit-identical with fast-forwarding on or off
 //! ([`FabricConfig::fast_forward`]). Chains re-validate each hop against
 //! [`Router::version`] at walk time, so runtime reconfiguration falls back
-//! to per-hop routing; sharded chains additionally stop at shard
-//! boundaries, preserving the BSP lookahead argument above.
+//! to per-hop routing. Sharded chains cross shard boundaries *segmented*:
+//! the owning shard jumps the chain to the first PE past its boundary and
+//! delivers that event into the neighbor's mailbox with the exact
+//! accumulated arrival time `t + j·hop_latency`; the neighbor continues the
+//! chain from there when it pops the event. Each segment bumps its own
+//! routers' `fabric_hops`, and a k-hop chain costs `1 + (k−1)` budget
+//! events in both engines regardless of how many boundaries split it, so
+//! counters, budgets, and results stay bit-identical.
 
 use crate::fault::{FaultClass, FaultEvent, FaultKind, FaultPlan};
-use crate::geometry::{Direction, FabricDims, PeCoord};
+use crate::geometry::{Direction, FabricDims, PeCoord, CARDINALS};
 use crate::memory::PeMemory;
 use crate::pe::{PeContext, PeProgram};
 use crate::queue::{advance_time, CalendarQueue, EventQueue, Timestamped};
@@ -79,9 +97,10 @@ pub enum Execution {
     /// The single-threaded reference engine.
     #[default]
     Sequential,
-    /// The BSP-parallel engine: rectangular shards with private event
-    /// queues, synchronized by a superstep barrier every `hop_latency`
-    /// cycles of simulated time. Bit-identical to [`Execution::Sequential`].
+    /// The parallel engine: rectangular shards with private event queues,
+    /// synchronized by per-shard-pair conservative-lookahead channel clocks
+    /// (null-message style — no global barrier). Bit-identical to
+    /// [`Execution::Sequential`].
     Sharded {
         /// Number of rectangular shards to partition the PE grid into
         /// (clamped to the PE count; an infeasible count is reduced until a
@@ -908,9 +927,14 @@ impl FwdTable {
 /// the chain-end event (key preserved, time advanced `hops · hop_latency`),
 /// or `None` when the first hop is not a chain hop. Each traversed router's
 /// `fabric_hops` is bumped exactly as the per-hop walk would. `map` turns a
-/// linear PE index into the caller's slot index — `None` stops the chain
-/// (the sharded engine owns only its shard's slots, so chains stop at
-/// shard boundaries and the BSP lookahead argument is untouched).
+/// linear PE index into the caller's slot index — `None` stops the chain.
+/// The sharded engine maps only its own shard's slots, so a chain spanning
+/// shards is walked as *segments*: each shard jumps to the first PE past its
+/// boundary and mails the key-preserved continuation (time already advanced
+/// by its segment's hops) to the neighbor, which resumes the walk on pop.
+/// Segment budgets sum to the sequential chain's `1 + (k-1)` pops and each
+/// segment bumps exactly its own routers' `fabric_hops`, so counters and
+/// event budgets stay bit-identical.
 fn fast_forward(
     table: &FwdTable,
     slots: &mut [PeSlot],
@@ -982,6 +1006,20 @@ impl ShardRect {
     fn iter_linear(self, dims: FabricDims) -> impl Iterator<Item = usize> {
         (self.row0..self.row1)
             .flat_map(move |r| (self.col0..self.col1).map(move |c| r * dims.cols + c))
+    }
+
+    /// Fabric-link crossings a wavelet at `c` (inside this rect) needs to
+    /// reach the *nearest* PE across the rect's `dir` boundary — the
+    /// position-aware lookahead distance. Always ≥ 1.
+    #[inline]
+    fn link_dist(&self, c: PeCoord, dir: Direction) -> u64 {
+        (match dir {
+            Direction::East => self.col1 - c.col,
+            Direction::West => c.col - self.col0 + 1,
+            Direction::South => self.row1 - c.row,
+            Direction::North => c.row - self.row0 + 1,
+            Direction::Ramp => unreachable!("ramp is not a shard boundary"),
+        }) as u64
     }
 }
 
@@ -1060,49 +1098,32 @@ impl ShardPlan {
     fn shard_of(&self, c: PeCoord) -> usize {
         self.row_of[c.row] as usize * self.nx + self.col_of[c.col] as usize
     }
+
+    /// The cardinally adjacent shard in `dir`, if any. Shards tile the
+    /// fabric rectangularly, so these are the only shards a cross-shard
+    /// event can be pushed to directly.
+    fn shard_neighbor(&self, id: usize, dir: Direction) -> Option<usize> {
+        let (sx, sy) = ((id % self.nx) as i64, (id / self.nx) as i64);
+        let (dx, dy) = dir.offset();
+        let (tx, ty) = (sx + dx, sy + dy);
+        (tx >= 0 && tx < self.nx as i64 && ty >= 0 && ty < self.ny as i64)
+            .then(|| ty as usize * self.nx + tx as usize)
+    }
 }
 
 // ---------------------------------------------------------------------------
-// Sharded engine machinery
+// Sharded engine machinery (conservative lookahead)
 // ---------------------------------------------------------------------------
 
-/// Sense-reversing spin barrier (much cheaper than `std::sync::Barrier` for
-/// the superstep cadence, which can reach hundreds of thousands per run).
-struct SpinBarrier {
-    arrived: AtomicUsize,
-    generation: AtomicUsize,
-    total: usize,
-}
-
-impl SpinBarrier {
-    fn new(total: usize) -> Self {
-        Self {
-            arrived: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
-            total,
-        }
-    }
-
-    fn wait(&self) {
-        if self.total == 1 {
-            return;
-        }
-        let gen = self.generation.load(Ordering::Acquire);
-        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
-            self.arrived.store(0, Ordering::Relaxed);
-            self.generation.fetch_add(1, Ordering::Release);
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
-                spins = spins.wrapping_add(1);
-                if spins < 4096 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
-        }
-    }
+/// One directed channel from a shard to a cardinally adjacent shard.
+#[derive(Clone, Copy)]
+struct ShardLink {
+    /// Index of this link's clock in [`SharedCoord::clocks`].
+    idx: usize,
+    /// Boundary the link crosses (from the source shard's point of view).
+    dir: Direction,
+    /// Destination shard id.
+    dest: usize,
 }
 
 /// One shard's private state, owned by a worker thread during a run.
@@ -1114,64 +1135,101 @@ struct Shard {
     events: u64,
     max_time: u64,
     error: Option<(EventKey, FabricError)>,
+    /// Outgoing cross-shard batches, one per destination shard id; always
+    /// flushed (and the destination's mail flag raised) before this shard's
+    /// clocks are published, so the channel-clock promise covers them.
+    out: Vec<Vec<Event>>,
+    /// This shard's outgoing channels, in [`CARDINALS`] order.
+    out_links: Vec<ShardLink>,
+    /// Clock indices of the incoming channels (the neighbors' links back).
+    in_links: Vec<usize>,
+    /// The queue changed since `saved_terms` was computed.
+    dirty: bool,
+    /// Consecutive unproductive rounds; the position-aware scan only runs
+    /// once a stall persists (tightly-coupled shards resolve stalls in one
+    /// gossip round and never pay for it).
+    stalls: u32,
+    /// Cached per-out-link position-aware queue bounds from the last stall
+    /// scan (`min over pending e of e.time + dist(e.pe, link)·hop_latency`),
+    /// aligned with `out_links`. Valid while `dirty` is false.
+    saved_terms: Vec<u64>,
+}
+
+impl Shard {
+    /// Quiescent for termination purposes: nothing pending below
+    /// `u64::MAX` (events *at* the end of time are unreachable in either
+    /// engine and are handed back to the host queue after the run).
+    fn is_idle(&self) -> bool {
+        self.queue.next_time().is_none_or(|t| t == u64::MAX)
+    }
 }
 
 /// State shared by all shard workers.
 struct SharedCoord {
-    /// Cross-shard deliveries, drained by the owner at each superstep.
+    /// Cross-shard deliveries, appended in batches by neighbors and drained
+    /// by the owner.
     inboxes: Vec<Mutex<Vec<Event>>>,
-    barrier: SpinBarrier,
-    /// Rotating slots for the next window's start time (the global minimum
-    /// pending event time). Two slots so one can be reset while the other
-    /// is being accumulated, with only the two superstep barriers.
-    window_min: [AtomicU64; 2],
+    /// One flag per shard, raised (`Release`) after a batch lands in its
+    /// inbox and lowered (`Acquire`) by the owner before draining — skips
+    /// the inbox lock on the (common) empty polls.
+    mail_flags: Vec<AtomicBool>,
+    /// Channel clocks, indexed `shard_id·4 + dir.index()` for the link
+    /// *out of* `shard_id` across boundary `dir`. Monotone (`fetch_max`).
+    /// Invariant: every event the source will push into the destination's
+    /// inbox *after* a publish has time ≥ the published value; senders
+    /// flush batches before publishing and receivers read clocks
+    /// (`Acquire`) before draining, so events the promise does not cover
+    /// are already in the drain.
+    clocks: Vec<AtomicU64>,
+    /// Workers whose owned shards are all idle with empty out-batches.
+    idle: AtomicUsize,
+    /// Global-quiescence verdict, set once by the leader while holding
+    /// every inbox lock.
+    done: AtomicBool,
+    workers: usize,
     /// Global pop counter for the event budget (flushed in batches).
     pops: AtomicU64,
     over_budget: AtomicBool,
-    /// Whether tracing is enabled (gates the per-superstep meta lock).
-    trace_on: bool,
-    /// Engine meta stream (superstep barrier events), written only by the
-    /// leader worker between barriers.
-    meta: Mutex<PeTracer>,
 }
 
 /// How many pops a shard accumulates locally before flushing to the global
 /// budget counter.
 const BUDGET_BATCH: u64 = 64;
 
-/// Processes one shard's events inside the window `[.., window_end)`.
-#[allow(clippy::too_many_arguments)]
-fn process_shard_window(
+/// Pops and processes every event of `shard` strictly below `eit`, batching
+/// cross-shard emissions into `shard.out`. Returns the number of budget
+/// events consumed (fast-forwarded hops count in bulk, exactly as the
+/// sequential engine counts them).
+fn process_shard(
     shard: &mut Shard,
-    window_end: u64,
+    eit: u64,
     dims: FabricDims,
     config: &FabricConfig,
     plan: &ShardPlan,
     fwd: Option<&FwdTable>,
     shared: &SharedCoord,
-) {
+) -> u64 {
     let Shard {
         id,
         rect,
         slots,
         queue,
-        events,
         max_time,
         error,
+        out,
+        ..
     } = shard;
+    let mut processed = 0u64;
     let mut batch = 0u64;
-    while let Some(ev) = queue.pop_before(window_end) {
-        *events += 1;
+    while let Some(ev) = queue.pop_before(eit) {
+        processed += 1;
         batch += 1;
         if batch >= BUDGET_BATCH {
             let global = shared.pops.fetch_add(batch, Ordering::SeqCst) + batch;
             batch = 0;
-            if global > config.max_events {
+            if global > config.max_events || shared.over_budget.load(Ordering::SeqCst) {
                 shared.over_budget.store(true, Ordering::SeqCst);
-                return;
-            }
-            if shared.over_budget.load(Ordering::SeqCst) {
-                return;
+                break;
             }
         }
         *max_time = (*max_time).max(ev.time);
@@ -1187,13 +1245,15 @@ fn process_shard_window(
                     fast_forward(table, slots, own, config.hop_latency, &ev, input)
                 {
                     // The chain's intermediate pops happened in bulk.
-                    *events += hops - 1;
+                    processed += hops - 1;
                     batch += hops - 1;
                     let dest = plan.shard_of(dims.coord(jumped.pe));
                     if dest == *id {
                         queue.push(jumped);
                     } else {
-                        shared.inboxes[dest].lock().unwrap().push(jumped);
+                        // Segmented cross-shard continuation: the neighbor
+                        // picks the chain back up when it pops this event.
+                        out[dest].push(jumped);
                     }
                     continue;
                 }
@@ -1205,7 +1265,13 @@ fn process_shard_window(
             if dest == *id {
                 queue.push(e);
             } else {
-                shared.inboxes[dest].lock().unwrap().push(e);
+                debug_assert!(
+                    CARDINALS
+                        .iter()
+                        .any(|&d| plan.shard_neighbor(*id, d) == Some(dest)),
+                    "cross-shard events only ever target adjacent shards"
+                );
+                out[dest].push(e);
             }
         };
         match ev.kind {
@@ -1229,11 +1295,176 @@ fn process_shard_window(
             shared.over_budget.store(true, Ordering::SeqCst);
         }
     }
+    shard.events += processed;
+    processed
 }
 
-/// One worker's superstep loop. Workers own whole shards; `leader` is
-/// responsible for resetting the idle `window_min` slot.
-#[allow(clippy::too_many_arguments)]
+/// Recomputes `shard.saved_terms`: for each out-link, the exact
+/// position-aware lower bound `min over pending e of
+/// e.time + dist(e.pe, link)·hop_latency` on anything the *queue* can send
+/// across that boundary. O(pending · links), so it runs only on stalled
+/// rounds whose queue actually changed.
+fn exact_link_terms(shard: &mut Shard, dims: FabricDims, hop_latency: u64) {
+    let Shard {
+        rect,
+        queue,
+        out_links,
+        saved_terms,
+        ..
+    } = shard;
+    saved_terms.clear();
+    saved_terms.resize(out_links.len(), u64::MAX);
+    for ev in queue.iter() {
+        let c = dims.coord(ev.pe);
+        for (k, link) in out_links.iter().enumerate() {
+            let bound = advance_time(
+                ev.time,
+                rect.link_dist(c, link.dir).saturating_mul(hop_latency),
+            );
+            if bound < saved_terms[k] {
+                saved_terms[k] = bound;
+            }
+        }
+    }
+}
+
+/// One lookahead round for one shard: snapshot in-link clocks (before the
+/// mailbox drain — the ordering the promise requires), drain mail, process
+/// everything below the EIT, flush outgoing batches, then republish out-link
+/// clocks. Returns (budget events consumed, mailbox drained).
+fn advance_shard(
+    shard: &mut Shard,
+    dims: FabricDims,
+    config: &FabricConfig,
+    plan: &ShardPlan,
+    fwd: Option<&FwdTable>,
+    shared: &SharedCoord,
+) -> (u64, bool) {
+    let eit = shard_eit(shard, shared);
+    let mut drained = false;
+    if shared.mail_flags[shard.id].swap(false, Ordering::Acquire) {
+        let mut inbox = shared.inboxes[shard.id].lock().unwrap();
+        if !inbox.is_empty() {
+            drained = true;
+            shard.dirty = true;
+            shard.queue.append_batch(&mut inbox);
+        }
+    }
+    let processed = process_shard(shard, eit, dims, config, plan, fwd, shared);
+    // Flush before publishing: events the new clock value does not promise
+    // to bound must already be visible in their inboxes.
+    for link in &shard.out_links {
+        if !shard.out[link.dest].is_empty() {
+            let mut inbox = shared.inboxes[link.dest].lock().unwrap();
+            inbox.append(&mut shard.out[link.dest]);
+            drop(inbox);
+            shared.mail_flags[link.dest].store(true, Ordering::Release);
+        }
+    }
+    // Publish. After a productive round the queue minimum is ≥ EIT (we
+    // popped everything below it) and future receives are ≥ EIT, so
+    // `EIT + hop_latency` is a sound, O(links) bound. On a stalled round
+    // the position-aware scan gives the much stronger per-link bound that
+    // lets neighbors free-run past our interior work.
+    let relay = advance_time(eit, config.hop_latency);
+    if processed > 0 {
+        shard.dirty = true;
+        shard.stalls = 0;
+        for link in &shard.out_links {
+            shared.clocks[link.idx].fetch_max(relay, Ordering::AcqRel);
+        }
+    } else {
+        shard.stalls = shard.stalls.saturating_add(1);
+        if shard.dirty && shard.stalls >= 2 {
+            exact_link_terms(shard, dims, config.hop_latency);
+            shard.dirty = false;
+        }
+        for (k, link) in shard.out_links.iter().enumerate() {
+            // Stale terms are never used: `dirty` tracks queue changes.
+            let bound = if shard.dirty {
+                relay
+            } else {
+                shard.saved_terms[k].min(relay)
+            };
+            shared.clocks[link.idx].fetch_max(bound, Ordering::AcqRel);
+        }
+    }
+    (processed, drained)
+}
+
+/// A shard's earliest input time: the minimum of its in-link channel
+/// clocks (`Acquire` — must happen before the mailbox drain). Everything
+/// strictly below it is safe to process; shards with no in-links (a 1-shard
+/// plan) free-run unboundedly, degenerating to the sequential engine.
+fn shard_eit(shard: &Shard, shared: &SharedCoord) -> u64 {
+    shard
+        .in_links
+        .iter()
+        .map(|&l| shared.clocks[l].load(Ordering::Acquire))
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+/// Degenerate schedule for a lone worker that owns *every* shard: no
+/// channel clocks, mail flags, or inbox locks — the worker always advances
+/// the shard holding the globally earliest pending event, bounded by the
+/// earliest event any *other* shard could still send it. That bound is the
+/// same conservative argument the concurrent protocol derives from channel
+/// clocks: every cross-shard emission crosses at least one boundary link,
+/// so a neighbor whose earliest pending event is at `t₁` cannot deliver
+/// anything before `t₁ + hop_latency`. Cross-shard batches land straight in
+/// the sibling queue. This is the fastest valid lookahead schedule on a
+/// single core (zero synchronization, maximal window per round), and the
+/// one the engine picks whenever `threads: 1` is requested.
+fn run_shards_single_worker(
+    owned: &mut [Shard],
+    dims: FabricDims,
+    config: &FabricConfig,
+    plan: &ShardPlan,
+    fwd: Option<&FwdTable>,
+    shared: &SharedCoord,
+) {
+    loop {
+        if shared.over_budget.load(Ordering::SeqCst) {
+            break;
+        }
+        // The shard with the globally earliest pending event, and the
+        // runner-up time across the *other* shards (its lookahead bound).
+        let mut first = (u64::MAX, 0usize);
+        let mut second = u64::MAX;
+        for (i, sh) in owned.iter().enumerate() {
+            let t = sh.queue.next_time().unwrap_or(u64::MAX);
+            if t < first.0 {
+                second = first.0;
+                first = (t, i);
+            } else {
+                second = second.min(t);
+            }
+        }
+        let (t0, s) = first;
+        if t0 == u64::MAX {
+            // Only end-of-time events (if any) remain: globally quiescent.
+            break;
+        }
+        let eit = advance_time(second, config.hop_latency);
+        process_shard(&mut owned[s], eit, dims, config, plan, fwd, shared);
+        // Hand cross-shard batches straight to the sibling queues (keeping
+        // the drained allocations for the next round).
+        for dest in 0..owned.len() {
+            if dest != s && !owned[s].out[dest].is_empty() {
+                let mut batch = std::mem::take(&mut owned[s].out[dest]);
+                owned[dest].queue.append_batch(&mut batch);
+                owned[s].out[dest] = batch;
+            }
+        }
+    }
+}
+
+/// One worker's lookahead loop. Workers own whole shards and loop rounds of
+/// `advance_shard` until the leader confirms global quiescence (or the
+/// budget trips). No barriers: a stalled worker keeps gossiping clocks so
+/// its neighbors' EITs (and its own) can rise, and yields the CPU between
+/// unproductive rounds.
 fn shard_worker(
     mut owned: Vec<Shard>,
     leader: bool,
@@ -1243,57 +1474,68 @@ fn shard_worker(
     fwd: Option<&FwdTable>,
     shared: &SharedCoord,
 ) -> Vec<Shard> {
-    let mut step = 0usize;
+    if shared.workers == 1 {
+        run_shards_single_worker(&mut owned, dims, &config, plan, fwd, shared);
+        return owned;
+    }
+    let mut registered_idle = false;
     loop {
-        // Barrier A: every send of the previous window is in its mailbox.
-        shared.barrier.wait();
-        // Snapshot the abort flag here, where nobody can be writing it: it
-        // is only set inside window processing, which is bracketed by the
-        // barriers. Reading it after barrier B instead would race with a
-        // fast worker already processing the next window — workers could
-        // then disagree on whether to break, deadlocking the barrier.
-        let abort = shared.over_budget.load(Ordering::SeqCst);
-        let mut local_min = u64::MAX;
-        for sh in owned.iter_mut() {
-            let mut inbox = shared.inboxes[sh.id].lock().unwrap();
-            for ev in inbox.drain(..) {
-                sh.queue.push(ev);
-            }
-            drop(inbox);
-            if let Some(t) = sh.queue.next_time() {
-                local_min = local_min.min(t);
-            }
-        }
-        // The idle slot was last read before barrier A, so resetting it
-        // here (for use next superstep) cannot race those reads.
-        if leader {
-            shared.window_min[(step + 1) % 2].store(u64::MAX, Ordering::SeqCst);
-        }
-        let min_slot = &shared.window_min[step % 2];
-        min_slot.fetch_min(local_min, Ordering::SeqCst);
-        // Barrier B: every worker's minimum is in.
-        shared.barrier.wait();
-        if abort {
+        if shared.done.load(Ordering::Acquire) || shared.over_budget.load(Ordering::SeqCst) {
             break;
         }
-        let window_start = min_slot.load(Ordering::SeqCst);
-        if window_start == u64::MAX {
-            break; // globally quiescent
+        if registered_idle {
+            // While registered we must not touch any inbox (the leader's
+            // quiescence check relies on it): only peek at mail flags, and
+            // deregister before draining anything.
+            if owned
+                .iter()
+                .any(|sh| shared.mail_flags[sh.id].load(Ordering::Acquire))
+            {
+                shared.idle.fetch_sub(1, Ordering::AcqRel);
+                registered_idle = false;
+                continue;
+            }
+            // Keep gossiping clocks: a stalled (non-idle) neighbor's EIT
+            // may be capped by ours, and ours rises as the gossip spreads.
+            // An idle shard's queue bound is `u64::MAX` (nothing pending
+            // below the end of time), so the relay term alone is exact.
+            for sh in owned.iter() {
+                let relay = advance_time(shard_eit(sh, shared), config.hop_latency);
+                for link in &sh.out_links {
+                    shared.clocks[link.idx].fetch_max(relay, Ordering::AcqRel);
+                }
+            }
+            if leader && shared.idle.load(Ordering::Acquire) == shared.workers {
+                // Quiescence confirmation, holding *every* inbox lock: a
+                // neighbor mid-flush is blocked on one of these locks and
+                // has not yet re-registered (registration follows the
+                // flush), so if the count still reads full and every inbox
+                // is empty there is provably nothing left in flight.
+                let guards: Vec<_> = shared.inboxes.iter().map(|m| m.lock().unwrap()).collect();
+                if shared.idle.load(Ordering::Acquire) == shared.workers
+                    && guards.iter().all(|g| g.is_empty())
+                {
+                    shared.done.store(true, Ordering::Release);
+                }
+            }
+            std::thread::yield_now();
+            continue;
         }
-        if leader && shared.trace_on {
-            shared.meta.lock().unwrap().record_at(
-                window_start,
-                TraceEventKind::Barrier,
-                0,
-                0,
-                step as u32,
-            );
-        }
-        let window_end = advance_time(window_start, config.hop_latency);
+        let mut progressed = false;
+        let mut all_idle = true;
         for sh in owned.iter_mut() {
-            process_shard_window(sh, window_end, dims, &config, plan, fwd, shared);
+            let (n, drained) = advance_shard(sh, dims, &config, plan, fwd, shared);
+            progressed |= n > 0 || drained;
+            all_idle &= sh.is_idle();
         }
-        step += 1;
+        if all_idle && !progressed {
+            shared.idle.fetch_add(1, Ordering::AcqRel);
+            registered_idle = true;
+        } else if !progressed {
+            // Blocked on a neighbor's clock: the round above already
+            // republished ours (gossip), so give the neighbor the CPU.
+            std::thread::yield_now();
+        }
     }
     owned
 }
@@ -1641,7 +1883,7 @@ impl Fabric {
     fn run_sharded(&mut self, shards: usize, threads: usize) -> Result<RunReport, FabricError> {
         assert!(
             self.config.hop_latency >= 1,
-            "sharded execution requires hop_latency >= 1 (it is the BSP lookahead)"
+            "sharded execution requires hop_latency >= 1 (it is the conservative lookahead)"
         );
         let dims = self.dims;
         let config = self.config;
@@ -1661,6 +1903,26 @@ impl Fabric {
                     .iter_linear(dims)
                     .map(|i| slot_opts[i].take().unwrap())
                     .collect();
+                let out_links: Vec<ShardLink> = CARDINALS
+                    .iter()
+                    .filter_map(|&dir| {
+                        plan.shard_neighbor(id, dir).map(|dest| ShardLink {
+                            idx: id * 4 + dir.index(),
+                            dir,
+                            dest,
+                        })
+                    })
+                    .collect();
+                // The in-link across boundary `dir` is the neighbor's link
+                // back toward us (its `arrival_side(dir)` boundary).
+                let in_links: Vec<usize> = CARDINALS
+                    .iter()
+                    .filter_map(|&dir| {
+                        plan.shard_neighbor(id, dir)
+                            .map(|src| src * 4 + dir.arrival_side().index())
+                    })
+                    .collect();
+                let saved_terms = vec![u64::MAX; out_links.len()];
                 Shard {
                     id,
                     rect,
@@ -1669,6 +1931,12 @@ impl Fabric {
                     events: 0,
                     max_time: 0,
                     error: None,
+                    out: (0..n).map(|_| Vec::new()).collect(),
+                    out_links,
+                    in_links,
+                    dirty: true,
+                    stalls: 0,
+                    saved_terms,
                 }
             })
             .collect();
@@ -1678,35 +1946,61 @@ impl Fabric {
                 .push(ev);
         }
 
+        // Channel clocks start at T₀ + hop_latency, where T₀ is the global
+        // minimum pending time: any cross-shard push derives from an event
+        // ≥ T₀ plus at least one link crossing, so the promise holds from
+        // the first round (and no cold-start gossip creep is needed).
+        let t0 = shard_states
+            .iter()
+            .filter_map(|s| s.queue.next_time())
+            .min()
+            .unwrap_or(u64::MAX);
+        let clock0 = advance_time(t0, config.hop_latency);
         let shared = SharedCoord {
             inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
-            barrier: SpinBarrier::new(workers),
-            window_min: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+            mail_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            clocks: (0..n * 4).map(|_| AtomicU64::new(clock0)).collect(),
+            idle: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            workers,
             pops: AtomicU64::new(0),
             over_budget: AtomicBool::new(false),
-            trace_on: config.trace.enabled,
-            meta: Mutex::new(std::mem::take(&mut self.host_trace)),
         };
         let mut per_worker: Vec<Vec<Shard>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, sh) in shard_states.into_iter().enumerate() {
             per_worker[i % workers].push(sh);
         }
 
-        let finished: Vec<Shard> = std::thread::scope(|scope| {
-            let handles: Vec<_> = per_worker
-                .into_iter()
-                .enumerate()
-                .map(|(w, owned)| {
-                    let (shared, plan, fwd) = (&shared, &plan, fwd.as_ref());
-                    scope
-                        .spawn(move || shard_worker(owned, w == 0, dims, config, plan, fwd, shared))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
+        let finished: Vec<Shard> = if workers == 1 {
+            // A lone worker runs inline (no spawn/join round-trip) and takes
+            // the synchronization-free fast path inside `shard_worker`.
+            shard_worker(
+                per_worker.pop().unwrap(),
+                true,
+                dims,
+                config,
+                &plan,
+                fwd.as_ref(),
+                &shared,
+            )
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = per_worker
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, owned)| {
+                        let (shared, plan, fwd) = (&shared, &plan, fwd.as_ref());
+                        scope.spawn(move || {
+                            shard_worker(owned, w == 0, dims, config, plan, fwd, shared)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
 
         // Restore PE slots (and, after an abort, unprocessed events).
         let mut events = 0u64;
@@ -1728,7 +2022,17 @@ impl Fabric {
             .into_iter()
             .map(|o| o.expect("every PE belongs to exactly one shard"))
             .collect();
-        self.host_trace = shared.meta.into_inner().unwrap();
+        // One quiescence marker in the host meta stream: the lookahead
+        // protocol has no supersteps, so the only rendezvous left to log is
+        // the final one. Keeps barriers out of per-PE streams, which is what
+        // makes those streams engine-independent.
+        self.host_trace.record_at(
+            self.time,
+            TraceEventKind::Barrier,
+            0,
+            n as u16,
+            events as u32,
+        );
         for inbox in shared.inboxes {
             for ev in inbox.into_inner().unwrap() {
                 self.queue.push(ev);
@@ -2456,24 +2760,5 @@ mod tests {
             }
             assert_eq!(merged, global, "{shards} shards");
         }
-    }
-
-    #[test]
-    fn spin_barrier_synchronizes_phases() {
-        let barrier = SpinBarrier::new(4);
-        let phase = AtomicU64::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    for p in 0..100u64 {
-                        assert!(phase.load(Ordering::SeqCst) >= p);
-                        barrier.wait();
-                        phase.fetch_max(p + 1, Ordering::SeqCst);
-                        barrier.wait();
-                    }
-                });
-            }
-        });
-        assert_eq!(phase.load(Ordering::SeqCst), 100);
     }
 }

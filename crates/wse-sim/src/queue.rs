@@ -266,6 +266,29 @@ impl<T: Timestamped + Ord> CalendarQueue<T> {
         }
     }
 
+    /// Visits every pending item, in no particular order. The lookahead
+    /// engine's stall-time scan uses this to compute exact per-link
+    /// earliest-output bounds without disturbing the queue.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buckets
+            .iter()
+            .flatten()
+            .chain(self.drain.iter())
+            .chain(self.side.iter().map(|Reverse(e)| e))
+            .chain(self.overflow.iter().map(|Reverse(e)| e))
+    }
+
+    /// Bulk insertion: moves every item of `batch` into the queue (clearing
+    /// `batch` but keeping its capacity). Within the ring horizon each item
+    /// is a plain O(1) bucket append — the sharded engine injects whole
+    /// cross-shard mailbox batches this way instead of one heap push at a
+    /// time.
+    pub fn append_batch(&mut self, batch: &mut Vec<T>) {
+        for item in batch.drain(..) {
+            self.push(item);
+        }
+    }
+
     fn pop_min(&mut self) -> Option<T> {
         // The active cycle is at the cursor — nothing pending is earlier.
         match (self.drain.last(), self.side.peek()) {
@@ -306,12 +329,17 @@ impl<T: Timestamped + Ord> EventQueue<T> for CalendarQueue<T> {
             self.side.push(Reverse(item));
             return;
         }
-        if t < self.cursor {
-            if self.len() == 0 {
-                self.cursor = t;
-            } else {
-                self.rebase(t);
-            }
+        if self.len() == 0 {
+            // An empty queue re-anchors its window at the pushed time, in
+            // *both* directions. Anchoring forward matters as much as
+            // backward: a queue built mid-simulation (the sharded engine
+            // seeds fresh per-shard queues from a fabric whose clock is
+            // already past `RING_BUCKETS`) would otherwise leave the cursor
+            // at 0 forever, never activate a ring cycle, and silently
+            // degenerate into its O(log n) overflow heap.
+            self.cursor = t;
+        } else if t < self.cursor {
+            self.rebase(t);
         }
         if t < self.horizon() {
             self.bucket_push(item);
@@ -442,6 +470,29 @@ mod tests {
         q.push(Item(80, 0));
         assert_eq!(q.pop(), Some(Item(80, 0)));
         assert_eq!(q.pop(), Some(Item(1000, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn empty_queue_anchors_forward_into_the_ring() {
+        // A queue first used when the clock is already far past
+        // RING_BUCKETS (the sharded engine seeds fresh per-shard queues
+        // mid-simulation) must anchor its window at the pushed time and
+        // stay ring-resident — not leave the cursor at 0 and degenerate
+        // into the overflow heap.
+        let mut q = CalendarQueue::new();
+        let late = 40 * RING_BUCKETS as u64 + 7;
+        q.push(Item(late + 2, 0));
+        q.push(Item(late, 0));
+        q.push(Item(late + 1, 0));
+        assert_eq!(
+            q.overflow.len(),
+            0,
+            "near-term pushes must stay in the ring"
+        );
+        assert_eq!(q.pop(), Some(Item(late, 0)));
+        assert_eq!(q.pop(), Some(Item(late + 1, 0)));
+        assert_eq!(q.pop(), Some(Item(late + 2, 0)));
         assert_eq!(q.pop(), None);
     }
 

@@ -150,10 +150,17 @@ fn run_pipeline(
 
 /// A 32-PE passive chain: fast-forward jumps 30 hops per wavelet, and
 /// every per-router hop counter, the aggregate stats, the event count,
-/// and the final time must still match the per-hop engine exactly.
+/// and the final time must still match the per-hop engine exactly —
+/// including when the chain is cut into segments by shard boundaries.
+/// The 4- and 8-shard columns make one chain span up to eight shards, so
+/// a wavelet is handed across several mailboxes before it sinks.
 #[test]
 fn long_chain_fast_forward_is_bit_identical() {
-    for width in [3usize, 8, 32] {
+    for (width, shard_counts) in [
+        (3usize, &[2usize][..]),
+        (8, &[2, 4][..]),
+        (32, &[2, 4, 8][..]),
+    ] {
         let reference = run_pipeline(width, Execution::Sequential, false);
         assert!(reference.1.fabric_hops >= (width as u64 - 1) * 4);
         let ff = run_pipeline(width, Execution::Sequential, true);
@@ -161,18 +168,232 @@ fn long_chain_fast_forward_is_bit_identical() {
             reference, ff,
             "width {width}: sequential fast-forward diverged"
         );
-        let ff_sharded = run_pipeline(
-            width,
-            Execution::Sharded {
-                shards: 2,
-                threads: 2,
-            },
-            true,
-        );
-        assert_eq!(
-            reference, ff_sharded,
-            "width {width}: sharded fast-forward diverged (chains must stop at shard boundaries)"
-        );
+        for &shards in shard_counts {
+            let ff_sharded = run_pipeline(width, Execution::Sharded { shards, threads: 2 }, true);
+            assert_eq!(
+                reference, ff_sharded,
+                "width {width} × {shards} shards: segmented cross-shard fast-forward diverged"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form 2-shard boundary crossing
+// ---------------------------------------------------------------------------
+
+const CHAIN: Color = Color::new(9);
+
+/// An 8×1 passive eastbound chain whose routers accept both `West` and
+/// `Ramp` input, so the *entire* path — injection hop included — is one
+/// fast-forwardable chain. Every PE that receives `CHAIN` up its ramp
+/// counts the delivery in word 0 of its memory (host-observable).
+struct BoundaryChainProgram {
+    width: usize,
+}
+
+impl PeProgram for BoundaryChainProgram {
+    fn init(&mut self, ctx: &mut PeContext) {
+        let cfg = if ctx.coord.col == self.width - 1 {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Direction::West),
+                DirMask::single(Direction::Ramp),
+            ))
+        } else {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::of(&[Direction::West, Direction::Ramp]),
+                DirMask::single(Direction::East),
+            ))
+        };
+        ctx.configure_color(CHAIN, cfg);
+    }
+    fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
+        if w.color == KICK && ctx.coord.col == 0 {
+            ctx.send_f32(CHAIN, 42.0);
+        } else if w.color == CHAIN {
+            let seen = ctx.memory.read_u32(0);
+            ctx.memory.write_u32(0, seen + 1);
+        }
+    }
+}
+
+fn run_boundary_chain(
+    execution: Execution,
+    fast_forward: bool,
+    max_events: u64,
+) -> (Result<RunReport, wse_sim::fabric::FabricError>, Fabric) {
+    const WIDTH: usize = 8;
+    let config = FabricConfig {
+        execution,
+        fast_forward,
+        max_events,
+        hop_latency: 3,
+        ..FabricConfig::default()
+    };
+    let mut f = Fabric::new(FabricDims::new(WIDTH, 1), config, |_| {
+        Box::new(BoundaryChainProgram { width: WIDTH })
+    });
+    f.load();
+    f.activate(PeCoord::new(0, 0), KICK, 0);
+    let result = f.run();
+    (result, f)
+}
+
+/// Satellite fixture for the cross-shard fast-forward path, checked
+/// against hand arithmetic (hop latency L = 3, width 8, 2 shards of 4
+/// columns):
+///
+/// - the kick activation at t=0 costs 1 event; the send leaves PE (0,0)'s
+///   ramp at t=0 and crosses 7 fabric links, so the sink's ramp delivery
+///   happens at exactly t = 7·L = 21 — the fast-forwarded chain is jumped
+///   in two segments (4 hops in shard 0, 3 in shard 1) whose times sum to
+///   the same 7·L;
+/// - event budget: 1 activation + 8 router pops (cols 0–7; segments bill
+///   their bulk hops to their own shard) + 1 sink delivery = 10 pops in
+///   *every* engine × fast-forward combination;
+/// - per-router `fabric_hops` is 1 for cols 0–6 and 0 for the sink, so
+///   the shard-0 routers account 4 hops and shard-1 routers 3.
+#[test]
+fn two_shard_chain_crossing_matches_closed_form() {
+    const L: u64 = 3;
+    for execution in [
+        Execution::Sequential,
+        Execution::Sharded {
+            shards: 2,
+            threads: 2,
+        },
+    ] {
+        for fast_forward in [false, true] {
+            let label = format!("{execution:?} ff={fast_forward}");
+            let (result, f) = run_boundary_chain(execution, fast_forward, 1_000);
+            let report = result.expect("chain run failed");
+            assert_eq!(report.events, 10, "{label}: event count");
+            assert_eq!(report.final_time, 7 * L, "{label}: sink arrival time");
+            let hops: Vec<u64> = (0..8)
+                .map(|x| f.router(PeCoord::new(x, 0)).fabric_hops)
+                .collect();
+            assert_eq!(
+                hops,
+                vec![1, 1, 1, 1, 1, 1, 1, 0],
+                "{label}: per-router hops"
+            );
+            // Per-shard hop split across the col-3/col-4 boundary: 4 + 3.
+            let per_shard = f.shard_stats(2);
+            assert_eq!(per_shard[0].fabric_hops, 4, "{label}: shard-0 hops");
+            assert_eq!(per_shard[1].fabric_hops, 3, "{label}: shard-1 hops");
+            // Exactly one ramp delivery, at the far end of the chain.
+            assert_eq!(f.memory(PeCoord::new(7, 0)).read_u32(0), 1, "{label}");
+            for x in 0..7 {
+                assert_eq!(f.memory(PeCoord::new(x, 0)).read_u32(0), 0, "{label}");
+            }
+            // The budget is exact: 10 events fit, 9 do not — even when the
+            // chain is jumped in bulk (segments bill `1 + (hops-1)` pops).
+            let (ok, _) = run_boundary_chain(execution, fast_forward, 10);
+            assert!(ok.is_ok(), "{label}: budget of 10 must pass");
+            let (err, _) = run_boundary_chain(execution, fast_forward, 9);
+            assert!(
+                matches!(
+                    err,
+                    Err(wse_sim::fabric::FabricError::EventBudgetExceeded { max_events: 9 })
+                ),
+                "{label}: budget of 9 must trip"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard chain invalidation
+// ---------------------------------------------------------------------------
+
+const REWIRE: Color = Color::new(11);
+
+/// Like [`BoundaryChainProgram`], but PE (5, 0) — mid-chain, in the
+/// *remote* shard for every multi-shard split — reconfigures the chain
+/// color on a `REWIRE` activation to intercept the stream up its own
+/// ramp. The reconfiguration bumps `Router::version`, so the prebuilt
+/// fast-forward chain must revalidate and break at PE 5.
+struct RewiredChainProgram {
+    width: usize,
+}
+
+impl PeProgram for RewiredChainProgram {
+    fn init(&mut self, ctx: &mut PeContext) {
+        let cfg = if ctx.coord.col == self.width - 1 {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Direction::West),
+                DirMask::single(Direction::Ramp),
+            ))
+        } else {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::of(&[Direction::West, Direction::Ramp]),
+                DirMask::single(Direction::East),
+            ))
+        };
+        ctx.configure_color(CHAIN, cfg);
+    }
+    fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
+        if w.color == KICK && ctx.coord.col == 0 {
+            ctx.send_f32(CHAIN, 7.0);
+        } else if w.color == REWIRE {
+            // Intercept: from now on the chain terminates here.
+            ctx.configure_color(
+                CHAIN,
+                ColorConfig::fixed(RouterPosition::new(
+                    DirMask::single(Direction::West),
+                    DirMask::single(Direction::Ramp),
+                )),
+            );
+        } else if w.color == CHAIN {
+            let seen = ctx.memory.read_u32(0);
+            ctx.memory.write_u32(0, seen + 1);
+        }
+    }
+}
+
+/// Regression for stale cross-shard chains: the fast-forward table is
+/// built before the run, pointing the chain at the original sink; the
+/// mid-run `configure_color` on a router in a *remote* shard must bump
+/// that router's version so the chain breaks there and re-routes under
+/// the new configuration. A stale chain delivering to PE (7, 0) — or
+/// double-delivering — would show up in the memory cells and in every
+/// cross-engine comparison below.
+#[test]
+fn remote_shard_reconfiguration_invalidates_chain() {
+    const WIDTH: usize = 8;
+    let run = |execution: Execution, fast_forward: bool| {
+        let config = FabricConfig {
+            execution,
+            fast_forward,
+            hop_latency: 2,
+            ..FabricConfig::default()
+        };
+        let mut f = Fabric::new(FabricDims::new(WIDTH, 1), config, |_| {
+            Box::new(RewiredChainProgram { width: WIDTH })
+        });
+        f.load();
+        // The rewire lands at t=0; the stream reaches PE 5 at t=5·L — the
+        // chain is provably stale by the time the wavelet gets there.
+        f.activate(PeCoord::new(5, 0), REWIRE, 0);
+        f.activate(PeCoord::new(0, 0), KICK, 0);
+        let report = f.run().expect("rewired chain run failed");
+        let memories: Vec<u32> = (0..WIDTH)
+            .map(|x| f.memory(PeCoord::new(x, 0)).read_u32(0))
+            .collect();
+        (report, f.stats(), f.time(), memories)
+    };
+    let reference = run(Execution::Sequential, false);
+    // The interceptor receives the wavelet; the original sink never does.
+    assert_eq!(reference.3, vec![0, 0, 0, 0, 0, 1, 0, 0]);
+    for fast_forward in [false, true] {
+        for shards in [2usize, 4] {
+            let sharded = run(Execution::Sharded { shards, threads: 2 }, fast_forward);
+            assert_eq!(
+                reference, sharded,
+                "{shards} shards ff={fast_forward}: stale chain behaviour diverged"
+            );
+        }
+        assert_eq!(reference, run(Execution::Sequential, fast_forward));
     }
 }
 

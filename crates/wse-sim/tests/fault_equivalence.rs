@@ -260,6 +260,74 @@ fn randomized_plans_are_engine_invariant() {
     }
 }
 
+/// Fault plans force per-hop routing (fast-forward is disabled while a
+/// plan is installed), so this also exercises the conservative-lookahead
+/// protocol without chain jumps: randomized plans on a *two-dimensional*
+/// fabric must stay engine-invariant across shard grids that split both
+/// axes.
+#[test]
+fn randomized_plans_on_2d_fabrics_are_engine_invariant() {
+    let dims = FabricDims::new(8, 4);
+    let run = |execution: Execution, plan: &FaultPlan| {
+        let mut f = Fabric::new(
+            dims,
+            FabricConfig {
+                execution,
+                ..FabricConfig::default()
+            },
+            |c| Box::new(Shifter::new((c.row * 8 + c.col) as f32 + 100.0)),
+        );
+        f.load();
+        if !plan.is_empty() {
+            f.set_fault_plan(plan);
+        }
+        f.activate_all(START, 0);
+        let result = f.run().map_err(|e| e.to_string());
+        (result, f.fault_log(), f.stats())
+    };
+    for seed in 0..8u64 {
+        let plan = FaultPlan::randomized(seed, dims, 40, 3);
+        let seq = run(Execution::Sequential, &plan);
+        for shards in [2usize, 4, 8] {
+            let par = run(Execution::Sharded { shards, threads: 2 }, &plan);
+            assert_eq!(seq, par, "seed {seed}, {shards} shards diverged");
+        }
+    }
+}
+
+/// Liveness regression for the lookahead protocol: halting *every* PE of
+/// one shard at t=0 must not deadlock the engine — the halted shard keeps
+/// popping (and swallowing) events, its channel clocks keep advancing,
+/// and the run terminates with the same typed error and fault log as the
+/// sequential engine. Under the old global barrier this was trivially
+/// true; with per-shard-pair clocks it is exactly the case where a stuck
+/// neighbor could freeze everyone's EIT forever.
+#[test]
+fn fully_halted_shard_does_not_deadlock_the_lookahead() {
+    let cols = 8;
+    // Halt the third quarter (columns 4–5): with 4 shards that is one
+    // whole shard of the 8×1 fabric; with 2 shards it is half a shard.
+    let mut plan = FaultPlan::new();
+    for col in 4..6 {
+        plan = plan.with(Fault {
+            pe: PeCoord::new(col, 0),
+            at: 0,
+            kind: FaultKind::PeHalt,
+            persistent: true,
+        });
+    }
+    let seq = run_shifter(cols, Execution::Sequential, &plan);
+    let err = seq.0.as_ref().expect_err("halted PEs are detected faults");
+    assert!(err.contains("halt"), "expected a PeHalt error, got: {err}");
+    for (shards, threads) in [(2usize, 2usize), (4, 2), (4, 4), (8, 2)] {
+        let par = run_shifter(cols, Execution::Sharded { shards, threads }, &plan);
+        assert_eq!(
+            seq, par,
+            "{shards} shards × {threads} threads: halted-shard outcome diverged"
+        );
+    }
+}
+
 #[test]
 fn transient_faults_vanish_for_later_attempts() {
     let transient = Fault {

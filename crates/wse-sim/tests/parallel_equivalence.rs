@@ -15,6 +15,7 @@ use fv_core::fields::PermeabilityField;
 use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
 use fv_core::state::FlowState;
 use fv_core::trans::{StencilKind, Transmissibilities};
+use proptest::prelude::*;
 use tpfa_dataflow::DataflowFluxSimulator;
 use wse_sim::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
 use wse_sim::geometry::{Direction, FabricDims, PeCoord};
@@ -249,6 +250,159 @@ fn budget_error_reports_are_identical_across_engines() {
     assert!(matches!(reference, FabricError::EventBudgetExceeded { .. }));
     for (shards, threads) in [(2, 2), (4, 4), (8, 2)] {
         assert_eq!(reference, run(Execution::Sharded { shards, threads }));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property wall: randomized geometries × fast-forward × injection schedules
+// ---------------------------------------------------------------------------
+
+const HOP_EAST: Color = Color::new(21);
+const HOP_SOUTH: Color = Color::new(22);
+
+/// A "hopper" fabric for property testing: every PE carries two passive
+/// fixed-route chains (eastbound and southbound, both fast-forwardable,
+/// both accepting ramp injection mid-chain), with the far edge sinking up
+/// its ramp. A `DATA` activation launches wavelets on either chain based
+/// on payload bits, so a random activation schedule produces arbitrary
+/// overlapping cross-shard chain traffic. Sinks fold `payload + 1` into
+/// memory word 0 (order-insensitive, value-sensitive).
+struct HopperProgram {
+    cols: usize,
+    rows: usize,
+}
+
+impl PeProgram for HopperProgram {
+    fn init(&mut self, ctx: &mut PeContext) {
+        let c = ctx.coord;
+        let east = if c.col == self.cols - 1 {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Direction::West),
+                DirMask::single(Direction::Ramp),
+            ))
+        } else {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::of(&[Direction::West, Direction::Ramp]),
+                DirMask::single(Direction::East),
+            ))
+        };
+        ctx.configure_color(HOP_EAST, east);
+        let south = if c.row == self.rows - 1 {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::single(Direction::North),
+                DirMask::single(Direction::Ramp),
+            ))
+        } else {
+            ColorConfig::fixed(RouterPosition::new(
+                DirMask::of(&[Direction::North, Direction::Ramp]),
+                DirMask::single(Direction::South),
+            ))
+        };
+        ctx.configure_color(HOP_SOUTH, south);
+    }
+    fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
+        if w.color == DATA {
+            // Edge PEs skip the chain that would park at their own router.
+            if w.payload & 1 != 0 && ctx.coord.col < self.cols - 1 {
+                ctx.send_f32(HOP_EAST, (w.payload >> 8) as f32);
+            }
+            if w.payload & 2 != 0 && ctx.coord.row < self.rows - 1 {
+                ctx.send_f32(HOP_SOUTH, (w.payload >> 8) as f32);
+            }
+        } else {
+            let seen = ctx.memory.read_u32(0);
+            ctx.memory
+                .write_u32(0, seen.wrapping_add(w.payload).wrapping_add(1));
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HopperObservation {
+    report: RunReport,
+    stats: FabricStats,
+    final_time: u64,
+    memories: Vec<u32>,
+    counters: Vec<OpCounters>,
+}
+
+fn observe_hopper(
+    cols: usize,
+    rows: usize,
+    schedule: &[(usize, u32)],
+    execution: Execution,
+    fast_forward: bool,
+) -> HopperObservation {
+    let dims = FabricDims::new(cols, rows);
+    let config = FabricConfig {
+        execution,
+        fast_forward,
+        ..FabricConfig::default()
+    };
+    let mut f = Fabric::new(dims, config, |_| Box::new(HopperProgram { cols, rows }));
+    f.load();
+    for &(pe, payload) in schedule {
+        let coord = PeCoord::new(pe % cols, (pe / cols) % rows);
+        f.activate(coord, DATA, payload);
+    }
+    let report = f.run().expect("hopper run failed");
+    HopperObservation {
+        report,
+        stats: f.stats(),
+        final_time: f.time(),
+        memories: (0..cols * rows)
+            .map(|i| f.memory(PeCoord::new(i % cols, i / cols)).read_u32(0))
+            .collect(),
+        counters: (0..cols * rows)
+            .map(|i| *f.counters(PeCoord::new(i % cols, i / cols)))
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The satellite property wall: random fabric geometry (edges rarely
+    /// divisible by the shard grid), random shard count from
+    /// {1, 2, 4, 9}, fast-forward on or off, and a random injection
+    /// schedule — every observable must be bit-identical to the
+    /// sequential per-hop reference.
+    #[test]
+    fn randomized_geometry_and_schedule_is_engine_invariant(
+        (cols, rows, schedule) in (4usize..12, 4usize..12).prop_flat_map(|(cols, rows)| {
+            let n = cols * rows;
+            (
+                Just(cols),
+                Just(rows),
+                proptest::collection::vec((0..n, 0u32..u32::MAX), 1..16),
+            )
+        }),
+        shard_pick in 0usize..4,
+        ff_pick in 0u32..2,
+        threads in 1usize..5,
+    ) {
+        let shards = [1usize, 2, 4, 9][shard_pick];
+        let fast_forward = ff_pick == 1;
+        let reference = observe_hopper(cols, rows, &schedule, Execution::Sequential, false);
+        let ff_seq = observe_hopper(cols, rows, &schedule, Execution::Sequential, fast_forward);
+        prop_assert_eq!(&reference, &ff_seq, "sequential ff={} diverged", fast_forward);
+        let sharded = observe_hopper(
+            cols,
+            rows,
+            &schedule,
+            Execution::Sharded { shards, threads },
+            fast_forward,
+        );
+        prop_assert_eq!(
+            &reference,
+            &sharded,
+            "{}x{} fabric, {} shards, {} threads, ff={} diverged",
+            cols,
+            rows,
+            shards,
+            threads,
+            fast_forward
+        );
     }
 }
 
