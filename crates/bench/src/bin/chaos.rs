@@ -19,6 +19,14 @@
 //! across boundary layouts — fault plans force per-hop routing, and halt
 //! faults exercise the no-deadlock guarantee when a whole shard goes
 //! quiet. Exit code 0 iff every schedule upholds every invariant.
+//!
+//! A **kill/restore sweep** follows the fault schedules: each run is
+//! checkpointed mid-application at a seeded event count
+//! ([`wse_serve::Checkpoint`], the full binary codec), the live simulator
+//! is dropped, the bytes are restored into a freshly built one, and the
+//! run finishes — the residual, per-PE counters, aggregate stats and
+//! accumulated [`RunReport`] must be bit-identical to an uninterrupted
+//! run, on both engines, with fast-forwarding on and off.
 
 use bench::{pressure_for_iteration, standard_problem};
 use tpfa_dataflow::{DataflowFluxSimulator, Recovered, RecoveryPolicy};
@@ -117,6 +125,112 @@ fn check_invariants(seed: u64, policy: RecoveryPolicy, outcome: &Outcome, baseli
         }
         Outcome::Error { .. } => {}
     }
+}
+
+/// One measured end state of a (possibly interrupted) single-application
+/// run, reduced to bit-comparable form.
+#[derive(Debug, PartialEq)]
+struct EndState {
+    residual_bits: Vec<u32>,
+    stats: wse_sim::stats::FabricStats,
+    report: wse_sim::fabric::RunReport,
+}
+
+/// Runs one application, killed at `kill_at` events: the mid-application
+/// state makes the full serialize → drop → deserialize → restore journey
+/// into a **freshly built** simulator, which then finishes the run.
+/// `kill_at = None` is the uninterrupted control.
+fn kill_restore_one(
+    execution: Execution,
+    fast_forward: bool,
+    kill_at: Option<u64>,
+    pressure: &[f32],
+) -> EndState {
+    let (mesh, fluid, trans) = standard_problem(NX, NY, NZ, 42);
+    let build = || {
+        DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .execution(execution)
+            .fast_forward(fast_forward)
+            .build()
+            .expect("chaos problem must pass builder validation")
+    };
+    let mut sim = build();
+    let residual = match kill_at {
+        None => sim.apply(pressure).expect("uninterrupted run failed"),
+        Some(limit) => {
+            sim.begin_apply(pressure);
+            let step = sim.step_events(limit).expect("stepped run failed");
+            if !step.complete {
+                // The kill: only the serialized bytes survive.
+                let bytes = wse_serve::Checkpoint::capture(&sim).encode();
+                drop(sim);
+                sim = build();
+                wse_serve::Checkpoint::decode(&bytes)
+                    .expect("own checkpoint must decode")
+                    .restore_into(&mut sim)
+                    .expect("restore into an identically built simulator");
+            }
+            sim.finish_apply().expect("resumed run failed")
+        }
+    };
+    EndState {
+        residual_bits: residual.iter().map(|v| v.to_bits()).collect(),
+        stats: sim.stats(),
+        report: sim.last_run().expect("run just finished"),
+    }
+}
+
+/// The kill/restore sweep: seeded mid-application kill points on every
+/// engine × fast-forward combination, each asserted bit-identical to the
+/// uninterrupted control. Returns the number of cycles exercised.
+fn kill_restore_sweep(
+    kills: usize,
+    seed0: u64,
+    sharded: Execution,
+    pressure: &[f32],
+    report_lines: &mut Vec<String>,
+) -> usize {
+    let combos = [
+        (Execution::Sequential, true),
+        (Execution::Sequential, false),
+        (sharded, true),
+        (sharded, false),
+    ];
+    // Uninterrupted control per combo (engines agree, but comparing each
+    // combo to its own control keeps the assertion self-contained).
+    let controls: Vec<EndState> = combos
+        .iter()
+        .map(|&(e, ff)| kill_restore_one(e, ff, None, pressure))
+        .collect();
+    let total_events = controls[0].report.events;
+    for w in 1..controls.len() {
+        assert_eq!(
+            controls[0], controls[w],
+            "uninterrupted engines/fast-forward modes must agree"
+        );
+    }
+    for k in 0..kills {
+        let seed = seed0 + k as u64;
+        // Seeded kill point, spread over the middle of the run.
+        let kill_at = 1 + seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) % (3 * total_events / 4);
+        let (execution, ff) = combos[k % combos.len()];
+        let killed = kill_restore_one(execution, ff, Some(kill_at), pressure);
+        assert_eq!(
+            killed,
+            controls[k % combos.len()],
+            "seed {seed}: kill at {kill_at} events on {:?}/ff={ff} must \
+             restore bit-identically",
+            execution
+        );
+        report_lines.push(format!(
+            "{{\"kill_seed\":{seed},\"kill_at\":{kill_at},\"engine\":\"{}\",\
+             \"fast_forward\":{ff},\"bit_identical\":true}}",
+            bench::execution_label(execution)
+        ));
+    }
+    kills
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {
@@ -257,6 +371,19 @@ fn main() {
         "\nall {} runs upheld the contract: clean ⇒ bit-identical, degraded ⇒ \
          valid PEs bit-identical, otherwise a typed fault error; engines agree.",
         schedules * policies.len() * 2
+    );
+
+    // ---- kill/restore sweep ---------------------------------------------
+    let kills = (schedules / 2).clamp(4, 16);
+    println!(
+        "\n== kill/restore: {kills} seeded mid-application checkpoints \
+         (sequential + {}, fast-forward on/off) ==",
+        bench::execution_label(sharded)
+    );
+    kill_restore_sweep(kills, seed0, sharded, &pressure, &mut report_lines);
+    println!(
+        "all {kills} kill/restore cycles finished bit-identically to their \
+         uninterrupted controls (residual, counters, stats, report)."
     );
 
     if let Some(path) = report_path {

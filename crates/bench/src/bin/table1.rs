@@ -169,4 +169,8 @@ fn main() {
     // `--faults <seed> [--recovery <policy>]`: one faulted demonstration
     // run (never part of the measured tables above).
     bench::run_faulted_demo(&args, nx, ny, nz);
+
+    // `--checkpoint <path>` / `--resume <path>`: kill/restore of a
+    // mid-application fabric state, resumed bit-identically.
+    bench::run_checkpoint_demo(&args, nx, ny, nz);
 }

@@ -132,4 +132,8 @@ fn main() {
     // run (never part of the measured tables above).
     let (fx, fy, fz) = (16, 16, 8);
     bench::run_faulted_demo(&args, fx, fy, fz);
+
+    // `--checkpoint <path>` / `--resume <path>`: kill/restore of a
+    // mid-application fabric state, resumed bit-identically.
+    bench::run_checkpoint_demo(&args, fx, fy, fz);
 }

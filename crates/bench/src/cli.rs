@@ -11,7 +11,10 @@
 //! * `--faults <seed>` — install a randomized seeded
 //!   [`wse_sim::fault::FaultPlan`] (fault injection off when absent);
 //! * `--recovery fail|retry[:attempts[:backoff]]|degrade` — what the
-//!   driver does when a fault is detected (default `fail`).
+//!   driver does when a fault is detected (default `fail`);
+//! * `--checkpoint <path>` / `--resume <path>` — write a mid-application
+//!   fabric checkpoint / restore one and finish the run bit-identically
+//!   (see [`crate::run_checkpoint_demo`]).
 
 use tpfa_dataflow::RecoveryPolicy;
 use wse_sim::fabric::Execution;
@@ -34,6 +37,10 @@ pub struct CommonArgs {
     pub fault_seed: Option<u64>,
     /// `--recovery <policy>` (default [`RecoveryPolicy::Fail`]).
     pub recovery: RecoveryPolicy,
+    /// `--checkpoint <path>`: write a mid-application checkpoint here.
+    pub checkpoint: Option<String>,
+    /// `--resume <path>`: restore a checkpoint from here and finish it.
+    pub resume: Option<String>,
 }
 
 impl CommonArgs {
@@ -80,6 +87,8 @@ impl CommonArgs {
             profile: profile_request_from_arg_slice(args),
             fault_seed,
             recovery,
+            checkpoint: value_of("--checkpoint").cloned(),
+            resume: value_of("--resume").cloned(),
         })
     }
 
@@ -128,13 +137,15 @@ mod tests {
         assert_eq!(args.profile, None);
         assert_eq!(args.fault_seed, None);
         assert_eq!(args.recovery, RecoveryPolicy::Fail);
+        assert_eq!(args.checkpoint, None);
+        assert_eq!(args.resume, None);
     }
 
     #[test]
     fn parses_the_full_flag_family() {
         let args = CommonArgs::from_slice(&to_args(
             "--shards 4 --threads 2 --trace t.json --profile p.json --trace-cap 64 \
-             --faults 7 --recovery retry:5:100",
+             --faults 7 --recovery retry:5:100 --checkpoint c.bin --resume r.bin",
         ))
         .unwrap();
         assert_eq!(
@@ -148,6 +159,8 @@ mod tests {
         assert_eq!(args.trace.as_ref().unwrap().capacity, 64);
         assert_eq!(args.profile.as_ref().unwrap().path, "p.json");
         assert_eq!(args.fault_seed, Some(7));
+        assert_eq!(args.checkpoint.as_deref(), Some("c.bin"));
+        assert_eq!(args.resume.as_deref(), Some("r.bin"));
         assert_eq!(
             args.recovery,
             RecoveryPolicy::Retry {

@@ -207,6 +207,90 @@ pub fn run_faulted_demo(args: &CommonArgs, nx: usize, ny: usize, nz: usize) {
     }
 }
 
+/// Honors the shared `--checkpoint <path>` / `--resume <path>` flags on
+/// the standard problem, a no-op when neither was given.
+///
+/// * `--checkpoint <path>`: runs one application about half-way with the
+///   stepped driver API, serializes the mid-application fabric state to
+///   `path` ([`wse_serve::Checkpoint`]), and abandons the run — the "kill"
+///   half of a kill/restore cycle.
+/// * `--resume <path>`: reads `path`, restores it into a freshly built
+///   simulator on the selected engine (checkpoints are engine-portable),
+///   finishes the interrupted application, and asserts the residual is
+///   **bit-identical** to an uninterrupted run.
+///
+/// Both flags together (same path) perform the full cycle in one
+/// invocation; across two invocations they script a real kill/restore.
+pub fn run_checkpoint_demo(args: &CommonArgs, nx: usize, ny: usize, nz: usize) {
+    use wse_serve::Checkpoint;
+    if args.checkpoint.is_none() && args.resume.is_none() {
+        return;
+    }
+    let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
+    let build = || {
+        DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .execution(args.execution)
+            .build()
+            .expect("standard problem is always valid")
+    };
+    let mut reference = build();
+    let baseline = reference
+        .apply(&pressure_for_iteration(&mesh, 0))
+        .expect("reference run failed");
+    let total_events = reference.last_run().expect("reference just ran").events;
+
+    if let Some(path) = &args.checkpoint {
+        let mut sim = build();
+        sim.begin_apply(&pressure_for_iteration(&mesh, 0));
+        let step = sim
+            .step_events(total_events / 2)
+            .expect("stepped run failed");
+        assert!(!step.complete, "half the events cannot finish the run");
+        Checkpoint::capture(&sim)
+            .write_file(path)
+            .unwrap_or_else(|e| panic!("writing checkpoint to {path}: {e}"));
+        println!(
+            "\n-- checkpoint: mid-application state ({} of {total_events} events, \
+             {nx}x{ny}x{nz}, {}) written to {path} --",
+            step.events,
+            args.execution_label()
+        );
+        println!("   resume with --resume {path} (any engine) to finish bit-identically");
+    }
+
+    if let Some(path) = &args.resume {
+        let ck = Checkpoint::read_file(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let mut sim = build();
+        ck.restore_into(&mut sim)
+            .unwrap_or_else(|e| panic!("restoring {path}: {e}"));
+        println!(
+            "\n-- resume: restored {path} on {} --",
+            args.execution_label()
+        );
+        let residual = if sim.in_flight() {
+            sim.finish_apply().expect("resumed run failed")
+        } else {
+            sim.apply(&pressure_for_iteration(&mesh, 0))
+                .expect("post-restore run failed")
+        };
+        assert!(
+            residual
+                .iter()
+                .zip(&baseline)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "resumed run must be bit-identical to the uninterrupted one"
+        );
+        println!(
+            "   finished {} events total; residual bit-identical to the \
+             uninterrupted run ({} cells)",
+            sim.last_run().expect("resumed run just finished").events,
+            residual.len()
+        );
+    }
+}
+
 /// Exports a simulator's recorded trace as Chrome `trace_event` JSON to
 /// `req.path` and prints the compact summary (per-shard load timelines,
 /// per-color wavelet histogram, hottest PEs) plus the drop count.

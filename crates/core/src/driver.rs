@@ -15,8 +15,6 @@
 //! the diagonal exchange disabled is rejected (instead of silently missing
 //! fluxes), a mesh whose per-PE footprint exceeds the PE memory is rejected
 //! with the maximum feasible `nz`, and a [`FaultPlan`] is bounds-checked.
-//! The old 4-positional-argument [`DataflowFluxSimulator::new`] remains as
-//! a deprecated shim.
 //!
 //! # Fault recovery
 //!
@@ -52,48 +50,9 @@ use fv_core::trans::Transmissibilities;
 use wse_sim::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
 use wse_sim::fault::{FaultClass, FaultEvent, FaultPlan};
 use wse_sim::geometry::{FabricDims, PeCoord};
+use wse_sim::snapshot::{FabricSnapshot, RestoreError};
 use wse_sim::stats::FabricStats;
 use wse_sim::trace::{Trace, TraceSpec};
-
-/// Driver options.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `DataflowFluxSimulator::builder(mesh)` and its fluent setters"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DataflowOptions {
-    /// `false` strips all flux computation (the paper's Table 3
-    /// communication-cost experiment).
-    pub compute_enabled: bool,
-    /// `false` disables the diagonal exchange (the §5.2.2 ablation; pair
-    /// with a [`fv_core::trans::StencilKind::Cardinal`] transmissibility
-    /// set, otherwise diagonal fluxes are silently missing).
-    pub diagonals_enabled: bool,
-    /// Per-PE memory in bytes (default WSE-2: 48 kB).
-    pub pe_memory_bytes: usize,
-    /// Event budget per `run` (safety).
-    pub max_events: u64,
-    /// Fabric event-loop engine (default [`Execution::Sequential`]; use
-    /// [`Execution::Sharded`] for parallel simulation with bit-identical
-    /// results).
-    pub execution: Execution,
-    /// Event tracing (default off; see [`wse_sim::trace`]).
-    pub trace: TraceSpec,
-}
-
-#[allow(deprecated)]
-impl Default for DataflowOptions {
-    fn default() -> Self {
-        Self {
-            compute_enabled: true,
-            diagonals_enabled: true,
-            pe_memory_bytes: wse_sim::memory::WSE2_PE_MEMORY_BYTES,
-            max_events: 1_000_000_000,
-            execution: Execution::Sequential,
-            trace: TraceSpec::OFF,
-        }
-    }
-}
 
 /// What [`DataflowFluxSimulator::apply`] does when a fault is detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -256,6 +215,55 @@ struct SimSpec {
     /// Transmissibility columns in upload order:
     /// `[y][x][face][z]`, flattened.
     trans_cols: Vec<f32>,
+}
+
+impl SimSpec {
+    /// FNV-1a over everything that determines snapshot compatibility.
+    ///
+    /// Deliberately excludes the event-loop engine, fast-forwarding, and
+    /// the trace spec: those choose *how* the fabric is driven, not *what*
+    /// state it holds — snapshots are portable across them (and the
+    /// checkpoint equivalence tests restore Sequential snapshots into
+    /// Sharded simulators and vice versa).
+    fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for v in [self.nx as u64, self.ny as u64, self.nz as u64] {
+            eat(&v.to_le_bytes());
+        }
+        for f in [
+            self.params.rho_ref,
+            self.params.c_f,
+            self.params.p_ref,
+            self.params.inv_mu,
+            self.params.g_dz_up,
+            self.params.g_dz_down,
+        ] {
+            eat(&f.to_bits().to_le_bytes());
+        }
+        eat(&[self.compute_enabled as u8, self.diagonals_enabled as u8]);
+        for v in [
+            self.config.pe_memory_bytes as u64,
+            self.config.hop_latency,
+            self.config.max_events,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        // `FaultPlan` derives a stable `Debug` over plain integer fields —
+        // cheap to hash without a bespoke serializer.
+        eat(format!("{:?}", self.fault_plan).as_bytes());
+        for t in &self.trans_cols {
+            eat(&t.to_bits().to_le_bytes());
+        }
+        h
+    }
 }
 
 fn build_fabric(spec: &SimSpec, plan: &FaultPlan) -> Fabric {
@@ -486,6 +494,7 @@ impl<'a> SimulatorBuilder<'a> {
             spec,
             recovery: self.recovery,
             last_run: None,
+            pending: None,
         })
     }
 }
@@ -494,6 +503,60 @@ impl<'a> SimulatorBuilder<'a> {
 pub const HOST_PHASE_INJECT: u8 = 0;
 /// Host-phase code for residual collection (end of [`DataflowFluxSimulator::apply`]).
 pub const HOST_PHASE_COLLECT: u8 = 1;
+
+/// Accumulated totals of an in-flight stepped application (the state
+/// between [`DataflowFluxSimulator::begin_apply`] and
+/// [`DataflowFluxSimulator::finish_apply`]), carried by
+/// [`DriverSnapshot`] so a mid-application checkpoint resumes with the
+/// same [`RunReport`] arithmetic as the uninterrupted run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepTotals {
+    /// Events processed so far in this application.
+    pub events: u64,
+    /// Fabric time after the most recent step.
+    pub final_time: u64,
+    /// Edge drops accumulated so far in this application.
+    pub edge_drops: u64,
+    /// Fault events logged so far in this application.
+    pub faults: u64,
+    /// Whether the fabric already reached quiescence.
+    pub complete: bool,
+}
+
+/// Outcome of one [`DataflowFluxSimulator::step_events`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// The application reached quiescence — call
+    /// [`DataflowFluxSimulator::finish_apply`] to collect the residual.
+    pub complete: bool,
+    /// Events processed by this step.
+    pub events: u64,
+    /// Fabric time after this step.
+    pub fabric_time: u64,
+}
+
+/// Complete driver state as plain data: the fabric snapshot plus the
+/// host-side application counters. Captured by
+/// [`DataflowFluxSimulator::snapshot`] at any event boundary (between
+/// `apply` calls or between `step_events` calls) and restored with
+/// [`DataflowFluxSimulator::restore_snapshot`] into a freshly built
+/// simulator of the same specification. The binary on-disk encoding lives
+/// in `wse-serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverSnapshot {
+    /// The underlying fabric state.
+    pub fabric: FabricSnapshot,
+    /// Completed applications of Algorithm 1.
+    pub applications: u64,
+    /// Runs launched on the current fabric instance (the watchdog's
+    /// expected progress).
+    pub fabric_applications: u64,
+    /// The in-flight stepped application, if one was open.
+    pub in_flight: Option<StepTotals>,
+    /// Report of the most recent completed run, for
+    /// [`DataflowFluxSimulator::last_run`] continuity.
+    pub last_run: Option<RunReport>,
+}
 
 /// The host-side simulator: fabric + problem layout.
 pub struct DataflowFluxSimulator {
@@ -509,6 +572,8 @@ pub struct DataflowFluxSimulator {
     spec: SimSpec,
     recovery: RecoveryPolicy,
     last_run: Option<RunReport>,
+    /// In-flight stepped application ([`DataflowFluxSimulator::begin_apply`]).
+    pending: Option<StepTotals>,
 }
 
 impl DataflowFluxSimulator {
@@ -526,44 +591,18 @@ impl DataflowFluxSimulator {
         SimulatorBuilder::new(mesh)
     }
 
-    /// Builds the fabric for `mesh` with positional arguments.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the problem fails the [`SimulatorBuilder`] validations
-    /// (e.g. diagonals disabled against a full-stencil transmissibility
-    /// set) — cases the old constructor accepted silently.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DataflowFluxSimulator::builder(mesh)` and its fluent setters"
-    )]
-    #[allow(deprecated)]
-    pub fn new(
-        mesh: &CartesianMesh3,
-        fluid: &Fluid,
-        trans: &Transmissibilities,
-        opts: DataflowOptions,
-    ) -> Self {
-        Self::builder(mesh)
-            .fluid(fluid)
-            .transmissibilities(trans)
-            .compute_enabled(opts.compute_enabled)
-            .diagonals_enabled(opts.diagonals_enabled)
-            .pe_memory_bytes(opts.pe_memory_bytes)
-            .max_events(opts.max_events)
-            .execution(opts.execution)
-            .trace(opts.trace)
-            .build()
-            .unwrap_or_else(|e| panic!("DataflowFluxSimulator::new: {e}"))
-    }
-
     /// Uploads `pressure`, launches one application of Algorithm 1, runs to
     /// quiescence, and — when a fault plan is active — runs the progress
     /// watchdog. Does not apply the recovery policy.
     fn apply_attempt(&mut self, pressure: &[f32]) -> Result<Vec<f32>, FabricError> {
+        self.begin_apply(pressure);
+        self.finish_apply()
+    }
+
+    /// Host-loads pressures (with ghost duplication) and zeros residuals.
+    fn upload_pressure(&mut self, pressure: &[f32]) {
         assert_eq!(pressure.len(), self.nx * self.ny * self.nz);
         let nz = self.nz;
-        // Host-load pressures (with ghost duplication) and zero residuals.
         let mut col = vec![0.0_f32; nz + 2];
         let zeros = vec![0.0_f32; nz];
         for y in 0..self.ny {
@@ -579,11 +618,101 @@ impl DataflowFluxSimulator {
                 mem.host_write_f32(self.layout.residual, &zeros);
             }
         }
-        // Launch and run to quiescence.
+    }
+
+    /// Uploads `pressure` and launches one application of Algorithm 1
+    /// without running the fabric: the stepped counterpart of
+    /// [`DataflowFluxSimulator::apply`]. Drive the fabric with
+    /// [`DataflowFluxSimulator::step_events`] (checkpointing between steps
+    /// if desired via [`DataflowFluxSimulator::snapshot`]) and collect the
+    /// residual with [`DataflowFluxSimulator::finish_apply`]. The stepped
+    /// path does not apply the [`RecoveryPolicy`] — faults surface as
+    /// typed errors ([`RecoveryPolicy::Fail`] semantics).
+    ///
+    /// # Panics
+    ///
+    /// If an application is already in flight.
+    pub fn begin_apply(&mut self, pressure: &[f32]) {
+        assert!(
+            self.pending.is_none(),
+            "an application is already in flight — call finish_apply first"
+        );
+        self.upload_pressure(pressure);
         self.fabric
             .trace_host(HOST_PHASE_INJECT, self.applications as u32);
         self.fabric.activate_all(START, 0);
-        let result = self.fabric.run();
+        self.pending = Some(StepTotals::default());
+    }
+
+    /// Processes up to `max_events` fabric events of the in-flight
+    /// application, pausing at an event boundary (the sharded engine may
+    /// overshoot by up to one flush batch per worker; the final state is
+    /// identical either way). Returns whether the fabric reached
+    /// quiescence; calling again after completion is a no-op. On `Err` the
+    /// fabric is in a failed state — discard or restore the simulator.
+    ///
+    /// # Panics
+    ///
+    /// If no application is in flight.
+    pub fn step_events(&mut self, max_events: u64) -> Result<StepReport, FabricError> {
+        assert!(
+            self.pending.is_some(),
+            "no application in flight — call begin_apply first"
+        );
+        let done = self.pending.as_ref().is_some_and(|p| p.complete);
+        if done {
+            let p = self.pending.as_ref().unwrap();
+            return Ok(StepReport {
+                complete: true,
+                events: 0,
+                fabric_time: p.final_time,
+            });
+        }
+        let pause = self.fabric.run_until(max_events)?;
+        let p = self.pending.as_mut().unwrap();
+        p.events += pause.report.events;
+        p.final_time = pause.report.final_time;
+        p.edge_drops += pause.report.edge_drops;
+        p.faults += pause.report.faults;
+        p.complete = !pause.paused;
+        Ok(StepReport {
+            complete: p.complete,
+            events: pause.report.events,
+            fabric_time: pause.report.final_time,
+        })
+    }
+
+    /// Whether a stepped application is in flight (between
+    /// [`DataflowFluxSimulator::begin_apply`] and
+    /// [`DataflowFluxSimulator::finish_apply`]).
+    pub fn in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Runs the in-flight application to quiescence (a no-op when
+    /// [`DataflowFluxSimulator::step_events`] already completed it), runs
+    /// the fault watchdog, and collects the residual. The accumulated
+    /// [`RunReport`] is component-wise identical to the uninterrupted
+    /// [`DataflowFluxSimulator::apply`] run's.
+    ///
+    /// # Panics
+    ///
+    /// If no application is in flight.
+    pub fn finish_apply(&mut self) -> Result<Vec<f32>, FabricError> {
+        let pending = self
+            .pending
+            .take()
+            .expect("no application in flight — call begin_apply first");
+        let result = if pending.complete {
+            Ok(RunReport {
+                events: 0,
+                final_time: pending.final_time,
+                edge_drops: 0,
+                faults: 0,
+            })
+        } else {
+            self.fabric.run()
+        };
         self.fabric_applications += 1;
         // Progress watchdog: every PE must have completed as many
         // iterations as this fabric has launched; a laggard lost wavelets
@@ -600,7 +729,7 @@ impl DataflowFluxSimulator {
                 }
             }
         }
-        let report = result?;
+        let tail = result?;
         if let Some(error) = self.fabric.first_fault_error() {
             // The run itself was clean, but the watchdog found silent
             // stalls (or earlier benign-looking damage) — same typed error.
@@ -608,7 +737,12 @@ impl DataflowFluxSimulator {
         }
         self.fabric
             .trace_host(HOST_PHASE_COLLECT, self.applications as u32);
-        self.last_run = Some(report);
+        self.last_run = Some(RunReport {
+            events: pending.events + tail.events,
+            final_time: tail.final_time,
+            edge_drops: pending.edge_drops + tail.edge_drops,
+            faults: pending.faults + tail.faults,
+        });
         self.applications += 1;
         Ok(self.collect_residual())
     }
@@ -636,6 +770,48 @@ impl DataflowFluxSimulator {
         self.fabric = build_fabric(&self.spec, &plan);
         self.fabric_applications = 0;
         self.last_run = None;
+        self.pending = None;
+    }
+
+    /// Captures the complete driver + fabric state as plain data. Valid at
+    /// any event boundary: between `apply` calls, or between
+    /// [`DataflowFluxSimulator::step_events`] calls of an in-flight
+    /// application. Trace ring contents are not captured (sequence
+    /// counters are) — checkpoint with tracing off for bit-identical
+    /// resumed traces.
+    pub fn snapshot(&self) -> DriverSnapshot {
+        DriverSnapshot {
+            fabric: self.fabric.snapshot(),
+            applications: self.applications as u64,
+            fabric_applications: self.fabric_applications as u64,
+            in_flight: self.pending,
+            last_run: self.last_run,
+        }
+    }
+
+    /// Restores state captured by [`DataflowFluxSimulator::snapshot`].
+    /// The target must have been built from the same problem specification
+    /// (same mesh, fluid, transmissibilities, fabric configuration and
+    /// fault plan — compare [`DataflowFluxSimulator::spec_hash`]); the
+    /// engine (`Sequential` vs `Sharded`) may differ, snapshots are
+    /// engine-portable. On `Err` the simulator may be partially
+    /// overwritten and must be discarded.
+    pub fn restore_snapshot(&mut self, snap: &DriverSnapshot) -> Result<(), RestoreError> {
+        self.fabric.restore(&snap.fabric)?;
+        self.applications = snap.applications as usize;
+        self.fabric_applications = snap.fabric_applications as usize;
+        self.pending = snap.in_flight;
+        self.last_run = snap.last_run;
+        Ok(())
+    }
+
+    /// Content hash (FNV-1a) of the full problem specification: geometry,
+    /// fluid constants, ablation flags, fabric configuration, fault plan,
+    /// and every transmissibility bit. Two simulators with equal hashes
+    /// accept each other's snapshots; `wse-serve` keys its checkpoint
+    /// integrity check and compiled-layout cache on this.
+    pub fn spec_hash(&self) -> u64 {
+        self.spec.content_hash()
     }
 
     fn all_valid(&self) -> Vec<bool> {
@@ -1166,19 +1342,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_shim_matches_builder() {
-        let (mesh, fluid, trans) = problem(4, 3, 2, StencilKind::TenPoint);
-        let p = FlowState::<f32>::varied(&mesh, 1.0e7, 1.1e7, 3);
-        let mut via_new =
-            DataflowFluxSimulator::new(&mesh, &fluid, &trans, DataflowOptions::default());
-        let mut via_builder = simulator(&mesh, &fluid, &trans);
-        let a = via_new.apply(p.pressure()).unwrap();
-        let b = via_builder.apply(p.pressure()).unwrap();
-        assert_eq!(a, b, "shim must be bit-identical to the builder");
-    }
-
-    #[test]
     fn recovery_policy_parses() {
         assert_eq!(RecoveryPolicy::parse("fail"), Ok(RecoveryPolicy::Fail));
         assert_eq!(
@@ -1202,5 +1365,96 @@ mod tests {
         assert!(RecoveryPolicy::parse("retry:0").is_err());
         assert!(RecoveryPolicy::parse("bogus").is_err());
         assert!(RecoveryPolicy::parse("fail:1").is_err());
+    }
+
+    #[test]
+    fn stepped_apply_matches_uninterrupted() {
+        let (mesh, fluid, trans) = problem(5, 4, 3, StencilKind::TenPoint);
+        let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 7);
+        let mut whole = simulator(&mesh, &fluid, &trans);
+        let r_whole = whole.apply(state.pressure()).unwrap();
+
+        let mut stepped = simulator(&mesh, &fluid, &trans);
+        stepped.begin_apply(state.pressure());
+        assert!(stepped.in_flight());
+        let mut steps = 0u32;
+        while !stepped.step_events(64).unwrap().complete {
+            steps += 1;
+            assert!(steps < 100_000, "stepped run failed to converge");
+        }
+        let r_stepped = stepped.finish_apply().unwrap();
+        assert!(!stepped.in_flight());
+        assert!(steps > 2, "problem too small to exercise pausing");
+        assert_eq!(r_whole, r_stepped);
+        assert_eq!(whole.last_run().unwrap(), stepped.last_run().unwrap());
+    }
+
+    #[test]
+    fn snapshot_restores_mid_application_into_a_fresh_simulator() {
+        let (mesh, fluid, trans) = problem(5, 4, 3, StencilKind::TenPoint);
+        let state = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 7);
+        let mut whole = simulator(&mesh, &fluid, &trans);
+        let r_whole = whole.apply(state.pressure()).unwrap();
+
+        let mut first = simulator(&mesh, &fluid, &trans);
+        let hash = first.spec_hash();
+        first.begin_apply(state.pressure());
+        let step = first.step_events(100).unwrap();
+        assert!(!step.complete, "checkpoint must land mid-application");
+        let snap = first.snapshot();
+        drop(first); // the "kill" half of kill/restore
+
+        let mut resumed = simulator(&mesh, &fluid, &trans);
+        assert_eq!(resumed.spec_hash(), hash);
+        resumed.restore_snapshot(&snap).unwrap();
+        assert!(resumed.in_flight());
+        let r_resumed = resumed.finish_apply().unwrap();
+        assert_eq!(r_whole, r_resumed);
+        assert_eq!(whole.last_run().unwrap(), resumed.last_run().unwrap());
+        assert_eq!(whole.applications(), resumed.applications());
+    }
+
+    #[test]
+    fn snapshot_between_applications_preserves_counters() {
+        let (mesh, fluid, trans) = problem(4, 4, 3, StencilKind::TenPoint);
+        let p0 = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 1);
+        let p1 = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 2);
+        let mut whole = simulator(&mesh, &fluid, &trans);
+        whole.apply(p0.pressure()).unwrap();
+        let r_whole = whole.apply(p1.pressure()).unwrap();
+
+        let mut first = simulator(&mesh, &fluid, &trans);
+        first.apply(p0.pressure()).unwrap();
+        let snap = first.snapshot();
+        drop(first);
+
+        let mut resumed = simulator(&mesh, &fluid, &trans);
+        resumed.restore_snapshot(&snap).unwrap();
+        assert_eq!(resumed.applications(), 1);
+        let r_resumed = resumed.apply(p1.pressure()).unwrap();
+        assert_eq!(r_whole, r_resumed);
+        assert_eq!(whole.stats(), resumed.stats());
+        assert_eq!(whole.last_run().unwrap(), resumed.last_run().unwrap());
+    }
+
+    #[test]
+    fn spec_hash_tracks_the_problem_not_the_engine() {
+        let (mesh, fluid, trans) = problem(4, 4, 3, StencilKind::TenPoint);
+        let seq = simulator(&mesh, &fluid, &trans);
+        let sharded = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .execution(Execution::Sharded {
+                shards: 4,
+                threads: 2,
+            })
+            .fast_forward(false)
+            .build()
+            .unwrap();
+        assert_eq!(seq.spec_hash(), sharded.spec_hash());
+
+        let (mesh2, fluid2, trans2) = problem(4, 4, 4, StencilKind::TenPoint);
+        let other = simulator(&mesh2, &fluid2, &trans2);
+        assert_ne!(seq.spec_hash(), other.spec_hash());
     }
 }

@@ -199,6 +199,50 @@ impl ColumnExchange {
             .all(|(&exp, &cnt)| !exp || cnt == self.quantities * self.nz)
     }
 
+    /// Dynamic protocol state for checkpointing, as `(recv_count, sent,
+    /// send_views)`. The static configuration (expectations, color map,
+    /// receive buffers) is rebuilt by `configure` and is not included.
+    pub fn dynamic_state(&self) -> ([usize; STREAMS], [bool; 4], Vec<Dsd>) {
+        (self.recv_count, self.sent, self.send_views.clone())
+    }
+
+    /// Restores protocol state captured by [`ColumnExchange::dynamic_state`]
+    /// on a freshly configured engine. Rejects cursors past the stream
+    /// length and send views that do not match this exchange's shape.
+    pub fn restore_dynamic_state(
+        &mut self,
+        recv_count: [usize; STREAMS],
+        sent: [bool; 4],
+        send_views: Vec<Dsd>,
+    ) -> Result<(), String> {
+        let total = self.quantities * self.nz;
+        for (face, &cnt) in recv_count.iter().enumerate() {
+            if cnt > total {
+                return Err(format!(
+                    "receive cursor {cnt} on face {face} exceeds stream length {total}"
+                ));
+            }
+        }
+        if !send_views.is_empty() {
+            if send_views.len() != self.quantities {
+                return Err(format!(
+                    "{} send views for {} quantities",
+                    send_views.len(),
+                    self.quantities
+                ));
+            }
+            for v in &send_views {
+                if v.len != self.nz {
+                    return Err(format!("send view length {} != nz {}", v.len, self.nz));
+                }
+            }
+        }
+        self.recv_count = recv_count;
+        self.sent = sent;
+        self.send_views = send_views;
+        Ok(())
+    }
+
     /// Whether a stream is expected from `face`.
     pub fn expects(&self, face: Neighbor) -> bool {
         self.expected[face.face_index()]

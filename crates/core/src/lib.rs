@@ -58,9 +58,10 @@ pub mod layout;
 pub mod program;
 pub mod wave;
 
-#[allow(deprecated)]
-pub use driver::DataflowOptions;
-pub use driver::{BuildError, DataflowFluxSimulator, Recovered, RecoveryPolicy, SimulatorBuilder};
+pub use driver::{
+    BuildError, DataflowFluxSimulator, DriverSnapshot, Recovered, RecoveryPolicy, SimulatorBuilder,
+    StepReport, StepTotals,
+};
 pub use kernel::{compute_face_flux, FaceBuffers, FaceInputs};
 pub use layout::MemoryPlan;
 pub use program::{FluidParams, TpfaPeProgram};

@@ -278,6 +278,118 @@ impl PeProgram for TpfaPeProgram {
     fn progress(&self) -> Option<u64> {
         Some(self.iterations_done)
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.faces_done as u64).to_le_bytes());
+        out.extend_from_slice(&self.iterations_done.to_le_bytes());
+        out.push(self.iter_counted as u8);
+        match &self.exchange {
+            None => out.push(0),
+            Some(ex) => {
+                out.push(1);
+                let (recv_count, sent, send_views) = ex.dynamic_state();
+                for c in recv_count {
+                    out.extend_from_slice(&(c as u64).to_le_bytes());
+                }
+                for s in sent {
+                    out.push(s as u8);
+                }
+                out.extend_from_slice(&(send_views.len() as u64).to_le_bytes());
+                for v in send_views {
+                    out.extend_from_slice(&(v.base as u64).to_le_bytes());
+                    out.extend_from_slice(&(v.len as u64).to_le_bytes());
+                    out.extend_from_slice(&(v.stride as u64).to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let mut cur = StateCursor::new(state);
+        self.faces_done = cur.u64()? as usize;
+        self.iterations_done = cur.u64()?;
+        self.iter_counted = cur.u8()? != 0;
+        let has_exchange = cur.u8()? != 0;
+        if has_exchange {
+            let mut recv_count = [0usize; crate::exchange::STREAMS];
+            for c in &mut recv_count {
+                *c = cur.u64()? as usize;
+            }
+            let mut sent = [false; 4];
+            for s in &mut sent {
+                *s = cur.u8()? != 0;
+            }
+            let n_views = cur.u64()? as usize;
+            if n_views > 64 {
+                return Err(format!("implausible send-view count {n_views}"));
+            }
+            let mut send_views = Vec::with_capacity(n_views);
+            for _ in 0..n_views {
+                let base = cur.u64()? as usize;
+                let len = cur.u64()? as usize;
+                let stride = cur.u64()? as usize;
+                if stride == 0 {
+                    return Err("send view with zero stride".to_string());
+                }
+                send_views.push(Dsd::strided(base, len, stride));
+            }
+            let ex = self
+                .exchange
+                .as_mut()
+                .ok_or("saved state has exchange but program is uninitialized")?;
+            ex.restore_dynamic_state(recv_count, sent, send_views)?;
+        } else if self.exchange.is_some() {
+            return Err("saved state predates init but program is initialized".to_string());
+        }
+        cur.finish()
+    }
+}
+
+/// Little-endian byte-slice reader for [`TpfaPeProgram::load_state`].
+struct StateCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateCursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(format!(
+                "truncated program state: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        };
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes in program state",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

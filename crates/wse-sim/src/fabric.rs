@@ -84,6 +84,9 @@ use crate::memory::PeMemory;
 use crate::pe::{PeContext, PeProgram};
 use crate::queue::{advance_time, CalendarQueue, EventQueue, Timestamped};
 use crate::route::{DirMask, RouteError, Router};
+use crate::snapshot::{
+    EventRecord, FabricSnapshot, FaultRecord, PeRecord, RestoreError, TraceSeqRecord,
+};
 use crate::stats::{FabricStats, OpCounters};
 use crate::wavelet::{Color, Wavelet, WaveletKind, MAX_COLORS};
 use std::collections::VecDeque;
@@ -314,6 +317,22 @@ pub struct RunReport {
     /// Fault injections/detections logged during this run (benign ones
     /// included); zero unless a [`FaultPlan`] is installed.
     pub faults: u64,
+}
+
+/// Outcome of a [`Fabric::run_until`] call: the per-call [`RunReport`]
+/// plus whether the run paused early with events still pending. Because
+/// every [`RunReport`] field is a per-call count (deltas for drops/faults,
+/// pops for `events`), the reports of a paused-and-resumed run sum
+/// component-wise to the report of the equivalent uninterrupted run —
+/// `final_time` is the cumulative fabric clock and the last segment's
+/// value matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseReport {
+    /// What this segment of the run processed.
+    pub report: RunReport,
+    /// True when the event limit tripped with work still pending; false
+    /// when the fabric reached quiescence first.
+    pub paused: bool,
 }
 
 /// A fatal simulation error (program bug).
@@ -1190,6 +1209,15 @@ struct SharedCoord {
     /// Global pop counter for the event budget (flushed in batches).
     pops: AtomicU64,
     over_budget: AtomicBool,
+    /// Pop count at which the run pauses ([`Fabric::run_until`]);
+    /// `u64::MAX` when unbounded. Checked at the same batched flush points
+    /// as the budget, so the pause lands near — not exactly at — the
+    /// requested count; confluence of the remaining events makes the final
+    /// state independent of the exact pause point.
+    pause_at: u64,
+    /// Raised when some worker crossed `pause_at`; every worker stops at
+    /// its next flush/loop boundary.
+    paused: AtomicBool,
 }
 
 /// How many pops a shard accumulates locally before flushing to the global
@@ -1199,7 +1227,11 @@ const BUDGET_BATCH: u64 = 64;
 /// Pops and processes every event of `shard` strictly below `eit`, batching
 /// cross-shard emissions into `shard.out`. Returns the number of budget
 /// events consumed (fast-forwarded hops count in bulk, exactly as the
-/// sequential engine counts them).
+/// sequential engine counts them) and whether the round *aborted* — stopped
+/// on the budget or pause flag with events below `eit` possibly still
+/// queued. The stop flags are checked **before** popping, so an abort never
+/// loses an event, and an aborted round must not publish the
+/// everything-below-EIT clock promise.
 fn process_shard(
     shard: &mut Shard,
     eit: u64,
@@ -1208,7 +1240,7 @@ fn process_shard(
     plan: &ShardPlan,
     fwd: Option<&FwdTable>,
     shared: &SharedCoord,
-) -> u64 {
+) -> (u64, bool) {
     let Shard {
         id,
         rect,
@@ -1221,17 +1253,27 @@ fn process_shard(
     } = shard;
     let mut processed = 0u64;
     let mut batch = 0u64;
-    while let Some(ev) = queue.pop_before(eit) {
-        processed += 1;
-        batch += 1;
+    let mut aborted = false;
+    loop {
         if batch >= BUDGET_BATCH {
             let global = shared.pops.fetch_add(batch, Ordering::SeqCst) + batch;
             batch = 0;
             if global > config.max_events || shared.over_budget.load(Ordering::SeqCst) {
                 shared.over_budget.store(true, Ordering::SeqCst);
+                aborted = true;
+                break;
+            }
+            if global >= shared.pause_at || shared.paused.load(Ordering::SeqCst) {
+                shared.paused.store(true, Ordering::SeqCst);
+                aborted = true;
                 break;
             }
         }
+        let Some(ev) = queue.pop_before(eit) else {
+            break;
+        };
+        processed += 1;
+        batch += 1;
         *max_time = (*max_time).max(ev.time);
         let pe = ev.pe;
         let coord = dims.coord(pe);
@@ -1290,13 +1332,18 @@ fn process_shard(
         }
     }
     if batch > 0 {
+        // Tail flush: the loop ended by draining the queue below `eit`, so
+        // tripping a flag here still leaves the round complete (not an
+        // abort) — the clock promise is sound.
         let global = shared.pops.fetch_add(batch, Ordering::SeqCst) + batch;
         if global > config.max_events {
             shared.over_budget.store(true, Ordering::SeqCst);
+        } else if global >= shared.pause_at {
+            shared.paused.store(true, Ordering::SeqCst);
         }
     }
     shard.events += processed;
-    processed
+    (processed, aborted)
 }
 
 /// Recomputes `shard.saved_terms`: for each out-link, the exact
@@ -1350,7 +1397,7 @@ fn advance_shard(
             shard.queue.append_batch(&mut inbox);
         }
     }
-    let processed = process_shard(shard, eit, dims, config, plan, fwd, shared);
+    let (processed, aborted) = process_shard(shard, eit, dims, config, plan, fwd, shared);
     // Flush before publishing: events the new clock value does not promise
     // to bound must already be visible in their inboxes.
     for link in &shard.out_links {
@@ -1360,6 +1407,15 @@ fn advance_shard(
             drop(inbox);
             shared.mail_flags[link.dest].store(true, Ordering::Release);
         }
+    }
+    if aborted {
+        // The round stopped on the budget/pause flag with events below
+        // `eit` possibly still queued, so the productive-round promise
+        // below would overpromise. Publish nothing: the previously
+        // published clocks stay sound (they predate this round's pops),
+        // and every worker is about to stop at its next flag check.
+        shard.dirty |= processed > 0;
+        return (processed, drained);
     }
     // Publish. After a productive round the queue minimum is ≥ EIT (we
     // popped everything below it) and future receives are ≥ EIT, so
@@ -1425,7 +1481,7 @@ fn run_shards_single_worker(
     shared: &SharedCoord,
 ) {
     loop {
-        if shared.over_budget.load(Ordering::SeqCst) {
+        if shared.over_budget.load(Ordering::SeqCst) || shared.paused.load(Ordering::SeqCst) {
             break;
         }
         // The shard with the globally earliest pending event, and the
@@ -1480,7 +1536,10 @@ fn shard_worker(
     }
     let mut registered_idle = false;
     loop {
-        if shared.done.load(Ordering::Acquire) || shared.over_budget.load(Ordering::SeqCst) {
+        if shared.done.load(Ordering::Acquire)
+            || shared.over_budget.load(Ordering::SeqCst)
+            || shared.paused.load(Ordering::SeqCst)
+        {
             break;
         }
         if registered_idle {
@@ -1769,6 +1828,179 @@ impl Fabric {
         );
     }
 
+    /// Captures complete fabric state between runs as plain data: the
+    /// pending event list in canonical `(time, seq, src)` order, every PE's
+    /// memory/counters/router positions/program state/fault progress/trace
+    /// sequence counters, and the host clock and sequence state. Works
+    /// identically under both engines — between `run()` calls the sharded
+    /// engine's channel clocks and mailboxes are fully drained back into
+    /// the canonical queue, so the event list is their serialized form.
+    pub fn snapshot(&self) -> FabricSnapshot {
+        let mut events: Vec<EventRecord> = self
+            .queue
+            .iter()
+            .map(|e| EventRecord {
+                time: e.time,
+                seq: e.seq,
+                src: e.src,
+                pe: e.pe,
+                route_input: match e.kind {
+                    EventKind::Route(d) => Some(d),
+                    EventKind::Deliver => None,
+                },
+                wavelet: e.wavelet,
+            })
+            .collect();
+        events.sort_by_key(|e| (e.time, e.seq, e.src));
+        let pes = self
+            .pes
+            .iter()
+            .map(|slot| {
+                debug_assert!(
+                    slot.outbox.is_empty()
+                        && slot.activations.is_empty()
+                        && slot.route_scratch.is_empty(),
+                    "PE scratch buffers are always drained between events"
+                );
+                PeRecord {
+                    memory_words: slot.memory.words().to_vec(),
+                    memory_allocated: slot.memory.allocated_words(),
+                    counters: slot.counters,
+                    router_positions: slot.router.switch_positions(),
+                    router_version: slot.router.version(),
+                    fabric_hops: slot.router.fabric_hops,
+                    ramp_deliveries: slot.router.ramp_deliveries,
+                    program_state: slot.program.save_state(),
+                    busy_until: slot.busy_until,
+                    parked: slot.parked.clone(),
+                    seq: slot.seq,
+                    edge_drops: slot.edge_drops,
+                    flow_stalls: slot.flow_stalls,
+                    queue_wait_cycles: slot.queue_wait_cycles,
+                    fault_drops: slot.fault_drops,
+                    checksum_drops: slot.checksum_drops,
+                    faults: FaultRecord {
+                        active: slot.faults.active,
+                        verify_checksums: slot.faults.verify_checksums,
+                        link_down: slot.faults.link_down.clone(),
+                        halt_at: slot.faults.halt_at,
+                        slow: slot.faults.slow.clone(),
+                        slow_logged: slot.faults.slow_logged.clone(),
+                        corrupt: slot.faults.corrupt.clone(),
+                        flips: slot.faults.flips.clone(),
+                        log: slot.faults.log.clone(),
+                        tainted: slot.faults.tainted,
+                    },
+                    trace_seq: TraceSeqRecord::from_tuple(slot.trace.seq_state()),
+                }
+            })
+            .collect();
+        FabricSnapshot {
+            cols: self.dims.cols,
+            rows: self.dims.rows,
+            time: self.time,
+            host_seq: self.host_seq,
+            host_trace_seq: TraceSeqRecord::from_tuple(self.host_trace.seq_state()),
+            events,
+            pes,
+        }
+    }
+
+    /// Overwrites this fabric's dynamic state from a snapshot. The target
+    /// must be *structurally identical* to the snapshotted fabric: same
+    /// dimensions and configuration, built from the same programs, and
+    /// already loaded ([`Fabric::load`]) so allocations and router
+    /// configurations are in place — restore then rewinds/advances every
+    /// dynamic field on top of that structure. Mismatches are rejected with
+    /// a typed [`RestoreError`]; on error the fabric may be partially
+    /// overwritten and must be discarded.
+    pub fn restore(&mut self, snap: &FabricSnapshot) -> Result<(), RestoreError> {
+        if !self.initialized {
+            return Err(RestoreError::NotLoaded);
+        }
+        if snap.cols != self.dims.cols
+            || snap.rows != self.dims.rows
+            || snap.pes.len() != self.pes.len()
+        {
+            return Err(RestoreError::DimsMismatch {
+                snapshot: (snap.cols, snap.rows),
+                fabric: (self.dims.cols, self.dims.rows),
+            });
+        }
+        let num_pes = self.pes.len();
+        for (i, er) in snap.events.iter().enumerate() {
+            if er.pe >= num_pes {
+                return Err(RestoreError::Event {
+                    index: i,
+                    detail: format!("target PE {} out of range ({num_pes} PEs)", er.pe),
+                });
+            }
+            if er.src != HOST_SRC && er.src >= num_pes {
+                return Err(RestoreError::Event {
+                    index: i,
+                    detail: format!("source PE {} out of range ({num_pes} PEs)", er.src),
+                });
+            }
+        }
+        for (i, (slot, rec)) in self.pes.iter_mut().zip(&snap.pes).enumerate() {
+            slot.memory
+                .restore_words(&rec.memory_words, rec.memory_allocated)
+                .map_err(|detail| RestoreError::Memory { pe: i, detail })?;
+            slot.counters = rec.counters;
+            slot.router
+                .restore_dynamic(&rec.router_positions, rec.router_version)
+                .map_err(|detail| RestoreError::Router { pe: i, detail })?;
+            slot.router.fabric_hops = rec.fabric_hops;
+            slot.router.ramp_deliveries = rec.ramp_deliveries;
+            slot.program
+                .load_state(&rec.program_state)
+                .map_err(|detail| RestoreError::Program { pe: i, detail })?;
+            slot.busy_until = rec.busy_until;
+            slot.seq = rec.seq;
+            slot.parked = rec.parked.clone();
+            slot.outbox.clear();
+            slot.activations.clear();
+            slot.route_scratch.clear();
+            slot.edge_drops = rec.edge_drops;
+            slot.flow_stalls = rec.flow_stalls;
+            slot.queue_wait_cycles = rec.queue_wait_cycles;
+            slot.fault_drops = rec.fault_drops;
+            slot.checksum_drops = rec.checksum_drops;
+            slot.faults = PeFaultState {
+                active: rec.faults.active,
+                verify_checksums: rec.faults.verify_checksums,
+                link_down: rec.faults.link_down.clone(),
+                halt_at: rec.faults.halt_at,
+                slow: rec.faults.slow.clone(),
+                slow_logged: rec.faults.slow_logged.clone(),
+                corrupt: rec.faults.corrupt.clone(),
+                flips: rec.faults.flips.clone(),
+                log: rec.faults.log.clone(),
+                tainted: rec.faults.tainted,
+            };
+            let t = rec.trace_seq;
+            slot.trace
+                .restore_seq_state(t.next_seq, t.dropped, t.base_time, t.base_cycles);
+        }
+        let _ = self.queue.drain_unordered();
+        for er in &snap.events {
+            self.queue.push(Event {
+                time: er.time,
+                seq: er.seq,
+                src: er.src,
+                pe: er.pe,
+                kind: er.route_input.map_or(EventKind::Deliver, EventKind::Route),
+                wavelet: er.wavelet,
+            });
+        }
+        self.time = snap.time;
+        self.host_seq = snap.host_seq;
+        let t = snap.host_trace_seq;
+        self.host_trace
+            .restore_seq_state(t.next_seq, t.dropped, t.base_time, t.base_cycles);
+        Ok(())
+    }
+
     /// Processes events until the fabric is quiescent, with the engine
     /// selected by [`FabricConfig::execution`].
     ///
@@ -1778,10 +2010,31 @@ impl Fabric {
     /// offending wavelet is dropped and the run continues to quiescence, so
     /// both engines observe the same error set.
     pub fn run(&mut self) -> Result<RunReport, FabricError> {
+        self.run_inner(None).map(|p| p.report)
+    }
+
+    /// Like [`Fabric::run`], but pauses once at least `event_limit` events
+    /// have been processed *in this call*, leaving all remaining events
+    /// queued. A paused fabric is a perfectly ordinary between-runs fabric:
+    /// it can be snapshotted ([`Fabric::snapshot`]), resumed with another
+    /// `run_until`/`run` call, or both — the final state is bit-identical
+    /// to an uninterrupted run regardless of where the pauses landed.
+    ///
+    /// The sequential engine pauses exactly at the limit; the sharded
+    /// engine checks the global pop counter at batched flush points, so it
+    /// overshoots by up to one batch per worker. Fault and routing errors
+    /// detected in the processed prefix are still reported; the deadlock
+    /// scan is skipped while paused (parked wavelets may simply not have
+    /// been freed *yet*).
+    pub fn run_until(&mut self, event_limit: u64) -> Result<PauseReport, FabricError> {
+        self.run_inner(Some(event_limit))
+    }
+
+    fn run_inner(&mut self, limit: Option<u64>) -> Result<PauseReport, FabricError> {
         assert!(self.initialized, "call load() before run()");
         let result = match self.config.execution {
-            Execution::Sequential => self.run_sequential(),
-            Execution::Sharded { shards, threads } => self.run_sharded(shards, threads),
+            Execution::Sequential => self.run_sequential(limit),
+            Execution::Sharded { shards, threads } => self.run_sharded(shards, threads, limit),
         };
         if let Err(error) = &result {
             // Route errors are traced per-PE where they occur; budget and
@@ -1815,8 +2068,9 @@ impl Fabric {
         Some(FwdTable::build(self.dims, &self.pes))
     }
 
-    fn run_sequential(&mut self) -> Result<RunReport, FabricError> {
+    fn run_sequential(&mut self, limit: Option<u64>) -> Result<PauseReport, FabricError> {
         let mut events = 0u64;
+        let mut hit_limit = false;
         let drops_before = self.total_edge_drops();
         let faults_before = self.total_fault_events();
         let mut first_error: Option<(EventKey, FabricError)> = None;
@@ -1824,7 +2078,14 @@ impl Fabric {
         let hop_latency = self.config.hop_latency;
         let max_events = self.config.max_events;
         let fwd = self.fwd_table();
-        while let Some(ev) = self.queue.pop() {
+        loop {
+            if limit.is_some_and(|lim| events >= lim) {
+                hit_limit = true;
+                break;
+            }
+            let Some(ev) = self.queue.pop() else {
+                break;
+            };
             events += 1;
             if events > max_events {
                 return Err(FabricError::EventBudgetExceeded { max_events });
@@ -1871,16 +2132,27 @@ impl Fabric {
         if let Some((_, error)) = first_error {
             return Err(error);
         }
-        self.scan_deadlock()?;
-        Ok(RunReport {
-            events,
-            final_time: self.time,
-            edge_drops: self.total_edge_drops() - drops_before,
-            faults: self.total_fault_events() - faults_before,
+        let paused = hit_limit && !self.queue.is_empty();
+        if !paused {
+            self.scan_deadlock()?;
+        }
+        Ok(PauseReport {
+            report: RunReport {
+                events,
+                final_time: self.time,
+                edge_drops: self.total_edge_drops() - drops_before,
+                faults: self.total_fault_events() - faults_before,
+            },
+            paused,
         })
     }
 
-    fn run_sharded(&mut self, shards: usize, threads: usize) -> Result<RunReport, FabricError> {
+    fn run_sharded(
+        &mut self,
+        shards: usize,
+        threads: usize,
+        limit: Option<u64>,
+    ) -> Result<PauseReport, FabricError> {
         assert!(
             self.config.hop_latency >= 1,
             "sharded execution requires hop_latency >= 1 (it is the conservative lookahead)"
@@ -1965,6 +2237,8 @@ impl Fabric {
             workers,
             pops: AtomicU64::new(0),
             over_budget: AtomicBool::new(false),
+            pause_at: limit.unwrap_or(u64::MAX),
+            paused: AtomicBool::new(false),
         };
         let mut per_worker: Vec<Vec<Shard>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, sh) in shard_states.into_iter().enumerate() {
@@ -2033,6 +2307,7 @@ impl Fabric {
             n as u16,
             events as u32,
         );
+        let paused_flag = shared.paused.load(Ordering::SeqCst);
         for inbox in shared.inboxes {
             for ev in inbox.into_inner().unwrap() {
                 self.queue.push(ev);
@@ -2050,12 +2325,18 @@ impl Fabric {
         if let Some((_, error)) = min_error {
             return Err(error);
         }
-        self.scan_deadlock()?;
-        Ok(RunReport {
-            events,
-            final_time: self.time,
-            edge_drops: self.total_edge_drops() - drops_before,
-            faults: self.total_fault_events() - faults_before,
+        let paused = paused_flag && !self.queue.is_empty();
+        if !paused {
+            self.scan_deadlock()?;
+        }
+        Ok(PauseReport {
+            report: RunReport {
+                events,
+                final_time: self.time,
+                edge_drops: self.total_edge_drops() - drops_before,
+                faults: self.total_fault_events() - faults_before,
+            },
+            paused,
         })
     }
 

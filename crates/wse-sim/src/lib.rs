@@ -42,6 +42,7 @@ pub mod memory;
 pub mod pe;
 pub mod queue;
 pub mod route;
+pub mod snapshot;
 pub mod stats;
 pub mod wavelet;
 
@@ -52,12 +53,13 @@ pub use wse_trace as trace;
 /// Commonly used types.
 pub mod prelude {
     pub use crate::dsd::{Dsd, OpKind};
-    pub use crate::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
+    pub use crate::fabric::{Execution, Fabric, FabricConfig, FabricError, PauseReport, RunReport};
     pub use crate::fault::{Fault, FaultClass, FaultEvent, FaultKind, FaultPlan};
     pub use crate::geometry::{Direction, FabricDims, PeCoord};
     pub use crate::memory::{MemRange, PeMemory, WSE2_PE_MEMORY_BYTES};
     pub use crate::pe::{PeContext, PeProgram};
     pub use crate::route::{ColorConfig, DirMask, Router, RouterPosition};
+    pub use crate::snapshot::{FabricSnapshot, RestoreError};
     pub use crate::stats::{stats_from_trace, FabricStats, OpCounters};
     pub use crate::wavelet::{Color, Wavelet, WaveletKind, MAX_COLORS};
     pub use wse_trace::{Trace, TraceSpec, TraceSummary};

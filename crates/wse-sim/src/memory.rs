@@ -127,6 +127,36 @@ impl PeMemory {
         self.capacity_words
     }
 
+    /// The full word store, including unallocated tail words — a fabric
+    /// checkpoint captures the arena verbatim.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Overwrites the word store and allocation cursor from a checkpoint.
+    /// `words` must match this arena's capacity exactly and `allocated`
+    /// must not exceed it — a mismatch means the snapshot was taken on a
+    /// fabric with a different memory configuration.
+    pub fn restore_words(&mut self, words: &[u32], allocated: usize) -> Result<(), String> {
+        if words.len() != self.capacity_words {
+            return Err(format!(
+                "memory capacity mismatch: snapshot has {} words, arena holds {}",
+                words.len(),
+                self.capacity_words
+            ));
+        }
+        if allocated > self.capacity_words {
+            return Err(format!(
+                "allocation cursor {allocated} exceeds capacity {}",
+                self.capacity_words
+            ));
+        }
+        self.words.clear();
+        self.words.extend_from_slice(words);
+        self.next_free = allocated;
+        Ok(())
+    }
+
     /// Raw word read (host access / DSD engine — no traffic accounting
     /// here; the DSD layer counts).
     #[inline]

@@ -203,4 +203,26 @@ pub trait PeProgram: Send {
     fn progress(&self) -> Option<u64> {
         None
     }
+
+    /// Serializes the program's *dynamic* state for a fabric checkpoint —
+    /// everything that changes after `init` (protocol cursors, progress
+    /// counters). Static structure (allocations, router configuration) is
+    /// reproduced by re-running `init` on the restore target and must not
+    /// be included. The default empty encoding is correct for stateless
+    /// programs.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state produced by [`PeProgram::save_state`] onto a freshly
+    /// initialized instance of the same program. Implementations must
+    /// reject malformed input with an error (the checkpoint is then refused
+    /// as a whole) rather than silently diverging.
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err("program has no dynamic state to restore".to_string())
+        }
+    }
 }

@@ -227,6 +227,42 @@ impl Router {
         Some(cfg.current_index())
     }
 
+    /// Dynamic per-color switch positions as `(color id, active position)`
+    /// pairs for every configured color, in color order — the part of the
+    /// router a fabric checkpoint must capture. The configurations
+    /// themselves are static program state, reinstalled by program `init`
+    /// on the restore target.
+    pub fn switch_positions(&self) -> Vec<(u8, u8)> {
+        self.configs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i as u8, c.current)))
+            .collect()
+    }
+
+    /// Restores the dynamic state captured by [`Router::switch_positions`]
+    /// plus the configuration version. Fails when a listed color is
+    /// unconfigured on this router or its position index is out of range —
+    /// the snapshot belongs to a differently-programmed fabric.
+    pub fn restore_dynamic(&mut self, positions: &[(u8, u8)], version: u32) -> Result<(), String> {
+        for &(id, current) in positions {
+            let cfg = self
+                .configs
+                .get_mut(id as usize)
+                .and_then(|c| c.as_mut())
+                .ok_or_else(|| format!("color {id} is not configured on this router"))?;
+            if current >= cfg.num_positions {
+                return Err(format!(
+                    "color {id}: position {current} out of range ({} configured)",
+                    cfg.num_positions
+                ));
+            }
+            cfg.current = current;
+        }
+        self.version = version;
+        Ok(())
+    }
+
     /// Routes one wavelet arriving on `input`. Returns the output links.
     ///
     /// # Errors

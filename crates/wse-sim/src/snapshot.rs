@@ -1,0 +1,225 @@
+//! Plain-data snapshots of complete fabric state.
+//!
+//! A [`FabricSnapshot`] captures everything the simulator needs to resume a
+//! run bit-identically: the pending event list in canonical `(time, seq,
+//! src)` order, every PE's memory arena, counters, router switch positions,
+//! program state, fault-plan progress and trace sequence counters, plus the
+//! host-side clock and sequence state. The sharded engine needs no extra
+//! fields: between `run()` calls its channel clocks and mailboxes are fully
+//! drained back into the canonical event queue (and re-derived from
+//! `time + hop_latency` on the next run), so the event list *is* the
+//! serialized form of the cross-shard machinery.
+//!
+//! These types are deliberately plain data with public fields — the binary
+//! encoding (versioned header, payload checksum) lives in `wse-serve`,
+//! which consumes them; tests and embedders can also inspect or build them
+//! directly. Trace ring *contents* are not captured: traces are
+//! observability, not simulation state. Their sequence counters are,
+//! so post-restore trace events continue each PE's causal chain.
+
+use crate::fault::FaultEvent;
+use crate::geometry::Direction;
+use crate::stats::OpCounters;
+use crate::wavelet::Wavelet;
+
+/// One pending event, in the canonical queue order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Fabric time the event fires.
+    pub time: u64,
+    /// Tie-breaking sequence number (private to the creating PE).
+    pub seq: u64,
+    /// Linear index of the creating PE, or `usize::MAX` for host events.
+    pub src: usize,
+    /// Linear index of the PE the event targets.
+    pub pe: usize,
+    /// `Some(input link)` for a router hop, `None` for a ramp delivery.
+    pub route_input: Option<Direction>,
+    /// The wavelet in flight, checksum word included verbatim (a stale
+    /// checksum on a corrupted-in-flight wavelet must survive the
+    /// round-trip or fault detection would change).
+    pub wavelet: Wavelet,
+}
+
+/// A PE's fault-injection state: both the schedule slice assigned to this
+/// PE and the progress already made through it (logged events, consumed
+/// one-shot faults, taint).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultRecord {
+    /// Whether any fault targets this PE.
+    pub active: bool,
+    /// Whether wavelets are sealed/verified at this PE's ramp.
+    pub verify_checksums: bool,
+    /// Pending link-down windows as `(link, from, until)`.
+    pub link_down: Vec<(Direction, u64, u64)>,
+    /// Halt time, if scheduled.
+    pub halt_at: Option<u64>,
+    /// Slow-down windows as `(from, until, factor)`.
+    pub slow: Vec<(u64, u64, u32)>,
+    /// Which slow windows have already logged their onset.
+    pub slow_logged: Vec<bool>,
+    /// Pending payload corruptions as `(time, xor mask)`.
+    pub corrupt: Vec<(u64, u32)>,
+    /// Pending router flips as `(time, color)`.
+    pub flips: Vec<(u64, crate::wavelet::Color)>,
+    /// The fault log accumulated so far.
+    pub log: Vec<FaultEvent>,
+    /// Whether a detected-but-tolerated fault tainted this PE's data.
+    pub tainted: bool,
+}
+
+/// Trace sequence counters for one tracer (all zeros when tracing is off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSeqRecord {
+    /// Next per-PE trace sequence number.
+    pub next_seq: u32,
+    /// Events dropped by the bounded ring so far.
+    pub dropped: u64,
+    /// Fabric-time base of the current task.
+    pub base_time: u64,
+    /// Cycle-counter base of the current task.
+    pub base_cycles: u64,
+}
+
+impl TraceSeqRecord {
+    /// Packs the `(next_seq, dropped, base_time, base_cycles)` tuple
+    /// returned by the tracer accessors.
+    pub fn from_tuple(t: (u32, u64, u64, u64)) -> Self {
+        Self {
+            next_seq: t.0,
+            dropped: t.1,
+            base_time: t.2,
+            base_cycles: t.3,
+        }
+    }
+}
+
+/// Complete dynamic state of one PE slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeRecord {
+    /// The full memory arena (capacity-sized, unallocated words included).
+    pub memory_words: Vec<u32>,
+    /// Bump-allocator cursor in words.
+    pub memory_allocated: usize,
+    /// Instruction/traffic counters.
+    pub counters: OpCounters,
+    /// Router switch positions as `(color id, active position)` pairs.
+    pub router_positions: Vec<(u8, u8)>,
+    /// Router configuration version (revalidates cached forward chains).
+    pub router_version: u32,
+    /// Wavelets forwarded per fabric link by this router.
+    pub fabric_hops: u64,
+    /// Wavelets delivered up this router's ramp.
+    pub ramp_deliveries: u64,
+    /// Opaque program state from [`crate::pe::PeProgram::save_state`].
+    pub program_state: Vec<u8>,
+    /// The PE is busy (computing) until this fabric time.
+    pub busy_until: u64,
+    /// Wavelets parked behind a busy PE as `(input link, wavelet)`.
+    pub parked: Vec<(Direction, Wavelet)>,
+    /// This PE's private event sequence counter.
+    pub seq: u64,
+    /// Wavelets dropped at fabric edges so far.
+    pub edge_drops: u64,
+    /// Deliveries that waited behind a busy PE.
+    pub flow_stalls: u64,
+    /// Total cycles deliveries spent waiting.
+    pub queue_wait_cycles: u64,
+    /// Wavelets dropped by injected faults.
+    pub fault_drops: u64,
+    /// Wavelets rejected by checksum verification.
+    pub checksum_drops: u64,
+    /// Fault schedule + progress.
+    pub faults: FaultRecord,
+    /// Trace sequence counters.
+    pub trace_seq: TraceSeqRecord,
+}
+
+/// Complete fabric state between `run()` calls, as plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricSnapshot {
+    /// Fabric width in PEs.
+    pub cols: usize,
+    /// Fabric height in PEs.
+    pub rows: usize,
+    /// Fabric clock.
+    pub time: u64,
+    /// Host event sequence counter.
+    pub host_seq: u64,
+    /// Host/meta tracer sequence counters.
+    pub host_trace_seq: TraceSeqRecord,
+    /// Pending events in canonical `(time, seq, src)` order.
+    pub events: Vec<EventRecord>,
+    /// Per-PE state, in linear (row-major) order.
+    pub pes: Vec<PeRecord>,
+}
+
+/// Why a snapshot was refused by [`crate::fabric::Fabric::restore`].
+///
+/// On any error the target fabric may be left partially overwritten and
+/// must be discarded — restore validates shape up front but applies
+/// per-PE state incrementally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The target fabric has not been loaded (`Fabric::load`) — restore
+    /// needs the static program structure (allocations, router configs)
+    /// already in place.
+    NotLoaded,
+    /// The snapshot's fabric geometry or PE count does not match.
+    DimsMismatch {
+        /// Geometry recorded in the snapshot.
+        snapshot: (usize, usize),
+        /// Geometry of the restore target.
+        fabric: (usize, usize),
+    },
+    /// A PE's memory arena does not match the snapshot (capacity or
+    /// cursor).
+    Memory {
+        /// Linear PE index.
+        pe: usize,
+        /// What mismatched.
+        detail: String,
+    },
+    /// A PE's router refused the recorded switch positions.
+    Router {
+        /// Linear PE index.
+        pe: usize,
+        /// What mismatched.
+        detail: String,
+    },
+    /// A PE's program refused its recorded state.
+    Program {
+        /// Linear PE index.
+        pe: usize,
+        /// The program's error.
+        detail: String,
+    },
+    /// A pending event references a PE outside the fabric.
+    Event {
+        /// Index into [`FabricSnapshot::events`].
+        index: usize,
+        /// What was out of range.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::NotLoaded => {
+                write!(f, "restore target must be loaded (Fabric::load) first")
+            }
+            RestoreError::DimsMismatch { snapshot, fabric } => write!(
+                f,
+                "snapshot is for a {}x{} fabric, target is {}x{}",
+                snapshot.0, snapshot.1, fabric.0, fabric.1
+            ),
+            RestoreError::Memory { pe, detail } => write!(f, "PE {pe} memory: {detail}"),
+            RestoreError::Router { pe, detail } => write!(f, "PE {pe} router: {detail}"),
+            RestoreError::Program { pe, detail } => write!(f, "PE {pe} program: {detail}"),
+            RestoreError::Event { index, detail } => write!(f, "event {index}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}

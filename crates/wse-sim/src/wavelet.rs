@@ -153,6 +153,23 @@ impl Wavelet {
     pub fn is_control(&self) -> bool {
         self.kind == WaveletKind::Control
     }
+
+    /// The raw checksum word as currently stored: zero until sealed, and
+    /// deliberately *stale* after in-flight corruption. Checkpoint codecs
+    /// must persist this word verbatim — recomputing it on restore would
+    /// "repair" a corrupted-in-flight wavelet and change fault detection.
+    #[inline]
+    pub fn raw_crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// Reinstalls a checksum word captured by [`Wavelet::raw_crc`]
+    /// (checkpoint restore). Not for general use: an arbitrary value here
+    /// makes a verified wavelet read as corrupted at the receiving ramp.
+    #[inline]
+    pub fn set_raw_crc(&mut self, crc: u32) {
+        self.crc = crc;
+    }
 }
 
 #[cfg(test)]

@@ -193,6 +193,37 @@ impl EventRing {
         out.extend_from_slice(&self.buf[..self.head]);
         out
     }
+
+    /// Sequence/base counters as `(next_seq, dropped, base_time,
+    /// base_cycles)` — the part of a ring a fabric checkpoint preserves so
+    /// post-restore events continue the per-PE causal `seq` chain. Ring
+    /// *contents* are observability, not simulation state, and are not
+    /// captured.
+    pub fn seq_state(&self) -> (u32, u64, u64, u64) {
+        (
+            self.next_seq,
+            self.dropped,
+            self.base_time,
+            self.base_cycles,
+        )
+    }
+
+    /// Restores counters captured by [`EventRing::seq_state`]. Retained
+    /// events are left alone: a restored ring keeps whatever it recorded
+    /// since construction and merely resumes numbering where the snapshot
+    /// left off.
+    pub fn restore_seq_state(
+        &mut self,
+        next_seq: u32,
+        dropped: u64,
+        base_time: u64,
+        base_cycles: u64,
+    ) {
+        self.next_seq = next_seq;
+        self.dropped = dropped;
+        self.base_time = base_time;
+        self.base_cycles = base_cycles;
+    }
 }
 
 impl TraceSink for EventRing {
@@ -377,6 +408,30 @@ impl PeTracer {
         match self {
             Self::Null(_) => 0,
             Self::Ring(r) => r.dropped,
+        }
+    }
+
+    /// [`EventRing::seq_state`] of the ring, or all zeros when tracing is
+    /// off (zeros restore as a no-op, so off-tracer snapshots round-trip).
+    pub fn seq_state(&self) -> (u32, u64, u64, u64) {
+        match self {
+            Self::Null(_) => (0, 0, 0, 0),
+            Self::Ring(r) => r.seq_state(),
+        }
+    }
+
+    /// Restores [`EventRing::restore_seq_state`] counters; no-op when
+    /// tracing is off.
+    pub fn restore_seq_state(
+        &mut self,
+        next_seq: u32,
+        dropped: u64,
+        base_time: u64,
+        base_cycles: u64,
+    ) {
+        match self {
+            Self::Null(_) => {}
+            Self::Ring(r) => r.restore_seq_state(next_seq, dropped, base_time, base_cycles),
         }
     }
 }

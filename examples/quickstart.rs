@@ -181,4 +181,9 @@ fn main() {
     //     under the `--recovery` policy — recover bit-identically, degrade
     //     honestly, or fail with the typed error.
     bench::run_faulted_demo(&args, mesh.nx(), mesh.ny(), mesh.nz());
+
+    // 11. Checkpoint/restore (only with `--checkpoint`/`--resume`): write
+    //     a mid-application fabric snapshot, or restore one — on any
+    //     engine — and finish it bit-identically.
+    bench::run_checkpoint_demo(&args, mesh.nx(), mesh.ny(), mesh.nz());
 }

@@ -65,6 +65,18 @@ bench-profile-overhead:
 chaos schedules="15":
     cargo run -p bench --release --bin chaos -- --schedules {{schedules}} --report chaos-report.json
 
+# the job-server harness: submit -> preempt -> resume -> verify
+# bit-identity, compiled-layout cache hit, bounded-queue rejection
+serve:
+    cargo run -p bench --release --bin serve
+
+# checkpoint/restore differential: binary-codec roundtrips at every event
+# boundary across engine hops, plus corruption rejection; then a CLI
+# kill/restore cycle through the quickstart flags
+checkpoint:
+    cargo test -q -p wse-sim --release --test checkpoint_equivalence
+    cargo run --release --example quickstart -- --checkpoint ckpt.bin --resume ckpt.bin
+
 # the fault-injection test suites (fabric-level fixtures + host recovery)
 faults:
     cargo test -q -p wse-sim --release --test fault_equivalence

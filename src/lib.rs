@@ -12,6 +12,8 @@
 //! * [`gpu`] — RAJA-like and CUDA-like reference implementations
 //! * [`perf`] — CS-2 / A100 machine models, rooflines, energy
 //! * [`prof`] — critical-path profiling, cycle attribution, perf harness
+//! * [`serve`] — checkpoint/restore of fabric state + the simulation job
+//!   server with compiled-layout caching
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -20,4 +22,5 @@ pub use gpu_ref as gpu;
 pub use perf_model as perf;
 pub use tpfa_dataflow as dataflow;
 pub use wse_prof as prof;
+pub use wse_serve as serve;
 pub use wse_sim as wse;
