@@ -1,0 +1,42 @@
+//! Overhead guard for the telemetry subsystem: the `MetricsHub::Null`
+//! path (metrics off, the default) must be indistinguishable from the
+//! uninstrumented simulator, and the live-hub variant quantifies the cost
+//! of publishing.
+//!
+//! Compare `metrics_overhead/off` against `engine/64x64/sequential` (same
+//! fabric, same problem, same engine): any measurable gap is a regression
+//! in the zero-overhead-when-off claim. Instrumentation only publishes at
+//! application boundaries (never per event), so even `live` should sit
+//! within noise of `off`.
+
+use bench::{pressure_for_iteration, standard_problem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpfa_dataflow::DataflowFluxSimulator;
+use wse_metrics::MetricsHub;
+
+const NZ: usize = 6;
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics_overhead");
+    g.sample_size(10);
+    let n = 64usize;
+    let (mesh, fluid, trans) = standard_problem(n, n, NZ, 2);
+    let p = pressure_for_iteration(&mesh, 0);
+    let variants = [("off", MetricsHub::Null), ("live", MetricsHub::new_live())];
+    for (label, hub) in variants {
+        let mut sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .metrics(hub)
+            .build()
+            .unwrap();
+        g.throughput(Throughput::Elements(mesh.num_cells() as u64));
+        g.bench_with_input(BenchmarkId::new(label, n * n), &n, |b, _| {
+            b.iter(|| sim.apply(&p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

@@ -20,6 +20,11 @@
 //! faults exercise the no-deadlock guarantee when a whole shard goes
 //! quiet. Exit code 0 iff every schedule upholds every invariant.
 //!
+//! Every failed run's JSON report line carries a **flight-recorder tail**
+//! (`"flight": [...]`): the last [`FLIGHT_TAIL`] fault-log events before
+//! the typed error, rendered through the same bounded drop-oldest ring
+//! ([`wse_metrics::FlightRecorder`]) the job server attaches to failures.
+//!
 //! A **kill/restore sweep** follows the fault schedules: each run is
 //! checkpointed mid-application at a seeded event count
 //! ([`wse_serve::Checkpoint`], the full binary codec), the live simulator
@@ -30,6 +35,7 @@
 
 use bench::{pressure_for_iteration, standard_problem};
 use tpfa_dataflow::{DataflowFluxSimulator, Recovered, RecoveryPolicy};
+use wse_metrics::FlightRecorder;
 use wse_sim::fabric::{Execution, FabricError};
 use wse_sim::fault::FaultPlan;
 use wse_sim::geometry::FabricDims;
@@ -41,6 +47,10 @@ const NZ: usize = 6;
 /// + 3-phase diagonal exchange of one application.
 const HORIZON: u64 = 400;
 const FAULTS_PER_SCHEDULE: usize = 3;
+/// Flight-recorder depth for the failure tails in the JSON report: a
+/// bounded drop-oldest ring (`wse_metrics::FlightRecorder`), so a noisy
+/// schedule still yields exactly the last few fault events before death.
+const FLIGHT_TAIL: usize = 8;
 
 /// Outcome of one (schedule, policy, engine) run, reduced to comparable
 /// form.
@@ -57,12 +67,31 @@ enum Outcome {
     Error { message: String },
 }
 
+/// The last [`FLIGHT_TAIL`] fault-log events of a finished run, rendered
+/// through a bounded drop-oldest ring — the same flight-recorder shape the
+/// job server attaches to failures ([`wse_serve::JobServer::failure_of`]).
+fn flight_tail(sim: &DataflowFluxSimulator) -> Vec<String> {
+    let mut ring = FlightRecorder::new(FLIGHT_TAIL);
+    for ev in sim.fault_log() {
+        ring.push(format!(
+            "t={} pe=({},{}) {:?} detail={}{}",
+            ev.time,
+            ev.pe.col,
+            ev.pe.row,
+            ev.class,
+            ev.detail,
+            if ev.benign { " (benign)" } else { "" }
+        ));
+    }
+    ring.to_vec()
+}
+
 fn run_one(
     plan: &FaultPlan,
     policy: RecoveryPolicy,
     execution: Execution,
     pressure: &[f32],
-) -> (Outcome, usize) {
+) -> (Outcome, usize, Vec<String>) {
     let (mesh, fluid, trans) = standard_problem(NX, NY, NZ, 42);
     let mut sim = DataflowFluxSimulator::builder(&mesh)
         .fluid(&fluid)
@@ -93,7 +122,7 @@ fn run_one(
             }
         }
     };
-    (outcome, sim.fault_log().len())
+    (outcome, sim.fault_log().len(), flight_tail(&sim))
 }
 
 fn check_invariants(seed: u64, policy: RecoveryPolicy, outcome: &Outcome, baseline: &[f32]) {
@@ -290,13 +319,13 @@ fn main() {
     let (mesh, _, _) = standard_problem(NX, NY, NZ, 42);
     let pressure = pressure_for_iteration(&mesh, 0);
     let dims = FabricDims::new(NX, NY);
-    let (base_seq, _) = run_one(
+    let (base_seq, _, _) = run_one(
         &FaultPlan::new(),
         RecoveryPolicy::Fail,
         Execution::Sequential,
         &pressure,
     );
-    let (base_shard, _) = run_one(&FaultPlan::new(), RecoveryPolicy::Fail, sharded, &pressure);
+    let (base_shard, _, _) = run_one(&FaultPlan::new(), RecoveryPolicy::Fail, sharded, &pressure);
     assert_eq!(base_seq, base_shard, "fault-free engines must agree");
     let baseline = match &base_seq {
         Outcome::Clean { residual, .. } => residual.clone(),
@@ -313,13 +342,15 @@ fn main() {
     ];
     let mut tally = [[0usize; 3]; 3]; // [policy][clean, degraded, error]
     let mut report_lines = Vec::new();
+    let mut failure_tails = 0usize;
     for s in 0..schedules {
         let seed = seed0 + s as u64;
         let geometry = geometries[s % geometries.len()];
         let plan = FaultPlan::randomized(seed, dims, HORIZON, FAULTS_PER_SCHEDULE);
         for (pi, &policy) in policies.iter().enumerate() {
-            let (seq, seq_faults) = run_one(&plan, policy, Execution::Sequential, &pressure);
-            let (par, par_faults) = run_one(&plan, policy, geometry, &pressure);
+            let (seq, seq_faults, seq_flight) =
+                run_one(&plan, policy, Execution::Sequential, &pressure);
+            let (par, par_faults, par_flight) = run_one(&plan, policy, geometry, &pressure);
             assert_eq!(
                 seq, par,
                 "seed {seed} {policy:?}: engines disagree on the outcome"
@@ -327,6 +358,10 @@ fn main() {
             assert_eq!(
                 seq_faults, par_faults,
                 "seed {seed} {policy:?}: engines disagree on the fault log"
+            );
+            assert_eq!(
+                seq_flight, par_flight,
+                "seed {seed} {policy:?}: engines disagree on the flight tail"
             );
             check_invariants(seed, policy, &seq, &baseline);
             let (label, slot) = match &seq {
@@ -338,9 +373,26 @@ fn main() {
                 Outcome::Error { message } => (format!("error({message})"), 2),
             };
             tally[pi][slot] += 1;
+            // Failures travel with their flight-recorder tail: the last
+            // FLIGHT_TAIL fault events leading up to the typed error.
+            let flight_json = if matches!(seq, Outcome::Error { .. }) {
+                assert!(
+                    !seq_flight.is_empty(),
+                    "seed {seed} {policy:?}: a failed run must carry a \
+                     non-empty flight tail"
+                );
+                failure_tails += 1;
+                let quoted: Vec<String> = seq_flight
+                    .iter()
+                    .map(|line| format!("\"{}\"", line.replace('\\', "\\\\").replace('"', "\\\"")))
+                    .collect();
+                format!(",\"flight\":[{}]", quoted.join(","))
+            } else {
+                String::new()
+            };
             report_lines.push(format!(
                 "{{\"seed\":{seed},\"policy\":{pi},\"outcome\":\"{label}\",\
-                 \"fault_events\":{seq_faults}}}"
+                 \"fault_events\":{seq_faults}{flight_json}}}"
             ));
         }
     }
@@ -371,6 +423,10 @@ fn main() {
         "\nall {} runs upheld the contract: clean ⇒ bit-identical, degraded ⇒ \
          valid PEs bit-identical, otherwise a typed fault error; engines agree.",
         schedules * policies.len() * 2
+    );
+    println!(
+        "{failure_tails} failure(s) carry a flight-recorder tail \
+         (last ≤{FLIGHT_TAIL} fault events) in the report."
     );
 
     // ---- kill/restore sweep ---------------------------------------------

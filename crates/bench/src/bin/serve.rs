@@ -13,8 +13,10 @@
 //! * the bounded queue rejects the submission past its capacity with the
 //!   typed [`wse_serve::SubmitError::QueueFull`].
 //!
-//! Usage: `serve [--apps N] [--shards N [--threads M]]`. Exit code 0 iff
-//! every assertion holds.
+//! Usage: `serve [--apps N] [--shards N [--threads M]] [--metrics out.prom]`.
+//! With `--metrics` the server runs with a live telemetry hub and the
+//! `serve_*`/`fabric_*`/`driver_*` series are written out as Prometheus
+//! text on exit. Exit code 0 iff every assertion holds.
 
 use bench::pressure_for_iteration;
 use tpfa_dataflow::DataflowFluxSimulator;
@@ -53,9 +55,11 @@ fn main() {
         "== serve: {NX}x{NY}x{NZ}, {apps} applications per job, engine {} ==\n",
         common.execution_label()
     );
+    let hub = bench::metrics_hub(&common);
     let server = JobServer::start(ServerConfig {
         workers: 2,
         queue_capacity: 8,
+        metrics: hub.clone(),
     });
 
     // ---- submit → preempt → resume → verify -----------------------------
@@ -137,8 +141,18 @@ fn main() {
         "compiled-layout cache ({} entry):",
         server.cached_problems()
     );
-    let w = [8, 12, 14];
-    bench::print_row(&["job".into(), "cache_hit".into(), "setup [µs]".into()], &w);
+    let w = [8, 12, 14, 10, 12, 12];
+    bench::print_row(
+        &[
+            "job".into(),
+            "cache_hit".into(),
+            "setup [µs]".into(),
+            "progress".into(),
+            "hops".into(),
+            "stalls".into(),
+        ],
+        &w,
+    );
     bench::print_sep(&w);
     for (label, s) in [("first", &first), ("repeat", &second)] {
         bench::print_row(
@@ -146,10 +160,18 @@ fn main() {
                 label.into(),
                 format!("{:?}", s.cache_hit == Some(true)),
                 format!("{:.1}", s.setup_nanos.unwrap() as f64 / 1_000.0),
+                format!("{:.0}%", s.progress * 100.0),
+                format!("{}", s.stats.fabric_hops),
+                format!("{}", s.stats.flow_stalls),
             ],
             &w,
         );
     }
+    assert_eq!(first.progress, 1.0, "a done job reports progress 1.0");
+    assert!(
+        second.stats.fabric_hops > 0,
+        "a finished job carries cumulative fabric stats"
+    );
 
     // ---- bounded queue ---------------------------------------------------
     // Occupy both workers with long jobs so fillers stay queued, then
@@ -189,5 +211,6 @@ fn main() {
     }
 
     server.shutdown();
+    bench::export_metrics(&common, &hub);
     println!("\nserve contract upheld: preempt/resume bit-identity, cache hit, bounded queue.");
 }

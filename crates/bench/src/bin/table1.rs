@@ -173,4 +173,8 @@ fn main() {
     // `--checkpoint <path>` / `--resume <path>`: kill/restore of a
     // mid-application fabric state, resumed bit-identically.
     bench::run_checkpoint_demo(&args, nx, ny, nz);
+
+    // `--metrics <path>`: one instrumented demonstration run, exported as
+    // Prometheus text (never part of the measured tables).
+    bench::run_metered_demo(&args, nx, ny, nz);
 }

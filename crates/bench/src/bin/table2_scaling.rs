@@ -136,4 +136,8 @@ fn main() {
     // `--checkpoint <path>` / `--resume <path>`: kill/restore of a
     // mid-application fabric state, resumed bit-identically.
     bench::run_checkpoint_demo(&args, fx, fy, fz);
+
+    // `--metrics <path>`: one instrumented demonstration run, exported as
+    // Prometheus text (never part of the measured tables).
+    bench::run_metered_demo(&args, fx, fy, fz);
 }

@@ -14,7 +14,10 @@
 //!   driver does when a fault is detected (default `fail`);
 //! * `--checkpoint <path>` / `--resume <path>` — write a mid-application
 //!   fabric checkpoint / restore one and finish the run bit-identically
-//!   (see [`crate::run_checkpoint_demo`]).
+//!   (see [`crate::run_checkpoint_demo`]);
+//! * `--metrics <path>` — collect runtime telemetry into a live
+//!   [`wse_metrics::MetricsHub`] and write the Prometheus text exposition
+//!   there on exit (see [`crate::metrics_hub`] / [`crate::export_metrics`]).
 
 use tpfa_dataflow::RecoveryPolicy;
 use wse_sim::fabric::Execution;
@@ -41,6 +44,8 @@ pub struct CommonArgs {
     pub checkpoint: Option<String>,
     /// `--resume <path>`: restore a checkpoint from here and finish it.
     pub resume: Option<String>,
+    /// `--metrics <path>`: write the Prometheus text exposition here.
+    pub metrics: Option<String>,
 }
 
 impl CommonArgs {
@@ -89,6 +94,7 @@ impl CommonArgs {
             recovery,
             checkpoint: value_of("--checkpoint").cloned(),
             resume: value_of("--resume").cloned(),
+            metrics: value_of("--metrics").cloned(),
         })
     }
 
@@ -139,13 +145,15 @@ mod tests {
         assert_eq!(args.recovery, RecoveryPolicy::Fail);
         assert_eq!(args.checkpoint, None);
         assert_eq!(args.resume, None);
+        assert_eq!(args.metrics, None);
     }
 
     #[test]
     fn parses_the_full_flag_family() {
         let args = CommonArgs::from_slice(&to_args(
             "--shards 4 --threads 2 --trace t.json --profile p.json --trace-cap 64 \
-             --faults 7 --recovery retry:5:100 --checkpoint c.bin --resume r.bin",
+             --faults 7 --recovery retry:5:100 --checkpoint c.bin --resume r.bin \
+             --metrics m.prom",
         ))
         .unwrap();
         assert_eq!(
@@ -161,6 +169,7 @@ mod tests {
         assert_eq!(args.fault_seed, Some(7));
         assert_eq!(args.checkpoint.as_deref(), Some("c.bin"));
         assert_eq!(args.resume.as_deref(), Some("r.bin"));
+        assert_eq!(args.metrics.as_deref(), Some("m.prom"));
         assert_eq!(
             args.recovery,
             RecoveryPolicy::Retry {

@@ -407,6 +407,58 @@ pub fn run_profiled(
     export_profile(&sim, req)
 }
 
+/// The telemetry hub the shared `--metrics <path>` flag requests: live
+/// when the flag was given, [`wse_metrics::MetricsHub::Null`] (every probe
+/// a no-op) otherwise. Pass the result to `.metrics(...)` on simulator
+/// builders or [`wse_serve::ServerConfig::metrics`], then write it out
+/// with [`export_metrics`].
+pub fn metrics_hub(args: &CommonArgs) -> wse_metrics::MetricsHub {
+    if args.metrics.is_some() {
+        wse_metrics::MetricsHub::new_live()
+    } else {
+        wse_metrics::MetricsHub::Null
+    }
+}
+
+/// Honors the shared `--metrics <path>` flag: writes `hub`'s Prometheus
+/// text exposition to the requested path. A no-op when the flag was not
+/// given (or the hub is null — nothing was ever recorded).
+pub fn export_metrics(args: &CommonArgs, hub: &wse_metrics::MetricsHub) {
+    let Some(path) = &args.metrics else { return };
+    if !hub.is_live() {
+        return;
+    }
+    let text = hub.prometheus_text();
+    std::fs::write(path, &text).unwrap_or_else(|e| panic!("writing metrics to {path}: {e}"));
+    println!(
+        "\nmetrics written to {path} ({} samples, Prometheus text format)",
+        hub.snapshot().len()
+    );
+}
+
+/// Honors `--metrics <path>` for the table binaries: reruns one
+/// instrumented application on the selected engine with a live hub and
+/// writes the Prometheus exposition. Never part of the measured tables —
+/// a separate demonstration run, like [`run_faulted_demo`]. A no-op when
+/// the flag was not given.
+pub fn run_metered_demo(args: &CommonArgs, nx: usize, ny: usize, nz: usize) {
+    if args.metrics.is_none() {
+        return;
+    }
+    let hub = metrics_hub(args);
+    let (mesh, fluid, trans) = standard_problem(nx, ny, nz, 42);
+    let mut sim = DataflowFluxSimulator::builder(&mesh)
+        .fluid(&fluid)
+        .transmissibilities(&trans)
+        .execution(args.execution)
+        .metrics(hub.clone())
+        .build()
+        .expect("metered demo problem must pass builder validation");
+    sim.apply(&pressure_for_iteration(&mesh, 0))
+        .expect("metered demo run failed");
+    export_metrics(args, &hub);
+}
+
 /// Prints a fixed-width table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let mut line = String::new();

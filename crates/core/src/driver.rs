@@ -47,6 +47,8 @@ use crate::program::{FluidParams, TpfaPeProgram};
 use fv_core::eos::Fluid;
 use fv_core::mesh::{CartesianMesh3, ALL_NEIGHBORS};
 use fv_core::trans::Transmissibilities;
+use std::time::Instant;
+use wse_metrics::{Counter, Gauge, Histogram, MetricsHub};
 use wse_sim::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
 use wse_sim::fault::{FaultClass, FaultEvent, FaultPlan};
 use wse_sim::geometry::{FabricDims, PeCoord};
@@ -318,6 +320,7 @@ pub struct SimulatorBuilder<'a> {
     trace: TraceSpec,
     fault_plan: FaultPlan,
     recovery: RecoveryPolicy,
+    metrics: MetricsHub,
 }
 
 impl<'a> SimulatorBuilder<'a> {
@@ -335,6 +338,7 @@ impl<'a> SimulatorBuilder<'a> {
             trace: TraceSpec::OFF,
             fault_plan: FaultPlan::new(),
             recovery: RecoveryPolicy::Fail,
+            metrics: MetricsHub::Null,
         }
     }
 
@@ -413,6 +417,17 @@ impl<'a> SimulatorBuilder<'a> {
         self
     }
 
+    /// Telemetry hub the driver publishes into after each application
+    /// (default [`MetricsHub::Null`] — every probe compiles to a no-op).
+    /// Like tracing and the engine choice, the hub is *not* part of the
+    /// simulation specification: it never influences results, is excluded
+    /// from `SimSpec::content_hash`, and deterministic counters are
+    /// published from the engines' already-bit-identical aggregates.
+    pub fn metrics(mut self, hub: MetricsHub) -> Self {
+        self.metrics = hub;
+        self
+    }
+
     /// Validates the assembled problem and constructs the simulator.
     pub fn build(self) -> Result<DataflowFluxSimulator, BuildError> {
         let mesh = self.mesh;
@@ -483,6 +498,7 @@ impl<'a> SimulatorBuilder<'a> {
             trans_cols,
         };
         let fabric = build_fabric(&spec, &spec.fault_plan.clone());
+        let metrics = DriverMetrics::new(&self.metrics, self.execution);
         Ok(DataflowFluxSimulator {
             fabric,
             layout: ColumnLayout::new(nz),
@@ -495,6 +511,7 @@ impl<'a> SimulatorBuilder<'a> {
             recovery: self.recovery,
             last_run: None,
             pending: None,
+            metrics,
         })
     }
 }
@@ -558,6 +575,129 @@ pub struct DriverSnapshot {
     pub last_run: Option<RunReport>,
 }
 
+/// Preregistered telemetry handles plus the cumulative values already
+/// published, so each `finish_apply` adds exact deltas. All handles are
+/// `Null` (no-ops) when the builder was given no live hub.
+///
+/// Naming discipline: `fabric_*`/`driver_*` series are **deterministic** —
+/// published from the engines' bit-identical aggregates, so their values
+/// are engine-invariant and reproducible. `wall_*` series are wall-clock
+/// measurements and are never mixed into the deterministic ones.
+struct DriverMetrics {
+    live: bool,
+    events: Counter,
+    applications: Counter,
+    flow_stalls: Counter,
+    edge_drops: Counter,
+    fault_drops: Counter,
+    checksum_drops: Counter,
+    fault_events: Counter,
+    ff_hops: Counter,
+    ff_jumps: Counter,
+    fabric_time: Gauge,
+    queue_ring: Gauge,
+    queue_overflow: Gauge,
+    wall_apply_ns: Histogram,
+    wall_events_per_sec: Gauge,
+    /// Cumulative fabric-side values already published. The fabric's own
+    /// counters restart from zero on a retry rebuild, so publication takes
+    /// `saturating_sub` deltas against these (and
+    /// [`DataflowFluxSimulator::rebuild_for_attempt`] zeroes them).
+    pub_stalls: u64,
+    pub_fault_drops: u64,
+    pub_checksum_drops: u64,
+    pub_ff_hops: u64,
+    pub_ff_jumps: u64,
+    /// Wall-clock start of the in-flight application (live hubs only).
+    apply_started: Option<Instant>,
+}
+
+impl DriverMetrics {
+    fn new(hub: &MetricsHub, execution: Execution) -> Self {
+        let engine = match execution {
+            Execution::Sequential => "sequential".to_string(),
+            Execution::Sharded { shards, .. } => format!("sharded{shards}"),
+        };
+        let l: &[(&str, &str)] = &[("engine", &engine)];
+        Self {
+            live: hub.is_live(),
+            events: hub.counter("fabric_events_total", "Fabric events processed (deterministic: bit-identical across engines and fast-forward settings)", l),
+            applications: hub.counter("driver_applications_total", "Completed applications of Algorithm 1", l),
+            flow_stalls: hub.counter("fabric_flow_stalls_total", "Backpressure stalls across all PEs (deterministic)", l),
+            edge_drops: hub.counter("fabric_edge_drops_total", "Wavelets dropped at fabric edges (deterministic)", l),
+            fault_drops: hub.counter("fabric_fault_drops_total", "Wavelets dropped by injected link/PE faults (deterministic)", l),
+            checksum_drops: hub.counter("fabric_checksum_drops_total", "Wavelets dropped on checksum mismatch (deterministic)", l),
+            fault_events: hub.counter("fabric_fault_events_total", "Fault events logged by the injection machinery (deterministic)", l),
+            ff_hops: hub.counter("fabric_ff_hops_total", "Hops covered by static-route fast-forwarding (deterministic and engine-invariant; 0 with fast-forward off)", l),
+            ff_jumps: hub.counter("fabric_ff_jumps_total", "Fast-forward jumps taken (engine-DEPENDENT: per chain sequentially, per segment sharded)", l),
+            fabric_time: hub.gauge("fabric_time_cycles", "Simulated fabric time after the last application (deterministic)", l),
+            queue_ring: hub.gauge("fabric_queue_ring_occupancy", "Host calendar-queue items in the near-term ring", l),
+            queue_overflow: hub.gauge("fabric_queue_overflow_occupancy", "Host calendar-queue items parked in the far-future overflow heap", l),
+            wall_apply_ns: hub.histogram("wall_apply_ns", "Wall-clock nanoseconds per application (host measurement; NOT deterministic)", l),
+            wall_events_per_sec: hub.gauge("wall_events_per_sec", "Fabric events drained per wall-clock second over the last application (NOT deterministic)", l),
+            pub_stalls: 0,
+            pub_fault_drops: 0,
+            pub_checksum_drops: 0,
+            pub_ff_hops: 0,
+            pub_ff_jumps: 0,
+            apply_started: None,
+        }
+    }
+
+    /// Marks the wall-clock start of an application. Only a live hub pays
+    /// for the `Instant::now()`.
+    fn on_begin(&mut self) {
+        if self.live {
+            self.apply_started = Some(Instant::now());
+        }
+    }
+
+    /// Publishes one completed application: deterministic counters as exact
+    /// deltas from the fabric's cumulative aggregates, wall-clock series
+    /// from the host clock. No-op for null hubs.
+    fn on_finish(&mut self, fabric: &Fabric, report: &RunReport) {
+        if !self.live {
+            return;
+        }
+        self.events.add(report.events);
+        self.edge_drops.add(report.edge_drops);
+        self.fault_events.add(report.faults);
+        self.applications.inc();
+        self.fabric_time.set_u64(report.final_time);
+
+        let stats = fabric.stats();
+        let delta = |cur: u64, last: &mut u64| {
+            let d = cur.saturating_sub(*last);
+            *last = cur;
+            d
+        };
+        let stall_d = delta(stats.flow_stalls, &mut self.pub_stalls);
+        let fault_d = delta(stats.fault_drops, &mut self.pub_fault_drops);
+        let cks_d = delta(stats.checksum_drops, &mut self.pub_checksum_drops);
+        let hops_d = delta(fabric.ff_hops(), &mut self.pub_ff_hops);
+        let jumps_d = delta(fabric.ff_jumps(), &mut self.pub_ff_jumps);
+        self.flow_stalls.add(stall_d);
+        self.fault_drops.add(fault_d);
+        self.checksum_drops.add(cks_d);
+        self.ff_hops.add(hops_d);
+        self.ff_jumps.add(jumps_d);
+
+        let (ring, overflow) = fabric.queue_occupancy();
+        self.queue_ring.set_u64(ring as u64);
+        self.queue_overflow.set_u64(overflow as u64);
+
+        if let Some(started) = self.apply_started.take() {
+            let elapsed = started.elapsed();
+            let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+            self.wall_apply_ns.observe(ns);
+            if ns > 0 {
+                self.wall_events_per_sec
+                    .set(report.events as f64 / (ns as f64 / 1e9));
+            }
+        }
+    }
+}
+
 /// The host-side simulator: fabric + problem layout.
 pub struct DataflowFluxSimulator {
     fabric: Fabric,
@@ -574,6 +714,9 @@ pub struct DataflowFluxSimulator {
     last_run: Option<RunReport>,
     /// In-flight stepped application ([`DataflowFluxSimulator::begin_apply`]).
     pending: Option<StepTotals>,
+    /// Telemetry handles (all no-ops unless the builder installed a live
+    /// hub). Never consulted by the simulation itself.
+    metrics: DriverMetrics,
 }
 
 impl DataflowFluxSimulator {
@@ -642,6 +785,7 @@ impl DataflowFluxSimulator {
             .trace_host(HOST_PHASE_INJECT, self.applications as u32);
         self.fabric.activate_all(START, 0);
         self.pending = Some(StepTotals::default());
+        self.metrics.on_begin();
     }
 
     /// Processes up to `max_events` fabric events of the in-flight
@@ -737,12 +881,14 @@ impl DataflowFluxSimulator {
         }
         self.fabric
             .trace_host(HOST_PHASE_COLLECT, self.applications as u32);
-        self.last_run = Some(RunReport {
+        let report = RunReport {
             events: pending.events + tail.events,
             final_time: tail.final_time,
             edge_drops: pending.edge_drops + tail.edge_drops,
             faults: pending.faults + tail.faults,
-        });
+        };
+        self.metrics.on_finish(&self.fabric, &report);
+        self.last_run = Some(report);
         self.applications += 1;
         Ok(self.collect_residual())
     }
@@ -771,6 +917,13 @@ impl DataflowFluxSimulator {
         self.fabric_applications = 0;
         self.last_run = None;
         self.pending = None;
+        // The fresh fabric's cumulative counters restart at zero; re-anchor
+        // the published baselines so the next delta is exact.
+        self.metrics.pub_stalls = 0;
+        self.metrics.pub_fault_drops = 0;
+        self.metrics.pub_checksum_drops = 0;
+        self.metrics.pub_ff_hops = 0;
+        self.metrics.pub_ff_jumps = 0;
     }
 
     /// Captures the complete driver + fabric state as plain data. Valid at

@@ -1,0 +1,121 @@
+//! Failure flight recorder: a bounded, drop-oldest ring of recent events.
+//!
+//! The job server keeps one recorder per job and pushes a short line for
+//! every notable transition (chunk completed, preempt, checkpoint, fault
+//! observed). When a job fails, the recorder's contents are the last-N
+//! events of context that travel with the typed error — the serving
+//! analogue of `wse-trace`'s ring-capped sink, and like that sink the
+//! ring is the *exact tail* of the full stream (`tests` below pin this).
+//!
+//! This is a plain data structure, not a concurrent one: the owner is
+//! expected to hold it under whatever lock already guards the job state,
+//! so recording stays a couple of `VecDeque` operations.
+
+use std::collections::VecDeque;
+
+/// Bounded drop-oldest ring buffer of recent events.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder<T> {
+    cap: usize,
+    buf: VecDeque<T>,
+    dropped: u64,
+}
+
+impl<T> FlightRecorder<T> {
+    /// Creates a recorder that retains the most recent `cap` entries.
+    /// A capacity of zero records nothing (every push is dropped).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry, evicting the oldest if the ring is full.
+    pub fn push(&mut self, entry: T) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(entry);
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of entries evicted (or never retained, for `cap == 0`)
+    /// since creation. `dropped() + len()` equals the total pushed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+impl<T: Clone> FlightRecorder<T> {
+    /// Copies the retained tail out, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_the_exact_tail_of_the_full_stream() {
+        let full: Vec<u32> = (0..1000).collect();
+        for cap in [1usize, 7, 64, 999, 1000, 1500] {
+            let mut ring = FlightRecorder::new(cap);
+            for &v in &full {
+                ring.push(v);
+            }
+            let keep = cap.min(full.len());
+            assert_eq!(ring.to_vec(), full[full.len() - keep..]);
+            assert_eq!(ring.len(), keep);
+            assert_eq!(ring.dropped() as usize, full.len() - keep);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut ring = FlightRecorder::new(0);
+        for v in 0..10u32 {
+            ring.push(v);
+        }
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 10);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut ring = FlightRecorder::new(8);
+        for v in ["a", "b", "c"] {
+            ring.push(v.to_string());
+        }
+        assert_eq!(ring.to_vec(), ["a", "b", "c"]);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.capacity(), 8);
+    }
+}

@@ -234,6 +234,30 @@ impl Checkpoint {
         Ok(Self { spec_hash, driver })
     }
 
+    /// [`Checkpoint::encode`] with the wall-clock nanoseconds observed
+    /// into `timing` — the hook the serving stack uses for its
+    /// `serve_checkpoint_*` histograms. Pass a null handle (the default)
+    /// and this is exactly `encode()`.
+    pub fn encode_metered(&self, timing: &wse_metrics::Histogram) -> Vec<u8> {
+        let t0 = std::time::Instant::now();
+        let out = self.encode();
+        timing.observe(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        out
+    }
+
+    /// [`Checkpoint::decode`] with the wall-clock nanoseconds observed
+    /// into `timing` (also on the error path — a rejected checkpoint's
+    /// validation cost is still a decode attempt).
+    pub fn decode_metered(
+        bytes: &[u8],
+        timing: &wse_metrics::Histogram,
+    ) -> Result<Self, CheckpointError> {
+        let t0 = std::time::Instant::now();
+        let out = Self::decode(bytes);
+        timing.observe(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        out
+    }
+
     /// Writes the encoded checkpoint to `path`.
     pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         std::fs::write(path, self.encode()).map_err(|e| CheckpointError::Io(e.to_string()))
@@ -824,5 +848,39 @@ mod tests {
             Checkpoint::decode(&bytes).unwrap_err(),
             CheckpointError::BadMagic
         );
+    }
+
+    #[test]
+    fn metered_codec_matches_plain_and_records_timings() {
+        use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+        let mesh = CartesianMesh3::new(Extents::new(4, 4, 2), Spacing::new(10.0, 10.0, 4.0));
+        let fluid = fv_core::eos::Fluid::water_like();
+        let perm = fv_core::fields::PermeabilityField::uniform(&mesh, 1e-13);
+        let trans = fv_core::trans::Transmissibilities::tpfa(
+            &mesh,
+            &perm,
+            fv_core::trans::StencilKind::TenPoint,
+        );
+        let sim = DataflowFluxSimulator::builder(&mesh)
+            .fluid(&fluid)
+            .transmissibilities(&trans)
+            .build()
+            .expect("tiny problem builds");
+        let ckpt = Checkpoint::capture(&sim);
+        let hub = wse_metrics::MetricsHub::new_live();
+        let timing = hub.histogram("serve_checkpoint_encode_ns", "test", &[]);
+        let bytes = ckpt.encode_metered(&timing);
+        assert_eq!(bytes, ckpt.encode(), "metering must not change the bytes");
+        let back = Checkpoint::decode_metered(&bytes, &timing).expect("roundtrip");
+        assert_eq!(back.spec_hash, ckpt.spec_hash);
+        // One encode + one decode observed; the error path observes too.
+        assert!(Checkpoint::decode_metered(&MAGIC[..], &timing).is_err());
+        match &hub.snapshot()[0].value {
+            wse_metrics::SampleValue::Histogram { count, .. } => assert_eq!(*count, 3),
+            other => panic!("expected a histogram, got {other:?}"),
+        }
+        // A null handle is exactly encode()/decode().
+        let null = wse_metrics::Histogram::default();
+        assert_eq!(ckpt.encode_metered(&null), bytes);
     }
 }

@@ -15,7 +15,13 @@
 //!   queue, preempt/resume/cancel at event-chunk granularity, and a
 //!   compiled-problem cache keyed by content hash so repeat submissions
 //!   skip the expensive host-side setup (`cache_hit` and the measured
-//!   setup time are reported per job).
+//!   setup time are reported per job). The server is instrumented with
+//!   `wse-metrics` (`serve_*` series: queue depth, worker utilization,
+//!   submit→done latency, cache hit ratio, control-plane counters),
+//!   streams per-job [`server::ProgressUpdate`]s to
+//!   [`JobServer::subscribe`]rs, and keeps a per-job failure flight
+//!   recorder whose last-N-events tail travels with every failure
+//!   ([`JobServer::failure_of`]).
 //!
 //! The crate is re-exported from the umbrella crate as `mdfv::serve`.
 
@@ -28,5 +34,5 @@ pub mod server;
 pub use checkpoint::{Checkpoint, CheckpointError, SCHEMA_VERSION};
 pub use server::{
     CompiledProblem, JobFailure, JobId, JobServer, JobSpec, JobState, JobStatus, ProblemSpec,
-    ServerConfig, SubmitError,
+    ProgressUpdate, ServerConfig, SubmitError, FLIGHT_RECORDER_CAPACITY,
 };

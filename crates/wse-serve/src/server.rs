@@ -22,7 +22,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use fv_core::eos::Fluid;
@@ -31,10 +31,16 @@ use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
 use fv_core::state::FlowState;
 use fv_core::trans::{StencilKind, Transmissibilities};
 use tpfa_dataflow::DataflowFluxSimulator;
+use wse_metrics::{Counter, FlightRecorder, Gauge, Histogram, MetricsHub};
 use wse_sim::fabric::{Execution, FabricError};
 use wse_sim::fault::FaultPlan;
+use wse_sim::stats::FabricStats;
 
 use crate::checkpoint::Checkpoint;
+
+/// Entries retained by each job's failure flight recorder — the last-N
+/// control/progress events that travel with a failure.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 64;
 
 /// Events per [`DataflowFluxSimulator::step_events`] chunk when the job
 /// does not set [`JobSpec::checkpoint_every`]. Small enough for prompt
@@ -190,6 +196,13 @@ pub struct JobStatus {
     pub events: u64,
     /// Fabric clock of this job's simulator.
     pub fabric_time: u64,
+    /// Estimated completion fraction in `[0, 1]`: completed applications
+    /// plus an in-flight fraction extrapolated from the events-per-
+    /// application average. Exactly `1.0` once [`JobState::Done`].
+    pub progress: f64,
+    /// Cumulative fabric statistics of this job's simulator, refreshed at
+    /// every chunk boundary (zeroed until the first chunk completes).
+    pub stats: FabricStats,
     /// Whether the compiled problem came from the cache (`None` until a
     /// worker picked the job up the first time).
     pub cache_hit: Option<bool>,
@@ -198,6 +211,25 @@ pub struct JobStatus {
     pub setup_nanos: Option<u64>,
     /// Checkpoints captured for this job (preemptions).
     pub checkpoints: u64,
+}
+
+/// One progress notification, delivered to [`JobServer::subscribe`]rs at
+/// chunk granularity (plus one final update at every settling transition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressUpdate {
+    /// Completed applications of Algorithm 1.
+    pub applications_done: usize,
+    /// Fabric events processed so far (across preemptions).
+    pub events: u64,
+    /// Fabric clock of the job's simulator.
+    pub fabric_time: u64,
+    /// Estimated completion fraction in `[0, 1]` (see
+    /// [`JobStatus::progress`]).
+    pub progress: f64,
+    /// Estimated wall-clock seconds to completion, extrapolated from time
+    /// spent so far vs progress made. `None` until enough progress exists
+    /// to extrapolate from.
+    pub eta_seconds: Option<f64>,
 }
 
 /// Why a submission was rejected.
@@ -226,14 +258,18 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Server sizing.
-#[derive(Debug, Clone, Copy)]
+/// Server sizing and telemetry.
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads (≥ 1).
     pub workers: usize,
     /// Maximum queued (not yet running) jobs; submissions beyond this are
     /// rejected with [`SubmitError::QueueFull`].
     pub queue_capacity: usize,
+    /// Telemetry hub (default [`MetricsHub::Null`] — every probe is a
+    /// no-op). A live hub receives `serve_*` server series and is passed
+    /// through to each job's driver for the `fabric_*`/`wall_*` series.
+    pub metrics: MetricsHub,
 }
 
 impl Default for ServerConfig {
@@ -241,6 +277,7 @@ impl Default for ServerConfig {
         Self {
             workers: 2,
             queue_capacity: 64,
+            metrics: MetricsHub::Null,
         }
     }
 }
@@ -251,6 +288,11 @@ struct Job {
     applications_done: usize,
     events: u64,
     fabric_time: u64,
+    /// Events accumulated inside the current in-flight application (the
+    /// numerator of the in-app progress fraction).
+    in_app_events: u64,
+    /// Cumulative fabric statistics, refreshed at chunk boundaries.
+    stats: FabricStats,
     cache_hit: Option<bool>,
     setup_nanos: Option<u64>,
     checkpoints: u64,
@@ -258,9 +300,34 @@ struct Job {
     cancel_requested: bool,
     checkpoint: Option<Checkpoint>,
     result: Option<Vec<f32>>,
+    /// Wall-clock submission instant (the submit→done latency anchor).
+    submitted_at: Instant,
+    /// First worker claim (the ETA extrapolation anchor).
+    run_started: Option<Instant>,
+    /// Live progress subscriptions; dead receivers are pruned on send.
+    subscribers: Vec<mpsc::Sender<ProgressUpdate>>,
+    /// Last-N control/progress events, attached to failures.
+    flight: FlightRecorder<String>,
 }
 
 impl Job {
+    fn progress(&self) -> f64 {
+        if self.state == JobState::Done {
+            return 1.0;
+        }
+        let total = self.spec.applications.max(1) as f64;
+        let mut p = self.applications_done as f64 / total;
+        // In-app fraction, extrapolated from the mean events a completed
+        // application took. The first application has no baseline and
+        // contributes nothing until it completes.
+        let prior = self.events - self.in_app_events;
+        if self.applications_done > 0 && prior > 0 && self.in_app_events > 0 {
+            let avg = prior as f64 / self.applications_done as f64;
+            p += (self.in_app_events as f64 / avg).min(0.99) / total;
+        }
+        p.clamp(0.0, 1.0)
+    }
+
     fn status(&self, id: JobId) -> JobStatus {
         JobStatus {
             id,
@@ -269,9 +336,45 @@ impl Job {
             applications_total: self.spec.applications,
             events: self.events,
             fabric_time: self.fabric_time,
+            progress: self.progress(),
+            stats: self.stats,
             cache_hit: self.cache_hit,
             setup_nanos: self.setup_nanos,
             checkpoints: self.checkpoints,
+        }
+    }
+
+    /// Appends a line to the flight recorder, stamped with the job's
+    /// deterministic coordinates (fabric time + cumulative events).
+    fn record(&mut self, what: &str) {
+        let line = format!("t={} ev={} {what}", self.fabric_time, self.events);
+        self.flight.push(line);
+    }
+
+    /// Sends the current progress to every live subscriber, pruning the
+    /// ones whose receiver is gone. `final_update` additionally drops all
+    /// subscriptions so receivers observe disconnection.
+    fn notify_subscribers(&mut self, final_update: bool) {
+        if self.subscribers.is_empty() {
+            return;
+        }
+        let progress = self.progress();
+        let eta_seconds = match (self.run_started, progress) {
+            (Some(t0), p) if p > 1e-6 && !final_update => {
+                Some(t0.elapsed().as_secs_f64() * (1.0 - p) / p)
+            }
+            _ => None,
+        };
+        let update = ProgressUpdate {
+            applications_done: self.applications_done,
+            events: self.events,
+            fabric_time: self.fabric_time,
+            progress,
+            eta_seconds,
+        };
+        self.subscribers.retain(|s| s.send(update.clone()).is_ok());
+        if final_update {
+            self.subscribers.clear();
         }
     }
 }
@@ -281,6 +384,52 @@ struct ServerState {
     queue: VecDeque<JobId>,
     jobs: HashMap<JobId, Job>,
     next_id: u64,
+    /// Workers currently driving a job (the busy gauge's source of truth;
+    /// maintained under the state lock, so claim/finish cannot race it).
+    busy: usize,
+}
+
+/// Preregistered `serve_*` telemetry handles. All no-ops when the server
+/// was configured with a null hub.
+struct ServerMetrics {
+    queue_depth: Gauge,
+    workers_busy: Gauge,
+    jobs_submitted: Counter,
+    jobs_done: Counter,
+    jobs_failed: Counter,
+    preempts: Counter,
+    resumes: Counter,
+    cancels: Counter,
+    queue_rejections: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    job_latency_ns: Histogram,
+    wait_wakeups: Counter,
+    ckpt_capture_ns: Histogram,
+    ckpt_restore_ns: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(hub: &MetricsHub) -> Self {
+        let l: &[(&str, &str)] = &[];
+        Self {
+            queue_depth: hub.gauge("serve_queue_depth", "Jobs queued and not yet claimed by a worker", l),
+            workers_busy: hub.gauge("serve_workers_busy", "Workers currently driving a job", l),
+            jobs_submitted: hub.counter("serve_jobs_submitted_total", "Jobs accepted by submit", l),
+            jobs_done: hub.counter("serve_jobs_done_total", "Jobs that finished with a residual", l),
+            jobs_failed: hub.counter("serve_jobs_failed_total", "Jobs that ended without a residual (fault, build error, cancel)", l),
+            preempts: hub.counter("serve_preempts_total", "Accepted preemption requests", l),
+            resumes: hub.counter("serve_resumes_total", "Accepted resume requests", l),
+            cancels: hub.counter("serve_cancels_total", "Accepted cancel requests", l),
+            queue_rejections: hub.counter("serve_queue_rejections_total", "Submissions rejected because the bounded queue was full", l),
+            cache_hits: hub.counter("serve_cache_hits_total", "Compiled-problem cache hits", l),
+            cache_misses: hub.counter("serve_cache_misses_total", "Compiled-problem cache misses (full compiles)", l),
+            job_latency_ns: hub.histogram("serve_job_latency_ns", "Submit-to-done wall-clock latency per completed job, nanoseconds", l),
+            wait_wakeups: hub.counter("serve_wait_wakeups_total", "Condvar wakeups observed inside JobServer::wait (each is one state-change signal, not a poll — this stays small)", l),
+            ckpt_capture_ns: hub.histogram("serve_checkpoint_capture_ns", "Wall-clock nanoseconds per checkpoint capture (fabric snapshot)", l),
+            ckpt_restore_ns: hub.histogram("serve_checkpoint_restore_ns", "Wall-clock nanoseconds per checkpoint restore into a fresh simulator", l),
+        }
+    }
 }
 
 struct Inner {
@@ -292,6 +441,7 @@ struct Inner {
     cache: Mutex<HashMap<u64, Arc<CompiledProblem>>>,
     config: ServerConfig,
     shutdown: AtomicBool,
+    metrics: ServerMetrics,
 }
 
 /// The job server. Dropping it shuts the workers down (running jobs
@@ -305,6 +455,8 @@ impl JobServer {
     /// Starts the worker pool.
     pub fn start(config: ServerConfig) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
+        let worker_count = config.workers;
+        let metrics = ServerMetrics::new(&config.metrics);
         let inner = Arc::new(Inner {
             state: Mutex::new(ServerState::default()),
             work_cv: Condvar::new(),
@@ -312,8 +464,9 @@ impl JobServer {
             cache: Mutex::new(HashMap::new()),
             config,
             shutdown: AtomicBool::new(false),
+            metrics,
         });
-        let workers = (0..config.workers)
+        let workers = (0..worker_count)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -332,30 +485,41 @@ impl JobServer {
         }
         let mut st = self.inner.state.lock().unwrap();
         if st.queue.len() >= self.inner.config.queue_capacity {
+            self.inner.metrics.queue_rejections.inc();
             return Err(SubmitError::QueueFull {
                 capacity: self.inner.config.queue_capacity,
             });
         }
         let id = JobId(st.next_id);
         st.next_id += 1;
-        st.jobs.insert(
-            id,
-            Job {
-                spec,
-                state: JobState::Queued,
-                applications_done: 0,
-                events: 0,
-                fabric_time: 0,
-                cache_hit: None,
-                setup_nanos: None,
-                checkpoints: 0,
-                preempt_requested: false,
-                cancel_requested: false,
-                checkpoint: None,
-                result: None,
-            },
-        );
+        let mut job = Job {
+            spec,
+            state: JobState::Queued,
+            applications_done: 0,
+            events: 0,
+            fabric_time: 0,
+            in_app_events: 0,
+            stats: FabricStats::default(),
+            cache_hit: None,
+            setup_nanos: None,
+            checkpoints: 0,
+            preempt_requested: false,
+            cancel_requested: false,
+            checkpoint: None,
+            result: None,
+            submitted_at: Instant::now(),
+            run_started: None,
+            subscribers: Vec::new(),
+            flight: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+        };
+        job.record("submitted");
+        st.jobs.insert(id, job);
         st.queue.push_back(id);
+        self.inner.metrics.jobs_submitted.inc();
+        self.inner
+            .metrics
+            .queue_depth
+            .set_u64(st.queue.len() as u64);
         drop(st);
         self.inner.work_cv.notify_one();
         Ok(id)
@@ -378,12 +542,21 @@ impl JobServer {
         match job.state {
             JobState::Queued => {
                 job.state = JobState::Checkpointed;
+                job.record("preempted while queued");
+                job.notify_subscribers(true);
                 st.queue.retain(|&q| q != id);
+                self.inner.metrics.preempts.inc();
+                self.inner
+                    .metrics
+                    .queue_depth
+                    .set_u64(st.queue.len() as u64);
                 self.inner.change_cv.notify_all();
                 true
             }
             JobState::Running => {
                 job.preempt_requested = true;
+                job.record("preempt requested");
+                self.inner.metrics.preempts.inc();
                 true
             }
             _ => false,
@@ -403,7 +576,13 @@ impl JobServer {
         }
         job.state = JobState::Queued;
         job.preempt_requested = false;
+        job.record("resumed (re-enqueued)");
         st.queue.push_back(id);
+        self.inner.metrics.resumes.inc();
+        self.inner
+            .metrics
+            .queue_depth
+            .set_u64(st.queue.len() as u64);
         drop(st);
         self.inner.work_cv.notify_one();
         true
@@ -421,12 +600,22 @@ impl JobServer {
             JobState::Queued | JobState::Checkpointed => {
                 job.state = JobState::Failed(JobFailure::Canceled);
                 job.checkpoint = None;
+                job.record("canceled before running");
+                job.notify_subscribers(true);
                 st.queue.retain(|&q| q != id);
+                self.inner.metrics.cancels.inc();
+                self.inner.metrics.jobs_failed.inc();
+                self.inner
+                    .metrics
+                    .queue_depth
+                    .set_u64(st.queue.len() as u64);
                 self.inner.change_cv.notify_all();
                 true
             }
             JobState::Running => {
                 job.cancel_requested = true;
+                job.record("cancel requested");
+                self.inner.metrics.cancels.inc();
                 true
             }
             _ => false,
@@ -453,7 +642,55 @@ impl JobServer {
                 }
             }
             st = self.inner.change_cv.wait(st).unwrap();
+            // Each pass through here is one condvar signal, not a poll:
+            // the counter's smallness is the no-busy-wait proof the tests
+            // pin (`wait_blocks_without_busy_waiting`).
+            self.inner.metrics.wait_wakeups.inc();
         }
+    }
+
+    /// Subscribes to a job's progress: the returned receiver yields one
+    /// [`ProgressUpdate`] per completed chunk plus a final update at every
+    /// settling transition (done, failed, checkpointed), after which the
+    /// sender side is dropped and the channel disconnects. The first
+    /// update (the job's current state) is delivered immediately, so
+    /// subscribing to an already-settled job still yields one snapshot.
+    /// `None` for unknown ids. Receivers that fall behind simply buffer —
+    /// the channel is unbounded and updates are small; dropping the
+    /// receiver unsubscribes at the next send.
+    pub fn subscribe(&self, id: JobId) -> Option<mpsc::Receiver<ProgressUpdate>> {
+        let mut st = self.inner.state.lock().unwrap();
+        let job = st.jobs.get_mut(&id)?;
+        let (tx, rx) = mpsc::channel();
+        job.subscribers.push(tx);
+        let settled = !matches!(job.state, JobState::Queued | JobState::Running);
+        job.notify_subscribers(settled);
+        Some(rx)
+    }
+
+    /// The job's flight-recorder tail: its last-N control/progress events,
+    /// oldest first. Most useful on a failed job, where it is the context
+    /// that arrived with the typed error; available for any known id.
+    pub fn flight_of(&self, id: JobId) -> Option<Vec<String>> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(&id).map(|j| j.flight.to_vec())
+    }
+
+    /// The failure with its flight-recorder context attached: `(why, last
+    /// N events)`. `None` unless the job is [`JobState::Failed`].
+    pub fn failure_of(&self, id: JobId) -> Option<(JobFailure, Vec<String>)> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(&id).and_then(|j| match &j.state {
+            JobState::Failed(f) => Some((f.clone(), j.flight.to_vec())),
+            _ => None,
+        })
+    }
+
+    /// The telemetry hub this server was configured with (null unless
+    /// [`ServerConfig::metrics`] installed a live one) — e.g. to render
+    /// [`MetricsHub::prometheus_text`] after a run.
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.inner.config.metrics
     }
 
     /// The finished job's residual (mesh linear order); `None` unless the
@@ -524,6 +761,7 @@ fn obtain_problem(inner: &Inner, spec: ProblemSpec) -> (Arc<CompiledProblem>, bo
 fn build_simulator(
     problem: &CompiledProblem,
     spec: &JobSpec,
+    metrics: &MetricsHub,
 ) -> Result<DataflowFluxSimulator, String> {
     DataflowFluxSimulator::builder(&problem.mesh)
         .fluid(&problem.fluid)
@@ -531,6 +769,7 @@ fn build_simulator(
         .execution(spec.execution)
         .fast_forward(spec.fast_forward)
         .fault_plan(spec.fault_plan.clone())
+        .metrics(metrics.clone())
         .build()
         .map_err(|e| e.to_string())
 }
@@ -561,12 +800,20 @@ fn worker_loop(inner: &Inner) {
                     return;
                 }
                 if let Some(id) = st.queue.pop_front() {
+                    st.busy += 1;
+                    inner.metrics.queue_depth.set_u64(st.queue.len() as u64);
+                    inner.metrics.workers_busy.set_u64(st.busy as u64);
                     break id;
                 }
                 st = inner.work_cv.wait(st).unwrap();
             }
         };
         run_job(inner, id);
+        {
+            let mut st = inner.state.lock().unwrap();
+            st.busy -= 1;
+            inner.metrics.workers_busy.set_u64(st.busy as u64);
+        }
         inner.change_cv.notify_all();
     }
 }
@@ -583,10 +830,19 @@ fn run_job(inner: &Inner, id: JobId) {
             return; // canceled between dequeue and claim
         }
         job.state = JobState::Running;
+        if job.run_started.is_none() {
+            job.run_started = Some(Instant::now());
+        }
+        job.record("claimed by worker");
         (job.spec.clone(), job.checkpoint.take())
     };
 
     let (problem, cache_hit, setup_nanos) = obtain_problem(inner, spec.problem);
+    if cache_hit {
+        inner.metrics.cache_hits.inc();
+    } else {
+        inner.metrics.cache_misses.inc();
+    }
     {
         let mut st = inner.state.lock().unwrap();
         if let Some(job) = st.jobs.get_mut(&id) {
@@ -595,21 +851,39 @@ fn run_job(inner: &Inner, id: JobId) {
                 job.cache_hit = Some(cache_hit);
                 job.setup_nanos = Some(setup_nanos);
             }
+            job.record(if cache_hit {
+                "compiled problem from cache"
+            } else {
+                "compiled problem (cache miss)"
+            });
         }
     }
 
-    let mut sim = match build_simulator(&problem, &spec) {
+    let mut sim = match build_simulator(&problem, &spec, &inner.config.metrics) {
         Ok(sim) => sim,
         Err(e) => return fail_job(inner, id, JobFailure::Build(e)),
     };
     if let Some(ckpt) = resume_from {
+        let t0 = Instant::now();
         if let Err(e) = ckpt.restore_into(&mut sim) {
             return fail_job(inner, id, JobFailure::Build(e.to_string()));
+        }
+        inner
+            .metrics
+            .ckpt_restore_ns
+            .observe(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        let mut st = inner.state.lock().unwrap();
+        if let Some(job) = st.jobs.get_mut(&id) {
+            job.record("checkpoint restored");
         }
     }
 
     let chunk = spec.checkpoint_every.unwrap_or(DEFAULT_CHUNK_EVENTS).max(1);
     let mut last_residual: Option<Vec<f32>> = None;
+    // Events inside the current application (the in-app progress
+    // numerator). A mid-application resume restarts it at zero — the
+    // fraction is an estimate and recovers within one application.
+    let mut in_app: u64 = 0;
     // `applications()` survives the checkpoint round-trip, so a resumed
     // job continues exactly where it parked — mid-application included
     // (`in_flight` skips the re-inject).
@@ -617,13 +891,15 @@ fn run_job(inner: &Inner, id: JobId) {
         if !sim.in_flight() {
             let pressure = pressure_for(&problem, &spec, sim.applications());
             sim.begin_apply(&pressure);
+            in_app = 0;
         }
         loop {
             let step = match sim.step_events(chunk) {
                 Ok(step) => step,
                 Err(e) => return fail_job(inner, id, JobFailure::Fabric(e)),
             };
-            match note_progress(inner, id, step.events, step.fabric_time) {
+            in_app += step.events;
+            match note_progress(inner, id, step.events, step.fabric_time, in_app, &sim) {
                 ChunkOutcome::Continue => {}
                 ChunkOutcome::Preempt => return park_job(inner, id, &sim),
                 ChunkOutcome::Cancel => return fail_job(inner, id, JobFailure::Canceled),
@@ -636,25 +912,52 @@ fn run_job(inner: &Inner, id: JobId) {
             Ok(residual) => last_residual = Some(residual),
             Err(e) => return fail_job(inner, id, JobFailure::Fabric(e)),
         }
+        in_app = 0;
+        let mut st = inner.state.lock().unwrap();
+        if let Some(job) = st.jobs.get_mut(&id) {
+            job.applications_done = sim.applications();
+            job.in_app_events = 0;
+            job.stats = sim.stats();
+            job.record("application complete");
+        }
     }
 
     let mut st = inner.state.lock().unwrap();
     if let Some(job) = st.jobs.get_mut(&id) {
         job.applications_done = sim.applications();
+        job.stats = sim.stats();
         job.result = last_residual;
         job.state = JobState::Done;
+        job.record("done");
+        job.notify_subscribers(true);
+        inner.metrics.jobs_done.inc();
+        inner
+            .metrics
+            .job_latency_ns
+            .observe(job.submitted_at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
     }
 }
 
 /// Records chunk progress and reports any pending control request.
 /// Shutdown counts as preemption so in-flight work parks restorably.
-fn note_progress(inner: &Inner, id: JobId, events: u64, fabric_time: u64) -> ChunkOutcome {
+fn note_progress(
+    inner: &Inner,
+    id: JobId,
+    events: u64,
+    fabric_time: u64,
+    in_app: u64,
+    sim: &DataflowFluxSimulator,
+) -> ChunkOutcome {
     let mut st = inner.state.lock().unwrap();
     let Some(job) = st.jobs.get_mut(&id) else {
         return ChunkOutcome::Cancel;
     };
     job.events += events;
     job.fabric_time = fabric_time;
+    job.in_app_events = in_app;
+    job.applications_done = sim.applications();
+    job.stats = sim.stats();
+    job.notify_subscribers(false);
     if job.cancel_requested {
         ChunkOutcome::Cancel
     } else if job.preempt_requested || inner.shutdown.load(Ordering::SeqCst) {
@@ -665,7 +968,12 @@ fn note_progress(inner: &Inner, id: JobId, events: u64, fabric_time: u64) -> Chu
 }
 
 fn park_job(inner: &Inner, id: JobId, sim: &DataflowFluxSimulator) {
+    let t0 = Instant::now();
     let ckpt = Checkpoint::capture(sim);
+    inner
+        .metrics
+        .ckpt_capture_ns
+        .observe(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
     let mut st = inner.state.lock().unwrap();
     if let Some(job) = st.jobs.get_mut(&id) {
         job.applications_done = sim.applications();
@@ -673,14 +981,19 @@ fn park_job(inner: &Inner, id: JobId, sim: &DataflowFluxSimulator) {
         job.checkpoints += 1;
         job.preempt_requested = false;
         job.state = JobState::Checkpointed;
+        job.record("checkpoint captured (parked)");
+        job.notify_subscribers(true);
     }
 }
 
 fn fail_job(inner: &Inner, id: JobId, failure: JobFailure) {
     let mut st = inner.state.lock().unwrap();
     if let Some(job) = st.jobs.get_mut(&id) {
+        job.record(&format!("failed: {failure:?}"));
         job.state = JobState::Failed(failure);
         job.cancel_requested = false;
+        job.notify_subscribers(true);
+        inner.metrics.jobs_failed.inc();
     }
 }
 
@@ -699,7 +1012,7 @@ mod tests {
 
     fn direct_residual(spec: &JobSpec) -> Vec<f32> {
         let problem = CompiledProblem::compile(spec.problem);
-        let mut sim = build_simulator(&problem, spec).unwrap();
+        let mut sim = build_simulator(&problem, spec, &MetricsHub::Null).unwrap();
         let mut last = Vec::new();
         for i in 0..spec.applications {
             last = sim.apply(&pressure_for(&problem, spec, i)).unwrap();
@@ -712,6 +1025,7 @@ mod tests {
         let server = JobServer::start(ServerConfig {
             workers: 1,
             queue_capacity: 8,
+            ..ServerConfig::default()
         });
         let spec = JobSpec::new(small_problem(), 3);
         let expected = direct_residual(&spec);
@@ -729,6 +1043,7 @@ mod tests {
         let server = JobServer::start(ServerConfig {
             workers: 1,
             queue_capacity: 8,
+            ..ServerConfig::default()
         });
         let first = server.submit(JobSpec::new(small_problem(), 1)).unwrap();
         let s1 = server.wait(first).unwrap();
@@ -755,6 +1070,7 @@ mod tests {
         let server = JobServer::start(ServerConfig {
             workers: 1,
             queue_capacity: 8,
+            ..ServerConfig::default()
         });
         let mut spec = JobSpec::new(small_problem(), 3);
         spec.checkpoint_every = Some(16); // hundreds of park opportunities
@@ -798,6 +1114,7 @@ mod tests {
         let server = JobServer::start(ServerConfig {
             workers: 1,
             queue_capacity: 8,
+            ..ServerConfig::default()
         });
         let mut spec = JobSpec::new(small_problem(), 50);
         spec.checkpoint_every = Some(32);
@@ -822,6 +1139,7 @@ mod tests {
         let server = JobServer::start(ServerConfig {
             workers: 1,
             queue_capacity: 1,
+            ..ServerConfig::default()
         });
         // A long job occupies the worker; fill the queue behind it.
         let mut long = JobSpec::new(small_problem(), 100);
@@ -853,6 +1171,113 @@ mod tests {
         server.cancel(running);
         server.cancel(queued);
         server.shutdown();
+    }
+
+    #[test]
+    fn wait_blocks_without_busy_waiting() {
+        let hub = MetricsHub::new_live();
+        let server = JobServer::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            metrics: hub.clone(),
+        });
+        // Small chunks force hundreds of chunk boundaries: a polling wait
+        // would spin through thousands of loop iterations over this job's
+        // wall time. The condvar wait only wakes on actual state-change
+        // signals, and the registry counts every wakeup.
+        let mut spec = JobSpec::new(small_problem(), 2);
+        spec.checkpoint_every = Some(64);
+        let id = server.submit(spec).unwrap();
+        let status = server.wait(id).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        let wakeups = hub.counter("serve_wait_wakeups_total", "", &[]).get();
+        assert!(
+            wakeups < 50,
+            "wait() woke {wakeups} times — that is polling, not blocking"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn subscribers_stream_progress_to_completion() {
+        let server = JobServer::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        });
+        let mut spec = JobSpec::new(small_problem(), 2);
+        spec.checkpoint_every = Some(64); // many chunk-boundary updates
+        let id = server.submit(spec).unwrap();
+        let rx = server.subscribe(id).expect("known id");
+        assert!(server.subscribe(JobId(9999)).is_none());
+        // Drain until the final update drops the sender (job settled).
+        let updates: Vec<ProgressUpdate> = rx.iter().collect();
+        assert!(!updates.is_empty(), "at least the immediate snapshot");
+        for w in updates.windows(2) {
+            assert!(w[1].events >= w[0].events, "events are monotone");
+        }
+        let last = updates.last().unwrap();
+        assert_eq!(last.applications_done, 2);
+        assert!((last.progress - 1.0).abs() < 1e-12, "final progress is 1.0");
+        assert_eq!(server.status(id).unwrap().state, JobState::Done);
+        server.shutdown();
+    }
+
+    #[test]
+    fn failure_carries_flight_recorder_context() {
+        let server = JobServer::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        });
+        // Park the worker behind a blocker so the target stays queued and
+        // the cancel lands deterministically.
+        let mut blocker = JobSpec::new(small_problem(), 10_000);
+        blocker.checkpoint_every = Some(16);
+        let blocker = server.submit(blocker).unwrap();
+        let id = server.submit(JobSpec::new(small_problem(), 1)).unwrap();
+        assert!(server.cancel(id));
+        let status = server.wait(id).unwrap();
+        assert_eq!(status.state, JobState::Failed(JobFailure::Canceled));
+        let (failure, flight) = server.failure_of(id).expect("failed job");
+        assert_eq!(failure, JobFailure::Canceled);
+        assert!(!flight.is_empty(), "failure arrives with flight context");
+        assert!(
+            flight.iter().any(|l| l.contains("canceled")),
+            "tail names the terminal transition: {flight:?}"
+        );
+        // Non-failed jobs expose no failure, but their flight is readable.
+        assert!(server.failure_of(blocker).is_none());
+        assert!(!server.flight_of(blocker).unwrap().is_empty());
+        server.cancel(blocker);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_metrics_capture_lifecycle_counters() {
+        let hub = MetricsHub::new_live();
+        let server = JobServer::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            metrics: hub.clone(),
+        });
+        let a = server.submit(JobSpec::new(small_problem(), 1)).unwrap();
+        server.wait(a).unwrap();
+        let b = server.submit(JobSpec::new(small_problem(), 1)).unwrap();
+        let sb = server.wait(b).unwrap();
+        assert!((sb.progress - 1.0).abs() < 1e-12);
+        assert_eq!(sb.stats.num_pes, 5 * 4, "stats are populated");
+        server.shutdown();
+        assert_eq!(hub.counter("serve_jobs_submitted_total", "", &[]).get(), 2);
+        assert_eq!(hub.counter("serve_jobs_done_total", "", &[]).get(), 2);
+        assert_eq!(hub.counter("serve_jobs_failed_total", "", &[]).get(), 0);
+        assert_eq!(hub.counter("serve_cache_misses_total", "", &[]).get(), 1);
+        assert_eq!(hub.counter("serve_cache_hits_total", "", &[]).get(), 1);
+        let text = hub.prometheus_text();
+        assert!(text.contains("serve_jobs_done_total 2"));
+        assert!(text.contains("serve_job_latency_ns_count 2"));
+        // The drivers published their fabric series through the same hub.
+        assert!(text.contains("fabric_events_total{engine=\"sequential\"}"));
     }
 
     #[test]

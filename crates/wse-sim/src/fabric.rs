@@ -1172,6 +1172,12 @@ struct Shard {
     /// scan (`min over pending e of e.time + dist(e.pe, link)·hop_latency`),
     /// aligned with `out_links`. Valid while `dirty` is false.
     saved_terms: Vec<u64>,
+    /// Fast-forwarded hops on this shard (summed into [`Fabric::ff_hops`]
+    /// at merge; segment hops add up to whole-chain hops, so the global
+    /// total matches the sequential engine).
+    ff_hops: u64,
+    /// Fast-forward jumps (per-segment) taken on this shard.
+    ff_jumps: u64,
 }
 
 impl Shard {
@@ -1249,6 +1255,8 @@ fn process_shard(
         max_time,
         error,
         out,
+        ff_hops,
+        ff_jumps,
         ..
     } = shard;
     let mut processed = 0u64;
@@ -1289,6 +1297,8 @@ fn process_shard(
                     // The chain's intermediate pops happened in bulk.
                     processed += hops - 1;
                     batch += hops - 1;
+                    *ff_hops += hops;
+                    *ff_jumps += 1;
                     let dest = plan.shard_of(dims.coord(jumped.pe));
                     if dest == *id {
                         queue.push(jumped);
@@ -1612,6 +1622,16 @@ pub struct Fabric {
     /// host phases, budget/deadlock errors). Kept separate from the per-PE
     /// streams so sequential and sharded per-PE traces stay bit-identical.
     host_trace: PeTracer,
+    /// Cumulative fast-forwarded hops (deterministic: segment hops sum to
+    /// chain hops, so the total is engine-invariant). Telemetry only — not
+    /// part of [`FabricSnapshot`], so checkpoints neither carry nor restore
+    /// it (the codec schema is unchanged).
+    ff_hops: u64,
+    /// Cumulative fast-forward jumps taken. **Not** engine-invariant: the
+    /// sequential engine walks a passive chain as one jump where the
+    /// sharded engine takes one jump per shard-boundary segment. Exposed
+    /// for telemetry but excluded from deterministic equivalence checks.
+    ff_jumps: u64,
 }
 
 impl Fabric {
@@ -1654,6 +1674,8 @@ impl Fabric {
             time: 0,
             initialized: false,
             host_trace: PeTracer::for_spec(config.trace, HOST_PE),
+            ff_hops: 0,
+            ff_jumps: 0,
         }
     }
 
@@ -2093,7 +2115,13 @@ impl Fabric {
             self.time = self.time.max(ev.time);
             let pe = ev.pe;
             let coord = dims.coord(pe);
-            let Self { pes, queue, .. } = self;
+            let Self {
+                pes,
+                queue,
+                ff_hops,
+                ff_jumps,
+                ..
+            } = self;
             if let (Some(table), EventKind::Route(input)) = (&fwd, ev.kind) {
                 if ev.wavelet.kind == WaveletKind::Data {
                     if let Some((hops, jumped)) =
@@ -2101,6 +2129,8 @@ impl Fabric {
                     {
                         // The chain's intermediate pops happened in bulk.
                         events += hops - 1;
+                        *ff_hops += hops;
+                        *ff_jumps += 1;
                         if events > max_events {
                             return Err(FabricError::EventBudgetExceeded { max_events });
                         }
@@ -2209,6 +2239,8 @@ impl Fabric {
                     dirty: true,
                     stalls: 0,
                     saved_terms,
+                    ff_hops: 0,
+                    ff_jumps: 0,
                 }
             })
             .collect();
@@ -2281,6 +2313,8 @@ impl Fabric {
         let mut min_error: Option<(EventKey, FabricError)> = None;
         for mut sh in finished {
             events += sh.events;
+            self.ff_hops += sh.ff_hops;
+            self.ff_jumps += sh.ff_jumps;
             self.time = self.time.max(sh.max_time);
             if let Some((k, e)) = sh.error.take() {
                 merge_min_error(&mut min_error, k, e);
@@ -2411,6 +2445,32 @@ impl Fabric {
     /// [`Fabric::queue_wait_by_pe`]).
     pub fn queue_wait_cycles(&self) -> u64 {
         self.pes.iter().map(|s| s.queue_wait_cycles).sum()
+    }
+
+    /// Cumulative fast-forwarded hops across all runs so far. Deterministic
+    /// and engine-invariant: the sharded engine splits a passive chain into
+    /// per-shard segments, but the segment hop counts sum to the whole
+    /// chain's, so this total is bit-identical Sequential vs Sharded. Zero
+    /// whenever fast-forwarding is disabled or inhibited (tracing, faults).
+    pub fn ff_hops(&self) -> u64 {
+        self.ff_hops
+    }
+
+    /// Cumulative fast-forward jumps across all runs so far. **Not**
+    /// engine-invariant (one jump per chain sequentially, one per segment
+    /// sharded) — compare [`Fabric::ff_hops`] across engines instead.
+    pub fn ff_jumps(&self) -> u64 {
+        self.ff_jumps
+    }
+
+    /// Event-queue occupancy `(ring, overflow)`: items resident in the
+    /// calendar queue's near-term ring vs parked in the far-future overflow
+    /// heap. A host-side telemetry probe; reading it does not perturb
+    /// scheduling. During a sharded run the per-shard queues are private to
+    /// their workers, so this reflects the host queue only (which is where
+    /// all pending events live between runs).
+    pub fn queue_occupancy(&self) -> (usize, usize) {
+        (self.queue.ring_occupancy(), self.queue.overflow_occupancy())
     }
 
     /// Host access to a PE's memory (SDK `memcpy`).

@@ -178,6 +178,19 @@ impl<T: Timestamped + Ord> CalendarQueue<T> {
         self.drain.len() + self.side.len()
     }
 
+    /// Items currently resident in the near-term ring (buckets plus the
+    /// active drain), i.e. everything scheduled before the horizon.
+    /// Telemetry only — does not affect scheduling order.
+    pub fn ring_occupancy(&self) -> usize {
+        self.ring_len + self.active_len()
+    }
+
+    /// Items parked in the far-future overflow heap (time ≥ horizon).
+    /// Telemetry only — does not affect scheduling order.
+    pub fn overflow_occupancy(&self) -> usize {
+        self.overflow.len()
+    }
+
     /// The smallest ring-resident time, via a circular bitmap scan from the
     /// cursor's bucket. Ring times live in `[cursor, horizon)`, so the
     /// circular distance from the cursor bucket recovers the absolute time.

@@ -6,6 +6,7 @@
 //! cargo run --example quickstart
 //! cargo run --example quickstart -- --trace trace.json [--trace-cap N]
 //! cargo run --example quickstart -- --profile prof.json [--trace-cap N]
+//! cargo run --example quickstart -- --metrics metrics.prom
 //! ```
 //!
 //! With `--trace`, both engine runs record per-PE event traces; the sorted
@@ -13,7 +14,9 @@
 //! `trace_event` JSON is written (open in Perfetto or `chrome://tracing`),
 //! and a load summary is printed. With `--profile`, the trace is analyzed
 //! instead: per-region cycle attribution plus the recovered critical path,
-//! both asserted bit-identical across engines, exported as JSON.
+//! both asserted bit-identical across engines, exported as JSON. With
+//! `--metrics`, both engine runs publish `fabric_*`/`driver_*` telemetry
+//! into one live hub, written out as Prometheus text on exit.
 
 use bench::CommonArgs;
 use mdfv::dataflow::DataflowFluxSimulator;
@@ -28,6 +31,7 @@ fn main() {
     // The shared benchmark flag family (`--trace`, `--profile`,
     // `--trace-cap`, `--shards`, ...), parsed once.
     let args = CommonArgs::parse();
+    let hub = bench::metrics_hub(&args);
     let trace_req = args.trace.clone();
     let profile_req = args.profile.clone();
     let trace_spec = trace_req
@@ -69,6 +73,7 @@ fn main() {
         .fluid(&fluid)
         .transmissibilities(&trans)
         .trace(trace_spec)
+        .metrics(hub.clone())
         .build()
         .expect("quickstart problem passes builder validation");
     let dataflow = fabric.apply(state.pressure()).expect("fabric run");
@@ -94,6 +99,7 @@ fn main() {
         .transmissibilities(&trans)
         .execution(sharded_exec)
         .trace(trace_spec)
+        .metrics(hub.clone())
         .build()
         .expect("quickstart problem passes builder validation");
     let sharded = sharded_sim.apply(state.pressure()).expect("sharded run");
@@ -186,4 +192,9 @@ fn main() {
     //     a mid-application fabric snapshot, or restore one — on any
     //     engine — and finish it bit-identically.
     bench::run_checkpoint_demo(&args, mesh.nx(), mesh.ny(), mesh.nz());
+
+    // 12. Telemetry (only with `--metrics <path>`): both engine runs
+    //     published into one hub, labeled by engine — written out as
+    //     Prometheus text.
+    bench::export_metrics(&args, &hub);
 }

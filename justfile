@@ -102,3 +102,20 @@ tables:
     cargo run -p bench --release --bin table4_instructions
     cargo run -p bench --release --bin figure8_roofline
     cargo run -p bench --release --bin energy
+
+# live ASCII dashboard over the job server's progress streams: one bar
+# per job at chunk granularity plus a serve_* telemetry footer
+top:
+    cargo run -p bench --release --bin top
+
+# instrumented serve-harness run: serve_*/fabric_*/driver_* series
+# written as Prometheus text (also see `--metrics` on every table binary)
+metrics:
+    cargo run -p bench --release --bin serve -- --metrics metrics.prom
+    @head -n 24 metrics.prom
+
+# telemetry overhead guard: `metrics_overhead/off` (MetricsHub::Null) must
+# match `engine/64x64/sequential`; `live` prices a live hub
+bench-metrics-overhead:
+    cargo bench -p bench --bench weak_scaling -- 'engine/64x64/sequential'
+    cargo bench -p bench --bench metrics_overhead

@@ -14,6 +14,8 @@
 //! * [`prof`] — critical-path profiling, cycle attribution, perf harness
 //! * [`serve`] — checkpoint/restore of fabric state + the simulation job
 //!   server with compiled-layout caching
+//! * [`metrics`] — runtime telemetry: lock-free registry, Prometheus/JSON
+//!   exposition, failure flight recorder
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -21,6 +23,7 @@ pub use fv_core as fv;
 pub use gpu_ref as gpu;
 pub use perf_model as perf;
 pub use tpfa_dataflow as dataflow;
+pub use wse_metrics as metrics;
 pub use wse_prof as prof;
 pub use wse_serve as serve;
 pub use wse_sim as wse;
