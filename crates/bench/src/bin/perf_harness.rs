@@ -47,12 +47,13 @@ struct WallMeasurement {
     shard_hops: Vec<u64>,
 }
 
-fn measure_wall(execution: Execution) -> WallMeasurement {
+fn measure_wall(execution: Execution, hand_routes: bool) -> WallMeasurement {
     let (mesh, fluid, trans) = standard_problem(WALL_N, WALL_N, WALL_NZ, 2);
     let p = pressure_for_iteration(&mesh, 0);
     let mut sim = DataflowFluxSimulator::builder(&mesh)
         .fluid(&fluid)
         .transmissibilities(&trans)
+        .hand_routes(hand_routes)
         .execution(execution)
         .build()
         .unwrap();
@@ -99,6 +100,7 @@ fn main() {
     // Host-side wall-clock: the simulator as a program, both engines.
     println!("== perf harness ({WALL_N}x{WALL_N}x{WALL_NZ} wall-clock, {PROF_N}x{PROF_N}x{PROF_NZ} profile) ==");
     let mut throughputs = Vec::new();
+    let mut seq_compiled: Option<(f64, u64)> = None;
     // "4x2" = 4 shards × up to 2 workers. The worker request is capped at
     // the host's parallelism: spinning more lookahead workers than cores
     // only adds scheduling overhead, and on a single-core host the engine's
@@ -109,7 +111,7 @@ fn main() {
         ("sequential", Execution::Sequential),
         ("sharded-4x2", Execution::Sharded { shards: 4, threads }),
     ] {
-        let m = measure_wall(execution);
+        let m = measure_wall(execution, false);
         println!(
             "  {label}: {:.4} s/apply, {:.0} events/s",
             m.wall_s, m.events_per_s
@@ -158,6 +160,9 @@ fn main() {
             );
         }
         throughputs.push(m.events_per_s);
+        if label == "sequential" {
+            seq_compiled = Some((m.events_per_s, m.events));
+        }
     }
     // The seq-vs-sharded gap as one deterministic-adjacent ratio: both
     // throughputs come from the same process moments apart, so machine
@@ -171,6 +176,43 @@ fn main() {
         speedup,
         "ratio",
         "higher-better",
+    );
+
+    // Differential probe for the stencil compiler: the compiled TPFA route
+    // pattern (the default path above) against the hand-derived tables it
+    // replaced, same sequential engine. The event counts are bit-identical
+    // by construction (wse-stencil's equivalence suite pins this), so the
+    // deterministic `events` entry flags any drift in what the compiler
+    // emits, and the throughput entry shows routing through compiled
+    // patterns costs nothing at run time.
+    let (compiled_eps, compiled_events) =
+        seq_compiled.expect("sequential engine was measured above");
+    let hand = measure_wall(Execution::Sequential, true);
+    assert_eq!(
+        compiled_events, hand.events,
+        "compiled and hand-derived TPFA routes must replay the same event stream"
+    );
+    println!(
+        "  compiled-tpfa: {compiled_eps:.0} events/s (hand routes: {:.0} events/s)",
+        hand.events_per_s
+    );
+    report.push(
+        &format!("events_per_s/{WALL_N}x{WALL_N}/compiled-tpfa"),
+        compiled_eps,
+        "events/s",
+        "higher-better",
+    );
+    report.push(
+        &format!("events/{WALL_N}x{WALL_N}/compiled-tpfa"),
+        compiled_events as f64,
+        "events",
+        "info",
+    );
+    report.push(
+        &format!("events_per_s/{WALL_N}x{WALL_N}/hand-tpfa"),
+        hand.events_per_s,
+        "events/s",
+        "info",
     );
 
     // Cycle-level figures from the profiler: deterministic (simulated

@@ -17,7 +17,10 @@
 //!   (see [`crate::run_checkpoint_demo`]);
 //! * `--metrics <path>` — collect runtime telemetry into a live
 //!   [`wse_metrics::MetricsHub`] and write the Prometheus text exposition
-//!   there on exit (see [`crate::metrics_hub`] / [`crate::export_metrics`]).
+//!   there on exit (see [`crate::metrics_hub`] / [`crate::export_metrics`]);
+//! * `--stencil tpfa|laplace7|wave` — which compiled workload to drive
+//!   (default `tpfa`, the paper's kernel; binaries that only make sense for
+//!   one workload may ignore it).
 
 use tpfa_dataflow::RecoveryPolicy;
 use wse_sim::fabric::Execution;
@@ -26,6 +29,43 @@ use wse_sim::geometry::FabricDims;
 use wse_sim::trace::{
     profile_request_from_arg_slice, trace_request_from_arg_slice, ProfileRequest, TraceRequest,
 };
+
+/// Which compiled stencil workload a benchmark binary drives
+/// (`--stencil`). All three run through the same `builder.workload(...)`
+/// path of the generic simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StencilArg {
+    /// The paper's ten-point TPFA flux kernel (the default).
+    #[default]
+    Tpfa,
+    /// The 7-point Laplacian (cardinal-only compiled pattern).
+    Laplace7,
+    /// The second-order seismic wave stencil (full in-plane ring).
+    Wave,
+}
+
+impl StencilArg {
+    /// Parses a `--stencil` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "tpfa" => Ok(Self::Tpfa),
+            "laplace7" => Ok(Self::Laplace7),
+            "wave" => Ok(Self::Wave),
+            other => Err(format!(
+                "bad value for --stencil: {other:?} (expected tpfa, laplace7 or wave)"
+            )),
+        }
+    }
+
+    /// The workload name as the stencil compiler spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Tpfa => "tpfa",
+            Self::Laplace7 => "laplace7",
+            Self::Wave => "wave",
+        }
+    }
+}
 
 /// The flag set shared by all benchmark binaries, parsed once.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +86,8 @@ pub struct CommonArgs {
     pub resume: Option<String>,
     /// `--metrics <path>`: write the Prometheus text exposition here.
     pub metrics: Option<String>,
+    /// `--stencil <workload>` (default [`StencilArg::Tpfa`]).
+    pub stencil: StencilArg,
 }
 
 impl CommonArgs {
@@ -86,6 +128,10 @@ impl CommonArgs {
             None => RecoveryPolicy::Fail,
             Some(v) => RecoveryPolicy::parse(v)?,
         };
+        let stencil = match value_of("--stencil") {
+            None => StencilArg::default(),
+            Some(v) => StencilArg::parse(v)?,
+        };
         Ok(Self {
             execution,
             trace: trace_request_from_arg_slice(args),
@@ -95,6 +141,7 @@ impl CommonArgs {
             checkpoint: value_of("--checkpoint").cloned(),
             resume: value_of("--resume").cloned(),
             metrics: value_of("--metrics").cloned(),
+            stencil,
         })
     }
 
@@ -146,6 +193,7 @@ mod tests {
         assert_eq!(args.checkpoint, None);
         assert_eq!(args.resume, None);
         assert_eq!(args.metrics, None);
+        assert_eq!(args.stencil, StencilArg::Tpfa);
     }
 
     #[test]
@@ -153,7 +201,7 @@ mod tests {
         let args = CommonArgs::from_slice(&to_args(
             "--shards 4 --threads 2 --trace t.json --profile p.json --trace-cap 64 \
              --faults 7 --recovery retry:5:100 --checkpoint c.bin --resume r.bin \
-             --metrics m.prom",
+             --metrics m.prom --stencil wave",
         ))
         .unwrap();
         assert_eq!(
@@ -170,6 +218,7 @@ mod tests {
         assert_eq!(args.checkpoint.as_deref(), Some("c.bin"));
         assert_eq!(args.resume.as_deref(), Some("r.bin"));
         assert_eq!(args.metrics.as_deref(), Some("m.prom"));
+        assert_eq!(args.stencil, StencilArg::Wave);
         assert_eq!(
             args.recovery,
             RecoveryPolicy::Retry {
@@ -184,6 +233,20 @@ mod tests {
         assert!(CommonArgs::from_slice(&to_args("--shards four")).is_err());
         assert!(CommonArgs::from_slice(&to_args("--faults abc")).is_err());
         assert!(CommonArgs::from_slice(&to_args("--recovery sometimes")).is_err());
+        assert!(CommonArgs::from_slice(&to_args("--stencil biharmonic")).is_err());
+    }
+
+    #[test]
+    fn stencil_flag_selects_each_workload() {
+        for (value, want) in [
+            ("tpfa", StencilArg::Tpfa),
+            ("laplace7", StencilArg::Laplace7),
+            ("wave", StencilArg::Wave),
+        ] {
+            let args = CommonArgs::from_slice(&to_args(&format!("--stencil {value}"))).unwrap();
+            assert_eq!(args.stencil, want);
+            assert_eq!(args.stencil.name(), value);
+        }
     }
 
     #[test]

@@ -36,9 +36,11 @@
 //! | D4 | N, E | SouthWest data | x − y | +1 |
 
 use fv_core::mesh::Neighbor;
+use std::sync::{Arc, OnceLock};
 use wse_sim::geometry::{Direction, FabricDims, PeCoord};
 use wse_sim::route::{ColorConfig, DirMask, RouterPosition};
 use wse_sim::wavelet::Color;
+use wse_stencil::{CardinalLane, CommPattern, DiagonalLane, StencilSpec};
 
 /// Cardinal color: data moving east (delivers the West face's data).
 pub const CARD_E: Color = Color::new(0);
@@ -278,6 +280,66 @@ impl CardinalChannel {
     }
 }
 
+/// The TPFA communication pattern assembled directly from the
+/// hand-derived tables above (stream index = [`Neighbor::face_index`]).
+/// This is the ground truth the stencil compiler is pinned against; the
+/// production path uses [`tpfa_pattern`].
+pub fn hand_pattern() -> CommPattern {
+    let cardinals = CARDINAL_CHANNELS
+        .iter()
+        .map(|ch| {
+            let (dx, dy, _) = ch.delivers.offset();
+            CardinalLane {
+                color: ch.color,
+                send_dir: ch.send_dir,
+                stream: ch.delivers.face_index(),
+                offset: (dx as i32, dy as i32),
+            }
+        })
+        .collect();
+    let diagonals = DIAGONAL_FAMILIES
+        .iter()
+        .map(|fam| {
+            let (dx, dy, _) = fam.delivers.offset();
+            DiagonalLane {
+                leg1: fam.leg1,
+                leg2: fam.leg2,
+                stream: fam.delivers.face_index(),
+                offset: (dx as i32, dy as i32),
+                base_color: fam.base_color,
+                phases: 3,
+                key_sum: fam.key_sum,
+                key_step: fam.key_step,
+            }
+        })
+        .collect();
+    CommPattern {
+        start: START,
+        quantities: 2,
+        cardinals,
+        diagonals,
+        streams: 8,
+        reduction: Vec::new(),
+    }
+}
+
+/// The compiled TPFA communication pattern ([`StencilSpec::tpfa`] through
+/// the stencil compiler), cached for the process lifetime. Equal to
+/// [`hand_pattern`] — the equality is pinned by a test here and the
+/// differential suite in `wse-stencil`.
+pub fn tpfa_pattern() -> Arc<CommPattern> {
+    static PATTERN: OnceLock<Arc<CommPattern>> = OnceLock::new();
+    PATTERN
+        .get_or_init(|| {
+            Arc::new(
+                wse_stencil::compile(&StencilSpec::tpfa())
+                    .expect("the built-in TPFA spec compiles")
+                    .pattern,
+            )
+        })
+        .clone()
+}
+
 /// The in-plane neighbor whose column arrives on `color`, at PE `c`
 /// (inverse of the channel/family tables) — `None` for non-data colors.
 pub fn delivered_neighbor(dims: FabricDims, c: PeCoord, color: Color) -> Option<Neighbor> {
@@ -298,6 +360,13 @@ pub fn delivered_neighbor(dims: FabricDims, c: PeCoord, color: Color) -> Option<
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compiled_tpfa_pattern_equals_the_hand_derived_one() {
+        // The tentpole pin: the stencil compiler reproduces every color,
+        // leg, key and stream of the hand-derived tables, exactly.
+        assert_eq!(hand_pattern(), *tpfa_pattern());
+    }
 
     #[test]
     fn color_ids_are_disjoint_and_in_range() {

@@ -41,12 +41,12 @@
 //!   timing/routing faults (`PeSlow`, effective `RouterFlip`) have an
 //!   unbounded blast radius and invalidate everything.
 
-use crate::colors::START;
-use crate::layout::{ColumnLayout, MemoryPlan};
-use crate::program::{FluidParams, TpfaPeProgram};
+use crate::program::FluidParams;
+use crate::workload::{TpfaWorkload, Workload};
 use fv_core::eos::Fluid;
 use fv_core::mesh::{CartesianMesh3, ALL_NEIGHBORS};
 use fv_core::trans::Transmissibilities;
+use std::sync::Arc;
 use std::time::Instant;
 use wse_metrics::{Counter, Gauge, Histogram, MetricsHub};
 use wse_sim::fabric::{Execution, Fabric, FabricConfig, FabricError, RunReport};
@@ -55,6 +55,7 @@ use wse_sim::geometry::{FabricDims, PeCoord};
 use wse_sim::snapshot::{FabricSnapshot, RestoreError};
 use wse_sim::stats::FabricStats;
 use wse_sim::trace::{Trace, TraceSpec};
+use wse_stencil::CompileError;
 
 /// What [`DataflowFluxSimulator::apply`] does when a fault is detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -169,6 +170,27 @@ pub enum BuildError {
         /// Description of the first offending fault.
         String,
     ),
+    /// The stencil compiler rejected a spec: the typed diagnostic carries
+    /// the offending fragment (offset outside the halo radius, color
+    /// budget exceeded, phase cycle too short, …). Produced whenever a
+    /// builder path compiles a [`wse_stencil::StencilSpec`]; also
+    /// convertible from [`CompileError`] with `?` so workload
+    /// constructors can bubble compiler diagnostics straight into the
+    /// build result.
+    Stencil(CompileError),
+    /// Both a generic workload ([`SimulatorBuilder::workload`]) and TPFA
+    /// problem inputs (`fluid`/`transmissibilities`) were supplied — the
+    /// builder cannot tell which problem to run.
+    ConflictingWorkload,
+    /// The workload-builder path ([`DataflowFluxSimulator::workload_builder`])
+    /// was used without installing a workload.
+    MissingWorkload,
+}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> Self {
+        BuildError::Stencil(e)
+    }
 }
 
 impl std::fmt::Display for BuildError {
@@ -196,6 +218,15 @@ impl std::fmt::Display for BuildError {
                  (largest nz that fits: {max_nz})"
             ),
             BuildError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+            BuildError::Stencil(e) => write!(f, "stencil spec rejected: {e}"),
+            BuildError::ConflictingWorkload => write!(
+                f,
+                "both a workload and TPFA inputs (fluid/transmissibilities) were supplied — \
+                 use either builder.workload(..) or the fluid()/transmissibilities() pair"
+            ),
+            BuildError::MissingWorkload => {
+                write!(f, "no workload supplied (builder.workload(..))")
+            }
         }
     }
 }
@@ -204,23 +235,25 @@ impl std::error::Error for BuildError {}
 
 /// Everything needed to (re)build the fabric — kept by the simulator so
 /// [`RecoveryPolicy::Retry`] can reconstruct and re-upload without
-/// borrowing the original problem.
+/// borrowing the original problem. The workload owns all problem data
+/// (programs, static fields, inject/collect protocol); the spec adds the
+/// fabric configuration and the fault plan.
 struct SimSpec {
     nx: usize,
     ny: usize,
     nz: usize,
-    params: FluidParams,
-    compute_enabled: bool,
-    diagonals_enabled: bool,
+    workload: Arc<dyn Workload>,
     config: FabricConfig,
     fault_plan: FaultPlan,
-    /// Transmissibility columns in upload order:
-    /// `[y][x][face][z]`, flattened.
-    trans_cols: Vec<f32>,
 }
 
 impl SimSpec {
-    /// FNV-1a over everything that determines snapshot compatibility.
+    /// FNV-1a over everything that determines snapshot compatibility:
+    /// geometry, the stencil spec's canonical bytes, the workload's own
+    /// content (parameters, static field bits), the fabric configuration
+    /// and the fault plan. Two different workloads — even with the same
+    /// geometry — hash differently, so cross-workload restores are
+    /// refused with a typed mismatch instead of misread PE memory.
     ///
     /// Deliberately excludes the event-loop engine, fast-forwarding, and
     /// the trace spec: those choose *how* the fabric is driven, not *what*
@@ -240,17 +273,9 @@ impl SimSpec {
         for v in [self.nx as u64, self.ny as u64, self.nz as u64] {
             eat(&v.to_le_bytes());
         }
-        for f in [
-            self.params.rho_ref,
-            self.params.c_f,
-            self.params.p_ref,
-            self.params.inv_mu,
-            self.params.g_dz_up,
-            self.params.g_dz_down,
-        ] {
-            eat(&f.to_bits().to_le_bytes());
-        }
-        eat(&[self.compute_enabled as u8, self.diagonals_enabled as u8]);
+        eat(self.workload.name().as_bytes());
+        eat(&self.workload.compiled().spec.content_bytes());
+        self.workload.hash_content(&mut eat);
         for v in [
             self.config.pe_memory_bytes as u64,
             self.config.hop_latency,
@@ -261,44 +286,17 @@ impl SimSpec {
         // `FaultPlan` derives a stable `Debug` over plain integer fields —
         // cheap to hash without a bespoke serializer.
         eat(format!("{:?}", self.fault_plan).as_bytes());
-        for t in &self.trans_cols {
-            eat(&t.to_bits().to_le_bytes());
-        }
         h
     }
 }
 
 fn build_fabric(spec: &SimSpec, plan: &FaultPlan) -> Fabric {
     let dims = FabricDims::new(spec.nx, spec.ny);
-    let (nz, params, compute, diagonals) = (
-        spec.nz,
-        spec.params,
-        spec.compute_enabled,
-        spec.diagonals_enabled,
-    );
-    let mut fabric = Fabric::new(dims, spec.config, |_| {
-        let mut p = TpfaPeProgram::new(nz, params, compute);
-        if !diagonals {
-            p = p.without_diagonals();
-        }
-        Box::new(p)
-    });
+    let mut fabric = Fabric::new(dims, spec.config, |_| spec.workload.make_program());
     fabric.load();
-    // Upload the ten transmissibility columns of every PE (static data,
-    // uploaded once like the paper's mesh load).
-    let layout = ColumnLayout::new(nz);
-    let mut cols = spec.trans_cols.chunks_exact(nz);
-    for y in 0..spec.ny {
-        for x in 0..spec.nx {
-            let pe = PeCoord::new(x, y);
-            for nb in ALL_NEIGHBORS {
-                let col = cols.next().expect("trans_cols covers every PE face");
-                fabric
-                    .memory_mut(pe)
-                    .host_write_f32(layout.trans[nb.face_index()], col);
-            }
-        }
-    }
+    // Static data (e.g. TPFA's ten transmissibility columns per PE),
+    // uploaded once like the paper's mesh load.
+    spec.workload.upload_static(&mut fabric);
     if !plan.is_empty() {
         fabric.set_fault_plan(plan);
     }
@@ -306,11 +304,14 @@ fn build_fabric(spec: &SimSpec, plan: &FaultPlan) -> Fabric {
 }
 
 /// Fluent, validating constructor for [`DataflowFluxSimulator`] — see
-/// [`DataflowFluxSimulator::builder`].
+/// [`DataflowFluxSimulator::builder`] (TPFA on a mesh) and
+/// [`DataflowFluxSimulator::workload_builder`] (any compiled workload).
 pub struct SimulatorBuilder<'a> {
-    mesh: &'a CartesianMesh3,
+    mesh: Option<&'a CartesianMesh3>,
+    workload: Option<Arc<dyn Workload>>,
     fluid: Option<&'a Fluid>,
     trans: Option<&'a Transmissibilities>,
+    hand_routes: bool,
     compute_enabled: bool,
     diagonals_enabled: bool,
     pe_memory_bytes: usize,
@@ -324,11 +325,13 @@ pub struct SimulatorBuilder<'a> {
 }
 
 impl<'a> SimulatorBuilder<'a> {
-    fn new(mesh: &'a CartesianMesh3) -> Self {
+    fn new(mesh: Option<&'a CartesianMesh3>) -> Self {
         Self {
             mesh,
+            workload: None,
             fluid: None,
             trans: None,
+            hand_routes: false,
             compute_enabled: true,
             diagonals_enabled: true,
             pe_memory_bytes: wse_sim::memory::WSE2_PE_MEMORY_BYTES,
@@ -340,6 +343,37 @@ impl<'a> SimulatorBuilder<'a> {
             recovery: RecoveryPolicy::Fail,
             metrics: MetricsHub::Null,
         }
+    }
+
+    /// Installs a complete fabric workload (a compiled stencil plus its
+    /// host protocol) — the generic entry point of the simulator. The
+    /// classic [`SimulatorBuilder::fluid`] /
+    /// [`SimulatorBuilder::transmissibilities`] pair is a thin TPFA
+    /// wrapper that assembles a [`TpfaWorkload`] and flows through this
+    /// same path; supplying both is rejected with
+    /// [`BuildError::ConflictingWorkload`].
+    pub fn workload<W: Workload + 'static>(mut self, workload: W) -> Self {
+        self.workload = Some(Arc::new(workload));
+        self
+    }
+
+    /// Installs an already-shared workload (e.g. one reused across
+    /// simulators for differential runs).
+    pub fn workload_arc(mut self, workload: Arc<dyn Workload>) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Differential-testing hook: route the TPFA workload with the
+    /// hand-derived color tables of [`crate::colors`] instead of the
+    /// stencil-compiler output. The two are pinned equal, so results are
+    /// bit-identical; the equivalence suite uses this to prove it at the
+    /// full-run level. Ignored by `workload(..)` problems. Not part of
+    /// the spec hash — hand- and compiler-routed checkpoints
+    /// interchange.
+    pub fn hand_routes(mut self, enabled: bool) -> Self {
+        self.hand_routes = enabled;
+        self
     }
 
     /// The working fluid (required).
@@ -428,13 +462,17 @@ impl<'a> SimulatorBuilder<'a> {
         self
     }
 
-    /// Validates the assembled problem and constructs the simulator.
-    pub fn build(self) -> Result<DataflowFluxSimulator, BuildError> {
-        let mesh = self.mesh;
+    /// Assembles the TPFA workload of the classic builder path: validates
+    /// the problem, flattens the transmissibilities in upload order (so
+    /// retry rebuilds never need the original problem back), and picks
+    /// the route pattern (compiled by default, hand tables under
+    /// [`SimulatorBuilder::hand_routes`], cardinal-only under the §5.2.2
+    /// ablation).
+    fn tpfa_workload(&self) -> Result<TpfaWorkload, BuildError> {
+        let mesh = self.mesh.ok_or(BuildError::MissingWorkload)?;
         let fluid = self.fluid.ok_or(BuildError::MissingFluid)?;
         let trans = self.trans.ok_or(BuildError::MissingTransmissibilities)?;
         let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
-        let dims = FabricDims::new(nx, ny);
 
         // A cardinal-only fabric with diagonal transmissibilities would
         // silently drop those fluxes — reject instead.
@@ -451,23 +489,6 @@ impl<'a> SimulatorBuilder<'a> {
             }
         }
 
-        // Column footprint must fit the PE before any fabric is built.
-        let available_words = self.pe_memory_bytes / 4;
-        let plan = MemoryPlan::for_nz(nz);
-        if !plan.fits(available_words) {
-            return Err(BuildError::PeMemoryExceeded {
-                needed_words: plan.total_words(),
-                available_words,
-                max_nz: MemoryPlan::max_nz(available_words),
-            });
-        }
-
-        self.fault_plan
-            .validate(dims)
-            .map_err(BuildError::InvalidFaultPlan)?;
-
-        // Flatten the transmissibility columns in upload order so retry
-        // rebuilds never need the original problem back.
         let mut trans_cols = Vec::with_capacity(nx * ny * ALL_NEIGHBORS.len() * nz);
         for y in 0..ny {
             for x in 0..nx {
@@ -479,13 +500,60 @@ impl<'a> SimulatorBuilder<'a> {
             }
         }
 
+        let mut pattern = if self.hand_routes {
+            Arc::new(crate::colors::hand_pattern())
+        } else {
+            crate::colors::tpfa_pattern()
+        };
+        if !self.diagonals_enabled {
+            pattern = Arc::new(pattern.without_diagonals());
+        }
+
+        Ok(TpfaWorkload::new(
+            nx,
+            ny,
+            nz,
+            FluidParams::from_fluid(fluid, mesh.spacing().dz),
+            self.compute_enabled,
+            self.diagonals_enabled,
+            pattern,
+            trans_cols,
+        ))
+    }
+
+    /// Validates the assembled problem and constructs the simulator.
+    pub fn build(self) -> Result<DataflowFluxSimulator, BuildError> {
+        if self.workload.is_some() && (self.fluid.is_some() || self.trans.is_some()) {
+            return Err(BuildError::ConflictingWorkload);
+        }
+        let workload: Arc<dyn Workload> = match &self.workload {
+            Some(w) => w.clone(),
+            None => Arc::new(self.tpfa_workload()?),
+        };
+        let (nx, ny) = workload.grid();
+        let nz = workload.nz();
+        let dims = FabricDims::new(nx, ny);
+
+        // Column footprint must fit the PE before any fabric is built.
+        let available_words = self.pe_memory_bytes / 4;
+        let needed_words = workload.words_per_pe(nz);
+        if needed_words > available_words {
+            return Err(BuildError::PeMemoryExceeded {
+                needed_words,
+                available_words,
+                max_nz: workload.max_nz(available_words),
+            });
+        }
+
+        self.fault_plan
+            .validate(dims)
+            .map_err(BuildError::InvalidFaultPlan)?;
+
         let spec = SimSpec {
             nx,
             ny,
             nz,
-            params: FluidParams::from_fluid(fluid, mesh.spacing().dz),
-            compute_enabled: self.compute_enabled,
-            diagonals_enabled: self.diagonals_enabled,
+            workload,
             config: FabricConfig {
                 pe_memory_bytes: self.pe_memory_bytes,
                 max_events: self.max_events,
@@ -495,13 +563,11 @@ impl<'a> SimulatorBuilder<'a> {
                 ..FabricConfig::default()
             },
             fault_plan: self.fault_plan,
-            trans_cols,
         };
         let fabric = build_fabric(&spec, &spec.fault_plan.clone());
         let metrics = DriverMetrics::new(&self.metrics, self.execution);
         Ok(DataflowFluxSimulator {
             fabric,
-            layout: ColumnLayout::new(nz),
             nx,
             ny,
             nz,
@@ -698,10 +764,9 @@ impl DriverMetrics {
     }
 }
 
-/// The host-side simulator: fabric + problem layout.
+/// The host-side simulator: fabric + workload.
 pub struct DataflowFluxSimulator {
     fabric: Fabric,
-    layout: ColumnLayout,
     nx: usize,
     ny: usize,
     nz: usize,
@@ -731,7 +796,20 @@ impl DataflowFluxSimulator {
     ///     .build()?;
     /// ```
     pub fn builder(mesh: &CartesianMesh3) -> SimulatorBuilder<'_> {
-        SimulatorBuilder::new(mesh)
+        SimulatorBuilder::new(Some(mesh))
+    }
+
+    /// Starts a builder for a pre-assembled [`Workload`] (a compiled
+    /// stencil plus its host protocol) — the workload carries its own
+    /// geometry, so no mesh is needed:
+    ///
+    /// ```ignore
+    /// let mut sim = DataflowFluxSimulator::workload_builder()
+    ///     .workload(WaveWorkload::new(64, 64, 8, params)?)
+    ///     .build()?;
+    /// ```
+    pub fn workload_builder() -> SimulatorBuilder<'static> {
+        SimulatorBuilder::new(None)
     }
 
     /// Uploads `pressure`, launches one application of Algorithm 1, runs to
@@ -742,25 +820,42 @@ impl DataflowFluxSimulator {
         self.finish_apply()
     }
 
-    /// Host-loads pressures (with ghost duplication) and zeros residuals.
-    fn upload_pressure(&mut self, pressure: &[f32]) {
-        assert_eq!(pressure.len(), self.nx * self.ny * self.nz);
-        let nz = self.nz;
-        let mut col = vec![0.0_f32; nz + 2];
-        let zeros = vec![0.0_f32; nz];
-        for y in 0..self.ny {
-            for x in 0..self.nx {
-                for z in 0..nz {
-                    col[z + 1] = pressure[(z * self.ny + y) * self.nx + x];
-                }
-                col[0] = col[1];
-                col[nz + 1] = col[nz];
-                let pe = PeCoord::new(x, y);
-                let mem = self.fabric.memory_mut(pe);
-                mem.host_write_f32(self.layout.p_own, &col);
-                mem.host_write_f32(self.layout.residual, &zeros);
-            }
-        }
+    /// Host-loads the input field through the workload's inject phase
+    /// (for TPFA: pressures with ghost duplication, residuals zeroed)
+    /// without launching a step. Stateful workloads use this to set
+    /// initial conditions and then run with
+    /// [`DataflowFluxSimulator::advance`].
+    pub fn inject(&mut self, input: &[f32]) {
+        self.spec.workload.inject(&mut self.fabric, input);
+    }
+
+    /// Reads the workload's output field (for TPFA: the residual) without
+    /// stepping the fabric.
+    pub fn read_output(&self) -> Vec<f32> {
+        self.spec.workload.collect(&self.fabric)
+    }
+
+    /// Launches one step on the *current* fabric state — no injection —
+    /// and runs it to quiescence: the drumbeat of stateful workloads
+    /// whose fields live in PE memory across steps (wave propagation).
+    /// Honors the watchdog, metrics and counters exactly like
+    /// [`DataflowFluxSimulator::apply`]; returns the collected output.
+    ///
+    /// # Panics
+    ///
+    /// If a stepped application is in flight.
+    pub fn advance(&mut self) -> Result<Vec<f32>, FabricError> {
+        assert!(
+            self.pending.is_none(),
+            "an application is already in flight — call finish_apply first"
+        );
+        self.fabric
+            .trace_host(HOST_PHASE_INJECT, self.applications as u32);
+        self.fabric
+            .activate_all(self.spec.workload.start_color(), 0);
+        self.pending = Some(StepTotals::default());
+        self.metrics.on_begin();
+        self.finish_apply()
     }
 
     /// Uploads `pressure` and launches one application of Algorithm 1
@@ -780,10 +875,11 @@ impl DataflowFluxSimulator {
             self.pending.is_none(),
             "an application is already in flight — call finish_apply first"
         );
-        self.upload_pressure(pressure);
+        self.inject(pressure);
         self.fabric
             .trace_host(HOST_PHASE_INJECT, self.applications as u32);
-        self.fabric.activate_all(START, 0);
+        self.fabric
+            .activate_all(self.spec.workload.start_color(), 0);
         self.pending = Some(StepTotals::default());
         self.metrics.on_begin();
     }
@@ -894,18 +990,7 @@ impl DataflowFluxSimulator {
     }
 
     fn collect_residual(&self) -> Vec<f32> {
-        let nz = self.nz;
-        let mut residual = vec![0.0_f32; self.nx * self.ny * nz];
-        for y in 0..self.ny {
-            for x in 0..self.nx {
-                let pe = PeCoord::new(x, y);
-                let col = self.fabric.memory(pe).host_read_f32(self.layout.residual);
-                for (z, v) in col.into_iter().enumerate() {
-                    residual[(z * self.ny + y) * self.nx + x] = v;
-                }
-            }
-        }
-        residual
+        self.spec.workload.collect(&self.fabric)
     }
 
     /// Rebuilds the fabric for retry attempt `attempt` (non-persistent
@@ -1109,6 +1194,11 @@ impl DataflowFluxSimulator {
     /// Applications of Algorithm 1 so far (successful ones).
     pub fn applications(&self) -> usize {
         self.applications
+    }
+
+    /// The workload this simulator runs.
+    pub fn workload(&self) -> &Arc<dyn Workload> {
+        &self.spec.workload
     }
 
     /// The configured recovery policy.

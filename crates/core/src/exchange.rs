@@ -1,294 +1,21 @@
-//! Reusable column-exchange engine: the paper's full in-plane communication
-//! pattern (cardinal switching, Fig. 6 + diagonal intermediaries, Fig. 5)
-//! decoupled from the TPFA kernel, so other stencil applications — e.g. the
-//! acoustic wave equation §8 calls out — can reuse it.
+//! Column-exchange engine — re-exported from the stencil compiler.
 //!
-//! An exchange moves `quantities` same-length columns from every PE to its
-//! eight in-plane neighbors per iteration. The engine owns the protocol
-//! state (receive cursors, sent flags, expectations) and the receive-buffer
-//! addressing; the host program provides the send views and reacts to
-//! [`ExchangeEvent::FaceComplete`].
+//! The engine that used to live here (cardinal switching, Fig. 6 +
+//! diagonal intermediaries, Fig. 5, decoupled from the TPFA kernel) is
+//! now the pattern-driven [`wse_stencil::ColumnExchange`]: it takes a
+//! compiled [`wse_stencil::CommPattern`] instead of hard-coded TPFA
+//! color tables, so any workload the compiler accepts reuses the same
+//! protocol state machine. The TPFA pattern itself is
+//! [`crate::colors::tpfa_pattern`] (pinned bit-identical to the
+//! hand-derived tables); its cardinal-only §5.2.2 ablation is
+//! `pattern.without_diagonals()`.
+//!
+//! Streams are now indexed by the spec's offset order; for TPFA that
+//! order is exactly [`fv_core::mesh::Neighbor::face_index`], so
+//! `ExchangeEvent::StreamComplete(stream)` maps back to a face via
+//! `Neighbor::from_face_index`.
 
-use crate::colors::{CardinalChannel, CARDINAL_CHANNELS, DIAGONAL_FAMILIES};
-use fv_core::mesh::Neighbor;
-use wse_sim::dsd::Dsd;
-use wse_sim::memory::MemRange;
-use wse_sim::pe::PeContext;
-use wse_sim::wavelet::{Color, Wavelet, MAX_COLORS};
+pub use wse_stencil::exchange::{ColumnExchange, ExchangeEvent};
 
-/// Number of in-plane neighbor streams.
+/// Number of in-plane neighbor streams of the TPFA pattern.
 pub const STREAMS: usize = 8;
-
-/// What happened when a data wavelet was absorbed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExchangeEvent {
-    /// Stored; the stream is still incomplete.
-    Stored,
-    /// This wavelet completed the stream of the given face.
-    FaceComplete(Neighbor),
-    /// The wavelet's color does not belong to this exchange.
-    NotMine,
-}
-
-/// The per-PE exchange engine.
-pub struct ColumnExchange {
-    nz: usize,
-    quantities: usize,
-    /// Include the four diagonal streams (the paper's full pattern). The
-    /// cardinal-only variant is the §5.2.2 ablation baseline: "this is not
-    /// mandatory for evaluating the mathematical scheme".
-    diagonals: bool,
-    /// `recv[q][face]`: receive buffer for quantity `q` from face `face`.
-    recv: Vec<[MemRange; STREAMS]>,
-    /// Send views, one per quantity (set each iteration via `begin`).
-    send_views: Vec<Dsd>,
-    recv_count: [usize; STREAMS],
-    expected: [bool; STREAMS],
-    sent: [bool; 4],
-    color_face: [Option<u8>; MAX_COLORS],
-}
-
-impl ColumnExchange {
-    /// Creates the engine for columns of `nz` cells, `quantities` columns
-    /// per stream, with the given receive buffers (`recv[q][face]`, each of
-    /// `nz` words). `diagonals = false` runs the cardinal-only ablation.
-    pub fn new(
-        nz: usize,
-        quantities: usize,
-        recv: Vec<[MemRange; STREAMS]>,
-        diagonals: bool,
-    ) -> Self {
-        assert!(quantities >= 1);
-        assert_eq!(recv.len(), quantities);
-        for per_q in &recv {
-            for r in per_q {
-                assert!(r.len >= nz, "receive buffer too small");
-            }
-        }
-        Self {
-            nz,
-            quantities,
-            diagonals,
-            recv,
-            send_views: Vec::with_capacity(quantities),
-            recv_count: [0; STREAMS],
-            expected: [false; STREAMS],
-            sent: [false; 4],
-            color_face: [None; MAX_COLORS],
-        }
-    }
-
-    /// Installs the router configuration on this PE (call from `init`).
-    pub fn configure(&mut self, ctx: &mut PeContext) {
-        for ch in CARDINAL_CHANNELS {
-            ctx.configure_color(ch.color, ch.router_config(ctx.dims, ctx.coord));
-            let idx = ch.delivers.face_index();
-            self.expected[idx] = ch.has_sender(ctx.dims, ctx.coord);
-            self.color_face[ch.color.index()] = Some(idx as u8);
-        }
-        if !self.diagonals {
-            return;
-        }
-        for fam in DIAGONAL_FAMILIES {
-            for (color, cfg) in fam.router_configs(ctx.coord) {
-                ctx.configure_color(color, cfg);
-            }
-            let idx = fam.delivers.face_index();
-            self.expected[idx] = fam.has_sender(ctx.dims, ctx.coord);
-            self.color_face[fam.receive_color(ctx.coord).index()] = Some(idx as u8);
-        }
-    }
-
-    /// Starts an iteration: resets cursors and injects the outgoing
-    /// streams. `send_views` holds one `nz`-element view per quantity, sent
-    /// in order on every stream.
-    pub fn begin(&mut self, ctx: &mut PeContext, send_views: &[Dsd]) {
-        assert_eq!(send_views.len(), self.quantities);
-        for v in send_views {
-            assert_eq!(v.len, self.nz);
-        }
-        self.recv_count = [0; STREAMS];
-        self.sent = [false; 4];
-        self.send_views.clear();
-        self.send_views.extend_from_slice(send_views);
-
-        // Diagonal streams: static routes, everyone sources immediately.
-        if self.diagonals {
-            for fam in DIAGONAL_FAMILIES {
-                let color = fam.source_color(ctx.coord);
-                self.send_streams(ctx, color);
-            }
-        }
-        // Cardinal streams: first-senders now, the rest on hand-over.
-        for (idx, ch) in CARDINAL_CHANNELS.into_iter().enumerate() {
-            if ch.is_first_sender(ctx.dims, ctx.coord) {
-                self.send_cardinal(ctx, ch, idx);
-            }
-        }
-    }
-
-    fn send_streams(&mut self, ctx: &mut PeContext, color: Color) {
-        for v in &self.send_views {
-            ctx.send_vector(color, *v);
-        }
-    }
-
-    fn send_cardinal(&mut self, ctx: &mut PeContext, channel: CardinalChannel, idx: usize) {
-        if self.sent[idx] {
-            return;
-        }
-        self.sent[idx] = true;
-        self.send_streams(ctx, channel.color);
-        ctx.send_control(channel.color, 0);
-    }
-
-    /// Handles a data wavelet. Stores it (with FMOV accounting) and reports
-    /// whether a stream completed.
-    pub fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) -> ExchangeEvent {
-        let Some(face_idx) = self.color_face[w.color.index()] else {
-            return ExchangeEvent::NotMine;
-        };
-        let face_idx = face_idx as usize;
-        let cursor = self.recv_count[face_idx];
-        let total = self.quantities * self.nz;
-        debug_assert!(
-            cursor < total,
-            "stream overflow on face {face_idx} at PE ({}, {})",
-            ctx.coord.col,
-            ctx.coord.row
-        );
-        let q = cursor / self.nz;
-        let offset = cursor % self.nz;
-        let addr = self.recv[q][face_idx].at(offset);
-        ctx.recv_store(addr, w.as_f32());
-        self.recv_count[face_idx] = cursor + 1;
-        if self.recv_count[face_idx] == total {
-            ExchangeEvent::FaceComplete(Neighbor::from_face_index(face_idx))
-        } else {
-            ExchangeEvent::Stored
-        }
-    }
-
-    /// Handles a control wavelet: our router already flipped to Sending; if
-    /// this channel has not been sent yet, do it now (Fig. 6 hand-over).
-    pub fn on_control(&mut self, ctx: &mut PeContext, w: Wavelet) {
-        if let Some((idx, ch)) = CARDINAL_CHANNELS
-            .into_iter()
-            .enumerate()
-            .find(|(_, ch)| ch.color == w.color)
-        {
-            self.send_cardinal(ctx, ch, idx);
-        }
-    }
-
-    /// True once this PE has sent on all four cardinal channels (its own
-    /// columns have been safely copied to the fabric). Programs that
-    /// *overwrite* their send buffers at the end of an iteration (e.g. the
-    /// wave time update) must wait for this in addition to
-    /// [`ColumnExchange::is_complete`], or late hand-over sends would ship
-    /// updated values — a write-after-read hazard.
-    pub fn all_sent(&self) -> bool {
-        self.sent.iter().all(|&s| s)
-    }
-
-    /// True once every expected stream has fully arrived.
-    pub fn is_complete(&self) -> bool {
-        self.expected
-            .iter()
-            .zip(&self.recv_count)
-            .all(|(&exp, &cnt)| !exp || cnt == self.quantities * self.nz)
-    }
-
-    /// Dynamic protocol state for checkpointing, as `(recv_count, sent,
-    /// send_views)`. The static configuration (expectations, color map,
-    /// receive buffers) is rebuilt by `configure` and is not included.
-    pub fn dynamic_state(&self) -> ([usize; STREAMS], [bool; 4], Vec<Dsd>) {
-        (self.recv_count, self.sent, self.send_views.clone())
-    }
-
-    /// Restores protocol state captured by [`ColumnExchange::dynamic_state`]
-    /// on a freshly configured engine. Rejects cursors past the stream
-    /// length and send views that do not match this exchange's shape.
-    pub fn restore_dynamic_state(
-        &mut self,
-        recv_count: [usize; STREAMS],
-        sent: [bool; 4],
-        send_views: Vec<Dsd>,
-    ) -> Result<(), String> {
-        let total = self.quantities * self.nz;
-        for (face, &cnt) in recv_count.iter().enumerate() {
-            if cnt > total {
-                return Err(format!(
-                    "receive cursor {cnt} on face {face} exceeds stream length {total}"
-                ));
-            }
-        }
-        if !send_views.is_empty() {
-            if send_views.len() != self.quantities {
-                return Err(format!(
-                    "{} send views for {} quantities",
-                    send_views.len(),
-                    self.quantities
-                ));
-            }
-            for v in &send_views {
-                if v.len != self.nz {
-                    return Err(format!("send view length {} != nz {}", v.len, self.nz));
-                }
-            }
-        }
-        self.recv_count = recv_count;
-        self.sent = sent;
-        self.send_views = send_views;
-        Ok(())
-    }
-
-    /// Whether a stream is expected from `face`.
-    pub fn expects(&self, face: Neighbor) -> bool {
-        self.expected[face.face_index()]
-    }
-
-    /// Receive buffer of quantity `q` from `face`, as a DSD view.
-    pub fn recv_view(&self, q: usize, face: Neighbor) -> Dsd {
-        let r = self.recv[q][face.face_index()];
-        Dsd::contiguous(r.offset, self.nz)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn ranges(n: usize, start: usize) -> [MemRange; STREAMS] {
-        std::array::from_fn(|i| MemRange {
-            offset: start + i * n,
-            len: n,
-        })
-    }
-
-    #[test]
-    fn completion_tracking() {
-        let mut ex = ColumnExchange::new(4, 2, vec![ranges(4, 0), ranges(4, 100)], true);
-        assert!(ex.is_complete(), "nothing expected yet");
-        ex.expected[3] = true;
-        assert!(!ex.is_complete());
-        ex.recv_count[3] = 8;
-        assert!(ex.is_complete());
-        assert!(ex.expects(Neighbor::from_face_index(3)));
-        assert!(!ex.expects(Neighbor::from_face_index(2)));
-    }
-
-    #[test]
-    fn recv_view_addresses_the_right_buffer() {
-        let ex = ColumnExchange::new(4, 2, vec![ranges(4, 0), ranges(4, 100)], true);
-        let v = ex.recv_view(1, Neighbor::from_face_index(2));
-        assert_eq!(v.base, 108);
-        assert_eq!(v.len, 4);
-    }
-
-    #[test]
-    #[should_panic]
-    fn undersized_receive_buffer_rejected() {
-        let _ = ColumnExchange::new(8, 1, vec![ranges(4, 0)], true);
-    }
-}

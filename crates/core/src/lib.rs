@@ -54,14 +54,19 @@ pub mod colors;
 pub mod driver;
 pub mod exchange;
 pub mod kernel;
+pub mod laplace;
 pub mod layout;
 pub mod program;
 pub mod wave;
+pub mod workload;
 
 pub use driver::{
     BuildError, DataflowFluxSimulator, DriverSnapshot, Recovered, RecoveryPolicy, SimulatorBuilder,
     StepReport, StepTotals,
 };
 pub use kernel::{compute_face_flux, FaceBuffers, FaceInputs};
+pub use laplace::{LaplaceParams, LaplaceWorkload};
 pub use layout::MemoryPlan;
 pub use program::{FluidParams, TpfaPeProgram};
+pub use wave::{WaveParams, WaveSimulator, WaveWorkload};
+pub use workload::{TpfaWorkload, Workload};

@@ -22,16 +22,18 @@
 //! The iteration is complete when all expected faces have been accumulated;
 //! the host then reads the residual column.
 
-use crate::colors::START;
+use crate::colors::tpfa_pattern;
 use crate::exchange::{ColumnExchange, ExchangeEvent};
 use crate::kernel::{compute_face_flux, FaceBuffers, FaceInputs};
 use crate::layout::ColumnLayout;
 use fv_core::eos::Fluid;
 use fv_core::mesh::Neighbor;
+use std::sync::Arc;
 use wse_sim::dsd::Dsd;
 use wse_sim::pe::{PeContext, PeProgram};
 use wse_sim::trace::TraceRegion;
 use wse_sim::wavelet::Wavelet;
+use wse_stencil::CommPattern;
 
 /// Fluid constants in the `f32` working precision of the fabric.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,9 +75,11 @@ pub struct TpfaPeProgram {
     /// "we modified our dataflow implementation to remove all flux
     /// computations and focus solely on data communications").
     compute_enabled: bool,
-    /// `false` = cardinal-only exchange (the §5.2.2 ablation; diagonal
-    /// transmissibilities must then be zero for correct residuals).
-    diagonals_enabled: bool,
+    /// The communication pattern the exchange runs — by default the
+    /// compiled TPFA pattern ([`tpfa_pattern`]); the §5.2.2 ablation swaps
+    /// in its `without_diagonals()` form (diagonal transmissibilities must
+    /// then be zero for correct residuals).
+    pattern: Arc<CommPattern>,
     layout: Option<ColumnLayout>,
     exchange: Option<ColumnExchange>,
     /// Faces computed this iteration (diagnostics).
@@ -95,7 +99,7 @@ impl TpfaPeProgram {
             nz,
             fluid,
             compute_enabled,
-            diagonals_enabled: true,
+            pattern: tpfa_pattern(),
             layout: None,
             exchange: None,
             faces_done: 0,
@@ -106,7 +110,15 @@ impl TpfaPeProgram {
 
     /// Disables the diagonal exchange (ablation baseline).
     pub fn without_diagonals(mut self) -> Self {
-        self.diagonals_enabled = false;
+        self.pattern = Arc::new(self.pattern.without_diagonals());
+        self
+    }
+
+    /// Substitutes an alternative TPFA-shaped communication pattern (same
+    /// streams, same quantities — e.g. the hand-derived tables for
+    /// differential testing against the compiled ones).
+    pub fn with_pattern(mut self, pattern: Arc<CommPattern>) -> Self {
+        self.pattern = pattern;
         self
     }
 
@@ -232,9 +244,8 @@ impl PeProgram for TpfaPeProgram {
 
         let mut exchange = ColumnExchange::new(
             self.nz,
-            2,
-            vec![l.recv_p, l.recv_rho],
-            self.diagonals_enabled,
+            self.pattern.clone(),
+            vec![l.recv_p.to_vec(), l.recv_rho.to_vec()],
         );
         exchange.configure(ctx);
         self.exchange = Some(exchange);
@@ -242,7 +253,7 @@ impl PeProgram for TpfaPeProgram {
     }
 
     fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
-        if w.color == START {
+        if w.color == self.pattern.start {
             self.start_iteration(ctx);
             self.note_progress();
             return;
@@ -253,7 +264,10 @@ impl PeProgram for TpfaPeProgram {
         ctx.region_end(TraceRegion::HaloExchange);
         match event {
             ExchangeEvent::Stored => {}
-            ExchangeEvent::FaceComplete(face) => self.compute_face(ctx, face),
+            // TPFA stream indices are exactly the in-plane face indices.
+            ExchangeEvent::StreamComplete(stream) => {
+                self.compute_face(ctx, Neighbor::from_face_index(stream))
+            }
             ExchangeEvent::NotMine => panic!(
                 "PE ({}, {}): wavelet on unexpected color {}",
                 ctx.coord.col,
@@ -313,11 +327,13 @@ impl PeProgram for TpfaPeProgram {
         self.iter_counted = cur.u8()? != 0;
         let has_exchange = cur.u8()? != 0;
         if has_exchange {
-            let mut recv_count = [0usize; crate::exchange::STREAMS];
+            // Fixed TPFA shape: 8 streams, 4 cardinal lanes (the on-disk
+            // format predates the pattern-driven exchange and is pinned).
+            let mut recv_count = vec![0usize; crate::exchange::STREAMS];
             for c in &mut recv_count {
                 *c = cur.u64()? as usize;
             }
-            let mut sent = [false; 4];
+            let mut sent = vec![false; 4];
             for s in &mut sent {
                 *s = cur.u8()? != 0;
             }

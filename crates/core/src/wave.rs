@@ -14,21 +14,28 @@
 //!
 //! with per-face weights `w` (1/dx², 1/dy², 1/dz² for the cardinals and a
 //! tunable `β/(dx²+dy²)` for the diagonals — the anisotropy-coupling term a
-//! TTI stencil needs). Mapping, memory plan and communication reuse the
-//! TPFA machinery wholesale: one PE per (x, y) column, the Z column in PE
-//! memory with ghost cells (mirror boundary ⇒ natural Neumann), and one
-//! [`crate::exchange::ColumnExchange`] per time step moving a single
-//! quantity (the current wavefield).
+//! TTI stencil needs). The whole fabric side now goes through the stencil
+//! compiler: [`wse_stencil::StencilSpec::wave`] compiles to the same
+//! route/color tables TPFA uses (one quantity instead of two), the per-PE
+//! program is a [`WaveKernel`] plugged into the generic
+//! [`wse_stencil::StencilPeProgram`], and the host side is a
+//! [`WaveWorkload`] driven by the workload-generic
+//! [`crate::driver::DataflowFluxSimulator`] — checkpointing, fault
+//! injection, tracing and metrics included, for free.
 
-use crate::colors::START;
-use crate::exchange::{ColumnExchange, ExchangeEvent};
+use crate::driver::DataflowFluxSimulator;
+use crate::workload::Workload;
 use fv_core::mesh::{Neighbor, ALL_NEIGHBORS, NEIGHBOR_COUNT};
+use std::sync::Arc;
 use wse_sim::dsd::{Dsd, Operand};
-use wse_sim::fabric::{Fabric, FabricConfig, FabricError};
-use wse_sim::geometry::{FabricDims, PeCoord};
+use wse_sim::fabric::{Fabric, FabricError};
+use wse_sim::geometry::PeCoord;
 use wse_sim::memory::MemRange;
 use wse_sim::pe::{PeContext, PeProgram};
-use wse_sim::wavelet::Wavelet;
+use wse_stencil::{
+    ColumnExchange, CommPattern, CompileError, CompiledStencil, KernelLayout, StencilKernel,
+    StencilPeProgram, StencilSpec,
+};
 
 /// Stencil parameters of the wave kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +75,16 @@ impl WaveParams {
     pub fn cfl(&self) -> f32 {
         let w_sum: f32 = self.weights.iter().sum();
         self.c_dt_sq * w_sum / 4.0
+    }
+
+    /// The declarative stencil spec of these parameters: the full
+    /// in-plane ring, one quantity, per-face weights.
+    pub fn spec(&self) -> StencilSpec {
+        StencilSpec::wave(
+            self.weights[Neighbor::East.face_index()],
+            self.weights[Neighbor::North.face_index()],
+            self.weights[Neighbor::NorthEast.face_index()],
+        )
     }
 }
 
@@ -118,24 +135,23 @@ impl WaveLayout {
     }
 }
 
-/// The per-PE wave program.
-pub struct WavePeProgram {
+/// The leapfrog kernel, plugged into the compiler's generic
+/// [`StencilPeProgram`]: it only knows how to accumulate a face and do
+/// the time update — routing, switching and protocol state belong to the
+/// compiled pattern.
+pub struct WaveKernel {
     nz: usize,
     params: WaveParams,
     layout: Option<WaveLayout>,
-    exchange: Option<ColumnExchange>,
-    z_done: bool,
 }
 
-impl WavePeProgram {
-    /// Creates the program.
+impl WaveKernel {
+    /// Creates the kernel for columns of `nz` cells.
     pub fn new(nz: usize, params: WaveParams) -> Self {
         Self {
             nz,
             params,
             layout: None,
-            exchange: None,
-            z_done: false,
         }
     }
 
@@ -143,14 +159,13 @@ impl WavePeProgram {
         self.layout.as_ref().expect("init not run")
     }
 
-    /// `lap += w_f · (u_L − u_K)` for one face (2 vector ops).
-    fn accumulate_face(&mut self, ctx: &mut PeContext, face: Neighbor, u_l: Dsd) {
+    /// `lap += w · (u_L − u_K)` for one face (2 vector ops).
+    fn accumulate(&mut self, ctx: &mut PeContext, weight: f32, u_l: Dsd) {
         let l = self.layout();
         let t = Dsd::contiguous(l.temp.offset, self.nz);
         let lap = Dsd::contiguous(l.lap.offset, self.nz);
-        let w = self.params.weights[face.face_index()];
         ctx.fsubs(t, Operand::Mem(u_l), Operand::Mem(l.u_interior()));
-        ctx.fmacs(lap, Operand::Mem(t), Operand::Scalar(w));
+        ctx.fmacs(lap, Operand::Mem(t), Operand::Scalar(weight));
     }
 
     /// Leapfrog update once every face has been accumulated.
@@ -182,109 +197,130 @@ impl WavePeProgram {
             Operand::Scalar(1.0),
         );
     }
-
-    fn maybe_finish(&mut self, ctx: &mut PeContext) {
-        // The update overwrites `u`, which is also the send buffer: wait
-        // until every receive AND every outgoing cardinal send is done
-        // (write-after-read hazard — see ColumnExchange::all_sent).
-        let ready = self
-            .exchange
-            .as_ref()
-            .map(|e| e.is_complete() && e.all_sent())
-            .unwrap_or(false);
-        if ready && self.z_done {
-            self.z_done = false; // consume: one update per step
-            self.time_update(ctx);
-        }
-    }
 }
 
-impl PeProgram for WavePeProgram {
-    fn init(&mut self, ctx: &mut PeContext) {
+impl StencilKernel for WaveKernel {
+    fn init(&mut self, ctx: &mut PeContext, streams: usize) -> KernelLayout {
+        assert_eq!(streams, 8, "the wave spec is the full in-plane ring");
         let l = WaveLayout::new(self.nz);
         let r = ctx.alloc(l.total_words());
         assert_eq!(r.offset, 0);
-        let mut exchange = ColumnExchange::new(self.nz, 1, vec![l.recv], true);
-        exchange.configure(ctx);
-        self.exchange = Some(exchange);
+        let recv = l.recv.to_vec();
         self.layout = Some(l);
+        KernelLayout { recv: vec![recv] }
     }
 
-    fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) {
-        if w.color == START {
-            // Z faces from local memory, then kick off the exchange.
-            let l = self.layout().clone();
-            self.accumulate_face(ctx, Neighbor::Up, l.u_interior().shifted(1));
-            self.accumulate_face(ctx, Neighbor::Down, l.u_interior().shifted(-1));
-            self.z_done = true;
-            let views = [l.u_interior()];
-            self.exchange.as_mut().unwrap().begin(ctx, &views);
-            self.maybe_finish(ctx);
-            return;
-        }
-        let ex = self.exchange.as_mut().expect("init not run");
-        match ex.on_data(ctx, w) {
-            ExchangeEvent::Stored => {}
-            ExchangeEvent::FaceComplete(face) => {
-                let u_l = self.exchange.as_ref().unwrap().recv_view(0, face);
-                self.accumulate_face(ctx, face, u_l);
-                self.maybe_finish(ctx);
-            }
-            ExchangeEvent::NotMine => panic!(
-                "wave PE ({}, {}): unexpected color {}",
-                ctx.coord.col,
-                ctx.coord.row,
-                w.color.id()
-            ),
-        }
+    fn on_start(&mut self, ctx: &mut PeContext) -> Vec<Dsd> {
+        // Z faces from local memory, then hand the exchange the send view.
+        let l = self.layout().clone();
+        let wz = self.params.weights[Neighbor::Up.face_index()];
+        self.accumulate(ctx, wz, l.u_interior().shifted(1));
+        self.accumulate(ctx, wz, l.u_interior().shifted(-1));
+        vec![l.u_interior()]
     }
 
-    fn on_control(&mut self, ctx: &mut PeContext, w: Wavelet) {
-        self.exchange
-            .as_mut()
-            .expect("init not run")
-            .on_control(ctx, w);
-        // that hand-over may have been the last outstanding send
-        self.maybe_finish(ctx);
+    fn on_stream_complete(
+        &mut self,
+        ctx: &mut PeContext,
+        stream: usize,
+        exchange: &ColumnExchange,
+    ) {
+        // Stream index == in-plane face index (the spec lists offsets in
+        // canonical face order).
+        let w = self.params.weights[stream];
+        let u_l = exchange.recv_view(0, stream);
+        self.accumulate(ctx, w, u_l);
+    }
+
+    fn on_step_complete(&mut self, ctx: &mut PeContext) {
+        // The update overwrites `u`, which is also the send buffer; the
+        // generic program only fires this once every receive AND every
+        // outgoing cardinal send is done (write-after-read hazard).
+        self.time_update(ctx);
     }
 }
 
-/// Host-side driver: owns the fabric and advances the wavefield.
-pub struct WaveSimulator {
-    fabric: Fabric,
-    layout: WaveLayout,
+/// The wave problem as a fabric [`Workload`]: geometry + parameters +
+/// compiled stencil, pluggable into
+/// [`DataflowFluxSimulator::workload_builder`].
+pub struct WaveWorkload {
     nx: usize,
     ny: usize,
     nz: usize,
-    steps: usize,
+    params: WaveParams,
+    compiled: CompiledStencil,
+    pattern: Arc<CommPattern>,
 }
 
-impl WaveSimulator {
-    /// Builds an `nx × ny` fabric with columns of `nz` cells.
-    pub fn new(nx: usize, ny: usize, nz: usize, params: WaveParams) -> Self {
-        let dims = FabricDims::new(nx, ny);
-        let mut fabric = Fabric::new(dims, FabricConfig::default(), |_| {
-            Box::new(WavePeProgram::new(nz, params))
-        });
-        fabric.load();
-        Self {
-            fabric,
-            layout: WaveLayout::new(nz),
+impl WaveWorkload {
+    /// Compiles the wave spec for an `nx × ny × nz` domain. The typed
+    /// diagnostic converts into [`crate::driver::BuildError`] with `?`.
+    pub fn new(nx: usize, ny: usize, nz: usize, params: WaveParams) -> Result<Self, CompileError> {
+        let compiled = wse_stencil::compile(&params.spec())?;
+        let pattern = Arc::new(compiled.pattern.clone());
+        Ok(Self {
             nx,
             ny,
             nz,
-            steps: 0,
-        }
+            params,
+            compiled,
+            pattern,
+        })
+    }
+}
+
+impl Workload for WaveWorkload {
+    fn name(&self) -> &str {
+        "wave"
     }
 
-    /// Sets both wavefields (mesh linear order: x innermost, z outermost);
-    /// `u_prev = u` gives a zero-initial-velocity start.
-    pub fn set_initial(&mut self, u: &[f32], u_prev: &[f32]) {
-        assert_eq!(u.len(), self.nx * self.ny * self.nz);
-        assert_eq!(u_prev.len(), u.len());
+    fn compiled(&self) -> &CompiledStencil {
+        &self.compiled
+    }
+
+    fn pattern(&self) -> Arc<CommPattern> {
+        self.pattern.clone()
+    }
+
+    fn grid(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    fn nz(&self) -> usize {
+        self.nz
+    }
+
+    fn words_per_pe(&self, nz: usize) -> usize {
+        WaveLayout::new(nz).total_words()
+    }
+
+    fn make_program(&self) -> Box<dyn PeProgram> {
+        Box::new(StencilPeProgram::new(
+            self.nz,
+            self.pattern.clone(),
+            Box::new(WaveKernel::new(self.nz, self.params)),
+        ))
+    }
+
+    /// Accepts either `u` alone (zero-initial-velocity: `u_prev = u`) or
+    /// `u` followed by `u_prev` (2 × cells), both in mesh linear order.
+    fn inject(&self, fabric: &mut Fabric, input: &[f32]) {
+        let cells = self.nx * self.ny * self.nz;
+        assert!(
+            input.len() == cells || input.len() == 2 * cells,
+            "wave inject takes u (cells) or u,u_prev (2x cells): got {}",
+            input.len()
+        );
+        let (u, u_prev) = if input.len() == cells {
+            (input, input)
+        } else {
+            input.split_at(cells)
+        };
+        let layout = WaveLayout::new(self.nz);
         let nz = self.nz;
         let mut col = vec![0.0_f32; nz + 2];
         let mut colp = vec![0.0_f32; nz];
+        let zeros = vec![0.0_f32; nz];
         for y in 0..self.ny {
             for x in 0..self.nx {
                 for z in 0..nz {
@@ -294,20 +330,74 @@ impl WaveSimulator {
                 }
                 col[0] = col[1];
                 col[nz + 1] = col[nz];
-                let mem = self.fabric.memory_mut(PeCoord::new(x, y));
-                mem.host_write_f32(self.layout.u, &col);
-                mem.host_write_f32(self.layout.u_prev, &colp);
-                // zero the Laplacian accumulator
-                let zeros = vec![0.0_f32; nz];
-                mem.host_write_f32(self.layout.lap, &zeros);
+                let mem = fabric.memory_mut(PeCoord::new(x, y));
+                mem.host_write_f32(layout.u, &col);
+                mem.host_write_f32(layout.u_prev, &colp);
+                mem.host_write_f32(layout.lap, &zeros);
             }
         }
     }
 
+    fn collect(&self, fabric: &Fabric) -> Vec<f32> {
+        let layout = WaveLayout::new(self.nz);
+        let mut out = vec![0.0_f32; self.nx * self.ny * self.nz];
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let col = fabric.memory(PeCoord::new(x, y)).host_read_f32(layout.u);
+                for z in 0..self.nz {
+                    out[(z * self.ny + y) * self.nx + x] = col[z + 1];
+                }
+            }
+        }
+        out
+    }
+
+    fn hash_content(&self, eat: &mut dyn FnMut(&[u8])) {
+        for w in self.params.weights {
+            eat(&w.to_bits().to_le_bytes());
+        }
+        eat(&self.params.c_dt_sq.to_bits().to_le_bytes());
+    }
+}
+
+/// Host-side driver: a thin convenience wrapper over the workload-generic
+/// [`DataflowFluxSimulator`] that keeps the classic step/read API.
+pub struct WaveSimulator {
+    sim: DataflowFluxSimulator,
+    steps: usize,
+}
+
+impl WaveSimulator {
+    /// Builds an `nx × ny` fabric with columns of `nz` cells.
+    pub fn new(nx: usize, ny: usize, nz: usize, params: WaveParams) -> Self {
+        let workload = WaveWorkload::new(nx, ny, nz, params).expect("wave spec compiles");
+        let sim = DataflowFluxSimulator::workload_builder()
+            .workload(workload)
+            .build()
+            .expect("valid wave problem");
+        Self { sim, steps: 0 }
+    }
+
+    /// Wraps an externally built simulator (e.g. one with a sharded
+    /// engine, tracing or fault injection) carrying a [`WaveWorkload`].
+    pub fn from_simulator(sim: DataflowFluxSimulator) -> Self {
+        assert_eq!(sim.workload().name(), "wave");
+        Self { sim, steps: 0 }
+    }
+
+    /// Sets both wavefields (mesh linear order: x innermost, z outermost);
+    /// `u_prev = u` gives a zero-initial-velocity start.
+    pub fn set_initial(&mut self, u: &[f32], u_prev: &[f32]) {
+        assert_eq!(u_prev.len(), u.len());
+        let mut both = Vec::with_capacity(2 * u.len());
+        both.extend_from_slice(u);
+        both.extend_from_slice(u_prev);
+        self.sim.inject(&both);
+    }
+
     /// Advances one time step.
     pub fn step(&mut self) -> Result<(), FabricError> {
-        self.fabric.activate_all(START, 0);
-        self.fabric.run()?;
+        self.sim.advance()?;
         self.steps += 1;
         Ok(())
     }
@@ -322,19 +412,7 @@ impl WaveSimulator {
 
     /// Reads the current wavefield (mesh linear order).
     pub fn read_field(&self) -> Vec<f32> {
-        let mut out = vec![0.0_f32; self.nx * self.ny * self.nz];
-        for y in 0..self.ny {
-            for x in 0..self.nx {
-                let col = self
-                    .fabric
-                    .memory(PeCoord::new(x, y))
-                    .host_read_f32(self.layout.u);
-                for z in 0..self.nz {
-                    out[(z * self.ny + y) * self.nx + x] = col[z + 1];
-                }
-            }
-        }
-        out
+        self.sim.read_output()
     }
 
     /// Steps taken so far.
@@ -344,7 +422,13 @@ impl WaveSimulator {
 
     /// Fabric statistics.
     pub fn stats(&self) -> wse_sim::stats::FabricStats {
-        self.fabric.stats()
+        self.sim.stats()
+    }
+
+    /// The underlying workload-generic simulator (checkpointing, traces,
+    /// fault log, …).
+    pub fn simulator(&mut self) -> &mut DataflowFluxSimulator {
+        &mut self.sim
     }
 }
 
@@ -397,6 +481,7 @@ pub fn serial_wave_step(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wse_sim::fabric::Execution;
 
     fn gaussian_field(nx: usize, ny: usize, nz: usize, sigma: f64) -> Vec<f32> {
         let (cx, cy, cz) = (nx as f64 / 2.0, ny as f64 / 2.0, nz as f64 / 2.0);
@@ -531,5 +616,66 @@ mod tests {
         sim.step_n(5).unwrap();
         assert!(sim.read_field().iter().all(|&v| v == 0.0));
         assert!(sim.stats().total.fabric_loads > 0, "still communicates");
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit() {
+        // The compiled wave workload must be engine-invariant like TPFA.
+        let (nx, ny, nz) = (6, 5, 3);
+        let params = stable_params();
+        let u0 = gaussian_field(nx, ny, nz, 1.3);
+        let run = |execution| {
+            let workload = WaveWorkload::new(nx, ny, nz, params).unwrap();
+            let mut sim = DataflowFluxSimulator::workload_builder()
+                .workload(workload)
+                .execution(execution)
+                .build()
+                .unwrap();
+            sim.inject(&u0);
+            for _ in 0..6 {
+                sim.advance().unwrap();
+            }
+            (sim.read_output(), sim.stats())
+        };
+        let (seq, seq_stats) = run(Execution::Sequential);
+        let (sh, sh_stats) = run(Execution::Sharded {
+            shards: 4,
+            threads: 2,
+        });
+        assert_eq!(seq, sh);
+        assert_eq!(seq_stats, sh_stats);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_propagation() {
+        // The compiled path inherits driver checkpointing for free: snapshot
+        // after 3 steps, restore into a fresh simulator, finish both.
+        let (nx, ny, nz) = (5, 5, 3);
+        let params = stable_params();
+        let u0 = gaussian_field(nx, ny, nz, 1.3);
+        let build = || {
+            DataflowFluxSimulator::workload_builder()
+                .workload(WaveWorkload::new(nx, ny, nz, params).unwrap())
+                .build()
+                .unwrap()
+        };
+        let mut a = build();
+        a.inject(&u0);
+        for _ in 0..3 {
+            a.advance().unwrap();
+        }
+        let snap = a.snapshot();
+        let hash = a.spec_hash();
+        for _ in 0..3 {
+            a.advance().unwrap();
+        }
+
+        let mut b = build();
+        assert_eq!(b.spec_hash(), hash);
+        b.restore_snapshot(&snap).unwrap();
+        for _ in 0..3 {
+            b.advance().unwrap();
+        }
+        assert_eq!(a.read_output(), b.read_output());
     }
 }

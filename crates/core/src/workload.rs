@@ -1,0 +1,301 @@
+//! The workload abstraction: one simulator, many stencils.
+//!
+//! A [`Workload`] packages everything the host driver needs to run a
+//! compiled stencil on the fabric — the per-PE program factory, the
+//! static upload, the host-side inject/collect phases, the memory
+//! footprint, and the content that goes into the checkpoint spec hash.
+//! [`crate::driver::SimulatorBuilder::workload`] is the generic entry
+//! point; the classic `fluid()`/`transmissibilities()` path builds a
+//! [`TpfaWorkload`] under the hood, so both roads run the same driver.
+//!
+//! Cross-workload checkpoint safety: [`Workload::hash_content`] feeds
+//! the stencil spec's canonical bytes (plus workload parameters) into
+//! `SimSpec::content_hash`, so a checkpoint captured under one workload
+//! is refused by a server restoring under another with a typed
+//! mismatch error rather than silently misinterpreted PE memory.
+
+use crate::layout::{ColumnLayout, MemoryPlan};
+use crate::program::{FluidParams, TpfaPeProgram};
+use fv_core::mesh::ALL_NEIGHBORS;
+use std::sync::Arc;
+use wse_sim::fabric::Fabric;
+use wse_sim::geometry::PeCoord;
+use wse_sim::pe::PeProgram;
+use wse_sim::wavelet::Color;
+use wse_stencil::{CommPattern, CompiledStencil};
+
+/// A complete fabric workload: a compiled stencil plus the host-side
+/// protocol for driving it.
+///
+/// Implementations hold their own geometry (`nx × ny` PEs, `nz` cells
+/// per column) and all static data, so the driver can rebuild the
+/// fabric for fault retries without borrowing the original problem.
+pub trait Workload: Send + Sync {
+    /// Workload name (diagnostics, metrics labels, CLI selection).
+    fn name(&self) -> &str;
+
+    /// The compiled stencil this workload runs.
+    fn compiled(&self) -> &CompiledStencil;
+
+    /// The communication pattern actually installed on the routers —
+    /// usually `compiled().pattern`, but ablations may strip lanes
+    /// (e.g. TPFA's cardinal-only §5.2.2 baseline).
+    fn pattern(&self) -> Arc<CommPattern>;
+
+    /// Fabric extent in PEs: `(nx, ny)`.
+    fn grid(&self) -> (usize, usize);
+
+    /// Column height (cells per PE).
+    fn nz(&self) -> usize;
+
+    /// Per-PE memory footprint in words for a column of `nz` cells.
+    fn words_per_pe(&self, nz: usize) -> usize;
+
+    /// Largest `nz` whose footprint fits `capacity_words` (0 if not
+    /// even one layer fits).
+    fn max_nz(&self, capacity_words: usize) -> usize {
+        let mut lo = 0usize;
+        let mut hi = capacity_words;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if mid >= 1 && self.words_per_pe(mid) <= capacity_words {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
+    /// Builds the per-PE program (called once per PE at fabric
+    /// construction).
+    fn make_program(&self) -> Box<dyn PeProgram>;
+
+    /// Uploads static data after `Fabric::load` (e.g. TPFA's ten
+    /// transmissibility columns). Default: nothing to upload.
+    fn upload_static(&self, fabric: &mut Fabric) {
+        let _ = fabric;
+    }
+
+    /// Host-phase injection: uploads `input` (mesh linear order) before
+    /// a step is launched. Stateful workloads (e.g. the wave stencil)
+    /// use this to set initial conditions and then advance without
+    /// re-injection.
+    fn inject(&self, fabric: &mut Fabric, input: &[f32]);
+
+    /// Host-phase collection: reads the output field (mesh linear
+    /// order) after a step completes.
+    fn collect(&self, fabric: &Fabric) -> Vec<f32>;
+
+    /// The host-launch color ([`CommPattern::start`] by default).
+    fn start_color(&self) -> Color {
+        self.pattern().start
+    }
+
+    /// Feeds workload-specific content (beyond the stencil spec bytes,
+    /// which the driver hashes unconditionally) into the spec hash —
+    /// physical parameters, static field bits, ablation flags.
+    fn hash_content(&self, eat: &mut dyn FnMut(&[u8]));
+}
+
+/// The paper's TPFA flux workload: Algorithm 1 on the 10-face stencil,
+/// built by the classic `fluid()`/`transmissibilities()` builder path
+/// (and by `--stencil tpfa` in the bench CLI).
+pub struct TpfaWorkload {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    params: FluidParams,
+    compute_enabled: bool,
+    diagonals_enabled: bool,
+    compiled: CompiledStencil,
+    pattern: Arc<CommPattern>,
+    /// Transmissibility columns in upload order: `[y][x][face][z]`,
+    /// flattened.
+    trans_cols: Vec<f32>,
+}
+
+impl TpfaWorkload {
+    /// Assembles the workload from pre-validated parts (the builder has
+    /// already checked diagonal/transmissibility consistency and memory
+    /// fit). `pattern` is the compiled TPFA pattern, or its
+    /// `without_diagonals()` ablation, or the hand-derived tables when
+    /// differential testing against the compiler.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        params: FluidParams,
+        compute_enabled: bool,
+        diagonals_enabled: bool,
+        pattern: Arc<CommPattern>,
+        trans_cols: Vec<f32>,
+    ) -> Self {
+        let compiled =
+            wse_stencil::compile(&wse_stencil::StencilSpec::tpfa()).expect("tpfa spec compiles");
+        Self {
+            nx,
+            ny,
+            nz,
+            params,
+            compute_enabled,
+            diagonals_enabled,
+            compiled,
+            pattern,
+            trans_cols,
+        }
+    }
+}
+
+impl Workload for TpfaWorkload {
+    fn name(&self) -> &str {
+        "tpfa"
+    }
+
+    fn compiled(&self) -> &CompiledStencil {
+        &self.compiled
+    }
+
+    fn pattern(&self) -> Arc<CommPattern> {
+        self.pattern.clone()
+    }
+
+    fn grid(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    fn nz(&self) -> usize {
+        self.nz
+    }
+
+    fn words_per_pe(&self, nz: usize) -> usize {
+        MemoryPlan::for_nz(nz).total_words()
+    }
+
+    fn max_nz(&self, capacity_words: usize) -> usize {
+        MemoryPlan::max_nz(capacity_words)
+    }
+
+    fn make_program(&self) -> Box<dyn PeProgram> {
+        Box::new(
+            TpfaPeProgram::new(self.nz, self.params, self.compute_enabled)
+                .with_pattern(self.pattern.clone()),
+        )
+    }
+
+    fn upload_static(&self, fabric: &mut Fabric) {
+        let layout = ColumnLayout::new(self.nz);
+        let mut cols = self.trans_cols.chunks_exact(self.nz);
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let pe = PeCoord::new(x, y);
+                for nb in ALL_NEIGHBORS {
+                    let col = cols.next().expect("trans_cols covers every PE face");
+                    fabric
+                        .memory_mut(pe)
+                        .host_write_f32(layout.trans[nb.face_index()], col);
+                }
+            }
+        }
+    }
+
+    fn inject(&self, fabric: &mut Fabric, input: &[f32]) {
+        assert_eq!(input.len(), self.nx * self.ny * self.nz);
+        let layout = ColumnLayout::new(self.nz);
+        let nz = self.nz;
+        let mut col = vec![0.0_f32; nz + 2];
+        let zeros = vec![0.0_f32; nz];
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                for z in 0..nz {
+                    col[z + 1] = input[(z * self.ny + y) * self.nx + x];
+                }
+                col[0] = col[1];
+                col[nz + 1] = col[nz];
+                let mem = fabric.memory_mut(PeCoord::new(x, y));
+                mem.host_write_f32(layout.p_own, &col);
+                mem.host_write_f32(layout.residual, &zeros);
+            }
+        }
+    }
+
+    fn collect(&self, fabric: &Fabric) -> Vec<f32> {
+        let layout = ColumnLayout::new(self.nz);
+        let nz = self.nz;
+        let mut residual = vec![0.0_f32; self.nx * self.ny * nz];
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let pe = PeCoord::new(x, y);
+                let col = fabric.memory(pe).host_read_f32(layout.residual);
+                for (z, v) in col.into_iter().enumerate() {
+                    residual[(z * self.ny + y) * self.nx + x] = v;
+                }
+            }
+        }
+        residual
+    }
+
+    fn hash_content(&self, eat: &mut dyn FnMut(&[u8])) {
+        for f in [
+            self.params.rho_ref,
+            self.params.c_f,
+            self.params.p_ref,
+            self.params.inv_mu,
+            self.params.g_dz_up,
+            self.params.g_dz_down,
+        ] {
+            eat(&f.to_bits().to_le_bytes());
+        }
+        eat(&[self.compute_enabled as u8, self.diagonals_enabled as u8]);
+        for t in &self.trans_cols {
+            eat(&t.to_bits().to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colors::tpfa_pattern;
+    use fv_core::eos::Fluid;
+
+    fn workload(nx: usize, ny: usize, nz: usize) -> TpfaWorkload {
+        let params = FluidParams::from_fluid(&Fluid::water_like(), 1.0);
+        let trans = vec![0.5_f32; nx * ny * ALL_NEIGHBORS.len() * nz];
+        TpfaWorkload::new(nx, ny, nz, params, true, true, tpfa_pattern(), trans)
+    }
+
+    #[test]
+    fn tpfa_workload_exposes_the_compiled_pattern() {
+        let w = workload(3, 2, 4);
+        assert_eq!(w.name(), "tpfa");
+        assert_eq!(w.grid(), (3, 2));
+        assert_eq!(w.nz(), 4);
+        assert_eq!(w.start_color(), w.compiled().pattern.start);
+        assert_eq!(*w.pattern(), w.compiled().pattern);
+    }
+
+    #[test]
+    fn memory_accounting_matches_the_plan() {
+        let w = workload(2, 2, 8);
+        assert_eq!(w.words_per_pe(8), MemoryPlan::for_nz(8).total_words());
+        let cap = 12_288; // 48 kB / 4
+        assert_eq!(w.max_nz(cap), MemoryPlan::max_nz(cap));
+    }
+
+    #[test]
+    fn hash_content_covers_parameters_and_static_data() {
+        let collect = |w: &TpfaWorkload| {
+            let mut bytes = Vec::new();
+            w.hash_content(&mut |b| bytes.extend_from_slice(b));
+            bytes
+        };
+        let a = collect(&workload(2, 2, 3));
+        let b = collect(&workload(2, 2, 3));
+        assert_eq!(a, b);
+        let mut other = workload(2, 2, 3);
+        other.trans_cols[0] = 0.75;
+        assert_ne!(a, collect(&other));
+    }
+}

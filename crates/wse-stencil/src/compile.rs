@@ -1,0 +1,338 @@
+//! The stencil→route compiler: [`StencilSpec`] in, [`CompiledStencil`]
+//! out. Pure data→data, no panics — every rejection is a typed
+//! [`CompileError`] naming the offending spec fragment.
+//!
+//! ## Emission rules
+//!
+//! Colors are assigned in a canonical order so that the compiled TPFA
+//! pattern is *identical* to the hand-derived tables of the paper
+//! reproduction (§5.2, Figs. 5–6):
+//!
+//! 1. **Cardinal lanes** in send-direction order E, W, S, N (one
+//!    switchable color each, skipping directions whose delivered offset
+//!    the spec does not request);
+//! 2. **Diagonal families** in delivered-corner order NW, NE, SE, SW
+//!    (`phases` consecutive static colors each);
+//! 3. the **start** color (host launch, never routed);
+//! 4. any **reduction** colors the spec reserves.
+//!
+//! For a corner offset the two legs are ordered by the sign of
+//! `dx·dy`: positive → horizontal leg first (NW travels E then S, SE
+//! travels W then N), negative → vertical leg first. The family's phase
+//! key is `x + y` when both legs increment it in the same sense
+//! (legs ⊆ {E, S} or {W, N}) and `x − y` otherwise, with the key step
+//! taken from leg 1 — exactly the four families of the paper's Fig. 5.
+
+use crate::pattern::{CardinalLane, CommPattern, DiagonalLane};
+use crate::spec::{CompileError, StencilSpec};
+use wse_sim::geometry::Direction;
+use wse_sim::wavelet::{Color, MAX_COLORS};
+
+/// A compiled stencil: the spec it came from plus the communication
+/// pattern the fabric runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledStencil {
+    /// The source spec (kernels read per-face weights back from it; the
+    /// driver hashes it into the checkpoint spec hash).
+    pub spec: StencilSpec,
+    /// The emitted color lanes and route tables.
+    pub pattern: CommPattern,
+}
+
+/// Compiles a spec into its communication pattern.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] naming the offending fragment when the
+/// spec is malformed or exceeds the fabric's color budget.
+pub fn compile(spec: &StencilSpec) -> Result<CompiledStencil, CompileError> {
+    validate(spec)?;
+
+    let mut next_color: usize = 0;
+    let mut cardinals = Vec::new();
+    // Canonical cardinal emission order: send dirs E, W, S, N — i.e.
+    // delivered offsets W, E, N, S.
+    for (send_dir, delivered) in [
+        (Direction::East, (-1, 0)),
+        (Direction::West, (1, 0)),
+        (Direction::South, (0, -1)),
+        (Direction::North, (0, 1)),
+    ] {
+        if let Some(stream) = find_offset(spec, delivered) {
+            cardinals.push(CardinalLane {
+                color: Color::new(next_color as u8),
+                send_dir,
+                stream,
+                offset: delivered,
+            });
+            next_color += 1;
+        }
+    }
+
+    let mut diagonals = Vec::new();
+    // Canonical family emission order: delivered corners NW, NE, SE, SW.
+    for delivered in [(-1, -1), (1, -1), (1, 1), (-1, 1)] {
+        let Some(stream) = find_offset(spec, delivered) else {
+            continue;
+        };
+        let (leg1, leg2) = corner_legs(delivered);
+        let key_sum = matches!(
+            (leg1, leg2),
+            (Direction::East, Direction::South) | (Direction::West, Direction::North)
+        );
+        let key_step = key_step_of(leg1, key_sum);
+        diagonals.push(DiagonalLane {
+            leg1,
+            leg2,
+            stream,
+            offset: delivered,
+            base_color: next_color as u8,
+            phases: spec.phases as u8,
+            key_sum,
+            key_step,
+        });
+        next_color += spec.phases as usize;
+    }
+
+    let start = next_color;
+    let needed = start + 1 + spec.reduction_colors as usize;
+    if needed > MAX_COLORS {
+        return Err(CompileError::ColorBudgetExceeded {
+            needed,
+            budget: MAX_COLORS,
+        });
+    }
+    let reduction: Vec<Color> = (0..spec.reduction_colors as usize)
+        .map(|i| Color::new((start + 1 + i) as u8))
+        .collect();
+
+    Ok(CompiledStencil {
+        spec: spec.clone(),
+        pattern: CommPattern {
+            start: Color::new(start as u8),
+            quantities: spec.quantities,
+            cardinals,
+            diagonals,
+            streams: spec.offsets.len(),
+            reduction,
+        },
+    })
+}
+
+fn validate(spec: &StencilSpec) -> Result<(), CompileError> {
+    if spec.quantities == 0 {
+        return Err(CompileError::ZeroQuantities {
+            name: spec.name.clone(),
+        });
+    }
+    if spec.halo_radius != 1 {
+        return Err(CompileError::UnsupportedHaloRadius {
+            halo_radius: spec.halo_radius,
+        });
+    }
+    for (i, o) in spec.offsets.iter().enumerate() {
+        if (o.dx, o.dy) == (0, 0) {
+            return Err(CompileError::ZeroOffset { index: i });
+        }
+        let r = spec.halo_radius as i64;
+        if (o.dx as i64).abs() > r || (o.dy as i64).abs() > r {
+            return Err(CompileError::OffsetOutsideHaloRadius {
+                offset: (o.dx, o.dy),
+                halo_radius: spec.halo_radius,
+            });
+        }
+        if let Some(j) = spec.offsets[..i]
+            .iter()
+            .position(|p| (p.dx, p.dy) == (o.dx, o.dy))
+        {
+            return Err(CompileError::DuplicateOffset {
+                offset: (o.dx, o.dy),
+                indices: (j, i),
+            });
+        }
+        if !o.is_cardinal() && spec.phases < 3 {
+            return Err(CompileError::PhaseCycle {
+                phases: spec.phases,
+                offset: (o.dx, o.dy),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn find_offset(spec: &StencilSpec, offset: (i32, i32)) -> Option<usize> {
+    spec.offsets.iter().position(|o| (o.dx, o.dy) == offset)
+}
+
+/// Leg order for a delivered corner offset: data travels `(−dx, −dy)`;
+/// `dx·dy > 0` routes the horizontal leg first.
+fn corner_legs(delivered: (i32, i32)) -> (Direction, Direction) {
+    let (dx, dy) = delivered;
+    let h = if -dx > 0 {
+        Direction::East
+    } else {
+        Direction::West
+    };
+    let v = if -dy > 0 {
+        Direction::South
+    } else {
+        Direction::North
+    };
+    if dx * dy > 0 {
+        (h, v)
+    } else {
+        (v, h)
+    }
+}
+
+/// Key increment per hop of `leg` under the chosen key function.
+fn key_step_of(leg: Direction, key_sum: bool) -> i64 {
+    match (leg, key_sum) {
+        // x + y: East and South increment, West and North decrement.
+        (Direction::East, true) | (Direction::South, true) => 1,
+        (Direction::West, true) | (Direction::North, true) => -1,
+        // x − y: East and North increment, West and South decrement.
+        (Direction::East, false) | (Direction::North, false) => 1,
+        (Direction::West, false) | (Direction::South, false) => -1,
+        (Direction::Ramp, _) => unreachable!("Ramp is never a relay leg"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OffsetSpec;
+
+    #[test]
+    fn tpfa_reproduces_the_hand_derived_color_table() {
+        let c = compile(&StencilSpec::tpfa()).unwrap();
+        let p = &c.pattern;
+        // cardinals: E, W, S, N on colors 0–3
+        let dirs: Vec<Direction> = p.cardinals.iter().map(|l| l.send_dir).collect();
+        assert_eq!(
+            dirs,
+            [
+                Direction::East,
+                Direction::West,
+                Direction::South,
+                Direction::North
+            ]
+        );
+        let ids: Vec<u8> = p.cardinals.iter().map(|l| l.color.id()).collect();
+        assert_eq!(ids, [0, 1, 2, 3]);
+        // diagonal families on bases 4, 7, 10, 13 with the Fig. 5 legs
+        let fams: Vec<(u8, Direction, Direction, bool, i64)> = p
+            .diagonals
+            .iter()
+            .map(|l| (l.base_color, l.leg1, l.leg2, l.key_sum, l.key_step))
+            .collect();
+        assert_eq!(
+            fams,
+            [
+                (4, Direction::East, Direction::South, true, 1),
+                (7, Direction::South, Direction::West, false, -1),
+                (10, Direction::West, Direction::North, true, -1),
+                (13, Direction::North, Direction::East, false, 1),
+            ]
+        );
+        assert_eq!(p.start.id(), 16);
+        assert_eq!(p.streams, 8);
+        assert_eq!(p.quantities, 2);
+        assert_eq!(p.colors_used(), 17);
+    }
+
+    #[test]
+    fn laplace7_packs_colors_tightly() {
+        let c = compile(&StencilSpec::laplace7(1.0, 1.0)).unwrap();
+        assert_eq!(c.pattern.cardinals.len(), 4);
+        assert!(c.pattern.diagonals.is_empty());
+        assert_eq!(c.pattern.start.id(), 4);
+        assert_eq!(c.pattern.colors_used(), 5);
+    }
+
+    #[test]
+    fn wave_occupies_the_same_colors_as_tpfa() {
+        let c = compile(&StencilSpec::wave(1.0, 1.0, 0.5)).unwrap();
+        assert_eq!(c.pattern.start.id(), 16);
+        assert_eq!(c.pattern.quantities, 1);
+    }
+
+    #[test]
+    fn reduction_colors_follow_start() {
+        let mut spec = StencilSpec::laplace7(1.0, 1.0);
+        spec.reduction_colors = 2;
+        let c = compile(&spec).unwrap();
+        let ids: Vec<u8> = c.pattern.reduction.iter().map(|c| c.id()).collect();
+        assert_eq!(ids, [5, 6]);
+        assert_eq!(c.pattern.colors_used(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_specs_with_typed_diagnostics() {
+        let mut s = StencilSpec::tpfa();
+        s.quantities = 0;
+        assert!(matches!(
+            compile(&s),
+            Err(CompileError::ZeroQuantities { .. })
+        ));
+
+        let s = StencilSpec::new("z", 1, vec![OffsetSpec::new(0, 0)]);
+        assert_eq!(compile(&s), Err(CompileError::ZeroOffset { index: 0 }));
+
+        let s = StencilSpec::new("far", 1, vec![OffsetSpec::new(2, 0)]);
+        assert_eq!(
+            compile(&s),
+            Err(CompileError::OffsetOutsideHaloRadius {
+                offset: (2, 0),
+                halo_radius: 1
+            })
+        );
+
+        let mut s = StencilSpec::tpfa();
+        s.halo_radius = 2;
+        assert_eq!(
+            compile(&s),
+            Err(CompileError::UnsupportedHaloRadius { halo_radius: 2 })
+        );
+
+        let s = StencilSpec::new("dup", 1, vec![OffsetSpec::new(1, 0), OffsetSpec::new(1, 0)]);
+        assert_eq!(
+            compile(&s),
+            Err(CompileError::DuplicateOffset {
+                offset: (1, 0),
+                indices: (0, 1)
+            })
+        );
+
+        let mut s = StencilSpec::tpfa();
+        s.phases = 2;
+        assert!(matches!(compile(&s), Err(CompileError::PhaseCycle { .. })));
+
+        let mut s = StencilSpec::tpfa();
+        s.reduction_colors = 12;
+        assert_eq!(
+            compile(&s),
+            Err(CompileError::ColorBudgetExceeded {
+                needed: 29,
+                budget: 24
+            })
+        );
+    }
+
+    #[test]
+    fn phase_count_scales_the_color_footprint() {
+        let mut s = StencilSpec::tpfa();
+        s.phases = 4;
+        let c = compile(&s).unwrap();
+        assert_eq!(c.pattern.start.id(), 4 + 4 * 4);
+        assert_eq!(c.pattern.colors_used(), 21);
+        s.phases = 5;
+        assert_eq!(
+            compile(&s),
+            Err(CompileError::ColorBudgetExceeded {
+                needed: 25,
+                budget: 24
+            })
+        );
+    }
+}

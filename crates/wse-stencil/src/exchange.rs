@@ -1,0 +1,338 @@
+//! The compiled exchange schedule: per-PE protocol state driving one
+//! halo exchange per step over a [`CommPattern`].
+//!
+//! An exchange moves `quantities` same-length columns from every PE to
+//! each in-plane neighbor the pattern routes. The engine owns the
+//! protocol state (receive cursors, sent flags, expectations) and the
+//! receive-buffer addressing; the host program provides the send views
+//! and reacts to [`ExchangeEvent::StreamComplete`].
+//!
+//! Injection order is part of the compiled schedule and is canonical:
+//! diagonal sources first (static routes, everyone sources
+//! immediately), then the cardinal first-senders; late cardinal lanes
+//! fire on the Fig. 6 control hand-over.
+
+use crate::pattern::{CardinalLane, CommPattern};
+use std::sync::Arc;
+use wse_sim::dsd::Dsd;
+use wse_sim::memory::MemRange;
+use wse_sim::pe::PeContext;
+use wse_sim::wavelet::{Color, Wavelet, MAX_COLORS};
+
+/// What happened when a data wavelet was absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeEvent {
+    /// Stored; the stream is still incomplete.
+    Stored,
+    /// This wavelet completed the given receive stream.
+    StreamComplete(usize),
+    /// The wavelet's color does not belong to this exchange.
+    NotMine,
+}
+
+/// The per-PE exchange engine for one compiled pattern.
+pub struct ColumnExchange {
+    nz: usize,
+    pattern: Arc<CommPattern>,
+    /// `recv[q][stream]`: receive buffer for quantity `q` from stream
+    /// `stream`.
+    recv: Vec<Vec<MemRange>>,
+    /// Send views, one per quantity (set each iteration via `begin`).
+    send_views: Vec<Dsd>,
+    recv_count: Vec<usize>,
+    expected: Vec<bool>,
+    sent: Vec<bool>,
+    color_stream: [Option<u8>; MAX_COLORS],
+}
+
+impl ColumnExchange {
+    /// Creates the engine for columns of `nz` cells over `pattern`, with
+    /// the given receive buffers (`recv[q][stream]`, each of `nz` words).
+    pub fn new(nz: usize, pattern: Arc<CommPattern>, recv: Vec<Vec<MemRange>>) -> Self {
+        assert!(pattern.quantities >= 1);
+        assert_eq!(recv.len(), pattern.quantities);
+        for per_q in &recv {
+            assert_eq!(per_q.len(), pattern.streams, "one buffer per stream");
+            for r in per_q {
+                assert!(r.len >= nz, "receive buffer too small");
+            }
+        }
+        let streams = pattern.streams;
+        let n_cardinal = pattern.cardinals.len();
+        Self {
+            nz,
+            send_views: Vec::with_capacity(pattern.quantities),
+            pattern,
+            recv,
+            recv_count: vec![0; streams],
+            expected: vec![false; streams],
+            sent: vec![false; n_cardinal],
+            color_stream: [None; MAX_COLORS],
+        }
+    }
+
+    /// The pattern this engine runs.
+    pub fn pattern(&self) -> &CommPattern {
+        &self.pattern
+    }
+
+    /// Installs the router configuration on this PE (call from `init`).
+    pub fn configure(&mut self, ctx: &mut PeContext) {
+        let pattern = self.pattern.clone();
+        for lane in &pattern.cardinals {
+            ctx.configure_color(lane.color, lane.router_config(ctx.dims, ctx.coord));
+            self.expected[lane.stream] = lane.has_sender(ctx.dims, ctx.coord);
+            self.color_stream[lane.color.index()] = Some(lane.stream as u8);
+        }
+        for lane in &pattern.diagonals {
+            for (color, cfg) in lane.router_configs(ctx.coord) {
+                ctx.configure_color(color, cfg);
+            }
+            self.expected[lane.stream] = lane.has_sender(ctx.dims, ctx.coord);
+            self.color_stream[lane.receive_color(ctx.coord).index()] = Some(lane.stream as u8);
+        }
+    }
+
+    /// Starts an iteration: resets cursors and injects the outgoing
+    /// streams in the compiled schedule order. `send_views` holds one
+    /// `nz`-element view per quantity, sent in order on every stream.
+    pub fn begin(&mut self, ctx: &mut PeContext, send_views: &[Dsd]) {
+        assert_eq!(send_views.len(), self.pattern.quantities);
+        for v in send_views {
+            assert_eq!(v.len, self.nz);
+        }
+        self.recv_count.fill(0);
+        self.sent.fill(false);
+        self.send_views.clear();
+        self.send_views.extend_from_slice(send_views);
+
+        let pattern = self.pattern.clone();
+        // Diagonal streams: static routes, everyone sources immediately.
+        for lane in &pattern.diagonals {
+            let color = lane.source_color(ctx.coord);
+            self.send_streams(ctx, color);
+        }
+        // Cardinal streams: first-senders now, the rest on hand-over.
+        for (idx, lane) in pattern.cardinals.iter().enumerate() {
+            if lane.is_first_sender(ctx.dims, ctx.coord) {
+                self.send_cardinal(ctx, lane, idx);
+            }
+        }
+    }
+
+    fn send_streams(&mut self, ctx: &mut PeContext, color: Color) {
+        for v in &self.send_views {
+            ctx.send_vector(color, *v);
+        }
+    }
+
+    fn send_cardinal(&mut self, ctx: &mut PeContext, lane: &CardinalLane, idx: usize) {
+        if self.sent[idx] {
+            return;
+        }
+        self.sent[idx] = true;
+        self.send_streams(ctx, lane.color);
+        ctx.send_control(lane.color, 0);
+    }
+
+    /// Handles a data wavelet. Stores it (with FMOV accounting) and
+    /// reports whether a stream completed.
+    pub fn on_data(&mut self, ctx: &mut PeContext, w: Wavelet) -> ExchangeEvent {
+        let Some(stream) = self.color_stream[w.color.index()] else {
+            return ExchangeEvent::NotMine;
+        };
+        let stream = stream as usize;
+        let cursor = self.recv_count[stream];
+        let total = self.pattern.quantities * self.nz;
+        debug_assert!(
+            cursor < total,
+            "stream overflow on stream {stream} at PE ({}, {})",
+            ctx.coord.col,
+            ctx.coord.row
+        );
+        let q = cursor / self.nz;
+        let offset = cursor % self.nz;
+        let addr = self.recv[q][stream].at(offset);
+        ctx.recv_store(addr, w.as_f32());
+        self.recv_count[stream] = cursor + 1;
+        if self.recv_count[stream] == total {
+            ExchangeEvent::StreamComplete(stream)
+        } else {
+            ExchangeEvent::Stored
+        }
+    }
+
+    /// Handles a control wavelet: our router already flipped to Sending;
+    /// if this lane has not been sent yet, do it now (Fig. 6 hand-over).
+    pub fn on_control(&mut self, ctx: &mut PeContext, w: Wavelet) {
+        let pattern = self.pattern.clone();
+        if let Some((idx, lane)) = pattern
+            .cardinals
+            .iter()
+            .enumerate()
+            .find(|(_, lane)| lane.color == w.color)
+        {
+            self.send_cardinal(ctx, lane, idx);
+        }
+    }
+
+    /// True once this PE has sent on every cardinal lane (its own
+    /// columns have been safely copied to the fabric). Programs that
+    /// *overwrite* their send buffers at the end of an iteration (e.g.
+    /// the wave time update) must wait for this in addition to
+    /// [`ColumnExchange::is_complete`], or late hand-over sends would
+    /// ship updated values — a write-after-read hazard.
+    pub fn all_sent(&self) -> bool {
+        self.sent.iter().all(|&s| s)
+    }
+
+    /// True once every expected stream has fully arrived.
+    pub fn is_complete(&self) -> bool {
+        let total = self.pattern.quantities * self.nz;
+        self.expected
+            .iter()
+            .zip(&self.recv_count)
+            .all(|(&exp, &cnt)| !exp || cnt == total)
+    }
+
+    /// Dynamic protocol state for checkpointing, as `(recv_count, sent,
+    /// send_views)`. The static configuration (expectations, color map,
+    /// receive buffers) is rebuilt by `configure` and is not included.
+    pub fn dynamic_state(&self) -> (Vec<usize>, Vec<bool>, Vec<Dsd>) {
+        (
+            self.recv_count.clone(),
+            self.sent.clone(),
+            self.send_views.clone(),
+        )
+    }
+
+    /// Restores protocol state captured by
+    /// [`ColumnExchange::dynamic_state`] on a freshly configured engine.
+    /// Rejects shape mismatches, cursors past the stream length and send
+    /// views that do not match this exchange's geometry.
+    pub fn restore_dynamic_state(
+        &mut self,
+        recv_count: Vec<usize>,
+        sent: Vec<bool>,
+        send_views: Vec<Dsd>,
+    ) -> Result<(), String> {
+        if recv_count.len() != self.recv_count.len() {
+            return Err(format!(
+                "{} receive cursors for {} streams",
+                recv_count.len(),
+                self.recv_count.len()
+            ));
+        }
+        if sent.len() != self.sent.len() {
+            return Err(format!(
+                "{} sent flags for {} cardinal lanes",
+                sent.len(),
+                self.sent.len()
+            ));
+        }
+        let total = self.pattern.quantities * self.nz;
+        for (stream, &cnt) in recv_count.iter().enumerate() {
+            if cnt > total {
+                return Err(format!(
+                    "receive cursor {cnt} on stream {stream} exceeds stream length {total}"
+                ));
+            }
+        }
+        if !send_views.is_empty() {
+            if send_views.len() != self.pattern.quantities {
+                return Err(format!(
+                    "{} send views for {} quantities",
+                    send_views.len(),
+                    self.pattern.quantities
+                ));
+            }
+            for v in &send_views {
+                if v.len != self.nz {
+                    return Err(format!("send view length {} != nz {}", v.len, self.nz));
+                }
+            }
+        }
+        self.recv_count = recv_count;
+        self.sent = sent;
+        self.send_views = send_views;
+        Ok(())
+    }
+
+    /// Whether a stream is expected (its sender exists on the fabric).
+    pub fn expects(&self, stream: usize) -> bool {
+        self.expected[stream]
+    }
+
+    /// Receive buffer of quantity `q` from `stream`, as a DSD view.
+    pub fn recv_view(&self, q: usize, stream: usize) -> Dsd {
+        let r = self.recv[q][stream];
+        Dsd::contiguous(r.offset, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::spec::StencilSpec;
+
+    fn ranges(n: usize, count: usize, start: usize) -> Vec<MemRange> {
+        (0..count)
+            .map(|i| MemRange {
+                offset: start + i * n,
+                len: n,
+            })
+            .collect()
+    }
+
+    fn tpfa_pattern() -> Arc<CommPattern> {
+        Arc::new(compile(&StencilSpec::tpfa()).unwrap().pattern)
+    }
+
+    #[test]
+    fn completion_tracking() {
+        let p = tpfa_pattern();
+        let mut ex = ColumnExchange::new(4, p, vec![ranges(4, 8, 0), ranges(4, 8, 100)]);
+        assert!(ex.is_complete(), "nothing expected yet");
+        ex.expected[3] = true;
+        assert!(!ex.is_complete());
+        ex.recv_count[3] = 8;
+        assert!(ex.is_complete());
+        assert!(ex.expects(3));
+        assert!(!ex.expects(2));
+    }
+
+    #[test]
+    fn recv_view_addresses_the_right_buffer() {
+        let p = tpfa_pattern();
+        let ex = ColumnExchange::new(4, p, vec![ranges(4, 8, 0), ranges(4, 8, 100)]);
+        let v = ex.recv_view(1, 2);
+        assert_eq!(v.base, 108);
+        assert_eq!(v.len, 4);
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatches() {
+        let p = tpfa_pattern();
+        let mut ex = ColumnExchange::new(4, p, vec![ranges(4, 8, 0), ranges(4, 8, 100)]);
+        assert!(ex
+            .restore_dynamic_state(vec![0; 7], vec![false; 4], Vec::new())
+            .is_err());
+        assert!(ex
+            .restore_dynamic_state(vec![0; 8], vec![false; 3], Vec::new())
+            .is_err());
+        assert!(ex
+            .restore_dynamic_state(vec![9; 8], vec![false; 4], Vec::new())
+            .is_err());
+        assert!(ex
+            .restore_dynamic_state(vec![8; 8], vec![true; 4], Vec::new())
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn undersized_receive_buffer_rejected() {
+        let p = tpfa_pattern();
+        let _ = ColumnExchange::new(8, p, vec![ranges(4, 8, 0), ranges(4, 8, 100)]);
+    }
+}

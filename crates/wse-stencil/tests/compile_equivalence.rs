@@ -1,0 +1,227 @@
+//! Differential suite: the compiler-emitted TPFA communication pattern must
+//! be observationally *bit-identical* to the hand-derived one it replaced.
+//!
+//! Every test builds the same ten-point TPFA problem twice — once with
+//! `builder.hand_routes(true)` (the original hand-written color tables and
+//! route programs in `tpfa_dataflow::colors`) and once through the default
+//! compiled path (`wse_stencil::compile` on `StencilSpec::tpfa()`) — and
+//! demands equality at increasing levels of strictness:
+//!
+//! 1. residual vectors, compared bit-for-bit (`f32::to_bits`);
+//! 2. [`FabricStats`] — instruction mix, fabric loads, critical path;
+//! 3. the full sorted per-PE trace event stream (every task activation,
+//!    wavelet hop, DSD op and router switch, with timestamps);
+//! 4. checkpoint interchange: a snapshot taken from a hand-routed simulator
+//!    restores into a compiled-routed one (and vice versa), because the
+//!    route provenance is deliberately excluded from the spec hash.
+//!
+//! The matrix covers Sequential vs `Sharded {1, 4, 9}` engines, each with
+//! static-route fast-forwarding on and off.
+
+use fv_core::eos::Fluid;
+use fv_core::fields::PermeabilityField;
+use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+use fv_core::state::FlowState;
+use fv_core::trans::{StencilKind, Transmissibilities};
+use tpfa_dataflow::DataflowFluxSimulator;
+use wse_sim::fabric::Execution;
+use wse_sim::stats::FabricStats;
+use wse_sim::trace::TraceSpec;
+
+const NX: usize = 12;
+const NY: usize = 12;
+const NZ: usize = 5;
+
+struct Problem {
+    mesh: CartesianMesh3,
+    fluid: Fluid,
+    trans: Transmissibilities,
+    pressure: Vec<f32>,
+}
+
+fn problem() -> Problem {
+    let mesh = CartesianMesh3::new(Extents::new(NX, NY, NZ), Spacing::new(10.0, 10.0, 4.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 11);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let pressure = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 5)
+        .pressure()
+        .to_vec();
+    Problem {
+        mesh,
+        fluid,
+        trans,
+        pressure,
+    }
+}
+
+fn build(
+    p: &Problem,
+    hand: bool,
+    execution: Execution,
+    fast_forward: bool,
+    trace: TraceSpec,
+) -> DataflowFluxSimulator {
+    DataflowFluxSimulator::builder(&p.mesh)
+        .fluid(&p.fluid)
+        .transmissibilities(&p.trans)
+        .hand_routes(hand)
+        .execution(execution)
+        .fast_forward(fast_forward)
+        .trace(trace)
+        .build()
+        .expect("build failed")
+}
+
+fn assert_bits_equal(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: cell {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+fn engines() -> Vec<Execution> {
+    vec![
+        Execution::Sequential,
+        Execution::Sharded {
+            shards: 1,
+            threads: 1,
+        },
+        Execution::Sharded {
+            shards: 4,
+            threads: 2,
+        },
+        Execution::Sharded {
+            shards: 9,
+            threads: 3,
+        },
+    ]
+}
+
+#[test]
+fn residuals_and_stats_match_hand_routes_across_engines_and_fast_forward() {
+    let p = problem();
+    let mut reference: Option<(Vec<f32>, FabricStats)> = None;
+    for execution in engines() {
+        for ff in [false, true] {
+            let mut hand = build(&p, true, execution, ff, TraceSpec::OFF);
+            let mut compiled = build(&p, false, execution, ff, TraceSpec::OFF);
+            let r_hand = hand.apply(&p.pressure).expect("hand run failed");
+            let r_comp = compiled.apply(&p.pressure).expect("compiled run failed");
+            let label = format!("{execution:?} ff={ff}");
+            assert_bits_equal(&r_hand, &r_comp, &label);
+            assert_eq!(
+                hand.stats(),
+                compiled.stats(),
+                "{label}: FabricStats diverged"
+            );
+            // Every engine/fast-forward combination must also agree with the
+            // first one, so all eight runs pin a single answer.
+            match &reference {
+                None => reference = Some((r_comp, compiled.stats())),
+                Some((r_ref, s_ref)) => {
+                    assert_bits_equal(r_ref, &r_comp, &format!("{label} vs reference"));
+                    assert_eq!(s_ref, &compiled.stats(), "{label}: stats vs reference");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sorted_trace_streams_are_bit_identical() {
+    let p = problem();
+    for (execution, shards) in [
+        (Execution::Sequential, None),
+        (
+            Execution::Sharded {
+                shards: 4,
+                threads: 2,
+            },
+            Some(4),
+        ),
+    ] {
+        let mut hand = build(&p, true, execution, true, TraceSpec::ring(8192));
+        let mut compiled = build(&p, false, execution, true, TraceSpec::ring(8192));
+        hand.apply(&p.pressure).expect("hand run failed");
+        compiled.apply(&p.pressure).expect("compiled run failed");
+        let (t_hand, t_comp) = match shards {
+            None => (hand.trace().unwrap(), compiled.trace().unwrap()),
+            Some(n) => (
+                hand.trace_with_shards(n).unwrap(),
+                compiled.trace_with_shards(n).unwrap(),
+            ),
+        };
+        assert_eq!(t_hand.dropped, 0, "ring must hold the full run");
+        assert_eq!(t_comp.dropped, 0, "ring must hold the full run");
+        assert!(
+            t_hand.events.len() > 10_000,
+            "expected a substantial trace, got {} events",
+            t_hand.events.len()
+        );
+        assert_eq!(
+            t_hand.events, t_comp.events,
+            "{execution:?}: sorted trace stream diverged between hand and compiled routes"
+        );
+    }
+}
+
+#[test]
+fn spec_hash_ignores_route_provenance() {
+    let p = problem();
+    let hand = build(&p, true, Execution::Sequential, true, TraceSpec::OFF);
+    let compiled = build(&p, false, Execution::Sequential, true, TraceSpec::OFF);
+    assert_eq!(
+        hand.spec_hash(),
+        compiled.spec_hash(),
+        "hand vs compiled routes describe the same problem; their checkpoints must interchange"
+    );
+}
+
+#[test]
+fn checkpoints_interchange_between_hand_and_compiled_routes() {
+    let p = problem();
+    // Advance a hand-routed simulator two applications, snapshot it, restore
+    // into a compiled-routed one (and the reverse), then run one more
+    // application on all four and demand bit-identical residuals.
+    let mut hand = build(&p, true, Execution::Sequential, true, TraceSpec::OFF);
+    let mut compiled = build(
+        &p,
+        false,
+        Execution::Sharded {
+            shards: 4,
+            threads: 2,
+        },
+        true,
+        TraceSpec::OFF,
+    );
+    for _ in 0..2 {
+        hand.apply(&p.pressure).expect("hand run failed");
+        compiled.apply(&p.pressure).expect("compiled run failed");
+    }
+    let snap_hand = hand.snapshot();
+    let snap_comp = compiled.snapshot();
+
+    let mut comp_from_hand = build(&p, false, Execution::Sequential, false, TraceSpec::OFF);
+    comp_from_hand
+        .restore_snapshot(&snap_hand)
+        .expect("hand snapshot must restore into a compiled-routed simulator");
+    let mut hand_from_comp = build(&p, true, Execution::Sequential, false, TraceSpec::OFF);
+    hand_from_comp
+        .restore_snapshot(&snap_comp)
+        .expect("compiled snapshot must restore into a hand-routed simulator");
+    assert_eq!(comp_from_hand.applications(), 2);
+    assert_eq!(hand_from_comp.applications(), 2);
+
+    let r_hand = hand.apply(&p.pressure).expect("hand run failed");
+    let r_comp = compiled.apply(&p.pressure).expect("compiled run failed");
+    let r_cfh = comp_from_hand.apply(&p.pressure).expect("restored run");
+    let r_hfc = hand_from_comp.apply(&p.pressure).expect("restored run");
+    assert_bits_equal(&r_hand, &r_comp, "hand vs compiled post-restore");
+    assert_bits_equal(&r_hand, &r_cfh, "compiled-from-hand-snapshot");
+    assert_bits_equal(&r_hand, &r_hfc, "hand-from-compiled-snapshot");
+}

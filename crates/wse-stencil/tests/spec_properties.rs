@@ -1,0 +1,186 @@
+//! Property-based tests of the stencil compiler: for *any* spec — including
+//! malformed ones — `compile` must either return a pattern satisfying the
+//! routing invariants or a typed [`CompileError`], never panic.
+//!
+//! Run under the workspace's deterministic proptest shim (fixed per-test
+//! seed, no shrinking).
+
+use proptest::prelude::*;
+use wse_sim::geometry::{FabricDims, PeCoord};
+use wse_sim::wavelet::{Color, MAX_COLORS};
+use wse_stencil::{compile, CompileError, OffsetSpec, StencilSpec};
+
+/// Arbitrary offset in the Chebyshev ball of radius 2 (radius-2 offsets are
+/// rejected by the compiler today, which is part of what we test), with a
+/// finite weight.
+fn offset() -> impl Strategy<Value = OffsetSpec> {
+    (-2i32..3, -2i32..3, -4.0f32..4.0).prop_map(|(dx, dy, w)| OffsetSpec::weighted(dx, dy, w))
+}
+
+fn spec() -> impl Strategy<Value = StencilSpec> {
+    (
+        0usize..4,
+        proptest::collection::vec(offset(), 0..10),
+        0u32..3,
+        0u32..5,
+        0u32..13,
+    )
+        .prop_map(|(quantities, offsets, halo, phases, reduction)| {
+            let mut s = StencilSpec::new("prop", quantities, offsets);
+            s.halo_radius = halo;
+            s.phases = phases;
+            s.reduction_colors = reduction;
+            s
+        })
+}
+
+/// Checks every invariant a compiled pattern must satisfy for the fabric to
+/// route it: color budget, color uniqueness, stream indexing, delivery.
+fn assert_pattern_invariants(spec: &StencilSpec) {
+    let compiled = match compile(spec) {
+        Ok(c) => c,
+        Err(_) => return, // typed rejection is always acceptable
+    };
+    let p = &compiled.pattern;
+
+    // Budget: everything fits in the router's physical color space.
+    assert!(
+        p.colors_used() <= MAX_COLORS,
+        "compiled pattern exceeds MAX_COLORS: {}",
+        p.colors_used()
+    );
+
+    // Uniqueness: no two lanes (or phases, or reserved colors) share a color.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut claim = |c: u8, what: &str| {
+        assert!(
+            (c as usize) < MAX_COLORS,
+            "{what} color {c} out of hardware range"
+        );
+        assert!(seen.insert(c), "{what} color {c} assigned twice");
+    };
+    for lane in &p.cardinals {
+        claim(lane.color.id(), "cardinal");
+    }
+    for lane in &p.diagonals {
+        for phase in 0..lane.phases {
+            claim(lane.base_color + phase, "diagonal phase");
+        }
+    }
+    claim(p.start.id(), "start");
+    for c in &p.reduction {
+        claim(c.id(), "reduction");
+    }
+
+    // Stream indexing: stream k is exactly offsets[k], each exactly once.
+    assert_eq!(p.streams, spec.offsets.len());
+    let mut streams: Vec<Option<(i32, i32)>> = vec![None; p.streams];
+    for lane in &p.cardinals {
+        assert!(streams[lane.stream].replace(lane.offset).is_none());
+    }
+    for lane in &p.diagonals {
+        assert!(streams[lane.stream].replace(lane.offset).is_none());
+    }
+    for (k, entry) in streams.iter().enumerate() {
+        let (dx, dy) = entry.expect("every stream must have a lane");
+        assert_eq!((dx, dy), (spec.offsets[k].dx, spec.offsets[k].dy));
+    }
+
+    // Delivery: on an interior PE of a 5×5 fabric, every stream's data
+    // arrives on some color, and that color maps back to the same stream.
+    let dims = FabricDims::new(5, 5);
+    let c = PeCoord::new(2, 2);
+    let mut delivered = std::collections::BTreeSet::new();
+    for color_idx in 0..MAX_COLORS {
+        if let Some(s) = p.delivered_stream(c, Color::new(color_idx as u8)) {
+            assert!(delivered.insert(s), "stream {s} delivered on two colors");
+        }
+    }
+    assert_eq!(
+        delivered.len(),
+        p.streams,
+        "interior PE must receive every stream"
+    );
+
+    // Route programs render without panicking on every PE.
+    for y in 0..5 {
+        for x in 0..5 {
+            let _ = p.route_program(dims, PeCoord::new(x, y));
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn compile_never_panics_and_valid_patterns_hold_invariants(s in spec()) {
+        assert_pattern_invariants(&s);
+    }
+
+    #[test]
+    fn rejections_are_the_documented_diagnostics(s in spec()) {
+        if let Err(e) = compile(&s) {
+            // Every rejection is one of the typed diagnostics, and the
+            // diagnosis is consistent with the spec that produced it.
+            match &e {
+                CompileError::ZeroQuantities { name } => {
+                    prop_assert_eq!(s.quantities, 0);
+                    prop_assert_eq!(name.as_str(), s.name.as_str());
+                }
+                CompileError::ZeroOffset { index } => {
+                    let o = &s.offsets[*index];
+                    prop_assert_eq!((o.dx, o.dy), (0, 0));
+                }
+                CompileError::DuplicateOffset { offset, indices } => {
+                    let (i, j) = *indices;
+                    prop_assert!(i < j);
+                    let (a, b) = (&s.offsets[i], &s.offsets[j]);
+                    prop_assert_eq!((a.dx, a.dy), *offset);
+                    prop_assert_eq!((b.dx, b.dy), *offset);
+                }
+                CompileError::OffsetOutsideHaloRadius { offset, halo_radius } => {
+                    let cheb = offset.0.unsigned_abs().max(offset.1.unsigned_abs());
+                    prop_assert!(cheb > *halo_radius);
+                    prop_assert_eq!(*halo_radius, s.halo_radius);
+                }
+                CompileError::UnsupportedHaloRadius { halo_radius } => {
+                    prop_assert_ne!(*halo_radius, 1);
+                    prop_assert_eq!(*halo_radius, s.halo_radius);
+                }
+                CompileError::PhaseCycle { phases, offset } => {
+                    prop_assert!(*phases < 3);
+                    prop_assert!(offset.0 != 0 && offset.1 != 0);
+                }
+                CompileError::ColorBudgetExceeded { needed, budget } => {
+                    prop_assert!(needed > budget);
+                    prop_assert_eq!(*budget, MAX_COLORS);
+                }
+            }
+            // Diagnostics render a non-empty human-readable message.
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn compilation_is_deterministic(s in spec()) {
+        let a = compile(&s);
+        let b = compile(&s);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x.pattern, y.pattern),
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "compile(spec) flip-flopped between Ok and Err"),
+        }
+    }
+}
+
+#[test]
+fn canonical_specs_compile() {
+    for s in [
+        StencilSpec::tpfa(),
+        StencilSpec::laplace7(1.0, 1.0),
+        StencilSpec::wave(1.0, 1.0, 0.5),
+    ] {
+        let compiled = compile(&s).expect("canonical spec must compile");
+        assert_pattern_invariants(&s);
+        assert!(compiled.pattern.colors_used() <= MAX_COLORS);
+    }
+}

@@ -84,6 +84,21 @@ fn main() {
         stats.total.flops(),
         stats.total.fabric_loads,
     );
+    // `fluid()`/`transmissibilities()` are a thin wrapper over the generic
+    // workload API: the declarative TPFA stencil spec (`mdfv::stencil`) is
+    // compiled to colors, route programs and an exchange schedule, exactly
+    // like the Laplacian and seismic-wave workloads
+    // (`builder.workload(...)`, see `examples/seismic_wave.rs`).
+    let pattern = fabric.workload().pattern();
+    println!(
+        "compiled '{}' stencil: {} receive streams on {} colors \
+         ({} cardinal lanes, {} diagonal families)",
+        fabric.workload().name(),
+        pattern.streams,
+        pattern.colors_used(),
+        pattern.cardinals.len(),
+        pattern.diagonals.len(),
+    );
 
     // 6. The same fabric program on the parallel sharded engine (BSP
     //    supersteps over 4 rectangular shards): bit-identical results.

@@ -9,11 +9,19 @@
 //! checked against the serial reference every few steps and the wavefront
 //! radius is printed as a crude seismogram.
 //!
+//! The wave stencil is *not* hand-routed: `WaveParams::spec()` is a
+//! declarative [`mdfv::stencil::StencilSpec`] (full in-plane ring, one
+//! quantity) that the stencil compiler lowers to colors, route programs
+//! and an exchange schedule, and the workload rides the same generic
+//! `builder.workload(...)` path as TPFA and the Laplacian.
+//!
 //! ```text
 //! cargo run --release --example seismic_wave
 //! ```
 
-use mdfv::dataflow::wave::{serial_wave_step, WaveParams, WaveSimulator};
+use mdfv::dataflow::driver::DataflowFluxSimulator;
+use mdfv::dataflow::wave::{serial_wave_step, WaveParams, WaveSimulator, WaveWorkload};
+use mdfv::dataflow::workload::Workload;
 
 fn main() {
     let (nx, ny, nz) = (21usize, 21, 4);
@@ -23,6 +31,21 @@ fn main() {
         "acoustic wave on a {nx}x{ny} PE fabric, {nz}-deep columns, CFL = {:.3}",
         params.cfl()
     );
+
+    // Compile the declarative stencil spec into a fabric workload and hand
+    // it to the generic simulator builder — no hand-derived route tables.
+    let workload = WaveWorkload::new(nx, ny, nz, params).expect("wave spec compiles");
+    {
+        let pattern = workload.pattern();
+        println!(
+            "compiled '{}': {} receive streams, {} cardinal + {} diagonal lanes, {} colors",
+            workload.name(),
+            pattern.streams,
+            pattern.cardinals.len(),
+            pattern.diagonals.len(),
+            pattern.colors_used()
+        );
+    }
 
     // initial condition: a sharp Gaussian at the center, zero velocity
     let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
@@ -36,7 +59,11 @@ fn main() {
         }
     }
 
-    let mut sim = WaveSimulator::new(nx, ny, nz, params);
+    let sim = DataflowFluxSimulator::workload_builder()
+        .workload(workload)
+        .build()
+        .expect("valid wave problem");
+    let mut sim = WaveSimulator::from_simulator(sim);
     sim.set_initial(&u0, &u0);
 
     // serial shadow for validation

@@ -28,6 +28,14 @@ smoke:
 equivalence:
     cargo test -q -p wse-sim --release --test parallel_equivalence --test dsd_properties
 
+# the stencil-compiler gate: compiled TPFA ≡ hand-derived routes
+# bit-for-bit (residuals, stats, traces, checkpoints), spec-compiler
+# property tests, and the two non-TPFA workloads end-to-end
+stencil:
+    cargo test -q -p wse-stencil --release
+    cargo test -q -p tpfa-dataflow --release -- laplace wave
+    cargo run --release --example seismic_wave
+
 # engine wall-clock comparison (criterion; honest numbers depend on cores)
 bench-engines:
     cargo bench -p bench --bench weak_scaling -- 'engine/64x64'

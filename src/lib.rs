@@ -8,7 +8,10 @@
 //!
 //! * [`fv`] — physics + serial reference + matrix-free solvers
 //! * [`wse`] — the dataflow-architecture simulator
-//! * [`dataflow`] — the paper's contribution: TPFA on the fabric
+//! * [`stencil`] — the stencil→route compiler: declarative specs to
+//!   colors, per-PE route programs and exchange schedules
+//! * [`dataflow`] — the paper's contribution: TPFA on the fabric (now a
+//!   workload of the generic simulator, alongside Laplacian and wave)
 //! * [`gpu`] — RAJA-like and CUDA-like reference implementations
 //! * [`perf`] — CS-2 / A100 machine models, rooflines, energy
 //! * [`prof`] — critical-path profiling, cycle attribution, perf harness
@@ -27,3 +30,4 @@ pub use wse_metrics as metrics;
 pub use wse_prof as prof;
 pub use wse_serve as serve;
 pub use wse_sim as wse;
+pub use wse_stencil as stencil;
