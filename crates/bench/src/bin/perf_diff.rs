@@ -11,26 +11,29 @@
 //! blocking merges on noisy shared runners; `--strict` exits 1 instead.
 //!
 //! `--deterministic` restricts the comparison to the simulated-cycle
-//! metrics (everything except the `wall_clock_s/` and `events_per_s/`
-//! families). Those are exact functions of the program — not of the
-//! machine — so the threshold drops to 0.00% and *any* change in *any*
-//! direction counts as a regression, including `info` entries and
-//! metrics missing from the candidate. CI runs this with `--strict`: an
-//! engine optimization can never silently change simulated semantics.
+//! metrics (everything except the `wall_clock_s/`, `events_per_s/`, and
+//! `peak_rss_mb/` families — the last is machine-sized: allocator and
+//! page-size dependent). The rest are exact functions of the program —
+//! not of the machine — so the threshold drops to 0.00% and *any* change
+//! in *any* direction counts as a regression, including `info` entries
+//! and metrics missing from the candidate. CI runs this with `--strict`:
+//! an engine optimization can never silently change simulated semantics.
 //!
-//! The `speedup/` family is **deterministic-adjacent**: a ratio of two
-//! same-process throughput measurements, so machine noise largely cancels
-//! but does not vanish. In `--deterministic` mode it stays in the
-//! comparison with a generous worse-direction tolerance
-//! ([`SPEEDUP_TOLERANCE_PCT`]) instead of the exact-match rule — the gate
-//! that keeps the sharded engine from silently falling behind sequential
-//! again.
+//! The `speedup/` and `compiled_vs_hand/` families are
+//! **deterministic-adjacent**: ratios of two same-process (interleaved)
+//! throughput measurements, so machine noise largely cancels but does not
+//! vanish. In `--deterministic` mode they stay in the comparison with a
+//! generous worse-direction tolerance ([`RATIO_TOLERANCE_PCT`]) instead
+//! of the exact-match rule — the gates that keep the sharded engine from
+//! falling behind sequential, and compiled routing from falling behind
+//! the hand tables it replaced, at the levels the committed baseline
+//! achieved.
 
 use wse_prof::{bench_diff, BenchReport};
 
-/// Worse-direction tolerance for the `speedup/` family in
-/// `--deterministic` mode (see the module docs).
-const SPEEDUP_TOLERANCE_PCT: f64 = 25.0;
+/// Worse-direction tolerance for the ratio families (`speedup/`,
+/// `compiled_vs_hand/`) in `--deterministic` mode (see the module docs).
+const RATIO_TOLERANCE_PCT: f64 = 25.0;
 
 fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path)
@@ -57,20 +60,23 @@ fn main() {
     let mut a = load(a_path);
     let mut b = load(b_path);
     if deterministic {
-        let is_wall =
-            |name: &str| name.starts_with("wall_clock_s/") || name.starts_with("events_per_s/");
-        a.entries.retain(|e| !is_wall(&e.name));
-        b.entries.retain(|e| !is_wall(&e.name));
+        let is_machine = |name: &str| {
+            name.starts_with("wall_clock_s/")
+                || name.starts_with("events_per_s/")
+                || name.starts_with("peak_rss_mb/")
+        };
+        a.entries.retain(|e| !is_machine(&e.name));
+        b.entries.retain(|e| !is_machine(&e.name));
     }
     println!("baseline:  {} (rev {})", a_path, a.rev);
     println!("candidate: {} (rev {})\n", b_path, b.rev);
     let mut diff = bench_diff(&a, &b, if deterministic { 0.0 } else { threshold });
     if deterministic {
         for line in &mut diff.lines {
-            if line.name.starts_with("speedup/") {
+            if line.name.starts_with("speedup/") || line.name.starts_with("compiled_vs_hand/") {
                 // Deterministic-adjacent ratio: blocking, but only on a
                 // substantial move in the worse (lower) direction.
-                line.regressed = line.delta_pct < -SPEEDUP_TOLERANCE_PCT;
+                line.regressed = line.delta_pct < -RATIO_TOLERANCE_PCT;
             } else {
                 // Deterministic metrics admit no direction and no tolerance.
                 line.regressed = line.delta_pct != 0.0;

@@ -5,7 +5,8 @@
 //! renders one progress bar per job at chunk granularity — percent
 //! complete, applications done, deterministic event/fabric-time
 //! coordinates, and a wall-clock ETA — plus a server footer (queue depth,
-//! busy workers, completed jobs, cache hits) read straight from the live
+//! busy workers, completed jobs, cache hits, route equivalence classes,
+//! region fast-forward jumps) read straight from the live
 //! [`wse_metrics::MetricsHub`]. The screen redraws in place via ANSI
 //! cursor movement; pass `--plain` to append frames instead (useful when
 //! piping to a file).
@@ -18,6 +19,7 @@ use std::sync::mpsc;
 use std::time::Duration;
 
 use wse_serve::{JobServer, JobSpec, JobState, ProblemSpec, ProgressUpdate, ServerConfig};
+use wse_sim::fabric::Execution;
 
 const NX: usize = 16;
 const NY: usize = 16;
@@ -104,6 +106,15 @@ fn main() {
     let busy = hub.gauge("serve_workers_busy", "", &[]);
     let done_ctr = hub.counter("serve_jobs_done_total", "", &[]);
     let hits = hub.counter("serve_cache_hits_total", "", &[]);
+    // Fabric-level series carry an `engine` label; mirror the driver's
+    // label construction so the handles alias the worker-registered ones.
+    let engine = match common.execution {
+        Execution::Sequential => "sequential".to_string(),
+        Execution::Sharded { shards, .. } => format!("sharded{shards}"),
+    };
+    let fabric_label: &[(&str, &str)] = &[("engine", &engine)];
+    let eq_classes = hub.gauge("fabric_eq_classes", "", fabric_label);
+    let region_ff = hub.counter("fabric_region_ff_jumps_total", "", fabric_label);
 
     let mut latest: Vec<Option<ProgressUpdate>> = vec![None; jobs];
     let mut frame_lines = 0usize;
@@ -142,11 +153,13 @@ fn main() {
             frame_lines += 1;
         }
         println!(
-            "{clear}\nqueue {:.0}  busy {:.0}  done {}/{jobs}  cache hits {}",
+            "{clear}\nqueue {:.0}  busy {:.0}  done {}/{jobs}  cache hits {}  eq-classes {:.0}  region-ff {}",
             queue_depth.get(),
             busy.get(),
             done_ctr.get(),
-            hits.get()
+            hits.get(),
+            eq_classes.get(),
+            region_ff.get()
         );
         frame_lines += 2;
         if open == 0 {

@@ -28,6 +28,25 @@ pub use wse_sim::trace::{
 /// The paper's production mesh (750 × 994 × 246 = 183 393 000 cells).
 pub const PAPER_MESH: (usize, usize, usize) = (750, 994, 246);
 
+/// The paper mesh's interior xy footprint, one PE per cell column — the
+/// fabric the *measured* paper-scale runs instantiate (737,794 PEs).
+pub const PAPER_MESH_XY: (usize, usize) = (746, 989);
+
+/// Truncated z extent for the measured paper-scale smoke: enough for a
+/// real vertical exchange (the column kernel touches z±1), small enough
+/// that one apply finishes in CI.
+pub const PAPER_SMOKE_NZ: usize = 2;
+
+/// Peak resident set of this process in MiB, read from
+/// `/proc/self/status` `VmHWM` — the figure `/usr/bin/time -v` reports
+/// as "Maximum resident set size". `None` off Linux.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 /// Applications of Algorithm 1 in the paper's timing runs.
 pub const PAPER_ITERATIONS: usize = 1000;
 

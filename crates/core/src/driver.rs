@@ -318,6 +318,7 @@ pub struct SimulatorBuilder<'a> {
     max_events: u64,
     execution: Execution,
     fast_forward: bool,
+    dedup_routes: bool,
     trace: TraceSpec,
     fault_plan: FaultPlan,
     recovery: RecoveryPolicy,
@@ -338,6 +339,7 @@ impl<'a> SimulatorBuilder<'a> {
             max_events: 1_000_000_000,
             execution: Execution::Sequential,
             fast_forward: true,
+            dedup_routes: true,
             trace: TraceSpec::OFF,
             fault_plan: FaultPlan::new(),
             recovery: RecoveryPolicy::Fail,
@@ -428,6 +430,17 @@ impl<'a> SimulatorBuilder<'a> {
     /// per-hop event semantics — results are bit-identical either way.
     pub fn fast_forward(mut self, enabled: bool) -> Self {
         self.fast_forward = enabled;
+        self
+    }
+
+    /// Route-table deduplication in the fabric (default on): PEs with
+    /// identical static route tables share one table per SPMD equivalence
+    /// class, see [`FabricConfig::dedup_routes`]. `false` keeps the legacy
+    /// one-table-per-PE representation — results are bit-identical either
+    /// way (the equivalence suite's differential axis). Not part of the
+    /// spec hash: checkpoints interchange across representations.
+    pub fn dedup_routes(mut self, enabled: bool) -> Self {
+        self.dedup_routes = enabled;
         self
     }
 
@@ -559,6 +572,7 @@ impl<'a> SimulatorBuilder<'a> {
                 max_events: self.max_events,
                 execution: self.execution,
                 fast_forward: self.fast_forward,
+                dedup_routes: self.dedup_routes,
                 trace: self.trace,
                 ..FabricConfig::default()
             },
@@ -660,6 +674,8 @@ struct DriverMetrics {
     fault_events: Counter,
     ff_hops: Counter,
     ff_jumps: Counter,
+    region_ff_jumps: Counter,
+    eq_classes: Gauge,
     fabric_time: Gauge,
     queue_ring: Gauge,
     queue_overflow: Gauge,
@@ -674,6 +690,7 @@ struct DriverMetrics {
     pub_checksum_drops: u64,
     pub_ff_hops: u64,
     pub_ff_jumps: u64,
+    pub_region_ff_jumps: u64,
     /// Wall-clock start of the in-flight application (live hubs only).
     apply_started: Option<Instant>,
 }
@@ -696,6 +713,8 @@ impl DriverMetrics {
             fault_events: hub.counter("fabric_fault_events_total", "Fault events logged by the injection machinery (deterministic)", l),
             ff_hops: hub.counter("fabric_ff_hops_total", "Hops covered by static-route fast-forwarding (deterministic and engine-invariant; 0 with fast-forward off)", l),
             ff_jumps: hub.counter("fabric_ff_jumps_total", "Fast-forward jumps taken (engine-DEPENDENT: per chain sequentially, per segment sharded)", l),
+            region_ff_jumps: hub.counter("fabric_region_ff_jumps_total", "Region fast-forward jumps: jumps crossing >= 2 identical PEs in one event (engine-DEPENDENT, like ff_jumps)", l),
+            eq_classes: hub.gauge("fabric_eq_classes", "Route-table equivalence classes after load (O(1) for SPMD programs; equals PE count with dedup off)", l),
             fabric_time: hub.gauge("fabric_time_cycles", "Simulated fabric time after the last application (deterministic)", l),
             queue_ring: hub.gauge("fabric_queue_ring_occupancy", "Host calendar-queue items in the near-term ring", l),
             queue_overflow: hub.gauge("fabric_queue_overflow_occupancy", "Host calendar-queue items parked in the far-future overflow heap", l),
@@ -706,6 +725,7 @@ impl DriverMetrics {
             pub_checksum_drops: 0,
             pub_ff_hops: 0,
             pub_ff_jumps: 0,
+            pub_region_ff_jumps: 0,
             apply_started: None,
         }
     }
@@ -742,11 +762,14 @@ impl DriverMetrics {
         let cks_d = delta(stats.checksum_drops, &mut self.pub_checksum_drops);
         let hops_d = delta(fabric.ff_hops(), &mut self.pub_ff_hops);
         let jumps_d = delta(fabric.ff_jumps(), &mut self.pub_ff_jumps);
+        let region_d = delta(fabric.region_ff_jumps(), &mut self.pub_region_ff_jumps);
         self.flow_stalls.add(stall_d);
         self.fault_drops.add(fault_d);
         self.checksum_drops.add(cks_d);
         self.ff_hops.add(hops_d);
         self.ff_jumps.add(jumps_d);
+        self.region_ff_jumps.add(region_d);
+        self.eq_classes.set_u64(fabric.eq_classes() as u64);
 
         let (ring, overflow) = fabric.queue_occupancy();
         self.queue_ring.set_u64(ring as u64);
@@ -1009,6 +1032,7 @@ impl DataflowFluxSimulator {
         self.metrics.pub_checksum_drops = 0;
         self.metrics.pub_ff_hops = 0;
         self.metrics.pub_ff_jumps = 0;
+        self.metrics.pub_region_ff_jumps = 0;
     }
 
     /// Captures the complete driver + fabric state as plain data. Valid at
@@ -1232,6 +1256,21 @@ impl DataflowFluxSimulator {
     /// engine would use for `shards` (see [`Fabric::shard_stats`]).
     pub fn shard_stats(&self, shards: usize) -> Vec<FabricStats> {
         self.fabric.shard_stats(shards)
+    }
+
+    /// Route-table equivalence classes after program load (see
+    /// [`Fabric::eq_classes`]). With deduplication on this is the number
+    /// of distinct route programs — O(1) for SPMD workloads regardless of
+    /// fabric size; with it off, the PE count.
+    pub fn eq_classes(&self) -> usize {
+        self.fabric.eq_classes()
+    }
+
+    /// Fast-forward jumps that crossed >= 2 identical PEs in one event
+    /// (see [`Fabric::region_ff_jumps`]). Engine-DEPENDENT, like
+    /// `ff_jumps`: excluded from the determinism contract.
+    pub fn region_ff_jumps(&self) -> u64 {
+        self.fabric.region_ff_jumps()
     }
 
     /// Total cycles wavelets spent queued behind busy PEs (see

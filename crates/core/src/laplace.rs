@@ -255,10 +255,13 @@ impl Workload for LaplaceWorkload {
     fn collect(&self, fabric: &Fabric) -> Vec<f32> {
         let layout = LaplaceLayout::new(self.nz);
         let mut out = vec![0.0_f32; self.nx * self.ny * self.nz];
+        let mut col = vec![0.0_f32; layout.out.len];
         for y in 0..self.ny {
             for x in 0..self.nx {
-                let col = fabric.memory(PeCoord::new(x, y)).host_read_f32(layout.out);
-                for (z, v) in col.into_iter().enumerate() {
+                fabric
+                    .memory(PeCoord::new(x, y))
+                    .host_read_f32_into(layout.out, &mut col);
+                for (z, &v) in col.iter().enumerate() {
                     out[(z * self.ny + y) * self.nx + x] = v;
                 }
             }

@@ -341,9 +341,12 @@ impl Workload for WaveWorkload {
     fn collect(&self, fabric: &Fabric) -> Vec<f32> {
         let layout = WaveLayout::new(self.nz);
         let mut out = vec![0.0_f32; self.nx * self.ny * self.nz];
+        let mut col = vec![0.0_f32; layout.u.len];
         for y in 0..self.ny {
             for x in 0..self.nx {
-                let col = fabric.memory(PeCoord::new(x, y)).host_read_f32(layout.u);
+                fabric
+                    .memory(PeCoord::new(x, y))
+                    .host_read_f32_into(layout.u, &mut col);
                 for z in 0..self.nz {
                     out[(z * self.ny + y) * self.nx + x] = col[z + 1];
                 }

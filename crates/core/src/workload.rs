@@ -224,11 +224,14 @@ impl Workload for TpfaWorkload {
         let layout = ColumnLayout::new(self.nz);
         let nz = self.nz;
         let mut residual = vec![0.0_f32; self.nx * self.ny * nz];
+        let mut col = vec![0.0_f32; layout.residual.len];
         for y in 0..self.ny {
             for x in 0..self.nx {
                 let pe = PeCoord::new(x, y);
-                let col = fabric.memory(pe).host_read_f32(layout.residual);
-                for (z, v) in col.into_iter().enumerate() {
+                fabric
+                    .memory(pe)
+                    .host_read_f32_into(layout.residual, &mut col);
+                for (z, &v) in col.iter().enumerate() {
                     residual[(z * self.ny + y) * self.nx + x] = v;
                 }
             }

@@ -1,0 +1,282 @@
+//! Differential suite for the SPMD arena representation: struct-of-array
+//! PE state, equivalence-class route-table deduplication, and region
+//! fast-forwarding must be pure *representation* changes — every
+//! observable of a TPFA run is bit-identical whether route programs are
+//! shared per class (`dedup_routes(true)`, the default) or owned per PE
+//! (`dedup_routes(false)`, the legacy layout), across both engines and
+//! both fast-forward settings.
+//!
+//! Strictness levels mirror `wse-stencil/tests/compile_equivalence.rs`:
+//!
+//! 1. residual vectors, compared bit-for-bit (`f32::to_bits`);
+//! 2. [`FabricStats`] and the [`RunReport`] (events, final time);
+//! 3. the full sorted trace event stream;
+//! 4. snapshot interchange: a checkpoint taken from a deduplicated
+//!    simulator restores into a per-PE-routed one (and vice versa),
+//!    because the in-memory representation is deliberately excluded from
+//!    the spec hash.
+//!
+//! The proptest wall randomizes fabric geometry so shard boundaries,
+//! pattern reach, and edge truncation all vary; the class-count tests pin
+//! the headline property that makes paper-scale fabrics affordable:
+//! `eq_classes` is *constant* in the fabric size for an SPMD program.
+
+use fv_core::eos::Fluid;
+use fv_core::fields::PermeabilityField;
+use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+use fv_core::state::FlowState;
+use fv_core::trans::{StencilKind, Transmissibilities};
+use proptest::prelude::*;
+use tpfa_dataflow::colors::tpfa_pattern;
+use tpfa_dataflow::DataflowFluxSimulator;
+use wse_sim::fabric::{Execution, RunReport};
+use wse_sim::geometry::FabricDims;
+use wse_sim::stats::FabricStats;
+use wse_sim::trace::TraceSpec;
+
+struct Problem {
+    mesh: CartesianMesh3,
+    fluid: Fluid,
+    trans: Transmissibilities,
+    pressure: Vec<f32>,
+}
+
+fn problem(nx: usize, ny: usize, nz: usize, seed: u64) -> Problem {
+    let mesh = CartesianMesh3::new(Extents::new(nx, ny, nz), Spacing::new(10.0, 10.0, 4.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, seed);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let pressure = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, seed % 7)
+        .pressure()
+        .to_vec();
+    Problem {
+        mesh,
+        fluid,
+        trans,
+        pressure,
+    }
+}
+
+fn build(
+    p: &Problem,
+    dedup: bool,
+    execution: Execution,
+    fast_forward: bool,
+    trace: TraceSpec,
+) -> DataflowFluxSimulator {
+    DataflowFluxSimulator::builder(&p.mesh)
+        .fluid(&p.fluid)
+        .transmissibilities(&p.trans)
+        .dedup_routes(dedup)
+        .execution(execution)
+        .fast_forward(fast_forward)
+        .trace(trace)
+        .build()
+        .expect("build failed")
+}
+
+/// Everything observable from one run; bit-exact comparison.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    residual_bits: Vec<u32>,
+    stats: FabricStats,
+    report: RunReport,
+    eq_classes_dedup_on: Option<usize>,
+}
+
+fn observe(p: &Problem, dedup: bool, execution: Execution, fast_forward: bool) -> Observation {
+    let mut sim = build(p, dedup, execution, fast_forward, TraceSpec::OFF);
+    let residual = sim.apply(&p.pressure).expect("TPFA run failed");
+    Observation {
+        residual_bits: residual.iter().map(|v| v.to_bits()).collect(),
+        stats: sim.stats(),
+        report: sim.last_run().unwrap(),
+        eq_classes_dedup_on: dedup.then(|| sim.eq_classes()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random geometry, random engine, both dedup settings, both
+    /// fast-forward settings: eight runs, one answer. The class count of
+    /// every deduplicated run must equal the declarative pattern's
+    /// equivalence-class count for that geometry.
+    #[test]
+    fn randomized_geometry_is_representation_invariant(
+        nx in 4usize..13,
+        ny in 4usize..13,
+        nz in 1usize..4,
+        seed in 0u64..1000,
+        shard_pick in 0usize..3,
+        threads in 1usize..4,
+    ) {
+        let p = problem(nx, ny, nz, seed);
+        let shards = [1usize, 4, 9][shard_pick];
+        let classes = tpfa_pattern().eq_classes(FabricDims::new(nx, ny));
+        let mut reference: Option<Observation> = None;
+        for execution in [Execution::Sequential, Execution::Sharded { shards, threads }] {
+            for dedup in [true, false] {
+                for ff in [true, false] {
+                    let mut o = observe(&p, dedup, execution, ff);
+                    if let Some(c) = o.eq_classes_dedup_on {
+                        prop_assert_eq!(
+                            c, classes,
+                            "{}x{} {:?} ff={}: fabric classes vs pattern classes",
+                            nx, ny, execution, ff
+                        );
+                    }
+                    // ff_jumps / region_ff_jumps are engine- and
+                    // setting-dependent by contract; everything else must
+                    // be bit-identical. eq_classes differs by design
+                    // (dedup off => one class per PE), so normalize it out
+                    // of the cross-representation comparison.
+                    o.eq_classes_dedup_on = None;
+                    match &reference {
+                        None => reference = Some(o),
+                        Some(r) => prop_assert_eq!(
+                            r, &o,
+                            "{}x{}x{} seed {} {:?} dedup={} ff={} diverged",
+                            nx, ny, nz, seed, execution, dedup, ff
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn without_dedup_every_pe_is_its_own_class() {
+    let p = problem(10, 8, 2, 3);
+    let mut sim = build(&p, false, Execution::Sequential, true, TraceSpec::OFF);
+    sim.apply(&p.pressure).expect("run failed");
+    assert_eq!(sim.eq_classes(), 10 * 8, "legacy layout: one class per PE");
+}
+
+#[test]
+fn eq_classes_are_constant_in_the_fabric_size() {
+    // The paper-scale claim: once the grid clears the pattern reach, the
+    // class count stops growing — shared route programs (and the
+    // class-indexed fast-forward table) cost O(classes), not O(PEs).
+    let mut counts = Vec::new();
+    for (nx, ny) in [(16, 16), (24, 20), (40, 12)] {
+        let p = problem(nx, ny, 2, 9);
+        let mut sim = build(&p, true, Execution::Sequential, true, TraceSpec::OFF);
+        sim.apply(&p.pressure).expect("run failed");
+        assert_eq!(
+            sim.eq_classes(),
+            tpfa_pattern().eq_classes(FabricDims::new(nx, ny)),
+            "{nx}x{ny}: fabric dedup must find exactly the pattern's classes"
+        );
+        counts.push(sim.eq_classes());
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "class count must not grow with the fabric: {counts:?}"
+    );
+    assert!(
+        counts[0] < 16 * 16 / 2,
+        "classes ({}) must be far below the PE count",
+        counts[0]
+    );
+}
+
+#[test]
+fn sorted_trace_streams_are_bit_identical_across_representations() {
+    let p = problem(12, 12, 4, 11);
+    for (execution, shards) in [
+        (Execution::Sequential, None),
+        (
+            Execution::Sharded {
+                shards: 4,
+                threads: 2,
+            },
+            Some(4),
+        ),
+    ] {
+        let mut dedup = build(&p, true, execution, true, TraceSpec::ring(8192));
+        let mut per_pe = build(&p, false, execution, true, TraceSpec::ring(8192));
+        dedup.apply(&p.pressure).expect("dedup run failed");
+        per_pe.apply(&p.pressure).expect("per-PE run failed");
+        let (t_dedup, t_per_pe) = match shards {
+            None => (dedup.trace().unwrap(), per_pe.trace().unwrap()),
+            Some(n) => (
+                dedup.trace_with_shards(n).unwrap(),
+                per_pe.trace_with_shards(n).unwrap(),
+            ),
+        };
+        assert_eq!(t_dedup.dropped, 0, "ring must hold the full run");
+        assert_eq!(t_per_pe.dropped, 0, "ring must hold the full run");
+        assert!(
+            t_dedup.events.len() > 10_000,
+            "expected a substantial trace, got {} events",
+            t_dedup.events.len()
+        );
+        assert_eq!(
+            t_dedup.events, t_per_pe.events,
+            "{execution:?}: sorted trace stream diverged between representations"
+        );
+    }
+}
+
+#[test]
+fn spec_hash_ignores_the_arena_representation() {
+    let p = problem(12, 12, 4, 11);
+    let dedup = build(&p, true, Execution::Sequential, true, TraceSpec::OFF);
+    let per_pe = build(&p, false, Execution::Sequential, true, TraceSpec::OFF);
+    assert_eq!(
+        dedup.spec_hash(),
+        per_pe.spec_hash(),
+        "representation must not leak into the problem identity"
+    );
+}
+
+#[test]
+fn checkpoints_interchange_between_representations() {
+    let p = problem(12, 12, 4, 11);
+    // Advance a deduplicated simulator two applications, snapshot, restore
+    // into a per-PE-routed one (and the reverse, across engines), then run
+    // one more application everywhere and demand bit-identical residuals.
+    let mut dedup = build(&p, true, Execution::Sequential, true, TraceSpec::OFF);
+    let mut per_pe = build(
+        &p,
+        false,
+        Execution::Sharded {
+            shards: 4,
+            threads: 2,
+        },
+        true,
+        TraceSpec::OFF,
+    );
+    for _ in 0..2 {
+        dedup.apply(&p.pressure).expect("dedup run failed");
+        per_pe.apply(&p.pressure).expect("per-PE run failed");
+    }
+    let snap_dedup = dedup.snapshot();
+    let snap_per_pe = per_pe.snapshot();
+
+    let mut per_pe_from_dedup = build(&p, false, Execution::Sequential, false, TraceSpec::OFF);
+    per_pe_from_dedup
+        .restore_snapshot(&snap_dedup)
+        .expect("dedup snapshot must restore into a per-PE-routed simulator");
+    let mut dedup_from_per_pe = build(&p, true, Execution::Sequential, false, TraceSpec::OFF);
+    dedup_from_per_pe
+        .restore_snapshot(&snap_per_pe)
+        .expect("per-PE snapshot must restore into a deduplicated simulator");
+    assert_eq!(per_pe_from_dedup.applications(), 2);
+    assert_eq!(dedup_from_per_pe.applications(), 2);
+
+    let r_dedup = dedup.apply(&p.pressure).expect("dedup run failed");
+    let r_per_pe = per_pe.apply(&p.pressure).expect("per-PE run failed");
+    let r_pfd = per_pe_from_dedup.apply(&p.pressure).expect("restored run");
+    let r_dfp = dedup_from_per_pe.apply(&p.pressure).expect("restored run");
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&r_dedup),
+        bits(&r_per_pe),
+        "dedup vs per-PE post-restore"
+    );
+    assert_eq!(bits(&r_dedup), bits(&r_pfd), "per-PE-from-dedup-snapshot");
+    assert_eq!(bits(&r_dedup), bits(&r_dfp), "dedup-from-per-PE-snapshot");
+}

@@ -1,10 +1,13 @@
 //! Determinism contract of the driver/fabric telemetry: every metric
 //! whose name starts with `fabric_` or `driver_` (except the documented
-//! engine-DEPENDENT `fabric_ff_jumps_total`) must be **bit-identical**
-//! across engines — sequential vs sharded 1/4/9 — and across
-//! fast-forwarding on/off, because they are pure functions of the
-//! deterministic event stream. Wall-clock series (`wall_*`) are excluded
-//! by construction.
+//! engine-DEPENDENT `fabric_ff_jumps_total` and
+//! `fabric_region_ff_jumps_total`) must be **bit-identical** across
+//! engines — sequential vs sharded 1/4/9 — and across fast-forwarding
+//! on/off, because they are pure functions of the deterministic event
+//! stream. Wall-clock series (`wall_*`) are excluded by construction.
+//! (`fabric_eq_classes` stays in: every configuration here uses the
+//! deduplicated arena, where the class count is a pure function of the
+//! route program.)
 //!
 //! Also pins the two boundary behaviors the exposition depends on:
 //! log2-bucket edges and the flight ring's exact-tail property — here at
@@ -54,7 +57,8 @@ fn deterministic_metrics(execution: Execution, fast_forward: bool) -> BTreeMap<S
     let mut out = BTreeMap::new();
     for s in hub.snapshot() {
         let deterministic = (s.name.starts_with("fabric_") || s.name.starts_with("driver_"))
-            && s.name != "fabric_ff_jumps_total";
+            && s.name != "fabric_ff_jumps_total"
+            && s.name != "fabric_region_ff_jumps_total";
         if !deterministic {
             continue;
         }

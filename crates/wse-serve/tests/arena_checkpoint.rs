@@ -1,0 +1,135 @@
+//! The checkpoint codec against the SPMD arena representation: a wire
+//! checkpoint must be a function of the *problem state*, never of the
+//! in-memory layout that produced it. Struct-of-array scalar arenas,
+//! per-class shared route tables (`dedup_routes`), and lazily-grown PE
+//! memories all canonicalize to the same byte stream as the legacy
+//! per-PE layout — so the schema stays at version 1 and checkpoints
+//! interchange freely across representations *and* engines.
+
+use fv_core::eos::Fluid;
+use fv_core::fields::PermeabilityField;
+use fv_core::mesh::{CartesianMesh3, Extents, Spacing};
+use fv_core::state::FlowState;
+use fv_core::trans::{StencilKind, Transmissibilities};
+use tpfa_dataflow::DataflowFluxSimulator;
+use wse_serve::{Checkpoint, SCHEMA_VERSION};
+use wse_sim::fabric::Execution;
+
+const NX: usize = 10;
+const NY: usize = 9;
+const NZ: usize = 3;
+
+struct Problem {
+    mesh: CartesianMesh3,
+    fluid: Fluid,
+    trans: Transmissibilities,
+    pressure: Vec<f32>,
+}
+
+fn problem() -> Problem {
+    let mesh = CartesianMesh3::new(Extents::new(NX, NY, NZ), Spacing::new(10.0, 10.0, 4.0));
+    let fluid = Fluid::water_like();
+    let perm = PermeabilityField::log_normal(&mesh, 1e-13, 0.4, 23);
+    let trans = Transmissibilities::tpfa(&mesh, &perm, StencilKind::TenPoint);
+    let pressure = FlowState::<f32>::varied(&mesh, 1.0e7, 1.2e7, 2)
+        .pressure()
+        .to_vec();
+    Problem {
+        mesh,
+        fluid,
+        trans,
+        pressure,
+    }
+}
+
+fn build(p: &Problem, dedup: bool, execution: Execution) -> DataflowFluxSimulator {
+    DataflowFluxSimulator::builder(&p.mesh)
+        .fluid(&p.fluid)
+        .transmissibilities(&p.trans)
+        .dedup_routes(dedup)
+        .execution(execution)
+        .build()
+        .expect("build failed")
+}
+
+#[test]
+fn encoded_bytes_are_independent_of_the_representation() {
+    // Same problem, same state, two in-memory layouts: the wire bytes
+    // must be identical — the codec sees canonical snapshots, not arenas.
+    let p = problem();
+    let mut dedup = build(&p, true, Execution::Sequential);
+    let mut per_pe = build(&p, false, Execution::Sequential);
+    for _ in 0..2 {
+        dedup.apply(&p.pressure).expect("dedup run failed");
+        per_pe.apply(&p.pressure).expect("per-PE run failed");
+    }
+    let b_dedup = Checkpoint::capture(&dedup).encode();
+    let b_per_pe = Checkpoint::capture(&per_pe).encode();
+    assert_eq!(
+        b_dedup, b_per_pe,
+        "representation leaked into the wire format"
+    );
+    assert_eq!(
+        SCHEMA_VERSION, 1,
+        "arena layout must not force a schema bump"
+    );
+}
+
+#[test]
+fn encoded_bytes_are_independent_of_the_engine() {
+    let p = problem();
+    let mut seq = build(&p, true, Execution::Sequential);
+    let mut sharded = build(
+        &p,
+        true,
+        Execution::Sharded {
+            shards: 4,
+            threads: 2,
+        },
+    );
+    for _ in 0..2 {
+        seq.apply(&p.pressure).expect("sequential run failed");
+        sharded.apply(&p.pressure).expect("sharded run failed");
+    }
+    assert_eq!(
+        Checkpoint::capture(&seq).encode(),
+        Checkpoint::capture(&sharded).encode(),
+        "engine leaked into the wire format"
+    );
+}
+
+#[test]
+fn wire_roundtrip_crosses_representations_and_engines() {
+    // Capture from a deduplicated sharded simulator, push the bytes
+    // through encode/decode, restore into a legacy per-PE sequential one,
+    // and demand the continuation is bit-identical to never stopping.
+    let p = problem();
+    let mut origin = build(
+        &p,
+        true,
+        Execution::Sharded {
+            shards: 4,
+            threads: 2,
+        },
+    );
+    for _ in 0..2 {
+        origin.apply(&p.pressure).expect("origin run failed");
+    }
+    let bytes = Checkpoint::capture(&origin).encode();
+    let decoded = Checkpoint::decode(&bytes).expect("decode failed");
+
+    let mut resumed = build(&p, false, Execution::Sequential);
+    decoded
+        .restore_into(&mut resumed)
+        .expect("cross-representation restore failed");
+    assert_eq!(resumed.applications(), 2);
+
+    let r_origin = origin.apply(&p.pressure).expect("origin run failed");
+    let r_resumed = resumed.apply(&p.pressure).expect("resumed run failed");
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&r_origin),
+        bits(&r_resumed),
+        "resumed continuation diverged from the uninterrupted run"
+    );
+}

@@ -83,15 +83,15 @@ use crate::geometry::{Direction, FabricDims, PeCoord, CARDINALS};
 use crate::memory::PeMemory;
 use crate::pe::{PeContext, PeProgram};
 use crate::queue::{advance_time, CalendarQueue, EventQueue, Timestamped};
-use crate::route::{DirMask, RouteError, Router};
+use crate::route::{DirMask, RouteError, RouteTable, Router};
 use crate::snapshot::{
     EventRecord, FabricSnapshot, FaultRecord, PeRecord, RestoreError, TraceSeqRecord,
 };
 use crate::stats::{FabricStats, OpCounters};
 use crate::wavelet::{Color, Wavelet, WaveletKind, MAX_COLORS};
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use wse_trace::{EventRing, PeTracer, Trace, TraceEventKind, TraceSpec, HOST_PE, LINK_CONTROL_BIT};
 
 /// Which event-loop engine [`Fabric::run`] uses.
@@ -138,6 +138,13 @@ pub struct FabricConfig {
     /// (treated as off) while tracing is enabled or a non-empty
     /// [`FaultPlan`] is installed — those paths need per-hop semantics.
     pub fast_forward: bool,
+    /// Route-table deduplication (default on): after `load`, routers with
+    /// identical static tables share one `Arc<RouteTable>` per equivalence
+    /// class — O(classes) route storage for SPMD programs instead of
+    /// O(PEs), and a class-indexed fast-forward table. Results are
+    /// bit-identical either way; `false` keeps the legacy one-table-per-PE
+    /// representation as the differential axis for equivalence tests.
+    pub dedup_routes: bool,
 }
 
 impl Default for FabricConfig {
@@ -149,6 +156,7 @@ impl Default for FabricConfig {
             execution: Execution::Sequential,
             trace: TraceSpec::OFF,
             fast_forward: true,
+            dedup_routes: true,
         }
     }
 }
@@ -240,12 +248,15 @@ struct PeFaultState {
     tainted: bool,
 }
 
+/// Per-PE state that does *not* fit the struct-of-arrays arena: the things
+/// with per-PE identity (memory, program, router dynamic state, fault
+/// machinery, trace sink). Every plain per-PE scalar lives in
+/// [`PeScalars`] instead, indexed by the engine's slot index.
 struct PeSlot {
     memory: PeMemory,
     counters: OpCounters,
     router: Router,
     program: Box<dyn PeProgram>,
-    busy_until: u64,
     outbox: Vec<Wavelet>,
     activations: Vec<(Color, u32)>,
     /// Wavelets stalled by flow control: the active switch position does
@@ -257,27 +268,112 @@ struct PeSlot {
     /// path never allocates. Always drained back to empty. The flag marks
     /// the primary (incoming) wavelet, whose hop may be key-preserving.
     route_scratch: VecDeque<(Direction, Wavelet, bool)>,
-    /// This PE's private event sequence counter (the `seq` of events it
-    /// creates). Causally local: advances only when this PE processes an
-    /// event, identically in both engines.
-    seq: u64,
-    /// Wavelets this PE sent off the fabric edge.
-    edge_drops: u64,
-    /// Backpressure (park) events at this PE's router.
-    flow_stalls: u64,
-    /// Cycles deliveries spent queued behind this PE's busy CE before their
-    /// task could start (`busy_until − delivery time`, summed). Accumulated
-    /// in the shared `process_deliver` path, so it is bit-identical between
-    /// the sequential and sharded engines.
-    queue_wait_cycles: u64,
-    /// Wavelets dropped or swallowed by injected faults at this PE.
-    fault_drops: u64,
-    /// Corrupted wavelets caught by checksum verification at this ramp.
-    checksum_drops: u64,
     /// Fault-injection state (inert unless a plan is installed).
     faults: PeFaultState,
     /// This PE's trace sink (a no-op unless tracing is enabled).
     trace: PeTracer,
+}
+
+/// The struct-of-arrays arena of per-PE scalar state: flat slices indexed
+/// by PE slot index — fabric-linear on the sequential engine, shard-local
+/// on the sharded engine (see [`PeScalars::gather`]). Keeping these nine
+/// words out of [`PeSlot`] keeps the hot counters densely packed and the
+/// slot itself small, which is what paper-scale PE counts need.
+#[derive(Debug, Clone, Default)]
+struct PeScalars {
+    /// The PE's CE is busy until this fabric time.
+    busy_until: Vec<u64>,
+    /// This PE's private event sequence counter (the `seq` of events it
+    /// creates). Causally local: advances only when this PE processes an
+    /// event, identically in both engines.
+    seq: Vec<u64>,
+    /// Wavelets this PE sent off the fabric edge.
+    edge_drops: Vec<u64>,
+    /// Backpressure (park) events at this PE's router.
+    flow_stalls: Vec<u64>,
+    /// Cycles deliveries spent queued behind this PE's busy CE before their
+    /// task could start (`busy_until − delivery time`, summed). Accumulated
+    /// in the shared `process_deliver` path, so it is bit-identical between
+    /// the sequential and sharded engines.
+    queue_wait_cycles: Vec<u64>,
+    /// Wavelets dropped or swallowed by injected faults at this PE.
+    fault_drops: Vec<u64>,
+    /// Corrupted wavelets caught by checksum verification at this ramp.
+    checksum_drops: Vec<u64>,
+    /// Wavelets this PE's router forwarded per fabric link (excludes ramp
+    /// deliveries). Lived on the router before the static/dynamic split;
+    /// routing is pure now and the engines count here.
+    fabric_hops: Vec<u64>,
+    /// Wavelets this PE's router delivered up the ramp.
+    ramp_deliveries: Vec<u64>,
+}
+
+impl PeScalars {
+    fn new(n: usize) -> Self {
+        Self {
+            busy_until: vec![0; n],
+            seq: vec![0; n],
+            edge_drops: vec![0; n],
+            flow_stalls: vec![0; n],
+            queue_wait_cycles: vec![0; n],
+            fault_drops: vec![0; n],
+            checksum_drops: vec![0; n],
+            fabric_hops: vec![0; n],
+            ramp_deliveries: vec![0; n],
+        }
+    }
+
+    fn fields(&self) -> [&Vec<u64>; 9] {
+        [
+            &self.busy_until,
+            &self.seq,
+            &self.edge_drops,
+            &self.flow_stalls,
+            &self.queue_wait_cycles,
+            &self.fault_drops,
+            &self.checksum_drops,
+            &self.fabric_hops,
+            &self.ramp_deliveries,
+        ]
+    }
+
+    fn fields_mut(&mut self) -> [&mut Vec<u64>; 9] {
+        [
+            &mut self.busy_until,
+            &mut self.seq,
+            &mut self.edge_drops,
+            &mut self.flow_stalls,
+            &mut self.queue_wait_cycles,
+            &mut self.fault_drops,
+            &mut self.checksum_drops,
+            &mut self.fabric_hops,
+            &mut self.ramp_deliveries,
+        ]
+    }
+
+    /// Copies the rows at fabric-linear indices `linear` out into a dense
+    /// shard-local arena (row `j` of the result is row `linear[j]` here).
+    /// Shard rects are non-contiguous in linear order, so this is the
+    /// split half of the sharded engine's slot hand-off.
+    fn gather(&self, linear: &[usize]) -> PeScalars {
+        let mut out = PeScalars::new(linear.len());
+        for (src, dst) in self.fields().into_iter().zip(out.fields_mut()) {
+            for (j, &i) in linear.iter().enumerate() {
+                dst[j] = src[i];
+            }
+        }
+        out
+    }
+
+    /// Merge half of [`PeScalars::gather`]: writes a shard-local arena's
+    /// rows back to their fabric-linear positions.
+    fn scatter(&mut self, linear: &[usize], local: &PeScalars) {
+        for (dst, src) in self.fields_mut().into_iter().zip(local.fields()) {
+            for (j, &i) in linear.iter().enumerate() {
+                dst[i] = src[j];
+            }
+        }
+    }
 }
 
 /// Traces and logs one fault injection/detection at a PE, in the PE's own
@@ -476,6 +572,8 @@ fn link_code(dir: Direction, control: bool) -> u16 {
 #[allow(clippy::too_many_arguments)]
 fn process_route(
     slot: &mut PeSlot,
+    sc: &mut PeScalars,
+    idx: usize,
     pe: usize,
     coord: PeCoord,
     dims: FabricDims,
@@ -582,7 +680,7 @@ fn process_route(
                     wavelet.payload,
                 );
                 slot.parked.push((inp, wavelet));
-                slot.flow_stalls += 1;
+                sc.flow_stalls[idx] += 1;
                 continue;
             }
             // A hard routing error: record it (the run continues so that
@@ -599,6 +697,12 @@ fn process_route(
                 continue;
             }
         };
+        // Link-traffic accounting (routing itself is pure since the
+        // static/dynamic router split): every successful route bumps the
+        // arena counters exactly as the router used to.
+        let (hop_fwds, hop_ramps) = outcome.hop_counts();
+        sc.fabric_hops[idx] += hop_fwds;
+        sc.ramp_deliveries[idx] += hop_ramps;
         if outcome.toggled {
             slot.trace.record_at(
                 ev.time,
@@ -631,10 +735,10 @@ fn process_route(
                     link_code(inp, wavelet.is_control()),
                     wavelet.payload,
                 );
-                slot.seq += 1;
+                sc.seq[idx] += 1;
                 emit(Event {
                     time: ev.time,
-                    seq: slot.seq,
+                    seq: sc.seq[idx],
                     src: pe,
                     pe,
                     kind: EventKind::Deliver,
@@ -677,8 +781,8 @@ fn process_route(
                         link_code(dir, wavelet.is_control()),
                         wavelet.payload,
                     );
-                    slot.edge_drops += 1;
-                    slot.fault_drops += 1;
+                    sc.edge_drops[idx] += 1;
+                    sc.fault_drops[idx] += 1;
                     continue;
                 }
                 match dims.neighbor(coord, dir) {
@@ -697,8 +801,8 @@ fn process_route(
                         let (seq, src) = if preserve {
                             (ev.seq, ev.src)
                         } else {
-                            slot.seq += 1;
-                            (slot.seq, pe)
+                            sc.seq[idx] += 1;
+                            (sc.seq[idx], pe)
                         };
                         emit(Event {
                             time: advance_time(ev.time, hop_latency),
@@ -717,7 +821,7 @@ fn process_route(
                             link_code(dir, wavelet.is_control()),
                             wavelet.payload,
                         );
-                        slot.edge_drops += 1;
+                        sc.edge_drops[idx] += 1;
                     }
                 }
             }
@@ -725,8 +829,11 @@ fn process_route(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process_deliver(
     slot: &mut PeSlot,
+    sc: &mut PeScalars,
+    idx: usize,
     pe: usize,
     coord: PeCoord,
     dims: FabricDims,
@@ -744,7 +851,7 @@ fn process_deliver(
             ev.wavelet.payload,
             false,
         );
-        slot.fault_drops += 1;
+        sc.fault_drops[idx] += 1;
         return;
     }
     // Checksum verification at the ramp (on whenever a fault plan is
@@ -759,11 +866,11 @@ fn process_deliver(
             ev.wavelet.payload,
             false,
         );
-        slot.checksum_drops += 1;
+        sc.checksum_drops[idx] += 1;
         return;
     }
-    let start = slot.busy_until.max(ev.time);
-    slot.queue_wait_cycles += start - ev.time;
+    let start = sc.busy_until[idx].max(ev.time);
+    sc.queue_wait_cycles[idx] += start - ev.time;
     let cycles_before = slot.counters.cycles();
     slot.trace.record_at(
         start,
@@ -808,21 +915,28 @@ fn process_deliver(
             }
         }
     }
-    slot.busy_until = advance_time(start, cost);
+    sc.busy_until[idx] = advance_time(start, cost);
     slot.trace.record_at(
-        slot.busy_until,
+        sc.busy_until[idx],
         TraceEventKind::TaskEnd,
         ev.wavelet.color.id(),
         u16::from(ev.wavelet.is_control()),
         cost as u32,
     );
-    flush_pe_output(slot, pe, slot.busy_until, emit);
+    flush_pe_output(slot, sc, idx, pe, sc.busy_until[idx], emit);
 }
 
 /// Injects a PE's pending sends (through its own router, ramp input) and
 /// local activations. The outbox/activation buffers are recycled
 /// (take/clear/restore), so steady-state flushes allocate nothing.
-fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut impl FnMut(Event)) {
+fn flush_pe_output(
+    slot: &mut PeSlot,
+    sc: &mut PeScalars,
+    idx: usize,
+    pe: usize,
+    at: u64,
+    emit: &mut impl FnMut(Event),
+) {
     // Wavelets are sealed (checksum installed) at network injection only
     // while a fault plan has verification on — the fault-free path never
     // computes a checksum.
@@ -833,10 +947,10 @@ fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut impl FnMut(
         if verify {
             w.seal();
         }
-        slot.seq += 1;
+        sc.seq[idx] += 1;
         emit(Event {
             time: advance_time(at, k as u64),
-            seq: slot.seq,
+            seq: sc.seq[idx],
             src: pe,
             pe,
             kind: EventKind::Route(Direction::Ramp),
@@ -851,10 +965,10 @@ fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut impl FnMut(
         if verify {
             w.seal();
         }
-        slot.seq += 1;
+        sc.seq[idx] += 1;
         emit(Event {
             time: at,
-            seq: slot.seq,
+            seq: sc.seq[idx],
             src: pe,
             pe,
             kind: EventKind::Deliver,
@@ -870,93 +984,125 @@ fn flush_pe_output(slot: &mut PeSlot, pe: usize, at: u64, emit: &mut impl FnMut(
 // ---------------------------------------------------------------------------
 
 /// One precomputed passive-forwarding hop: what a fixed single-cardinal-
-/// output route at a `(pe, color)` does to a data wavelet, when valid.
+/// output route does to a data wavelet, when valid. Stored per
+/// *equivalence class* of route tables (not per PE): every PE sharing an
+/// interned `Arc<RouteTable>` behaves identically, and the downstream PE
+/// is recomputed from the traversed PE's coordinate at walk time.
 #[derive(Clone, Copy)]
 struct FwdStep {
     valid: bool,
     /// Input links the fixed position accepts.
     rx: DirMask,
-    /// [`Router::version`] the step was built from; a mismatch at walk
-    /// time means the program reconfigured the router mid-run — the chain
-    /// breaks there and routing falls back to per-hop.
-    version: u32,
-    /// Arrival side at the downstream PE.
-    arrival: Direction,
-    /// Linear index of the downstream PE.
-    next: u32,
+    /// The single cardinal output of the fixed position.
+    out: Direction,
 }
 
 const INVALID_STEP: FwdStep = FwdStep {
     valid: false,
     rx: DirMask::EMPTY,
-    version: 0,
-    arrival: Direction::North,
-    next: 0,
+    out: Direction::North,
 };
 
-/// Per-`(pe, color)` table of passive-forwarding hops, built once at
-/// `run()` entry when fast-forwarding is enabled (never while tracing is on
-/// or fault state is installed — see [`Fabric::fwd_table`]).
+/// The class-indexed fast-forward table, built once at `run()` entry when
+/// fast-forwarding is enabled (never while tracing is on or fault state is
+/// installed — see [`Fabric::fwd_table`]). Each PE maps to the equivalence
+/// class of its (interned) route table; steps are stored per
+/// `(class, color)` — O(classes · colors), not O(PEs · colors), which is
+/// what makes a homogeneous interior *region* one table row. Without route
+/// deduplication every PE is its own class and the table degenerates to
+/// the legacy per-PE layout.
 struct FwdTable {
+    /// Equivalence class of each PE's route table (fabric-linear).
+    class_of: Vec<u32>,
+    /// [`Router::version`] of each PE at build time (fabric-linear); a
+    /// mismatch at walk time means the program reconfigured the router
+    /// mid-run — the chain breaks there and routing falls back to per-hop.
+    versions: Vec<u32>,
+    /// Per-`(class, color)` passive-forwarding steps.
     steps: Vec<FwdStep>,
     num_pes: usize,
 }
 
 impl FwdTable {
-    fn build(dims: FabricDims, pes: &[PeSlot]) -> Self {
-        let mut steps = vec![INVALID_STEP; pes.len() * MAX_COLORS];
-        for (i, slot) in pes.iter().enumerate() {
-            let coord = dims.coord(i);
-            for c in 0..MAX_COLORS {
-                let Some(cfg) = slot.router.config(Color::new(c as u8)) else {
-                    continue;
-                };
-                if !cfg.is_fixed() {
-                    continue;
-                }
-                let pos = cfg.active();
-                // Exactly the key-preserving hop shape: one cardinal
-                // output. Edge-pointing routes are excluded (their drops
-                // must be counted per hop).
-                if pos.tx.len() != 1 || pos.tx.contains(Direction::Ramp) {
-                    continue;
-                }
-                let out = pos.tx.iter().next().expect("single output");
-                let Some(n) = dims.neighbor(coord, out) else {
-                    continue;
-                };
-                steps[i * MAX_COLORS + c] = FwdStep {
-                    valid: true,
-                    rx: pos.rx,
-                    version: slot.router.version(),
-                    arrival: out.arrival_side(),
-                    next: dims.linear(n) as u32,
-                };
-            }
+    fn build(pes: &[PeSlot]) -> Self {
+        let mut classes: HashMap<*const RouteTable, u32> = HashMap::new();
+        let mut class_of = Vec::with_capacity(pes.len());
+        let mut versions = Vec::with_capacity(pes.len());
+        let mut steps: Vec<FwdStep> = Vec::new();
+        for slot in pes {
+            versions.push(slot.router.version());
+            let key = Arc::as_ptr(slot.router.table());
+            let next = classes.len() as u32;
+            let class = *classes.entry(key).or_insert_with(|| {
+                steps.extend(table_steps(slot.router.table()));
+                next
+            });
+            class_of.push(class);
         }
         Self {
+            class_of,
+            versions,
             steps,
             num_pes: pes.len(),
         }
     }
+
+    #[inline]
+    fn step(&self, pe: usize, color: usize) -> FwdStep {
+        self.steps[self.class_of[pe] as usize * MAX_COLORS + color]
+    }
+}
+
+/// The per-color passive-forwarding steps of one route table (one
+/// equivalence class): exactly the key-preserving hop shape — a fixed
+/// route with one cardinal output. Edge adjacency is *not* baked in here
+/// (a class spans PEs at different coordinates); the walk recomputes the
+/// downstream neighbor and stops at the fabric edge, where drops must be
+/// counted per hop.
+fn table_steps(table: &RouteTable) -> [FwdStep; MAX_COLORS] {
+    let mut out = [INVALID_STEP; MAX_COLORS];
+    for (c, slot) in out.iter_mut().enumerate() {
+        let Some(cfg) = table.config(Color::new(c as u8)) else {
+            continue;
+        };
+        if !cfg.is_fixed() {
+            continue;
+        }
+        let pos = cfg.active();
+        if pos.tx.len() != 1 || pos.tx.contains(Direction::Ramp) {
+            continue;
+        }
+        *slot = FwdStep {
+            valid: true,
+            rx: pos.rx,
+            out: pos.tx.iter().next().expect("single output"),
+        };
+    }
+    out
 }
 
 /// Walks the passive-forwarding chain starting at `ev`'s PE and delivers
 /// the wavelet across all of it as one event: returns the hop count and
 /// the chain-end event (key preserved, time advanced `hops · hop_latency`),
-/// or `None` when the first hop is not a chain hop. Each traversed router's
-/// `fabric_hops` is bumped exactly as the per-hop walk would. `map` turns a
-/// linear PE index into the caller's slot index — `None` stops the chain.
-/// The sharded engine maps only its own shard's slots, so a chain spanning
-/// shards is walked as *segments*: each shard jumps to the first PE past its
-/// boundary and mails the key-preserved continuation (time already advanced
-/// by its segment's hops) to the neighbor, which resumes the walk on pop.
-/// Segment budgets sum to the sequential chain's `1 + (k-1)` pops and each
-/// segment bumps exactly its own routers' `fabric_hops`, so counters and
-/// event budgets stay bit-identical.
+/// or `None` when the first hop is not a chain hop. With class-deduped
+/// route tables the chain extends across whole homogeneous *regions* — k
+/// identical interior PEs advance in one jump with bulk accounting: each
+/// traversed PE's `fabric_hops` is bumped exactly as the per-hop walk
+/// would. `map` turns a linear PE index into the caller's slot/arena
+/// index — `None` stops the chain. The sharded engine maps only its own
+/// shard's slots, so a chain spanning shards is walked as *segments*: each
+/// shard jumps to the first PE past its boundary and mails the
+/// key-preserved continuation (time already advanced by its segment's
+/// hops) to the neighbor, which resumes the walk on pop. Segment budgets
+/// sum to the sequential chain's `1 + (k-1)` pops and each segment bumps
+/// exactly its own PEs' `fabric_hops`, so counters and event budgets stay
+/// bit-identical.
+#[allow(clippy::too_many_arguments)]
 fn fast_forward(
     table: &FwdTable,
+    dims: FabricDims,
     slots: &mut [PeSlot],
+    sc: &mut PeScalars,
     map: impl Fn(usize) -> Option<usize>,
     hop_latency: u64,
     ev: &Event,
@@ -965,25 +1111,31 @@ fn fast_forward(
     let color = ev.wavelet.color.index();
     let mut time = ev.time;
     let mut pe = ev.pe;
+    let mut coord = dims.coord(pe);
     let mut input = input;
     let mut hops = 0u64;
     // A chain of distinct eligible routers can never be longer than the
     // fabric; stopping there re-queues the wavelet mid-cycle and lets the
     // event budget catch genuinely circular routes.
     while hops < table.num_pes as u64 {
-        let step = table.steps[pe * MAX_COLORS + color];
+        let step = table.step(pe, color);
         if !step.valid || !step.rx.contains(input) {
             break;
         }
+        // An edge-pointing hop leaves the chain: the drop must be counted
+        // (and traced) by the per-hop path.
+        let Some(n) = dims.neighbor(coord, step.out) else {
+            break;
+        };
         let Some(local) = map(pe) else { break };
-        let slot = &mut slots[local];
-        if slot.router.version() != step.version {
+        if slots[local].router.version() != table.versions[pe] {
             break;
         }
-        slot.router.fabric_hops += 1;
+        sc.fabric_hops[local] += 1;
         time = advance_time(time, hop_latency);
-        input = step.arrival;
-        pe = step.next as usize;
+        input = step.out.arrival_side();
+        coord = n;
+        pe = dims.linear(n);
         hops += 1;
     }
     if hops == 0 {
@@ -1178,6 +1330,14 @@ struct Shard {
     ff_hops: u64,
     /// Fast-forward jumps (per-segment) taken on this shard.
     ff_jumps: u64,
+    /// Region jumps (per-segment): fast-forward jumps that crossed ≥ 2
+    /// identical PEs in one event. Engine-dependent (boundaries segment
+    /// chains), like `ff_jumps`.
+    region_ff_jumps: u64,
+    /// This shard's slice of the per-PE scalar arena, gathered from the
+    /// fabric arena at run entry and scattered back at merge (shard-local
+    /// indices, aligned with `slots`).
+    scalars: PeScalars,
 }
 
 impl Shard {
@@ -1257,6 +1417,8 @@ fn process_shard(
         out,
         ff_hops,
         ff_jumps,
+        region_ff_jumps,
+        scalars,
         ..
     } = shard;
     let mut processed = 0u64;
@@ -1291,14 +1453,24 @@ fn process_shard(
                     let c = dims.coord(i);
                     (plan.shard_of(c) == *id).then(|| rect.local_index(c))
                 };
-                if let Some((hops, jumped)) =
-                    fast_forward(table, slots, own, config.hop_latency, &ev, input)
-                {
+                if let Some((hops, jumped)) = fast_forward(
+                    table,
+                    dims,
+                    slots,
+                    scalars,
+                    own,
+                    config.hop_latency,
+                    &ev,
+                    input,
+                ) {
                     // The chain's intermediate pops happened in bulk.
                     processed += hops - 1;
                     batch += hops - 1;
                     *ff_hops += hops;
                     *ff_jumps += 1;
+                    if hops >= 2 {
+                        *region_ff_jumps += 1;
+                    }
                     let dest = plan.shard_of(dims.coord(jumped.pe));
                     if dest == *id {
                         queue.push(jumped);
@@ -1311,7 +1483,8 @@ fn process_shard(
                 }
             }
         }
-        let slot = &mut slots[rect.local_index(coord)];
+        let idx = rect.local_index(coord);
+        let slot = &mut slots[idx];
         let mut emit = |e: Event| {
             let dest = plan.shard_of(dims.coord(e.pe));
             if dest == *id {
@@ -1329,6 +1502,8 @@ fn process_shard(
         match ev.kind {
             EventKind::Route(input) => process_route(
                 slot,
+                scalars,
+                idx,
                 pe,
                 coord,
                 dims,
@@ -1338,7 +1513,9 @@ fn process_shard(
                 &mut emit,
                 error,
             ),
-            EventKind::Deliver => process_deliver(slot, pe, coord, dims, &ev, &mut emit),
+            EventKind::Deliver => {
+                process_deliver(slot, scalars, idx, pe, coord, dims, &ev, &mut emit)
+            }
         }
     }
     if batch > 0 {
@@ -1614,6 +1791,9 @@ pub struct Fabric {
     dims: FabricDims,
     config: FabricConfig,
     pes: Vec<PeSlot>,
+    /// The per-PE scalar arena (fabric-linear), split into shard-local
+    /// slices for the sharded engine and merged back after each run.
+    scalars: PeScalars,
     queue: CalendarQueue<Event>,
     host_seq: u64,
     time: u64,
@@ -1632,6 +1812,15 @@ pub struct Fabric {
     /// sharded engine takes one jump per shard-boundary segment. Exposed
     /// for telemetry but excluded from deterministic equivalence checks.
     ff_jumps: u64,
+    /// Cumulative *region* fast-forward jumps: jumps that crossed ≥ 2
+    /// identical PEs in one event. Engine-dependent like `ff_jumps`
+    /// (boundaries segment chains) — telemetry only.
+    region_ff_jumps: u64,
+    /// Route-table equivalence classes after `load` interning: the number
+    /// of distinct static route tables across the fabric. O(1) for SPMD
+    /// programs (interior / edges / corners); equals the PE count until
+    /// `load` runs, or when [`FabricConfig::dedup_routes`] is off.
+    eq_classes: usize,
 }
 
 impl Fabric {
@@ -1642,7 +1831,7 @@ impl Fabric {
         config: FabricConfig,
         mut factory: impl FnMut(PeCoord) -> Box<dyn PeProgram>,
     ) -> Self {
-        let pes = dims
+        let pes: Vec<PeSlot> = dims
             .iter()
             .enumerate()
             .map(|(i, c)| PeSlot {
@@ -1650,25 +1839,20 @@ impl Fabric {
                 counters: OpCounters::default(),
                 router: Router::new(),
                 program: factory(c),
-                busy_until: 0,
                 outbox: Vec::new(),
                 activations: Vec::new(),
                 parked: Vec::new(),
                 route_scratch: VecDeque::new(),
-                seq: 0,
-                edge_drops: 0,
-                flow_stalls: 0,
-                queue_wait_cycles: 0,
-                fault_drops: 0,
-                checksum_drops: 0,
                 faults: PeFaultState::default(),
                 trace: PeTracer::for_spec(config.trace, i as u32),
             })
             .collect();
+        let num_pes = pes.len();
         Self {
             dims,
             config,
             pes,
+            scalars: PeScalars::new(num_pes),
             queue: CalendarQueue::new(),
             host_seq: 0,
             time: 0,
@@ -1676,6 +1860,8 @@ impl Fabric {
             host_trace: PeTracer::for_spec(config.trace, HOST_PE),
             ff_hops: 0,
             ff_jumps: 0,
+            region_ff_jumps: 0,
+            eq_classes: num_pes,
         }
     }
 
@@ -1689,10 +1875,17 @@ impl Fabric {
         self.time
     }
 
-    /// Runs every PE's `init` handler (allocate memory, configure routes).
+    /// Runs every PE's `init` handler (allocate memory, configure routes),
+    /// then — when [`FabricConfig::dedup_routes`] is on — interns the
+    /// resulting static route tables: PEs with identical tables share one
+    /// `Arc<RouteTable>` per equivalence class. Interning happens per PE
+    /// right after its `init`, so the transient footprint is O(classes),
+    /// not O(PEs). SPMD programs collapse to a handful of classes
+    /// (interior / edges / corners); see [`Fabric::eq_classes`].
     pub fn load(&mut self) {
         assert!(!self.initialized, "fabric already loaded");
         self.initialized = true;
+        let mut interned: HashSet<Arc<RouteTable>> = HashSet::new();
         for i in 0..self.pes.len() {
             let coord = self.dims.coord(i);
             let dims = self.dims;
@@ -1711,11 +1904,32 @@ impl Fabric {
                 &mut slot.activations,
             );
             slot.program.init(&mut ctx);
+            if self.config.dedup_routes {
+                let canonical = match interned.get(slot.router.table()) {
+                    Some(c) => c.clone(),
+                    None => {
+                        let c = slot.router.table().clone();
+                        interned.insert(c.clone());
+                        c
+                    }
+                };
+                slot.router.intern_table(&canonical);
+            }
         }
+        self.eq_classes = if self.config.dedup_routes {
+            interned.len()
+        } else {
+            self.pes.len()
+        };
         // Anything sent from init is injected at t = 0.
-        let Self { pes, queue, .. } = self;
+        let Self {
+            pes,
+            scalars,
+            queue,
+            ..
+        } = self;
         for (i, slot) in pes.iter_mut().enumerate() {
-            flush_pe_output(slot, i, 0, &mut |e| queue.push(e));
+            flush_pe_output(slot, scalars, i, i, 0, &mut |e| queue.push(e));
         }
     }
 
@@ -1874,10 +2088,12 @@ impl Fabric {
             })
             .collect();
         events.sort_by_key(|e| (e.time, e.seq, e.src));
+        let sc = &self.scalars;
         let pes = self
             .pes
             .iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(i, slot)| {
                 debug_assert!(
                     slot.outbox.is_empty()
                         && slot.activations.is_empty()
@@ -1885,22 +2101,22 @@ impl Fabric {
                     "PE scratch buffers are always drained between events"
                 );
                 PeRecord {
-                    memory_words: slot.memory.words().to_vec(),
+                    memory_words: slot.memory.snapshot_words(),
                     memory_allocated: slot.memory.allocated_words(),
                     counters: slot.counters,
                     router_positions: slot.router.switch_positions(),
                     router_version: slot.router.version(),
-                    fabric_hops: slot.router.fabric_hops,
-                    ramp_deliveries: slot.router.ramp_deliveries,
+                    fabric_hops: sc.fabric_hops[i],
+                    ramp_deliveries: sc.ramp_deliveries[i],
                     program_state: slot.program.save_state(),
-                    busy_until: slot.busy_until,
+                    busy_until: sc.busy_until[i],
                     parked: slot.parked.clone(),
-                    seq: slot.seq,
-                    edge_drops: slot.edge_drops,
-                    flow_stalls: slot.flow_stalls,
-                    queue_wait_cycles: slot.queue_wait_cycles,
-                    fault_drops: slot.fault_drops,
-                    checksum_drops: slot.checksum_drops,
+                    seq: sc.seq[i],
+                    edge_drops: sc.edge_drops[i],
+                    flow_stalls: sc.flow_stalls[i],
+                    queue_wait_cycles: sc.queue_wait_cycles[i],
+                    fault_drops: sc.fault_drops[i],
+                    checksum_drops: sc.checksum_drops[i],
                     faults: FaultRecord {
                         active: slot.faults.active,
                         verify_checksums: slot.faults.verify_checksums,
@@ -1964,7 +2180,8 @@ impl Fabric {
                 });
             }
         }
-        for (i, (slot, rec)) in self.pes.iter_mut().zip(&snap.pes).enumerate() {
+        let Self { pes, scalars, .. } = self;
+        for (i, (slot, rec)) in pes.iter_mut().zip(&snap.pes).enumerate() {
             slot.memory
                 .restore_words(&rec.memory_words, rec.memory_allocated)
                 .map_err(|detail| RestoreError::Memory { pe: i, detail })?;
@@ -1972,22 +2189,22 @@ impl Fabric {
             slot.router
                 .restore_dynamic(&rec.router_positions, rec.router_version)
                 .map_err(|detail| RestoreError::Router { pe: i, detail })?;
-            slot.router.fabric_hops = rec.fabric_hops;
-            slot.router.ramp_deliveries = rec.ramp_deliveries;
+            scalars.fabric_hops[i] = rec.fabric_hops;
+            scalars.ramp_deliveries[i] = rec.ramp_deliveries;
             slot.program
                 .load_state(&rec.program_state)
                 .map_err(|detail| RestoreError::Program { pe: i, detail })?;
-            slot.busy_until = rec.busy_until;
-            slot.seq = rec.seq;
+            scalars.busy_until[i] = rec.busy_until;
+            scalars.seq[i] = rec.seq;
             slot.parked = rec.parked.clone();
             slot.outbox.clear();
             slot.activations.clear();
             slot.route_scratch.clear();
-            slot.edge_drops = rec.edge_drops;
-            slot.flow_stalls = rec.flow_stalls;
-            slot.queue_wait_cycles = rec.queue_wait_cycles;
-            slot.fault_drops = rec.fault_drops;
-            slot.checksum_drops = rec.checksum_drops;
+            scalars.edge_drops[i] = rec.edge_drops;
+            scalars.flow_stalls[i] = rec.flow_stalls;
+            scalars.queue_wait_cycles[i] = rec.queue_wait_cycles;
+            scalars.fault_drops[i] = rec.fault_drops;
+            scalars.checksum_drops[i] = rec.checksum_drops;
             slot.faults = PeFaultState {
                 active: rec.faults.active,
                 verify_checksums: rec.faults.verify_checksums,
@@ -2087,7 +2304,7 @@ impl Fabric {
         {
             return None;
         }
-        Some(FwdTable::build(self.dims, &self.pes))
+        Some(FwdTable::build(&self.pes))
     }
 
     fn run_sequential(&mut self, limit: Option<u64>) -> Result<PauseReport, FabricError> {
@@ -2117,20 +2334,25 @@ impl Fabric {
             let coord = dims.coord(pe);
             let Self {
                 pes,
+                scalars,
                 queue,
                 ff_hops,
                 ff_jumps,
+                region_ff_jumps,
                 ..
             } = self;
             if let (Some(table), EventKind::Route(input)) = (&fwd, ev.kind) {
                 if ev.wavelet.kind == WaveletKind::Data {
                     if let Some((hops, jumped)) =
-                        fast_forward(table, pes, Some, hop_latency, &ev, input)
+                        fast_forward(table, dims, pes, scalars, Some, hop_latency, &ev, input)
                     {
                         // The chain's intermediate pops happened in bulk.
                         events += hops - 1;
                         *ff_hops += hops;
                         *ff_jumps += 1;
+                        if hops >= 2 {
+                            *region_ff_jumps += 1;
+                        }
                         if events > max_events {
                             return Err(FabricError::EventBudgetExceeded { max_events });
                         }
@@ -2144,6 +2366,8 @@ impl Fabric {
             match ev.kind {
                 EventKind::Route(input) => process_route(
                     slot,
+                    scalars,
+                    pe,
                     pe,
                     coord,
                     dims,
@@ -2153,7 +2377,9 @@ impl Fabric {
                     &mut emit,
                     &mut first_error,
                 ),
-                EventKind::Deliver => process_deliver(slot, pe, coord, dims, &ev, &mut emit),
+                EventKind::Deliver => {
+                    process_deliver(slot, scalars, pe, pe, coord, dims, &ev, &mut emit)
+                }
             }
         }
         if let Some(error) = self.scan_faults() {
@@ -2201,10 +2427,12 @@ impl Fabric {
         let mut shard_states: Vec<Shard> = (0..n)
             .map(|id| {
                 let rect = plan.rects[id];
-                let slots = rect
-                    .iter_linear(dims)
-                    .map(|i| slot_opts[i].take().unwrap())
+                let linear: Vec<usize> = rect.iter_linear(dims).collect();
+                let slots = linear
+                    .iter()
+                    .map(|&i| slot_opts[i].take().unwrap())
                     .collect();
+                let scalars = self.scalars.gather(&linear);
                 let out_links: Vec<ShardLink> = CARDINALS
                     .iter()
                     .filter_map(|&dir| {
@@ -2241,6 +2469,8 @@ impl Fabric {
                     saved_terms,
                     ff_hops: 0,
                     ff_jumps: 0,
+                    region_ff_jumps: 0,
+                    scalars,
                 }
             })
             .collect();
@@ -2315,6 +2545,7 @@ impl Fabric {
             events += sh.events;
             self.ff_hops += sh.ff_hops;
             self.ff_jumps += sh.ff_jumps;
+            self.region_ff_jumps += sh.region_ff_jumps;
             self.time = self.time.max(sh.max_time);
             if let Some((k, e)) = sh.error.take() {
                 merge_min_error(&mut min_error, k, e);
@@ -2322,7 +2553,9 @@ impl Fabric {
             for ev in sh.queue.drain_unordered() {
                 self.queue.push(ev);
             }
-            for (lin, slot) in sh.rect.iter_linear(dims).zip(sh.slots) {
+            let linear: Vec<usize> = sh.rect.iter_linear(dims).collect();
+            self.scalars.scatter(&linear, &sh.scalars);
+            for (lin, slot) in linear.into_iter().zip(sh.slots) {
                 slot_opts[lin] = Some(slot);
             }
         }
@@ -2429,7 +2662,7 @@ impl Fabric {
     }
 
     fn total_edge_drops(&self) -> u64 {
-        self.pes.iter().map(|s| s.edge_drops).sum()
+        self.scalars.edge_drops.iter().sum()
     }
 
     /// Cycles each PE's deliveries spent queued behind its busy CE before
@@ -2438,13 +2671,13 @@ impl Fabric {
     /// this vector is bit-identical between `Execution::Sequential` and
     /// `Execution::Sharded`.
     pub fn queue_wait_by_pe(&self) -> Vec<u64> {
-        self.pes.iter().map(|s| s.queue_wait_cycles).collect()
+        self.scalars.queue_wait_cycles.clone()
     }
 
     /// Total queued-delivery wait cycles across all PEs (see
     /// [`Fabric::queue_wait_by_pe`]).
     pub fn queue_wait_cycles(&self) -> u64 {
-        self.pes.iter().map(|s| s.queue_wait_cycles).sum()
+        self.scalars.queue_wait_cycles.iter().sum()
     }
 
     /// Cumulative fast-forwarded hops across all runs so far. Deterministic
@@ -2461,6 +2694,28 @@ impl Fabric {
     /// sharded) — compare [`Fabric::ff_hops`] across engines instead.
     pub fn ff_jumps(&self) -> u64 {
         self.ff_jumps
+    }
+
+    /// Cumulative *region* fast-forward jumps (jumps that crossed ≥ 2 PEs
+    /// in one event) across all runs so far. Engine-dependent like
+    /// [`Fabric::ff_jumps`] — excluded from the determinism contract.
+    pub fn region_ff_jumps(&self) -> u64 {
+        self.region_ff_jumps
+    }
+
+    /// Route-table equivalence classes after [`Fabric::load`]: the number
+    /// of distinct static route tables across the fabric. An SPMD program
+    /// yields O(1) classes regardless of grid size (interior / edges /
+    /// corners); with [`FabricConfig::dedup_routes`] off, every PE is its
+    /// own class.
+    pub fn eq_classes(&self) -> usize {
+        self.eq_classes
+    }
+
+    /// A PE's cumulative fabric-link forwards (per-PE diagnostics; the
+    /// aggregate lives in [`FabricStats::fabric_hops`]).
+    pub fn fabric_hops_at(&self, coord: PeCoord) -> u64 {
+        self.scalars.fabric_hops[self.dims.linear(coord)]
     }
 
     /// Event-queue occupancy `(ring, overflow)`: items resident in the
@@ -2501,18 +2756,20 @@ impl Fabric {
         }
     }
 
-    fn pe_stats(&self, slot: &PeSlot) -> FabricStats {
+    fn pe_stats(&self, i: usize) -> FabricStats {
+        let slot = &self.pes[i];
+        let sc = &self.scalars;
         FabricStats {
             total: slot.counters,
             max_pe_cycles: slot.counters.cycles(),
             max_pe_compute_cycles: slot.counters.compute_cycles,
             max_pe_comm_cycles: slot.counters.comm_cycles,
-            fabric_hops: slot.router.fabric_hops,
-            ramp_deliveries: slot.router.ramp_deliveries,
-            edge_drops: slot.edge_drops,
-            flow_stalls: slot.flow_stalls,
-            fault_drops: slot.fault_drops,
-            checksum_drops: slot.checksum_drops,
+            fabric_hops: sc.fabric_hops[i],
+            ramp_deliveries: sc.ramp_deliveries[i],
+            edge_drops: sc.edge_drops[i],
+            flow_stalls: sc.flow_stalls[i],
+            fault_drops: sc.fault_drops[i],
+            checksum_drops: sc.checksum_drops[i],
             num_pes: 1,
         }
     }
@@ -2520,8 +2777,8 @@ impl Fabric {
     /// Aggregated fabric statistics.
     pub fn stats(&self) -> FabricStats {
         let mut s = FabricStats::default();
-        for slot in &self.pes {
-            s.merge(&self.pe_stats(slot));
+        for i in 0..self.pes.len() {
+            s.merge(&self.pe_stats(i));
         }
         s
     }
@@ -2532,9 +2789,9 @@ impl Fabric {
     pub fn shard_stats(&self, shards: usize) -> Vec<FabricStats> {
         let plan = ShardPlan::new(self.dims, shards);
         let mut out = vec![FabricStats::default(); plan.count()];
-        for (i, slot) in self.pes.iter().enumerate() {
+        for i in 0..self.pes.len() {
             let sh = plan.shard_of(self.dims.coord(i));
-            out[sh].merge(&self.pe_stats(slot));
+            out[sh].merge(&self.pe_stats(i));
         }
         out
     }

@@ -47,6 +47,13 @@ impl MemRange {
 
 /// A PE's private memory: a word-addressed scratchpad with a bump allocator
 /// and a capacity limit.
+///
+/// The backing store is *lazy*: construction allocates nothing, and the
+/// word vector grows (zero-filled) only as high addresses are written.
+/// Reads beyond the written prefix but within capacity return 0, exactly
+/// as if the full arena had been zero-initialized eagerly. This is what
+/// lets a paper-scale fabric (~738k PEs × 48 kB capacity) fit in host
+/// memory: resident bytes track words actually touched, not capacity.
 #[derive(Debug, Clone)]
 pub struct PeMemory {
     words: Vec<u32>,
@@ -82,11 +89,12 @@ impl PeMemory {
     }
 
     /// Memory with an explicit byte capacity (must be a multiple of 4).
+    /// No backing store is allocated until the first write.
     pub fn with_capacity_bytes(bytes: usize) -> Self {
         assert!(bytes.is_multiple_of(4), "capacity must be word-aligned");
         let capacity_words = bytes / 4;
         Self {
-            words: vec![0; capacity_words],
+            words: Vec::new(),
             next_free: 0,
             capacity_words,
         }
@@ -127,18 +135,28 @@ impl PeMemory {
         self.capacity_words
     }
 
-    /// The full word store, including unallocated tail words — a fabric
-    /// checkpoint captures the arena verbatim.
-    pub fn words(&self) -> &[u32] {
-        &self.words
+    /// The canonical word image for a fabric checkpoint: the written
+    /// prefix with trailing zeros trimmed. Two memories with the same
+    /// logical content produce bit-identical images regardless of how
+    /// their lazy backing stores grew — which makes checkpoints
+    /// representation-portable by construction.
+    pub fn snapshot_words(&self) -> Vec<u32> {
+        let end = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
+        self.words[..end].to_vec()
     }
 
     /// Overwrites the word store and allocation cursor from a checkpoint.
-    /// `words` must match this arena's capacity exactly and `allocated`
-    /// must not exceed it — a mismatch means the snapshot was taken on a
-    /// fabric with a different memory configuration.
+    /// `words` may be any length up to this arena's capacity (canonical
+    /// images are trailing-zero-trimmed; older capacity-sized images
+    /// restore identically) — words beyond its length read as zero.
+    /// `allocated` must not exceed capacity: a violation means the
+    /// snapshot was taken on a fabric with a larger memory configuration.
     pub fn restore_words(&mut self, words: &[u32], allocated: usize) -> Result<(), String> {
-        if words.len() != self.capacity_words {
+        if words.len() > self.capacity_words {
             return Err(format!(
                 "memory capacity mismatch: snapshot has {} words, arena holds {}",
                 words.len(),
@@ -158,28 +176,46 @@ impl PeMemory {
     }
 
     /// Raw word read (host access / DSD engine — no traffic accounting
-    /// here; the DSD layer counts).
+    /// here; the DSD layer counts). Reads past the lazily-grown prefix
+    /// return 0, like the zero-initialized arena they stand in for.
     #[inline]
     pub fn read_u32(&self, addr: usize) -> u32 {
-        self.words[addr]
+        if addr < self.words.len() {
+            self.words[addr]
+        } else {
+            assert!(
+                addr < self.capacity_words,
+                "read at {addr} beyond capacity {}",
+                self.capacity_words
+            );
+            0
+        }
     }
 
-    /// Raw word write.
+    /// Raw word write, growing the lazy backing store as needed.
     #[inline]
     pub fn write_u32(&mut self, addr: usize, value: u32) {
+        if addr >= self.words.len() {
+            assert!(
+                addr < self.capacity_words,
+                "write at {addr} beyond capacity {}",
+                self.capacity_words
+            );
+            self.words.resize(addr + 1, 0);
+        }
         self.words[addr] = value;
     }
 
     /// `f32` view of a word.
     #[inline]
     pub fn read_f32(&self, addr: usize) -> f32 {
-        f32::from_bits(self.words[addr])
+        f32::from_bits(self.read_u32(addr))
     }
 
     /// `f32` store.
     #[inline]
     pub fn write_f32(&mut self, addr: usize, value: f32) {
-        self.words[addr] = value.to_bits();
+        self.write_u32(addr, value.to_bits());
     }
 
     /// Host-side bulk copy into PE memory (the SDK's `memcpy` in-direction).
@@ -194,6 +230,17 @@ impl PeMemory {
     /// out-direction).
     pub fn host_read_f32(&self, range: MemRange) -> Vec<f32> {
         (0..range.len).map(|i| self.read_f32(range.at(i))).collect()
+    }
+
+    /// Allocation-free variant of [`PeMemory::host_read_f32`]: reads the
+    /// range into a caller-owned buffer. The bulk-collect path over a
+    /// paper-scale fabric calls this once per PE; per-PE `Vec` churn there
+    /// is measurable.
+    pub fn host_read_f32_into(&self, range: MemRange, out: &mut [f32]) {
+        assert!(out.len() >= range.len, "host read exceeds buffer");
+        for (i, slot) in out.iter_mut().take(range.len).enumerate() {
+            *slot = self.read_f32(range.at(i));
+        }
     }
 }
 
@@ -268,5 +315,64 @@ mod tests {
     #[should_panic]
     fn unaligned_capacity_rejected() {
         let _ = PeMemory::with_capacity_bytes(42);
+    }
+
+    #[test]
+    fn lazy_store_reads_zero_and_grows_on_write() {
+        let mut m = PeMemory::with_capacity_bytes(64);
+        // untouched words read as zero without materializing anything
+        assert_eq!(m.read_u32(15), 0);
+        assert_eq!(m.read_f32(3), 0.0);
+        m.write_u32(10, 7);
+        assert_eq!(m.read_u32(10), 7);
+        assert_eq!(m.read_u32(11), 0); // still past the written prefix
+    }
+
+    #[test]
+    #[should_panic]
+    fn lazy_store_still_rejects_out_of_capacity_reads() {
+        let m = PeMemory::with_capacity_bytes(64); // 16 words
+        let _ = m.read_u32(16);
+    }
+
+    #[test]
+    fn snapshot_words_are_canonical_across_growth_histories() {
+        // same logical content, different growth history
+        let mut a = PeMemory::with_capacity_bytes(64);
+        let mut b = PeMemory::with_capacity_bytes(64);
+        a.write_u32(2, 9);
+        a.write_u32(12, 5);
+        a.write_u32(12, 0); // grown to 13 words, then logically zeroed
+        b.write_u32(2, 9);
+        assert_eq!(a.snapshot_words(), b.snapshot_words());
+        assert_eq!(a.snapshot_words(), vec![0, 0, 9]);
+    }
+
+    #[test]
+    fn restore_accepts_short_and_capacity_sized_images() {
+        let mut m = PeMemory::with_capacity_bytes(64); // 16 words
+        m.restore_words(&[1, 2, 3], 8).unwrap();
+        assert_eq!(m.read_u32(1), 2);
+        assert_eq!(m.read_u32(9), 0);
+        assert_eq!(m.allocated_words(), 8);
+        // a capacity-sized (old-style) image restores identically
+        let mut full = vec![0u32; 16];
+        full[..3].copy_from_slice(&[1, 2, 3]);
+        let mut m2 = PeMemory::with_capacity_bytes(64);
+        m2.restore_words(&full, 8).unwrap();
+        assert_eq!(m.snapshot_words(), m2.snapshot_words());
+        // over-capacity images are rejected
+        assert!(m2.restore_words(&[0u32; 17], 0).is_err());
+        assert!(m2.restore_words(&[1], 17).is_err());
+    }
+
+    #[test]
+    fn host_read_into_matches_alloc_read() {
+        let mut m = PeMemory::with_capacity_bytes(64);
+        let r = m.alloc(6).unwrap();
+        m.host_write_f32(r, &[1.0, 2.0, 3.0]);
+        let mut out = vec![0.0_f32; 6];
+        m.host_read_f32_into(r, &mut out);
+        assert_eq!(out, m.host_read_f32(r));
     }
 }

@@ -12,9 +12,10 @@
 use crate::geometry::Direction;
 use crate::wavelet::{Color, MAX_COLORS};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// A set of router links, packed as a bitmask.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct DirMask(u8);
 
 impl DirMask {
@@ -72,7 +73,7 @@ impl DirMask {
 
 /// One switch position of a color's route: which links it accepts wavelets
 /// from and which links it forwards them to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RouterPosition {
     /// Accepted input links.
     pub rx: DirMask,
@@ -89,7 +90,7 @@ impl RouterPosition {
 
 /// A color's routing configuration: one or two switch positions plus the
 /// currently active one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ColorConfig {
     positions: [RouterPosition; 2],
     num_positions: u8,
@@ -159,18 +160,74 @@ pub struct RouteOutcome {
     pub fixed: bool,
 }
 
-/// A per-PE router: 24 color configurations plus traffic counters.
+impl RouteOutcome {
+    /// The traffic this outcome implies, as `(fabric_hops,
+    /// ramp_deliveries)` increments: a ramp output is a delivery, every
+    /// other output link is a fabric hop. Routing itself is pure; the
+    /// fabric applies these to its per-PE counter arena.
+    #[inline]
+    pub fn hop_counts(&self) -> (u64, u64) {
+        if self.outputs.contains(Direction::Ramp) {
+            ((self.outputs.len() - 1) as u64, 1)
+        } else {
+            (self.outputs.len() as u64, 0)
+        }
+    }
+}
+
+/// The *static* half of a router: the 24 per-color configurations as
+/// installed by the program, with each color's `current` field holding its
+/// initial switch position. SPMD programs install only a handful of
+/// distinct tables across the whole fabric (interior / edge / corner /
+/// parity variants), so the fabric interns equal tables into shared
+/// `Arc<RouteTable>`s — O(classes) route storage instead of O(PEs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RouteTable {
+    configs: [Option<ColorConfig>; MAX_COLORS],
+}
+
+impl RouteTable {
+    /// A table with no colors configured.
+    pub fn empty() -> Self {
+        Self {
+            configs: [None; MAX_COLORS],
+        }
+    }
+
+    /// The installed configuration of a color (with `current` at its
+    /// *initial* position — the live position is the router's dynamic
+    /// state).
+    #[inline]
+    pub fn config(&self, color: Color) -> Option<&ColorConfig> {
+        self.configs[color.index()].as_ref()
+    }
+
+    /// True if no color is configured.
+    pub fn is_empty(&self) -> bool {
+        self.configs.iter().all(|c| c.is_none())
+    }
+}
+
+/// The one empty table every fresh router shares — building a paper-scale
+/// fabric must not allocate 738k identical empty tables before `load`
+/// interns the real ones.
+fn empty_table() -> Arc<RouteTable> {
+    static EMPTY: OnceLock<Arc<RouteTable>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(RouteTable::empty())).clone()
+}
+
+/// A per-PE router, split into an interned static [`RouteTable`] and two
+/// words of dynamic state: the active switch position of each color (one
+/// bit per color) and the configuration version.
 #[derive(Debug, Clone)]
 pub struct Router {
-    configs: [Option<ColorConfig>; MAX_COLORS],
+    table: Arc<RouteTable>,
+    /// Bit `c` = the active switch position of color `c`.
+    current_bits: u32,
     /// Bumped on every [`Router::configure`]; lets cached route chains
     /// detect runtime reconfiguration (load-time configuration happens
     /// before any chain is built, so steady-state versions never move).
     version: u32,
-    /// Wavelets forwarded per fabric link (excludes ramp deliveries).
-    pub fabric_hops: u64,
-    /// Wavelets delivered up the ramp to the PE.
-    pub ramp_deliveries: u64,
 }
 
 impl Default for Router {
@@ -183,17 +240,29 @@ impl Router {
     /// A router with no colors configured.
     pub fn new() -> Self {
         Self {
-            configs: [None; MAX_COLORS],
+            table: empty_table(),
+            current_bits: 0,
             version: 0,
-            fabric_hops: 0,
-            ramp_deliveries: 0,
         }
     }
 
     /// Installs a color configuration (program-load time on real hardware).
+    /// Clones the static table if it is shared (copy-on-write), so runtime
+    /// reconfiguration quietly un-interns the PE from its class.
     pub fn configure(&mut self, color: Color, config: ColorConfig) {
-        self.configs[color.index()] = Some(config);
+        Arc::make_mut(&mut self.table).configs[color.index()] = Some(config);
+        self.set_current(color.index(), config.current_index() as u8);
         self.version = self.version.wrapping_add(1);
+    }
+
+    #[inline]
+    fn current(&self, idx: usize) -> usize {
+        ((self.current_bits >> idx) & 1) as usize
+    }
+
+    #[inline]
+    fn set_current(&mut self, idx: usize, pos: u8) {
+        self.current_bits = (self.current_bits & !(1 << idx)) | ((pos as u32 & 1) << idx);
     }
 
     /// Configuration version: bumped on every [`Router::configure`] call.
@@ -204,14 +273,31 @@ impl Router {
         self.version
     }
 
-    /// The configuration of a color, if installed.
-    pub fn config(&self, color: Color) -> Option<&ColorConfig> {
-        self.configs[color.index()].as_ref()
+    /// The static route table (shared across the PE's equivalence class).
+    #[inline]
+    pub fn table(&self) -> &Arc<RouteTable> {
+        &self.table
+    }
+
+    /// Swaps the static table for a canonical shared copy with identical
+    /// content — the fabric's interning hook. Dynamic state is untouched.
+    pub fn intern_table(&mut self, canonical: &Arc<RouteTable>) {
+        debug_assert_eq!(*self.table, **canonical, "interning must preserve routes");
+        self.table = Arc::clone(canonical);
+    }
+
+    /// The configuration of a color, if installed, with `current` set to
+    /// the *live* switch position.
+    pub fn config(&self, color: Color) -> Option<ColorConfig> {
+        self.table.configs[color.index()].map(|mut c| {
+            c.current = self.current(color.index()) as u8;
+            c
+        })
     }
 
     /// The active switch-position index of a color (testing/diagnostics).
     pub fn position_index(&self, color: Color) -> Option<usize> {
-        self.configs[color.index()].map(|c| c.current_index())
+        self.table.configs[color.index()].map(|_| self.current(color.index()))
     }
 
     /// Force-toggles a color's switch position outside the normal control
@@ -219,12 +305,13 @@ impl Router {
     /// switch. Returns the new position index when the flip had an effect;
     /// `None` (benign) when the color is unconfigured or not switchable.
     pub fn force_toggle(&mut self, color: Color) -> Option<usize> {
-        let cfg = self.configs[color.index()].as_mut()?;
+        let idx = color.index();
+        let cfg = self.table.configs[idx].as_ref()?;
         if cfg.num_positions != 2 {
             return None;
         }
-        cfg.toggle();
-        Some(cfg.current_index())
+        self.current_bits ^= 1 << idx;
+        Some(self.current(idx))
     }
 
     /// Dynamic per-color switch positions as `(color id, active position)`
@@ -233,10 +320,11 @@ impl Router {
     /// themselves are static program state, reinstalled by program `init`
     /// on the restore target.
     pub fn switch_positions(&self) -> Vec<(u8, u8)> {
-        self.configs
+        self.table
+            .configs
             .iter()
             .enumerate()
-            .filter_map(|(i, c)| c.as_ref().map(|c| (i as u8, c.current)))
+            .filter_map(|(i, c)| c.as_ref().map(|_| (i as u8, self.current(i) as u8)))
             .collect()
     }
 
@@ -247,9 +335,10 @@ impl Router {
     pub fn restore_dynamic(&mut self, positions: &[(u8, u8)], version: u32) -> Result<(), String> {
         for &(id, current) in positions {
             let cfg = self
+                .table
                 .configs
-                .get_mut(id as usize)
-                .and_then(|c| c.as_mut())
+                .get(id as usize)
+                .and_then(|c| c.as_ref())
                 .ok_or_else(|| format!("color {id} is not configured on this router"))?;
             if current >= cfg.num_positions {
                 return Err(format!(
@@ -257,13 +346,15 @@ impl Router {
                     cfg.num_positions
                 ));
             }
-            cfg.current = current;
+            self.set_current(id as usize, current);
         }
         self.version = version;
         Ok(())
     }
 
     /// Routes one wavelet arriving on `input`. Returns the output links.
+    /// Pure with respect to traffic accounting: the caller applies
+    /// [`RouteOutcome::hop_counts`] to its counter arena.
     ///
     /// # Errors
     ///
@@ -276,27 +367,24 @@ impl Router {
         input: Direction,
         is_control: bool,
     ) -> Result<RouteOutcome, RouteError> {
-        let cfg = self.configs[color.index()]
-            .as_mut()
+        let idx = color.index();
+        let cfg = self.table.configs[idx]
+            .as_ref()
             .ok_or(RouteError::UnconfiguredColor(color))?;
-        let pos = cfg.active();
+        let pos = cfg.positions[self.current(idx)];
         if !pos.rx.contains(input) {
             return Err(RouteError::InputNotAccepted {
                 color,
                 input,
-                position: cfg.current_index(),
+                position: self.current(idx),
             });
         }
         let outputs = pos.tx;
         let fixed = cfg.num_positions == 1;
-        if outputs.contains(Direction::Ramp) {
-            self.ramp_deliveries += 1;
-            self.fabric_hops += (outputs.len() - 1) as u64;
-        } else {
-            self.fabric_hops += outputs.len() as u64;
-        }
         let toggled = if is_control {
-            cfg.toggle();
+            if !fixed {
+                self.current_bits ^= 1 << idx;
+            }
             true
         } else {
             false
@@ -304,7 +392,7 @@ impl Router {
         Ok(RouteOutcome {
             outputs,
             toggled,
-            position: cfg.current_index(),
+            position: self.current(idx),
             fixed,
         })
     }
@@ -382,8 +470,7 @@ mod tests {
         assert_eq!(out.outputs, DirMask::of(&[East, West]));
         assert!(!out.toggled);
         assert!(out.fixed);
-        assert_eq!(r.fabric_hops, 2);
-        assert_eq!(r.ramp_deliveries, 0);
+        assert_eq!(out.hop_counts(), (2, 0));
     }
 
     #[test]
@@ -435,7 +522,7 @@ mod tests {
         // now the router receives from the west instead
         let out = r.route(c, West, false).unwrap();
         assert_eq!(out.outputs, DirMask::single(Ramp));
-        assert_eq!(r.ramp_deliveries, 1);
+        assert_eq!(out.hop_counts(), (0, 1));
 
         // ramp sends are rejected in receive position
         assert!(r.route(c, Ramp, false).is_err());
@@ -470,7 +557,41 @@ mod tests {
         );
         let out = r.route(c, Ramp, false).unwrap();
         assert_eq!(out.outputs.len(), 4);
-        assert_eq!(r.fabric_hops, 4);
+        assert_eq!(out.hop_counts(), (4, 0));
+    }
+
+    #[test]
+    fn interning_shares_tables_without_touching_dynamic_state() {
+        let sending = RouterPosition::new(DirMask::single(Ramp), DirMask::single(East));
+        let receiving = RouterPosition::new(DirMask::single(West), DirMask::single(Ramp));
+        let mut a = Router::new();
+        let mut b = Router::new();
+        let c = Color::new(0);
+        a.configure(c, ColorConfig::switchable(sending, receiving, 0));
+        b.configure(c, ColorConfig::switchable(sending, receiving, 0));
+        // equal content, separate allocations
+        assert_eq!(**a.table(), **b.table());
+        assert!(!Arc::ptr_eq(a.table(), b.table()));
+        // intern b onto a's canonical table
+        let canonical = Arc::clone(a.table());
+        let _ = b.route(c, Ramp, true).unwrap(); // b toggles first
+        b.intern_table(&canonical);
+        assert!(Arc::ptr_eq(a.table(), b.table()));
+        assert_eq!(b.position_index(c), Some(1), "dynamic state survives");
+        assert_eq!(a.position_index(c), Some(0));
+        // reconfiguring b un-shares via copy-on-write; a is unaffected
+        b.configure(c, ColorConfig::fixed(sending));
+        assert!(!Arc::ptr_eq(a.table(), b.table()));
+        assert_eq!(a.position_index(c), Some(0));
+        assert!(b.config(c).unwrap().is_fixed());
+    }
+
+    #[test]
+    fn fresh_routers_share_the_empty_table() {
+        let a = Router::new();
+        let b = Router::new();
+        assert!(Arc::ptr_eq(a.table(), b.table()));
+        assert!(a.table().is_empty());
     }
 
     #[test]

@@ -143,7 +143,7 @@ fn run_pipeline(
     f.activate(PeCoord::new(0, 0), KICK, 0);
     let report = f.run().expect("pipeline run failed");
     let hops: Vec<u64> = (0..width)
-        .map(|x| f.router(PeCoord::new(x, 0)).fabric_hops)
+        .map(|x| f.fabric_hops_at(PeCoord::new(x, 0)))
         .collect();
     (report, f.stats(), f.time(), hops)
 }
@@ -270,7 +270,7 @@ fn two_shard_chain_crossing_matches_closed_form() {
             assert_eq!(report.events, 10, "{label}: event count");
             assert_eq!(report.final_time, 7 * L, "{label}: sink arrival time");
             let hops: Vec<u64> = (0..8)
-                .map(|x| f.router(PeCoord::new(x, 0)).fabric_hops)
+                .map(|x| f.fabric_hops_at(PeCoord::new(x, 0)))
                 .collect();
             assert_eq!(
                 hops,

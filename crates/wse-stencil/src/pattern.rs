@@ -10,6 +10,7 @@
 //! configuration — the artifact that is uploaded to each router at
 //! `Fabric::load` time.
 
+use std::collections::HashSet;
 use wse_sim::geometry::{Direction, FabricDims, PeCoord};
 use wse_sim::route::{ColorConfig, DirMask, RouterPosition};
 use wse_sim::wavelet::Color;
@@ -185,8 +186,10 @@ fn in_bounds(dims: FabricDims, c: PeCoord, offset: (i32, i32)) -> bool {
 }
 
 /// The per-PE router program: the `(color, config)` pairs installed at
-/// `Fabric::load`.
-#[derive(Debug, Clone, PartialEq)]
+/// `Fabric::load`. `Eq`/`Hash` make programs the unit of SPMD equivalence
+/// classes — two PEs with equal programs configure identical route tables,
+/// which the fabric deduplicates into one shared `Arc` per class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RouteProgram(pub Vec<(Color, ColorConfig)>);
 
 /// The compiled communication pattern of one stencil.
@@ -261,6 +264,21 @@ impl CommPattern {
             out.extend(lane.router_configs(c));
         }
         RouteProgram(out)
+    }
+
+    /// The number of distinct per-PE route programs this pattern renders
+    /// on a `dims` fabric — the predicted SPMD *equivalence-class* count.
+    /// Programs differ only where the fabric edge reshapes a lane (edge
+    /// PEs, corners, and the diagonal families' boundary roles), so the
+    /// count is O(1) in the grid size once both extents clear the
+    /// pattern's reach — exactly what `Fabric::eq_classes()` reports after
+    /// route deduplication at `load`.
+    pub fn eq_classes(&self, dims: FabricDims) -> usize {
+        let mut seen = HashSet::new();
+        for c in dims.iter() {
+            seen.insert(self.route_program(dims, c));
+        }
+        seen.len()
     }
 }
 
@@ -357,5 +375,31 @@ mod tests {
         assert_eq!(ab.streams, 8);
         assert!(ab.diagonals.is_empty());
         assert_eq!(ab.cardinals, pattern.cardinals);
+    }
+
+    #[test]
+    fn eq_classes_are_constant_once_the_grid_clears_the_pattern_reach() {
+        // The SPMD payoff: TPFA's class count saturates at a grid-size-
+        // independent constant — interior / edge / corner variants only.
+        let pattern = compile(&StencilSpec::tpfa()).unwrap().pattern;
+        let at_8 = pattern.eq_classes(FabricDims::new(8, 8));
+        for dims in [
+            FabricDims::new(16, 16),
+            FabricDims::new(32, 8),
+            FabricDims::new(8, 32),
+            FabricDims::new(64, 64),
+        ] {
+            assert_eq!(pattern.eq_classes(dims), at_8, "{dims:?}");
+        }
+        // Sanity: far fewer classes than PEs at scale (the diagonal
+        // families' phase coloring and the cardinal sender parity make
+        // programs *periodic*, so the class count saturates instead of
+        // growing with the grid), and two period-aligned interior PEs
+        // share one program while a corner does not.
+        assert!(at_8 * 8 < 64 * 64, "expected O(1) classes, got {at_8}");
+        let dims = FabricDims::new(16, 16);
+        let interior = pattern.route_program(dims, PeCoord::new(7, 7));
+        assert_eq!(pattern.route_program(dims, PeCoord::new(13, 13)), interior);
+        assert_ne!(pattern.route_program(dims, PeCoord::new(0, 0)), interior);
     }
 }

@@ -90,6 +90,13 @@ faults:
     cargo test -q -p wse-sim --release --test fault_equivalence
     cargo test -q -p tpfa-dataflow --release --test fault_recovery
 
+# the paper-scale smoke: one measured TPFA apply on the paper's 746x989
+# PE footprint (737,794 PEs) with a blocking wall budget and peak-RSS
+# ceiling — the bin reads VmHWM from /proc/self/status, the same figure
+# `/usr/bin/time -v` reports as maximum resident set size
+paper-mesh budget_s="300" max_rss_mb="6144":
+    cargo run -p bench --release --bin paper_mesh -- --budget-s {{budget_s}} --max-rss-mb {{max_rss_mb}}
+
 # write a schema-versioned BENCH_<rev>.json perf report for this checkout
 perf-report rev="local":
     cargo run -p bench --release --bin perf_harness -- {{rev}}
